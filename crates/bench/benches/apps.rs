@@ -1,0 +1,49 @@
+//! Application-kernel microbenchmarks: the compute/communication building
+//! blocks of the two proxy applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_climate::coupled::{atm_params, serial_coupled, CoupledConfig};
+use nexus_climate::grid::{step, wrap_halos, Grid};
+use nexus_nbody::*;
+use std::hint::black_box;
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("climate/stencil_step");
+    for n in [32usize, 128] {
+        let mut grid = Grid::new(n, n, 0, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+        wrap_halos(&mut grid);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(step(&grid, atm_params(), None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_coupled_period(c: &mut Criterion) {
+    c.bench_function("climate/serial_coupled_4_periods", |b| {
+        b.iter(|| black_box(serial_coupled(CoupledConfig::small())))
+    });
+}
+
+fn bench_nbody_forces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nbody/all_pairs_forces");
+    for n in [64usize, 256] {
+        let bodies = colliding_clusters(n);
+        let params = NbodyParams::default();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(nexus_nbody::model::accel_from_blocks(
+                    &params,
+                    &bodies,
+                    &[&bodies],
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stencil, bench_coupled_period, bench_nbody_forces);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the typed buffer and RSR wire format — the
+//! per-message costs behind the Nexus overhead visible in Fig. 4's small
+//! message range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::ContextId;
+use nexus_rt::endpoint::EndpointId;
+use nexus_rt::rsr::Rsr;
+use std::hint::black_box;
+
+fn bench_scalars(c: &mut Criterion) {
+    c.bench_function("buffer/put_get_scalars", |b| {
+        b.iter(|| {
+            let mut buf = Buffer::with_capacity(64);
+            buf.put_u32(black_box(7));
+            buf.put_u64(black_box(11));
+            buf.put_f64(black_box(2.5));
+            buf.put_bool(true);
+            let a = buf.get_u32().unwrap();
+            let bb = buf.get_u64().unwrap();
+            let cc = buf.get_f64().unwrap();
+            let d = buf.get_bool().unwrap();
+            black_box((a, bb, cc, d))
+        })
+    });
+}
+
+fn bench_f64_slices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer/f64_slice_roundtrip");
+    for n in [16usize, 256, 4096] {
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut buf = Buffer::with_capacity(data.len() * 8 + 4);
+                buf.put_f64_slice(black_box(data));
+                black_box(buf.get_f64_slice().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsr_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsr/encode_decode");
+    for n in [0usize, 1024, 65_536] {
+        let msg = Rsr::new(
+            ContextId(3),
+            EndpointId(9),
+            "halo_exchange",
+            bytes::Bytes::from(vec![0u8; n]),
+        );
+        g.throughput(Throughput::Bytes(msg.wire_len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &msg, |b, msg| {
+            b.iter(|| {
+                let frame = msg.encode();
+                black_box(Rsr::decode(&frame).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalars, bench_f64_slices, bench_rsr_codec);
+criterion_main!(benches);

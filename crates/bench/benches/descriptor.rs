@@ -1,0 +1,94 @@
+//! Microbenchmarks of descriptor tables, startpoint mobility, and method
+//! selection — the per-link costs of the multimethod architecture (§3.1's
+//! "rather heavyweight entities" discussion and the lightweight-startpoint
+//! optimization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::Fabric;
+use nexus_rt::descriptor::{CommDescriptor, DescriptorTable, MethodId};
+use nexus_rt::module::test_support::TestModule;
+use nexus_rt::selection::{FirstApplicable, SelectionPolicy};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sample_table() -> DescriptorTable {
+    [
+        CommDescriptor::new(MethodId::SHMEM, b"node:0".to_vec()),
+        CommDescriptor::new(MethodId::MPL, b"sess:1,node:0".to_vec()),
+        CommDescriptor::new(MethodId::TCP, b"127.0.0.1:7000".to_vec()),
+        CommDescriptor::new(MethodId::UDP, b"127.0.0.1:7001".to_vec()),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn bench_table_codec(c: &mut Criterion) {
+    let table = sample_table();
+    c.bench_function("descriptor/table_encode_decode", |b| {
+        b.iter(|| {
+            let mut buf = Buffer::with_capacity(table.wire_len());
+            table.encode(&mut buf);
+            black_box(DescriptorTable::decode(&mut buf).unwrap())
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // A fabric with partition-scoped and universal test modules.
+    let fabric = Fabric::new();
+    fabric
+        .registry()
+        .register(Arc::new(TestModule::new(MethodId::MPL, "mpl", 10, true)));
+    fabric
+        .registry()
+        .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+    let remote = fabric.create_context().unwrap();
+    let local = fabric.create_context().unwrap();
+    let table = remote.descriptor_table().clone();
+    let info = local.info();
+    let registry = local.registry().unwrap();
+    c.bench_function("selection/first_applicable", |b| {
+        b.iter(|| black_box(FirstApplicable.select(&info, &table, &registry)))
+    });
+}
+
+fn bench_startpoint_mobility(c: &mut Criterion) {
+    let fabric = Fabric::new();
+    fabric
+        .registry()
+        .register(Arc::new(TestModule::new(MethodId::MPL, "mpl", 10, false)));
+    fabric
+        .registry()
+        .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+    let target = fabric.create_context().unwrap();
+    let receiver = fabric.create_context().unwrap();
+    let ep = target.create_endpoint();
+    let heavy = target.startpoint_to(ep).unwrap();
+    let light = target.startpoint_to_lightweight(ep).unwrap();
+    c.bench_function("startpoint/pack_unpack_heavyweight", |b| {
+        b.iter(|| {
+            let mut buf = Buffer::with_capacity(heavy.wire_len());
+            heavy.pack(&mut buf);
+            black_box(nexus_rt::startpoint::Startpoint::unpack(&mut buf, &receiver).unwrap())
+        })
+    });
+    c.bench_function("startpoint/pack_unpack_lightweight", |b| {
+        b.iter(|| {
+            let mut buf = Buffer::with_capacity(light.wire_len());
+            light.pack(&mut buf);
+            black_box(nexus_rt::startpoint::Startpoint::unpack(&mut buf, &receiver).unwrap())
+        })
+    });
+    c.bench_function("startpoint/clone_mirrors_links", |b| {
+        b.iter(|| black_box(heavy.clone()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table_codec,
+    bench_selection,
+    bench_startpoint_mobility
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Poll-engine microbenchmarks: the unified polling function's per-pass
+//! cost as a function of the method mix and skip_poll — the software-side
+//! half of §3.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexus_rt::descriptor::MethodId;
+use nexus_rt::error::Result;
+use nexus_rt::module::CommReceiver;
+use nexus_rt::poll::PollEngine;
+use nexus_rt::rsr::Rsr;
+use std::hint::black_box;
+
+/// An always-empty receiver with a configurable busy-wait cost, standing
+/// in for probes of different prices.
+struct CostedEmpty {
+    cost_ns: u64,
+}
+
+impl CommReceiver for CostedEmpty {
+    fn poll(&mut self) -> Result<Option<Rsr>> {
+        if self.cost_ns > 0 {
+            let t = std::time::Instant::now();
+            while (t.elapsed().as_nanos() as u64) < self.cost_ns {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn bench_pass_cost_by_source_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poll/pass_cost_by_sources");
+    for n in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut eng = PollEngine::new();
+            for i in 0..n {
+                eng.add_source(MethodId(i as u16), Box::new(CostedEmpty { cost_ns: 0 }));
+            }
+            b.iter(|| black_box(eng.poll_once().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_skip_poll_amortization(c: &mut Criterion) {
+    // A cheap method plus an expensive one (~2 µs busy-wait, a stand-in
+    // for select): skip_poll should amortize the expensive probe away.
+    let mut g = c.benchmark_group("poll/skip_poll_amortization");
+    for skip in [1u64, 10, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(skip), &skip, |b, &skip| {
+            let mut eng = PollEngine::new();
+            eng.add_source(MethodId::MPL, Box::new(CostedEmpty { cost_ns: 0 }));
+            eng.add_source(MethodId::TCP, Box::new(CostedEmpty { cost_ns: 2_000 }));
+            eng.set_skip_poll(MethodId::TCP, skip);
+            b.iter(|| black_box(eng.poll_once().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pass_cost_by_source_count, bench_skip_poll_amortization);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! End-to-end RSR cost on the real runtime: issue + progress + dispatch
+//! through the in-process queue transports — the ablation behind Fig. 4's
+//! "Nexus overhead" gap at small message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::Fabric;
+use nexus_transports::register_queue_modules;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn bench_rsr_roundtrip(c: &mut Criterion) {
+    let fabric = Fabric::new();
+    register_queue_modules(&fabric);
+    let a = fabric.create_context().unwrap();
+    let b = fabric.create_context().unwrap();
+    let count = Arc::new(AtomicU64::new(0));
+    {
+        let cnt = Arc::clone(&count);
+        b.register_handler("sink", move |_| {
+            cnt.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let ep = b.create_endpoint();
+    let sp = b.startpoint_to(ep).unwrap();
+
+    let mut g = c.benchmark_group("rsr/one_way_queue_transport");
+    for size in [0usize, 1024, 16 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, &size| {
+            let payload = vec![0u8; size];
+            bch.iter(|| {
+                let mut buf = Buffer::with_capacity(size);
+                buf.put_raw(black_box(&payload));
+                a.rsr(&sp, "sink", buf).unwrap();
+                // Drive the receiving context until the handler ran.
+                let before = count.load(Ordering::Relaxed);
+                while count.load(Ordering::Relaxed) == before {
+                    b.progress().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection_amortization(c: &mut Criterion) {
+    // First RSR on a fresh startpoint pays selection + connect; subsequent
+    // ones ride the cached communication object. Measure both.
+    let fabric = Fabric::new();
+    register_queue_modules(&fabric);
+    let a = fabric.create_context().unwrap();
+    let b = fabric.create_context().unwrap();
+    b.register_handler("sink", |_| {});
+    let ep = b.create_endpoint();
+
+    c.bench_function("rsr/first_send_includes_selection", |bch| {
+        bch.iter_batched(
+            || b.startpoint_to(ep).unwrap(),
+            |sp| {
+                a.rsr(&sp, "sink", Buffer::new()).unwrap();
+                black_box(sp)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let warm = b.startpoint_to(ep).unwrap();
+    a.rsr(&warm, "sink", Buffer::new()).unwrap();
+    c.bench_function("rsr/cached_send", |bch| {
+        bch.iter(|| a.rsr(&warm, "sink", Buffer::new()).unwrap())
+    });
+    // Keep the receiving side drained so queues stay short.
+    while b.progress().unwrap() > 0 {}
+}
+
+criterion_group!(benches, bench_rsr_roundtrip, bench_selection_amortization);
+criterion_main!(benches);

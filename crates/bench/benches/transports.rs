@@ -1,0 +1,77 @@
+//! Transport-level microbenchmarks: send+receive cost per module, the raw
+//! numbers behind the "fastest first" cost ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_rt::context::{ContextId, ContextInfo, NodeId, PartitionId};
+use nexus_rt::endpoint::EndpointId;
+use nexus_rt::module::CommModule;
+use nexus_rt::rsr::Rsr;
+use nexus_transports::{MplModule, ShmemModule, TcpModule};
+use std::hint::black_box;
+
+fn info(id: u32) -> ContextInfo {
+    ContextInfo {
+        id: ContextId(id),
+        node: NodeId(0),
+        partition: PartitionId(0),
+    }
+}
+
+fn msg(size: usize) -> Rsr {
+    Rsr::new(
+        ContextId(0),
+        EndpointId(1),
+        "bench",
+        bytes::Bytes::from(vec![0u8; size]),
+    )
+}
+
+fn bench_queue_transports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport/queue_send_recv");
+    let shmem = ShmemModule::new();
+    let mpl = MplModule::new();
+    let cases: Vec<(&str, &dyn CommModule)> = vec![("shmem", &shmem), ("mpl", &mpl)];
+    for (name, module) in cases {
+        let (desc, mut rx) = module.open(&info(0)).unwrap();
+        let obj = module.connect(&info(1), &desc).unwrap();
+        let m = msg(1024);
+        g.bench_function(BenchmarkId::new(name, 1024), |b| {
+            b.iter(|| {
+                obj.send(&m).unwrap();
+                loop {
+                    if let Some(got) = rx.poll().unwrap() {
+                        break black_box(got);
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let tcp = TcpModule::new();
+    let (desc, mut rx) = tcp.open(&info(0)).unwrap();
+    let obj = tcp.connect(&info(1), &desc).unwrap();
+    let mut g = c.benchmark_group("transport/tcp_loopback");
+    g.sample_size(20);
+    for size in [0usize, 16 * 1024] {
+        let m = msg(size);
+        g.throughput(Throughput::Bytes(m.wire_len() as u64));
+        g.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| {
+                obj.send(&m).unwrap();
+                loop {
+                    if let Some(got) = rx.poll().unwrap() {
+                        break black_box(got);
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue_transports, bench_tcp_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablations of individual design choices: startpoint weight, connection
+//! sharing, adaptive skip_poll.
+
+use nexus_bench::ablation;
+
+fn main() {
+    println!("=== Design-choice ablations ===\n");
+    let sizes = ablation::startpoint_sizes();
+    let conns = ablation::connection_sharing(10);
+    let rows = ablation::skip_poll_ablation(5, 50, 5_000);
+    print!("{}", ablation::format_report(sizes, (10, conns), &rows));
+}

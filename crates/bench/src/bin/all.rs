@@ -1,0 +1,35 @@
+//! Runs every experiment in sequence; its output is what EXPERIMENTS.md
+//! records.
+
+use nexus_bench::{fig4, fig6, overhead, pollcost, table1};
+use nexus_climate::Table1Config;
+
+fn main() {
+    println!("################ Fig. 4 ################\n");
+    let small = fig4::run(&fig4::small_sizes(), 1_000);
+    println!("{}", fig4::format("left panel: 0-1000 bytes", &small));
+    let large = fig4::run(&fig4::large_sizes(), 1_000);
+    println!("{}", fig4::format("right panel: wider range", &large));
+    print!("{}", fig4::summary(&small));
+    print!("{}", fig4::summary(&large));
+
+    println!("\n################ Fig. 6 ################\n");
+    let skips = fig6::default_skips();
+    let zero = fig6::run(0, 2_000, &skips);
+    println!("{}", fig6::format("left panel: 0-byte messages", &zero));
+    let ten_kb = fig6::run(10_000, 1_000, &skips);
+    println!("{}", fig6::format("right panel: 10 KB messages", &ten_kb));
+    print!("{}", fig6::summary(&zero));
+
+    println!("\n################ Table 1 ################\n");
+    let rows = table1::run(Table1Config::default());
+    println!("{}", table1::format(&rows));
+
+    println!("\n################ Layering overhead ################\n");
+    let r = overhead::run(20_000, 0);
+    print!("{}", overhead::format(&r));
+
+    println!("\n################ Probe costs ################\n");
+    let rows = pollcost::run(500_000, 8);
+    print!("{}", pollcost::format(&rows));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: one-way time vs message size for raw MPL,
+//! Nexus(MPL), and Nexus(MPL+TCP).
+
+use nexus_bench::fig4;
+
+fn main() {
+    let rounds = 1_000;
+    println!("=== Figure 4 — one-way communication time vs message size ===\n");
+    let small = fig4::run(&fig4::small_sizes(), rounds);
+    println!("{}", fig4::format("left panel: 0-1000 bytes", &small));
+    let large = fig4::run(&fig4::large_sizes(), rounds);
+    println!("{}", fig4::format("right panel: wider range", &large));
+    print!("{}", fig4::summary(&small));
+    print!("{}", fig4::summary(&large));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: one-way time vs skip_poll for two concurrent
+//! ping-pongs (MPL within a partition, TCP between partitions).
+
+use nexus_bench::fig6;
+
+fn main() {
+    let skips = fig6::default_skips();
+    println!("=== Figure 6 — one-way time vs skip_poll (dual ping-pong) ===\n");
+    let zero = fig6::run(0, 2_000, &skips);
+    println!("{}", fig6::format("left panel: 0-byte messages", &zero));
+    let ten_kb = fig6::run(10_000, 1_000, &skips);
+    println!("{}", fig6::format("right panel: 10 KB messages", &ten_kb));
+    print!("{}", fig6::summary(&zero));
+}

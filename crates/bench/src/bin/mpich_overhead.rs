@@ -1,0 +1,16 @@
+//! Measures the layering overheads of §4 on the real runtime: bare
+//! transport vs Nexus RSRs vs mini-MPI, plus the blocking-poller
+//! refinement of §3.3.
+
+use nexus_bench::overhead;
+
+fn main() {
+    println!("=== Layering overhead (paper: MPICH-on-Nexus ~ +6%) ===\n");
+    let r = overhead::run(20_000, 0);
+    print!("{}", overhead::format(&r));
+    println!("\n=== Blocking poller (§3.3 refinement) over real TCP ===\n");
+    let (poll, block) = overhead::blocking_poller_comparison(2_000);
+    println!(
+        "TCP ping-pong one-way: polled {poll:.1} us, blocking thread {block:.1} us"
+    );
+}

@@ -1,0 +1,10 @@
+//! Measures live empty-poll costs per method (the §3.3 probe-cost
+//! differential that motivates skip_poll).
+
+use nexus_bench::pollcost;
+
+fn main() {
+    println!("=== Probe costs (live) ===\n");
+    let rows = pollcost::run(1_000_000, 8);
+    print!("{}", pollcost::format(&rows));
+}

@@ -1,0 +1,135 @@
+//! Figure 4: one-way communication time vs message size.
+//!
+//! Three series on the simulated SP2, exactly the paper's configurations:
+//! a low-level MPL program, Nexus with a single communication method
+//! (MPL), and Nexus with two methods (MPL + TCP) where all traffic still
+//! uses MPL — so every slowdown of the third series is pure multimethod
+//! *detection* overhead. Left panel: 0–1000 bytes; right panel: up to
+//! 1 MiB.
+
+use crate::report;
+use nexus_simnet::pingpong::{single_pingpong, PingPongMode};
+
+/// One measured row of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Low-level MPL program, one-way µs.
+    pub raw_us: f64,
+    /// Nexus, MPL only, one-way µs.
+    pub nexus_mpl_us: f64,
+    /// Nexus, MPL + TCP polling, one-way µs.
+    pub nexus_mpl_tcp_us: f64,
+}
+
+/// The paper's left-panel sizes (0–1000 bytes).
+pub fn small_sizes() -> Vec<u64> {
+    (0..=10).map(|i| i * 100).collect()
+}
+
+/// The paper's right-panel sizes (wider range, to 1 MiB).
+pub fn large_sizes() -> Vec<u64> {
+    vec![
+        0,
+        1_000,
+        4_000,
+        16_000,
+        64_000,
+        131_072,
+        262_144,
+        524_288,
+        1_048_576,
+    ]
+}
+
+/// Runs the three ping-pong configurations for each size.
+pub fn run(sizes: &[u64], rounds: u64) -> Vec<Fig4Row> {
+    sizes
+        .iter()
+        .map(|&size| {
+            // Fewer roundtrips for the big sizes keeps runtimes sane
+            // without changing the mean (the simulation is deterministic).
+            let r = if size >= 65_536 { rounds.min(50) } else { rounds };
+            Fig4Row {
+                size,
+                raw_us: single_pingpong(PingPongMode::RawMpl, size, r).as_us_f64(),
+                nexus_mpl_us: single_pingpong(PingPongMode::NexusMpl, size, r).as_us_f64(),
+                nexus_mpl_tcp_us: single_pingpong(PingPongMode::NexusMplTcp, size, r)
+                    .as_us_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Formats one panel as a table.
+pub fn format(title: &str, rows: &[Fig4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                report::us(r.raw_us),
+                report::us(r.nexus_mpl_us),
+                report::us(r.nexus_mpl_tcp_us),
+            ]
+        })
+        .collect();
+    format!(
+        "{title}\n{}",
+        report::table(
+            &["bytes", "raw MPL (us)", "Nexus MPL (us)", "Nexus MPL+TCP (us)"],
+            &body,
+        )
+    )
+}
+
+/// Headline anchors the run should reproduce (checked by tests and
+/// reported by the binary): 0-byte Nexus/MPL ≈ 83 µs → ≈ 156 µs with TCP
+/// polling; MPL ≈ 36 MB/s; visible large-message degradation from TCP
+/// polling.
+pub fn summary(rows: &[Fig4Row]) -> String {
+    let zero = rows.iter().find(|r| r.size == 0);
+    let big = rows.iter().rev().find(|r| r.size >= 1 << 20);
+    let mut s = String::new();
+    if let Some(z) = zero {
+        s.push_str(&format!(
+            "0-byte one-way: raw {:.1} us | Nexus(MPL) {:.1} us (paper: 83) | +TCP polling {:.1} us (paper: 156)\n",
+            z.raw_us, z.nexus_mpl_us, z.nexus_mpl_tcp_us
+        ));
+    }
+    if let Some(b) = big {
+        let bw = b.size as f64 / (b.raw_us * 1e-6);
+        s.push_str(&format!(
+            "1 MiB: raw MPL bandwidth {} MB/s (paper: ~36); TCP polling degrades MPL by {:.0}%\n",
+            report::mbps(b.size as f64, b.raw_us * 1e-6),
+            (b.nexus_mpl_tcp_us / b.nexus_mpl_us - 1.0) * 100.0
+        ));
+        let _ = bw;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_requested_sizes() {
+        let rows = run(&[0, 100], 50);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].size, 0);
+        assert!(rows[0].raw_us < rows[0].nexus_mpl_us);
+        assert!(rows[0].nexus_mpl_us < rows[0].nexus_mpl_tcp_us);
+    }
+
+    #[test]
+    fn format_contains_all_series() {
+        let rows = run(&[0], 10);
+        let t = format("panel", &rows);
+        assert!(t.contains("raw MPL"));
+        assert!(t.contains("Nexus MPL+TCP"));
+        let s = summary(&rows);
+        assert!(s.contains("0-byte one-way"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 6: one-way time vs skip_poll for two concurrent ping-pongs.
+//!
+//! The Fig. 5 configuration: an MPL ping-pong inside a partition and a TCP
+//! ping-pong between partitions run concurrently, sharing a node; the TCP
+//! interface is polled every `skip_poll`-th pass. As skip_poll grows, MPL
+//! recovers (fewer selects per pass) while TCP degrades (later
+//! visibility); the paper finds skip_poll ≈ 20 a good joint operating
+//! point. Left panel: 0-byte messages; right panel: 10 KB.
+
+use crate::report;
+use nexus_simnet::pingpong::{dual_pingpong, DualResult};
+
+/// The skip_poll sweep used by the binary (paper plots a similar range).
+pub fn default_skips() -> Vec<u64> {
+    vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000]
+}
+
+/// Runs the sweep for one message size.
+pub fn run(size: u64, mpl_rounds: u64, skips: &[u64]) -> Vec<DualResult> {
+    skips
+        .iter()
+        .map(|&k| dual_pingpong(size, mpl_rounds, k))
+        .collect()
+}
+
+/// Formats one panel.
+pub fn format(title: &str, rows: &[DualResult]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.skip_poll.to_string(),
+                report::us(r.mpl_one_way.as_us_f64()),
+                match r.tcp_one_way {
+                    Some(t) => report::us(t.as_us_f64()),
+                    None => "-".to_owned(),
+                },
+                r.tcp_roundtrips.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "{title}\n{}",
+        report::table(
+            &["skip_poll", "MPL one-way (us)", "TCP one-way (us)", "TCP roundtrips"],
+            &body,
+        )
+    )
+}
+
+/// The shape summary the paper's text draws from the figure.
+pub fn summary(rows: &[DualResult]) -> String {
+    let at = |k: u64| rows.iter().find(|r| r.skip_poll == k);
+    let mut s = String::new();
+    if let (Some(r1), Some(r20)) = (at(1), at(20)) {
+        let mpl_gain = (1.0 - r20.mpl_one_way.as_us_f64() / r1.mpl_one_way.as_us_f64()) * 100.0;
+        let tcp_cost = match (r1.tcp_one_way, r20.tcp_one_way) {
+            (Some(a), Some(b)) => (b.as_us_f64() / a.as_us_f64() - 1.0) * 100.0,
+            _ => f64::NAN,
+        };
+        s.push_str(&format!(
+            "skip_poll 20 vs 1: MPL improves {mpl_gain:.0}%, TCP degrades {tcp_cost:.0}% \
+             (paper: ~20 improves MPL without significantly impacting TCP)\n"
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape() {
+        let rows = run(0, 200, &[1, 20, 500]);
+        assert_eq!(rows.len(), 3);
+        // MPL monotone improvement across this range.
+        assert!(rows[1].mpl_one_way < rows[0].mpl_one_way);
+        // TCP worse at 500 than at 1.
+        let t1 = rows[0].tcp_one_way.unwrap();
+        let t500 = rows[2].tcp_one_way.unwrap();
+        assert!(t500 > t1);
+    }
+
+    #[test]
+    fn format_handles_missing_tcp() {
+        let rows = run(0, 50, &[1]);
+        let t = format("panel", &rows);
+        assert!(t.contains("skip_poll"));
+        assert!(!summary(&run(0, 200, &[1, 20])).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders a simple aligned table: one header row, then data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>w$}", c, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    line(&hdr, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a microsecond value for table cells.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a seconds value for table cells.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a megabytes-per-second value.
+pub fn mbps(bytes: f64, seconds: f64) -> String {
+    format!("{:.1}", bytes / seconds / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["size", "time"],
+            &[
+                vec!["0".into(), "83.0".into()],
+                vec!["100000".into(), "156.2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("size") && lines[0].contains("time"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns line up.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(83.04), "83.0");
+        assert_eq!(secs(104.949), "104.95");
+        assert_eq!(mbps(36_000_000.0, 1.0), "36.0");
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1: the coupled climate model under each multimethod technique.
+
+use crate::report;
+use nexus_climate::{run_table1, Table1Config, Table1Row, Table1Variant};
+
+/// The paper's rows (plus the TCP-everywhere sentence from §4's text).
+pub fn variants() -> Vec<(&'static str, Table1Variant, Option<f64>)> {
+    vec![
+        ("Selective TCP", Table1Variant::SelectiveTcp, Some(104.9)),
+        ("Forwarding", Table1Variant::Forwarding, Some(109.3)),
+        ("skip poll 1", Table1Variant::SkipPoll(1), Some(109.1)),
+        ("skip poll 100", Table1Variant::SkipPoll(100), Some(107.8)),
+        ("skip poll 10000", Table1Variant::SkipPoll(10_000), Some(105.4)),
+        ("skip poll 12000", Table1Variant::SkipPoll(12_000), Some(105.0)),
+        ("skip poll 13000", Table1Variant::SkipPoll(13_000), Some(108.3)),
+        ("TCP everywhere", Table1Variant::TcpOnly, None),
+    ]
+}
+
+/// Runs every row.
+pub fn run(cfg: Table1Config) -> Vec<(&'static str, Table1Row, Option<f64>)> {
+    variants()
+        .into_iter()
+        .map(|(label, v, paper)| (label, run_table1(v, cfg), paper))
+        .collect()
+}
+
+/// Formats the table with the paper's values alongside.
+pub fn format(rows: &[(&'static str, Table1Row, Option<f64>)]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (label, row, paper))| {
+            vec![
+                (i + 1).to_string(),
+                (*label).to_owned(),
+                report::secs(row.secs_per_step),
+                paper.map_or("-".to_owned(), |p| format!("{p:.1}")),
+            ]
+        })
+        .collect();
+    report::table(
+        &["No.", "Experiment", "measured s/step", "paper s/step"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_run_and_format() {
+        let cfg = Table1Config {
+            n_atm: 4,
+            n_ocean: 2,
+            steps: 2,
+            ..Table1Config::default()
+        };
+        let rows = run(cfg);
+        assert_eq!(rows.len(), 8);
+        let t = format(&rows);
+        assert!(t.contains("Selective TCP"));
+        assert!(t.contains("skip poll 12000"));
+        assert!(t.contains("TCP everywhere"));
+    }
+}

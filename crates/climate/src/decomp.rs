@@ -1,0 +1,93 @@
+//! Column-slab domain decomposition.
+
+/// Owned-column range of `rank` when `width` columns are split over
+/// `ranks` slabs: the first `width % ranks` slabs get one extra column.
+pub fn slab(width: usize, ranks: usize, rank: usize) -> (usize, usize) {
+    assert!(ranks > 0 && rank < ranks);
+    let base = width / ranks;
+    let extra = width % ranks;
+    let w = base + usize::from(rank < extra);
+    let offset = rank * base + rank.min(extra);
+    (offset, w)
+}
+
+/// Ring neighbours of `rank` (periodic x decomposition).
+pub fn ring_neighbors(ranks: usize, rank: usize) -> (usize, usize) {
+    let left = (rank + ranks - 1) % ranks;
+    let right = (rank + 1) % ranks;
+    (left, right)
+}
+
+/// Maps an atmosphere rank to the ocean rank owning the same columns, when
+/// the ocean has `ocean_ranks` slabs and the atmosphere `atm_ranks`, with
+/// `atm_ranks` a multiple of `ocean_ranks` (the paper's 16 / 8 layout).
+pub fn ocean_partner(atm_ranks: usize, ocean_ranks: usize, atm_rank: usize) -> usize {
+    assert!(atm_ranks.is_multiple_of(ocean_ranks));
+    atm_rank / (atm_ranks / ocean_ranks)
+}
+
+/// The atmosphere ranks whose columns ocean rank `ocean_rank` owns.
+pub fn atm_partners(atm_ranks: usize, ocean_ranks: usize, ocean_rank: usize) -> Vec<usize> {
+    let k = atm_ranks / ocean_ranks;
+    (ocean_rank * k..(ocean_rank + 1) * k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_cover_domain_exactly() {
+        for width in [16usize, 17, 31, 128] {
+            for ranks in [1usize, 2, 3, 8, 16] {
+                let mut covered = 0;
+                let mut next = 0;
+                for r in 0..ranks {
+                    let (off, w) = slab(width, ranks, r);
+                    assert_eq!(off, next, "contiguous");
+                    covered += w;
+                    next = off + w;
+                }
+                assert_eq!(covered, width);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_sizes_balanced() {
+        for r in 0..5 {
+            let (_, w) = slab(17, 5, r);
+            assert!(w == 3 || w == 4);
+        }
+    }
+
+    #[test]
+    fn ring_wraps() {
+        assert_eq!(ring_neighbors(4, 0), (3, 1));
+        assert_eq!(ring_neighbors(4, 3), (2, 0));
+        assert_eq!(ring_neighbors(1, 0), (0, 0));
+    }
+
+    #[test]
+    fn coupling_partner_mapping_is_consistent() {
+        for a in 0..16 {
+            let o = ocean_partner(16, 8, a);
+            assert!(atm_partners(16, 8, o).contains(&a));
+        }
+        assert_eq!(atm_partners(16, 8, 0), vec![0, 1]);
+        assert_eq!(atm_partners(16, 8, 7), vec![14, 15]);
+    }
+
+    #[test]
+    fn partner_columns_align() {
+        // With W divisible by both rank counts, an atm rank's columns are a
+        // subset of its ocean partner's columns.
+        let w = 128;
+        for a in 0..16 {
+            let (ao, aw) = slab(w, 16, a);
+            let o = ocean_partner(16, 8, a);
+            let (oo, ow) = slab(w, 8, o);
+            assert!(ao >= oo && ao + aw <= oo + ow);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Distributed coupled-model driver over nexus-mpi.
+//!
+//! The paper's configuration: the atmosphere on 16 processors, the ocean
+//! on 8, in two SP2 partitions, MPL (here: the `mpl` module) inside each
+//! partition and TCP between them, all under MPI — here `nexus-mpi` on the
+//! real multithreaded runtime. The driver reproduces the *numerics* of the
+//! serial reference bit-for-bit (tests enforce equality), while its
+//! *communication structure* mirrors the paper's: per-step halo exchange
+//! on a ring within each model, and a coupling exchange across partitions
+//! every two atmosphere steps.
+
+use crate::coupled::{
+    atm_coupling_row, atm_init, atm_params, ocean_coupling_row, ocean_init, ocean_params,
+    CoupledConfig,
+};
+use crate::decomp::{atm_partners, ocean_partner, ring_neighbors, slab};
+use crate::grid::{step, wrap_halos, Grid};
+use nexus_mpi::{decode_f64s, encode_f64s, run_world, Comm, WorldLayout};
+use nexus_rt::error::Result;
+use parking_lot::Mutex;
+
+const TAG_TO_LEFT: u32 = 100;
+const TAG_TO_RIGHT: u32 = 101;
+const TAG_FLUX: u32 = 110;
+const TAG_SST: u32 = 111;
+
+/// Placement and sizing of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Problem dimensions and duration.
+    pub coupled: CoupledConfig,
+    /// Atmosphere ranks (world ranks `0..n_atm`).
+    pub n_atm: usize,
+    /// Ocean ranks (world ranks `n_atm..n_atm+n_ocean`).
+    pub n_ocean: usize,
+    /// Place the two models in different partitions (exercises the
+    /// multimethod path: MPL inside, TCP between). When false, everything
+    /// shares partition 0 and no sockets are needed.
+    pub partitioned: bool,
+}
+
+impl RunConfig {
+    /// A small test configuration: 4 atmosphere + 2 ocean ranks.
+    pub fn small() -> Self {
+        RunConfig {
+            coupled: CoupledConfig::small(),
+            n_atm: 4,
+            n_ocean: 2,
+            partitioned: false,
+        }
+    }
+}
+
+/// Aggregate results of a distributed run: the final global fields in
+/// row-major order (so tests can compare against the serial reference
+/// cell-for-cell, bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Final atmosphere field, `h_atm x width`, row-major.
+    pub atm_field: Vec<f64>,
+    /// Final ocean field, `h_ocean x width`, row-major.
+    pub ocean_field: Vec<f64>,
+}
+
+impl RunResult {
+    /// Sum over the final atmosphere field (row-major order).
+    pub fn atm_checksum(&self) -> f64 {
+        self.atm_field.iter().sum()
+    }
+
+    /// Sum over the final ocean field (row-major order).
+    pub fn ocean_checksum(&self) -> f64 {
+        self.ocean_field.iter().sum()
+    }
+}
+
+/// Assembles slab interiors (gathered in model-rank order) into one
+/// row-major `h x width` field.
+fn assemble(h: usize, width: usize, ranks: usize, parts: &[Vec<u8>]) -> Result<Vec<f64>> {
+    let mut field = vec![0.0; h * width];
+    for (r, bytes) in parts.iter().enumerate() {
+        let (off, w) = slab(width, ranks, r);
+        let vals = decode_f64s(bytes)?;
+        debug_assert_eq!(vals.len(), h * w);
+        for i in 0..h {
+            for j in 0..w {
+                field[i * width + off + j] = vals[i * w + j];
+            }
+        }
+    }
+    Ok(field)
+}
+
+/// Exchanges halo columns on the model's ring and installs them.
+fn halo_exchange(comm: &Comm, grid: &mut Grid) -> Result<()> {
+    let n = comm.size();
+    if n == 1 {
+        wrap_halos(grid);
+        return Ok(());
+    }
+    let (left, right) = ring_neighbors(n, comm.rank());
+    comm.send(left, TAG_TO_LEFT, &encode_f64s(&grid.left_edge()))?;
+    comm.send(right, TAG_TO_RIGHT, &encode_f64s(&grid.right_edge()))?;
+    // My right halo is my right neighbour's left edge, and vice versa.
+    let (_, _, from_right) = comm.recv(Some(right), Some(TAG_TO_LEFT))?;
+    let (_, _, from_left) = comm.recv(Some(left), Some(TAG_TO_RIGHT))?;
+    grid.set_right_halo(&decode_f64s(&from_right)?);
+    grid.set_left_halo(&decode_f64s(&from_left)?);
+    Ok(())
+}
+
+fn atm_rank_main(cfg: &RunConfig, world: &Comm, model: &Comm) -> Result<Grid> {
+    let c = cfg.coupled;
+    let (off, w) = slab(c.width, cfg.n_atm, model.rank());
+    let mut grid = Grid::new(c.h_atm, w, off, atm_init);
+    let a_row = atm_coupling_row(c.h_atm);
+    let partner = cfg.n_atm + ocean_partner(cfg.n_atm, cfg.n_ocean, model.rank());
+    // Initial SST for my columns comes from the ocean's initial condition
+    // (both sides compute it analytically; no message needed).
+    let mut sst: Vec<f64> = (0..w)
+        .map(|j| ocean_init(ocean_coupling_row(), off + j))
+        .collect();
+    for _ in 0..c.periods {
+        for _ in 0..2 {
+            halo_exchange(model, &mut grid)?;
+            grid = step(&grid, atm_params(), Some((&sst, a_row)));
+        }
+        // Couple: flux out, SST back (across partitions when so placed).
+        world.send(partner, TAG_FLUX, &encode_f64s(&grid.row(a_row)))?;
+        let (_, _, sst_bytes) = world.recv(Some(partner), Some(TAG_SST))?;
+        sst = decode_f64s(&sst_bytes)?;
+    }
+    Ok(grid)
+}
+
+fn ocean_rank_main(cfg: &RunConfig, world: &Comm, model: &Comm) -> Result<Grid> {
+    let c = cfg.coupled;
+    let (off, w) = slab(c.width, cfg.n_ocean, model.rank());
+    let mut grid = Grid::new(c.h_ocean, w, off, ocean_init);
+    let o_row = ocean_coupling_row();
+    let partners = atm_partners(cfg.n_atm, cfg.n_ocean, model.rank());
+    for _ in 0..c.periods {
+        // Assemble the flux field for my columns from my atmosphere
+        // partners (their slabs tile mine when widths divide evenly; the
+        // general case is handled by offset arithmetic).
+        let mut flux = vec![0.0; w];
+        for &a in &partners {
+            let (a_off, a_w) = slab(c.width, cfg.n_atm, a);
+            let (_, _, bytes) = world.recv(Some(a), Some(TAG_FLUX))?;
+            let vals = decode_f64s(&bytes)?;
+            debug_assert_eq!(vals.len(), a_w);
+            for (k, v) in vals.into_iter().enumerate() {
+                let g = a_off + k;
+                if g >= off && g < off + w {
+                    flux[g - off] = v;
+                }
+            }
+        }
+        halo_exchange(model, &mut grid)?;
+        grid = step(&grid, ocean_params(), Some((&flux, o_row)));
+        // Send each partner the SST for its columns.
+        let sst = grid.row(o_row);
+        for &a in &partners {
+            let (a_off, a_w) = slab(c.width, cfg.n_atm, a);
+            let seg: Vec<f64> = (0..a_w).map(|k| sst[a_off + k - off]).collect();
+            world.send(a, TAG_SST, &encode_f64s(&seg))?;
+        }
+    }
+    Ok(grid)
+}
+
+/// Runs the coupled model distributed over `n_atm + n_ocean` rank threads
+/// and returns the global checksums (identical to the serial reference's).
+pub fn run_distributed(cfg: RunConfig) -> Result<RunResult> {
+    assert!(cfg.n_atm.is_multiple_of(cfg.n_ocean), "paper layout: 16/8, tests 4/2");
+    assert!(
+        cfg.coupled.width.is_multiple_of(cfg.n_atm) && cfg.coupled.width.is_multiple_of(cfg.n_ocean),
+        "widths must tile so coupling segments align"
+    );
+    let n = cfg.n_atm + cfg.n_ocean;
+    let layout = if cfg.partitioned {
+        WorldLayout::partitioned(
+            (0..n)
+                .map(|r| if r < cfg.n_atm { 1 } else { 2 })
+                .collect(),
+        )
+    } else {
+        WorldLayout::uniform(n)
+    };
+    let result = Mutex::new(None);
+    run_world(&layout, |p| {
+        let world = p.world();
+        let is_atm = p.rank() < cfg.n_atm;
+        let model = world
+            .split(u32::from(is_atm), p.rank() as i64)
+            .expect("split into model communicators");
+        let local = if is_atm {
+            atm_rank_main(&cfg, &world, &model).expect("atmosphere rank")
+        } else {
+            ocean_rank_main(&cfg, &world, &model).expect("ocean rank")
+        };
+        // Gather slabs at the model root, assemble the global field, and
+        // report it to world rank 0.
+        let gathered = model
+            .gather(0, &encode_f64s(&local.interior()))
+            .expect("field gather");
+        if let Some(parts) = gathered {
+            let (h, ranks) = if is_atm {
+                (cfg.coupled.h_atm, cfg.n_atm)
+            } else {
+                (cfg.coupled.h_ocean, cfg.n_ocean)
+            };
+            let field = assemble(h, cfg.coupled.width, ranks, &parts).expect("assemble");
+            world
+                .send(0, 120 + u32::from(is_atm), &encode_f64s(&field))
+                .expect("report to world root");
+        }
+        if p.rank() == 0 {
+            let (_, _, a) = world.recv(None, Some(121)).expect("atm field");
+            let (_, _, o) = world.recv(None, Some(120)).expect("ocean field");
+            *result.lock() = Some(RunResult {
+                atm_field: decode_f64s(&a).unwrap(),
+                ocean_field: decode_f64s(&o).unwrap(),
+            });
+        }
+        world.barrier().expect("final barrier");
+    })?;
+    Ok(result.into_inner().expect("rank 0 stored the result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupled::serial_coupled;
+
+    fn serial_result(c: CoupledConfig) -> RunResult {
+        let (a, o) = serial_coupled(c);
+        RunResult {
+            atm_field: a.interior(),
+            ocean_field: o.interior(),
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_exactly_4_plus_2() {
+        let cfg = RunConfig::small();
+        let got = run_distributed(cfg).unwrap();
+        let want = serial_result(cfg.coupled);
+        assert_eq!(got, want, "bit-for-bit agreement with the serial model");
+    }
+
+    #[test]
+    fn distributed_matches_serial_with_partitions_and_sockets() {
+        let cfg = RunConfig {
+            partitioned: true,
+            ..RunConfig::small()
+        };
+        let got = run_distributed(cfg).unwrap();
+        assert_eq!(got, serial_result(cfg.coupled));
+    }
+
+    #[test]
+    fn distributed_matches_serial_8_plus_4() {
+        let cfg = RunConfig {
+            coupled: CoupledConfig {
+                h_atm: 20,
+                h_ocean: 10,
+                width: 40,
+                periods: 3,
+            },
+            n_atm: 8,
+            n_ocean: 4,
+            partitioned: false,
+        };
+        let got = run_distributed(cfg).unwrap();
+        assert_eq!(got, serial_result(cfg.coupled));
+    }
+
+    #[test]
+    fn single_rank_per_model_also_matches() {
+        let cfg = RunConfig {
+            coupled: CoupledConfig {
+                h_atm: 16,
+                h_ocean: 8,
+                width: 16,
+                periods: 5,
+            },
+            n_atm: 1,
+            n_ocean: 1,
+            partitioned: false,
+        };
+        let got = run_distributed(cfg).unwrap();
+        assert_eq!(got, serial_result(cfg.coupled));
+    }
+}
+
+#[cfg(test)]
+mod comm_pinning_tests {
+    use super::*;
+    use crate::coupled::serial_coupled;
+    use nexus_rt::descriptor::MethodId;
+
+    /// The paper's §2.2 pattern in application context: pin a *communicator*
+    /// to a method. Here the whole world is one partition, so MPL applies
+    /// everywhere; pinning the model communicators to MPL must leave the
+    /// numerics untouched.
+    #[test]
+    fn run_with_mpl_pinned_model_comms_matches_serial() {
+        let cfg = RunConfig {
+            coupled: CoupledConfig {
+                h_atm: 12,
+                h_ocean: 8,
+                width: 16,
+                periods: 2,
+            },
+            n_atm: 4,
+            n_ocean: 2,
+            partitioned: false,
+        };
+        let n = cfg.n_atm + cfg.n_ocean;
+        let result = Mutex::new(None);
+        nexus_mpi::run_world(&nexus_mpi::WorldLayout::uniform(n), |p| {
+            let world = p.world();
+            let is_atm = p.rank() < cfg.n_atm;
+            let model = world.split(u32::from(is_atm), p.rank() as i64).unwrap();
+            model.set_method(MethodId::MPL);
+            let local = if is_atm {
+                atm_rank_main(&cfg, &world, &model).unwrap()
+            } else {
+                ocean_rank_main(&cfg, &world, &model).unwrap()
+            };
+            let gathered = model.gather(0, &encode_f64s(&local.interior())).unwrap();
+            if let Some(parts) = gathered {
+                let (h, ranks) = if is_atm {
+                    (cfg.coupled.h_atm, cfg.n_atm)
+                } else {
+                    (cfg.coupled.h_ocean, cfg.n_ocean)
+                };
+                let field = assemble(h, cfg.coupled.width, ranks, &parts).unwrap();
+                world
+                    .send(0, 120 + u32::from(is_atm), &encode_f64s(&field))
+                    .unwrap();
+            }
+            if p.rank() == 0 {
+                let (_, _, a) = world.recv(None, Some(121)).unwrap();
+                let (_, _, o) = world.recv(None, Some(120)).unwrap();
+                *result.lock() = Some(RunResult {
+                    atm_field: decode_f64s(&a).unwrap(),
+                    ocean_field: decode_f64s(&o).unwrap(),
+                });
+            }
+            // Enquiry: the halo links actually used MPL.
+            if model.size() > 1 {
+                let used: Vec<_> = model.methods_in_use().into_iter().flatten().collect();
+                assert!(used.iter().all(|&m| m == MethodId::MPL));
+            }
+            world.barrier().unwrap();
+        })
+        .unwrap();
+        let got = result.into_inner().unwrap();
+        let (a, o) = serial_coupled(cfg.coupled);
+        assert_eq!(got.atm_field, a.interior());
+        assert_eq!(got.ocean_field, o.interior());
+    }
+}
+
+#[cfg(test)]
+mod minimal_tests {
+    use super::*;
+    use crate::coupled::serial_coupled;
+
+    #[test]
+    fn two_atm_one_ocean_minimal_case() {
+        let cfg = RunConfig {
+            coupled: CoupledConfig {
+                h_atm: 6,
+                h_ocean: 4,
+                width: 4,
+                periods: 1,
+            },
+            n_atm: 2,
+            n_ocean: 1,
+            partitioned: false,
+        };
+        let got = run_distributed(cfg).unwrap();
+        let (a, o) = serial_coupled(cfg.coupled);
+        assert_eq!(got.atm_field, a.interior());
+        assert_eq!(got.ocean_field, o.interior());
+    }
+}

@@ -1,0 +1,288 @@
+//! Grids and the finite-difference stencil kernel shared by both model
+//! components.
+//!
+//! Both the atmosphere and the ocean are 2-D fields on an `h × W` grid,
+//! periodic in the x (column) direction and with fixed (Dirichlet) top and
+//! bottom rows. The domain is decomposed by *columns*: each rank owns a
+//! contiguous slab of columns plus one halo column on each side, so every
+//! rank has a left and a right neighbour on a ring — the communication
+//! pattern whose cost structure the paper's climate study rests on
+//! (frequent intra-model halo exchange, rare inter-model coupling).
+
+/// A column-slab of a 2-D field with one halo column on each side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Number of rows (full height; rows 0 and h-1 are boundary rows).
+    pub h: usize,
+    /// Number of *interior* (owned) columns.
+    pub w: usize,
+    /// Global column index of the first owned column.
+    pub col_offset: usize,
+    /// Row-major data, `h` rows × `w + 2` columns (halo at 0 and w+1).
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a slab initialized by `f(global_row, global_col)`.
+    pub fn new<F: Fn(usize, usize) -> f64>(
+        h: usize,
+        w: usize,
+        col_offset: usize,
+        f: F,
+    ) -> Grid {
+        let stride = w + 2;
+        let mut data = vec![0.0; h * stride];
+        for i in 0..h {
+            for j in 0..w {
+                data[i * stride + j + 1] = f(i, col_offset + j);
+            }
+        }
+        Grid {
+            h,
+            w,
+            col_offset,
+            data,
+        }
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.w + 2
+    }
+
+    /// Value at (row, local interior column `j` in `0..w`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.stride() + j + 1]
+    }
+
+    /// Sets the value at (row, local interior column).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let s = self.stride();
+        self.data[i * s + j + 1] = v;
+    }
+
+    #[inline]
+    fn raw(&self, i: usize, jj: usize) -> f64 {
+        self.data[i * self.stride() + jj]
+    }
+
+    /// The owned left edge column (sent to the left neighbour).
+    pub fn left_edge(&self) -> Vec<f64> {
+        (0..self.h).map(|i| self.get(i, 0)).collect()
+    }
+
+    /// The owned right edge column (sent to the right neighbour).
+    pub fn right_edge(&self) -> Vec<f64> {
+        (0..self.h).map(|i| self.get(i, self.w - 1)).collect()
+    }
+
+    /// Installs the left halo column (received from the left neighbour).
+    pub fn set_left_halo(&mut self, col: &[f64]) {
+        assert_eq!(col.len(), self.h);
+        let s = self.stride();
+        for (i, &v) in col.iter().enumerate() {
+            self.data[i * s] = v;
+        }
+    }
+
+    /// Installs the right halo column.
+    pub fn set_right_halo(&mut self, col: &[f64]) {
+        assert_eq!(col.len(), self.h);
+        let s = self.stride();
+        for (i, &v) in col.iter().enumerate() {
+            self.data[i * s + self.w + 1] = v;
+        }
+    }
+
+    /// One owned row as a vector (for coupling exchange).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.w).map(|j| self.get(i, j)).collect()
+    }
+
+    /// The owned values in row-major order (no halos).
+    pub fn interior(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.h * self.w);
+        for i in 0..self.h {
+            for j in 0..self.w {
+                out.push(self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Sum of owned interior values (for conservation/checksum tests).
+    pub fn checksum(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.h {
+            for j in 0..self.w {
+                s += self.get(i, j);
+            }
+        }
+        s
+    }
+
+    /// Min and max over owned values.
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        for i in 0..self.h {
+            for j in 0..self.w {
+                let v = self.get(i, j);
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+        }
+        (mn, mx)
+    }
+}
+
+/// Physics parameters of a stencil step.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Time step.
+    pub dt: f64,
+    /// Diffusion coefficient (dt · diff ≤ 0.25 for stability).
+    pub diff: f64,
+    /// Advection velocity in x.
+    pub vx: f64,
+    /// Advection velocity in y.
+    pub vy: f64,
+    /// Relaxation coefficient toward the coupling forcing.
+    pub relax: f64,
+}
+
+/// Advances `g` by one step, returning the new slab. `forcing`, if given,
+/// is `(values_for_owned_columns, row_index)`: the row is relaxed toward
+/// the given values with coefficient `params.relax` (the coupling term).
+///
+/// Halos must be current; boundary rows 0 and h-1 are held fixed.
+pub fn step(g: &Grid, params: StencilParams, forcing: Option<(&[f64], usize)>) -> Grid {
+    let mut out = g.clone();
+    let p = params;
+    for i in 1..g.h - 1 {
+        for j in 0..g.w {
+            let u = g.get(i, j);
+            let left = g.raw(i, j); // local column j-1 incl. halo
+            let right = g.raw(i, j + 2); // local column j+1 incl. halo
+            let up = g.get(i - 1, j);
+            let down = g.get(i + 1, j);
+            let lap = left + right + up + down - 4.0 * u;
+            let dux = (right - left) * 0.5;
+            let duy = (down - up) * 0.5;
+            let mut v = u + p.dt * (p.diff * lap - p.vx * dux - p.vy * duy);
+            if let Some((f, row)) = forcing {
+                if row == i {
+                    v += p.relax * (f[j] - u);
+                }
+            }
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Refreshes a single-slab (serial) grid's halos from its own columns,
+/// implementing the periodic x boundary.
+pub fn wrap_halos(g: &mut Grid) {
+    let left = g.left_edge();
+    let right = g.right_edge();
+    g.set_left_halo(&right);
+    g.set_right_halo(&left);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump(h: usize, w: usize) -> Grid {
+        Grid::new(h, w, 0, |i, j| {
+            if i == h / 2 && j == w / 2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    const P: StencilParams = StencilParams {
+        dt: 0.1,
+        diff: 1.0,
+        vx: 0.2,
+        vy: 0.1,
+        relax: 0.0,
+    };
+
+    #[test]
+    fn edges_and_halos() {
+        let mut g = Grid::new(4, 3, 5, |i, j| (i * 100 + j) as f64);
+        assert_eq!(g.left_edge(), vec![5.0, 105.0, 205.0, 305.0]);
+        assert_eq!(g.right_edge(), vec![7.0, 107.0, 207.0, 307.0]);
+        g.set_left_halo(&[1.0; 4]);
+        g.set_right_halo(&[2.0; 4]);
+        assert_eq!(g.raw(0, 0), 1.0);
+        assert_eq!(g.raw(0, g.w + 1), 2.0);
+    }
+
+    #[test]
+    fn diffusion_spreads_and_conserves_roughly() {
+        let mut g = bump(16, 16);
+        let c0 = g.checksum();
+        for _ in 0..10 {
+            wrap_halos(&mut g);
+            g = step(&g, StencilParams { vx: 0.0, vy: 0.0, ..P }, None);
+        }
+        // Peak decays, mass approximately conserved in the interior
+        // (boundary rows are Dirichlet sinks, so allow small leakage).
+        assert!(g.get(8, 8) < 1.0);
+        assert!(g.get(8, 8) > 0.0);
+        let c1 = g.checksum();
+        assert!((c1 - c0).abs() < 0.2 * c0.abs().max(1.0));
+    }
+
+    #[test]
+    fn max_principle_for_pure_diffusion() {
+        let mut g = bump(12, 12);
+        for _ in 0..50 {
+            wrap_halos(&mut g);
+            g = step(&g, StencilParams { vx: 0.0, vy: 0.0, ..P }, None);
+            let (mn, mx) = g.min_max();
+            assert!(mn >= -1e-12 && mx <= 1.0 + 1e-12, "mn={mn} mx={mx}");
+        }
+    }
+
+    #[test]
+    fn boundary_rows_stay_fixed() {
+        let mut g = Grid::new(8, 8, 0, |i, _| i as f64);
+        for _ in 0..5 {
+            wrap_halos(&mut g);
+            g = step(&g, P, None);
+        }
+        for j in 0..8 {
+            assert_eq!(g.get(0, j), 0.0);
+            assert_eq!(g.get(7, j), 7.0);
+        }
+    }
+
+    #[test]
+    fn forcing_relaxes_toward_target() {
+        let g = Grid::new(6, 4, 0, |_, _| 0.0);
+        let forcing = vec![10.0; 4];
+        let stepped = step(
+            &g,
+            StencilParams { relax: 0.5, vx: 0.0, vy: 0.0, diff: 0.0, dt: 0.1 },
+            Some((&forcing, 3)),
+        );
+        for j in 0..4 {
+            assert_eq!(stepped.get(3, j), 5.0, "relaxed halfway");
+            assert_eq!(stepped.get(2, j), 0.0, "other rows untouched");
+        }
+    }
+
+    #[test]
+    fn row_extraction() {
+        let g = Grid::new(3, 4, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(g.row(1), vec![12.0, 13.0, 14.0, 15.0]);
+    }
+}

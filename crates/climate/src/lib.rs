@@ -1,0 +1,34 @@
+//! # nexus-climate: the coupled ocean/atmosphere proxy application
+//!
+//! A stand-in for the Millenia coupled climate model of §4 of the paper
+//! (PCCM atmosphere + Wisconsin ocean), preserving the properties the
+//! multimethod study depends on:
+//!
+//! * two concurrently executing models with **frequent internal
+//!   communication** (per-step halo exchange on a ring of column slabs);
+//! * **infrequent inter-model communication** (a coupling exchange every
+//!   two atmosphere steps: fluxes one way, SST back);
+//! * the two models placed in **different partitions**, so internal
+//!   traffic can use the fast partition-scoped method while coupling
+//!   traffic needs TCP.
+//!
+//! Three executions of the same model:
+//!
+//! * [`coupled::serial_coupled`] — serial ground truth;
+//! * [`driver::run_distributed`] — over `nexus-mpi` on the real runtime
+//!   (tests assert bit-for-bit agreement with the serial reference);
+//! * [`sim::run_table1`] — the communication skeleton on the simulated
+//!   SP2, regenerating Table 1.
+
+#![warn(missing_docs)]
+
+pub mod coupled;
+pub mod decomp;
+pub mod diag;
+pub mod driver;
+pub mod grid;
+pub mod sim;
+
+pub use coupled::{serial_coupled, CoupledConfig};
+pub use driver::{run_distributed, RunConfig, RunResult};
+pub use sim::{run_table1, Table1Config, Table1Row, Table1Variant};

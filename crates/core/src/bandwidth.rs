@@ -1,0 +1,205 @@
+//! Observed-throughput tracking for QoS-aware selection.
+//!
+//! §3.2 sketches extending automatic selection "by looking at available
+//! network bandwidth rather than raw bandwidth before indicating that a
+//! module is acceptable". That needs an estimate of what each method is
+//! *currently* carrying. [`ThroughputTracker`] derives one from a
+//! context's [`Stats`] counters (bytes-sent deltas over sampling
+//! intervals, exponentially smoothed), and [`AvailableBandwidth`] turns it
+//! plus nominal capacities into the estimator [`QosAware`] consumes.
+//!
+//! [`QosAware`]: crate::selection::QosAware
+
+use crate::descriptor::MethodId;
+use crate::selection::BandwidthEstimator;
+use crate::stats::Stats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exponentially smoothed per-method throughput, fed by stats samples.
+#[derive(Debug)]
+pub struct ThroughputTracker {
+    /// Smoothing factor in (0,1]: 1 = latest interval only.
+    alpha: f64,
+    state: Mutex<TrackerState>,
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    last_sample: Option<Instant>,
+    last_bytes: HashMap<MethodId, u64>,
+    estimate: HashMap<MethodId, f64>,
+}
+
+impl ThroughputTracker {
+    /// Creates a tracker with smoothing factor `alpha` (0 < alpha <= 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        ThroughputTracker {
+            alpha,
+            state: Mutex::new(TrackerState::default()),
+        }
+    }
+
+    /// Samples the given stats now (wall clock).
+    pub fn sample(&self, stats: &Stats) {
+        let now = Instant::now();
+        let elapsed = {
+            let g = self.state.lock();
+            g.last_sample.map(|t| now.duration_since(t).as_secs_f64())
+        };
+        self.sample_with_elapsed(stats, elapsed.unwrap_or(0.0));
+        self.state.lock().last_sample = Some(now);
+    }
+
+    /// Samples with an explicit interval (testable; also usable from
+    /// simulated time). `elapsed_secs == 0` only records baselines.
+    pub fn sample_with_elapsed(&self, stats: &Stats, elapsed_secs: f64) {
+        let mut g = self.state.lock();
+        let snap = stats.snapshot();
+        for (method, s) in snap {
+            let last = g.last_bytes.insert(method, s.send_bytes).unwrap_or(0);
+            if elapsed_secs > 0.0 {
+                let rate = (s.send_bytes.saturating_sub(last)) as f64 / elapsed_secs;
+                let e = g.estimate.entry(method).or_insert(rate);
+                *e = self.alpha * rate + (1.0 - self.alpha) * *e;
+            }
+        }
+    }
+
+    /// Current estimate for `method` in bytes/sec (0 if never sampled).
+    pub fn throughput(&self, method: MethodId) -> f64 {
+        self.state
+            .lock()
+            .estimate
+            .get(&method)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Available bandwidth = nominal capacity − observed throughput, exposed
+/// as a [`BandwidthEstimator`] for the QoS policy.
+pub struct AvailableBandwidth {
+    capacities: HashMap<MethodId, f64>,
+    tracker: Arc<ThroughputTracker>,
+}
+
+impl AvailableBandwidth {
+    /// Creates an estimator over `capacities` (bytes/sec per method).
+    pub fn new(
+        capacities: impl IntoIterator<Item = (MethodId, f64)>,
+        tracker: Arc<ThroughputTracker>,
+    ) -> Self {
+        AvailableBandwidth {
+            capacities: capacities.into_iter().collect(),
+            tracker,
+        }
+    }
+
+    /// Available bandwidth for `method` (0 for unknown methods).
+    pub fn available(&self, method: MethodId) -> f64 {
+        let cap = self.capacities.get(&method).copied().unwrap_or(0.0);
+        (cap - self.tracker.throughput(method)).max(0.0)
+    }
+
+    /// Converts into the closure form [`crate::selection::QosAware`] takes.
+    pub fn into_estimator(self) -> BandwidthEstimator {
+        Arc::new(move |m| self.available(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{QosAware, SelectionPolicy};
+
+    #[test]
+    fn tracker_measures_rate_from_stats_deltas() {
+        let stats = Stats::new();
+        let t = ThroughputTracker::new(1.0);
+        t.sample_with_elapsed(&stats, 0.0); // baseline
+        stats.record_send(MethodId::MPL, 1_000_000);
+        t.sample_with_elapsed(&stats, 1.0);
+        assert_eq!(t.throughput(MethodId::MPL), 1_000_000.0);
+        // Another second with no traffic: rate drops to zero (alpha = 1).
+        t.sample_with_elapsed(&stats, 1.0);
+        assert_eq!(t.throughput(MethodId::MPL), 0.0);
+    }
+
+    #[test]
+    fn smoothing_averages_intervals() {
+        let stats = Stats::new();
+        let t = ThroughputTracker::new(0.5);
+        t.sample_with_elapsed(&stats, 0.0);
+        stats.record_send(MethodId::TCP, 100);
+        t.sample_with_elapsed(&stats, 1.0); // first estimate = 100
+        stats.record_send(MethodId::TCP, 300);
+        t.sample_with_elapsed(&stats, 1.0); // 0.5*300 + 0.5*100 = 200
+        assert_eq!(t.throughput(MethodId::TCP), 200.0);
+    }
+
+    #[test]
+    fn available_bandwidth_subtracts_load() {
+        let stats = Stats::new();
+        let tracker = Arc::new(ThroughputTracker::new(1.0));
+        tracker.sample_with_elapsed(&stats, 0.0);
+        stats.record_send(MethodId::MPL, 30_000_000);
+        tracker.sample_with_elapsed(&stats, 1.0);
+        let avail = AvailableBandwidth::new(
+            [(MethodId::MPL, 36e6), (MethodId::TCP, 8e6)],
+            Arc::clone(&tracker),
+        );
+        assert_eq!(avail.available(MethodId::MPL), 6e6);
+        assert_eq!(avail.available(MethodId::TCP), 8e6);
+        assert_eq!(avail.available(MethodId::UDP), 0.0);
+    }
+
+    #[test]
+    fn saturated_method_is_skipped_by_qos_policy() {
+        use crate::context::{ContextId, ContextInfo, NodeId, PartitionId};
+        use crate::descriptor::DescriptorTable;
+        use crate::module::test_support::TestModule;
+        use crate::module::{CommModule, ModuleRegistry};
+
+        // MPL carries 35 of its 36 MB/s; the QoS floor of 4 MB/s pushes
+        // the next connection to TCP.
+        let stats = Stats::new();
+        let tracker = Arc::new(ThroughputTracker::new(1.0));
+        tracker.sample_with_elapsed(&stats, 0.0);
+        stats.record_send(MethodId::MPL, 35_000_000);
+        tracker.sample_with_elapsed(&stats, 1.0);
+        let est = AvailableBandwidth::new(
+            [(MethodId::MPL, 36e6), (MethodId::TCP, 8e6)],
+            tracker,
+        )
+        .into_estimator();
+        let policy = QosAware::new(4e6, est);
+
+        let registry = ModuleRegistry::new();
+        let mpl = TestModule::new(MethodId::MPL, "mpl", 10, false);
+        let tcp = TestModule::new(MethodId::TCP, "tcp", 30, false);
+        let remote = ContextInfo {
+            id: ContextId(9),
+            node: NodeId(9),
+            partition: PartitionId(1),
+        };
+        let (d1, _r1) = mpl.open(&remote).unwrap();
+        let (d2, _r2) = tcp.open(&remote).unwrap();
+        registry.register(Arc::new(mpl));
+        registry.register(Arc::new(tcp));
+        let table: DescriptorTable = [d1, d2].into_iter().collect();
+        let local = ContextInfo {
+            id: ContextId(1),
+            node: NodeId(1),
+            partition: PartitionId(1),
+        };
+        assert_eq!(
+            policy.select(&local, &table, &registry),
+            Some(MethodId::TCP),
+            "36-35=1 MB/s available on MPL < 4 MB/s floor; TCP has 8"
+        );
+    }
+}

@@ -1,0 +1,1357 @@
+//! Contexts (address spaces) and the fabric that connects them.
+//!
+//! Following the paper's terminology, a *context* is an address space or
+//! virtual processor (§3). The [`Fabric`] is the process-wide registry of
+//! contexts together with the [`ModuleRegistry`] of communication methods —
+//! the stand-in for a metacomputing testbed in which contexts live on
+//! different nodes and partitions of one or several parallel computers.
+//!
+//! Each context owns: a handler table, an endpoint table, its own
+//! descriptor table (what it advertises to others), a unified
+//! [`PollEngine`] over the receive side of every method it enables, a
+//! communication-object cache (objects are shared among startpoints that
+//! target the same context with the same method), a selection policy, and
+//! statistics for the enquiry functions.
+
+use crate::descriptor::{DescriptorTable, MethodId};
+use crate::endpoint::{Attached, EndpointId, EndpointRef, EndpointState};
+use crate::error::{NexusError, Result};
+use crate::handler::{HandlerArgs, HandlerRegistry};
+use crate::module::{CommObject, ModuleRegistry};
+use crate::poll::{BlockingPoller, PollEngine};
+use crate::rsr::Rsr;
+use crate::selection::{ExcludeMethods, FirstApplicable, SelectionPolicy};
+use crate::startpoint::{Link, Startpoint, Target};
+use crate::stats::Stats;
+use crate::buffer::Buffer;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Identifies a context (address space) within the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextId(pub u32);
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies a physical node (processor) in the emulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
+pub struct NodeId(pub u32);
+
+/// Identifies a partition (the SP2 software abstraction: MPL works only
+/// within one partition; TCP works everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
+pub struct PartitionId(pub u32);
+
+/// Immutable placement facts about a context, given to communication
+/// modules for applicability checks and descriptor construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextInfo {
+    /// The context's id.
+    pub id: ContextId,
+    /// The node the context runs on.
+    pub node: NodeId,
+    /// The partition the node belongs to.
+    pub partition: PartitionId,
+}
+
+/// Route communications for one method through a forwarding node instead of
+/// receiving them directly (§3.3's forwarding design: e.g. all external TCP
+/// traffic for a partition lands on one node, which re-sends over MPL).
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardVia {
+    /// The method whose traffic is forwarded (typically TCP).
+    pub method: MethodId,
+    /// The context acting as the forwarder. It must itself enable `method`.
+    pub forwarder: ContextId,
+}
+
+/// Options for creating a context.
+#[derive(Debug, Clone, Default)]
+pub struct ContextOpts {
+    /// Node placement.
+    pub node: NodeId,
+    /// Partition placement.
+    pub partition: PartitionId,
+    /// Methods to enable (None = every registered module). Order is
+    /// irrelevant; descriptor-table priority follows the registry order.
+    pub methods: Option<Vec<MethodId>>,
+    /// Optional forwarding arrangement (see [`ForwardVia`]).
+    pub forward_via: Option<ForwardVia>,
+}
+
+
+
+struct FabricInner {
+    registry: Arc<ModuleRegistry>,
+    contexts: RwLock<HashMap<ContextId, Arc<Context>>>,
+    next_ctx: AtomicU32,
+    shutdown: AtomicBool,
+}
+
+/// The process-wide collection of contexts and communication modules.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// Creates a fabric with an empty module registry.
+    pub fn new() -> Self {
+        Self::with_id_base(0)
+    }
+
+    /// Creates a fabric whose context ids start at `base`. When several OS
+    /// processes cooperate (their startpoints crossing process boundaries
+    /// over socket transports), give each process a disjoint id range so
+    /// context ids are globally unique — the in-process analog of the
+    /// paper's globally unique session identifiers.
+    pub fn with_id_base(base: u32) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                registry: Arc::new(ModuleRegistry::new()),
+                contexts: RwLock::new(HashMap::new()),
+                next_ctx: AtomicU32::new(base),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The module registry (register communication modules here before
+    /// creating contexts).
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.inner.registry
+    }
+
+    /// Creates a context with default placement (node 0, partition 0, all
+    /// registered methods).
+    pub fn create_context(&self) -> Result<Arc<Context>> {
+        self.create_context_with(ContextOpts::default())
+    }
+
+    /// Creates a context at the given node/partition with all methods.
+    pub fn create_context_at(&self, node: NodeId, partition: PartitionId) -> Result<Arc<Context>> {
+        self.create_context_with(ContextOpts {
+            node,
+            partition,
+            ..Default::default()
+        })
+    }
+
+    /// Creates a context with full options.
+    pub fn create_context_with(&self, opts: ContextOpts) -> Result<Arc<Context>> {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        let id = ContextId(self.inner.next_ctx.fetch_add(1, Ordering::Relaxed));
+        let info = ContextInfo {
+            id,
+            node: opts.node,
+            partition: opts.partition,
+        };
+
+        // Validate requested methods against the registry.
+        if let Some(ms) = &opts.methods {
+            for m in ms {
+                if self.inner.registry.resolve(*m).is_none() {
+                    return Err(NexusError::UnknownMethod(*m));
+                }
+            }
+        }
+
+        let mut table = DescriptorTable::new();
+        let mut engine = PollEngine::new();
+
+        // Walk modules in registry (priority) order so the context's own
+        // descriptor table comes out fastest-first.
+        for module in self.inner.registry.modules() {
+            let mid = module.method();
+            let enabled = opts.methods.as_ref().is_none_or(|ms| ms.contains(&mid));
+            let forwarded = opts
+                .forward_via
+                .is_some_and(|fv| fv.method == mid && !enabled);
+            if enabled {
+                let (desc, receiver) = module.open(&info)?;
+                table.push(desc);
+                engine.add_source(mid, receiver);
+            } else if forwarded {
+                // Advertise the forwarder's descriptor for this method:
+                // senders reach the forwarder, which re-sends to us.
+                let fv = opts.forward_via.unwrap();
+                let fwd = self
+                    .context(fv.forwarder)
+                    .ok_or(NexusError::UnknownContext(fv.forwarder))?;
+                let fdesc = fwd
+                    .descriptor_table()
+                    .get(mid)
+                    .cloned()
+                    .ok_or(NexusError::UnknownMethod(mid))?;
+                table.push(fdesc);
+            }
+        }
+
+        let ctx = Arc::new(Context {
+            info,
+            fabric: Arc::downgrade(&self.inner),
+            handlers: HandlerRegistry::new(),
+            endpoints: RwLock::new(HashMap::new()),
+            next_endpoint: AtomicU64::new(1),
+            table,
+            poll: Mutex::new(engine),
+            blocking: Mutex::new(Vec::new()),
+            comm_cache: Mutex::new(HashMap::new()),
+            policy: RwLock::new(Arc::new(FirstApplicable)),
+            stats: Stats::new(),
+            shutdown: AtomicBool::new(false),
+            extensions: Mutex::new(HashMap::new()),
+        });
+        self.inner.contexts.write().insert(id, Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// Looks up a context by id.
+    pub fn context(&self, id: ContextId) -> Option<Arc<Context>> {
+        self.inner.contexts.read().get(&id).cloned()
+    }
+
+    /// All live contexts (unordered).
+    pub fn contexts(&self) -> Vec<Arc<Context>> {
+        self.inner.contexts.read().values().cloned().collect()
+    }
+
+    /// Number of live contexts.
+    pub fn len(&self) -> usize {
+        self.inner.contexts.read().len()
+    }
+
+    /// True if no contexts exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shuts down every context and refuses further creation.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        let ctxs: Vec<_> = self.inner.contexts.write().drain().map(|(_, c)| c).collect();
+        for c in ctxs {
+            c.shutdown();
+        }
+    }
+}
+
+/// An address space participating in multimethod communication.
+pub struct Context {
+    info: ContextInfo,
+    fabric: Weak<FabricInner>,
+    handlers: HandlerRegistry,
+    endpoints: RwLock<HashMap<EndpointId, EndpointState>>,
+    next_endpoint: AtomicU64,
+    table: DescriptorTable,
+    poll: Mutex<PollEngine>,
+    blocking: Mutex<Vec<BlockingPoller>>,
+    comm_cache: Mutex<HashMap<(ContextId, MethodId), Arc<dyn CommObject>>>,
+    policy: RwLock<Arc<dyn SelectionPolicy>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    /// Typed extension storage for protocol layers built on the context
+    /// (e.g. the global-pointer reply plumbing).
+    extensions: Mutex<HashMap<std::any::TypeId, Arc<dyn std::any::Any + Send + Sync>>>,
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("id", &self.info.id)
+            .field("node", &self.info.node)
+            .field("partition", &self.info.partition)
+            .field("methods", &self.table.methods())
+            .finish()
+    }
+}
+
+impl Context {
+    /// The context's id.
+    pub fn id(&self) -> ContextId {
+        self.info.id
+    }
+
+    /// Placement facts (id, node, partition).
+    pub fn info(&self) -> ContextInfo {
+        self.info
+    }
+
+    /// The descriptor table this context advertises (methods usable to
+    /// reach it, fastest first).
+    pub fn descriptor_table(&self) -> &DescriptorTable {
+        &self.table
+    }
+
+    fn fabric(&self) -> Result<Arc<FabricInner>> {
+        self.fabric.upgrade().ok_or(NexusError::ShutDown)
+    }
+
+    /// The module registry backing this context.
+    pub fn registry(&self) -> Result<Arc<ModuleRegistry>> {
+        Ok(Arc::clone(&self.fabric()?.registry))
+    }
+
+    // -- endpoints & handlers ------------------------------------------------
+
+    /// Creates a new endpoint in this context.
+    pub fn create_endpoint(&self) -> EndpointId {
+        let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed));
+        self.endpoints.write().insert(id, EndpointState::default());
+        id
+    }
+
+    /// Attaches a local object to an endpoint, making startpoints bound to
+    /// it global names for the object.
+    pub fn attach(&self, ep: EndpointId, data: Attached) -> Result<()> {
+        match self.endpoints.write().get_mut(&ep) {
+            Some(s) => {
+                s.attached = Some(data);
+                Ok(())
+            }
+            None => Err(NexusError::UnknownEndpoint(ep.0)),
+        }
+    }
+
+    /// Destroys an endpoint. In-flight RSRs to it will fail at dispatch.
+    pub fn destroy_endpoint(&self, ep: EndpointId) -> bool {
+        self.endpoints.write().remove(&ep).is_some()
+    }
+
+    /// Registers a handler procedure under `name`.
+    pub fn register_handler<F>(&self, name: &str, f: F)
+    where
+        F: Fn(HandlerArgs<'_>) + Send + Sync + 'static,
+    {
+        self.handlers.register(name, f);
+    }
+
+    /// The handler registry (for enquiry and unregistration).
+    pub fn handlers(&self) -> &HandlerRegistry {
+        &self.handlers
+    }
+
+    // -- startpoints -----------------------------------------------------------
+
+    /// Creates a startpoint bound to a local endpoint, carrying this
+    /// context's descriptor table.
+    pub fn startpoint_to(&self, ep: EndpointId) -> Result<Startpoint> {
+        self.make_startpoint(ep, false)
+    }
+
+    /// Creates a *lightweight* startpoint bound to a local endpoint: its
+    /// wire form omits the descriptor table (the receiver reconstructs it
+    /// from the fabric), per the §3.1 optimization for tightly coupled
+    /// systems.
+    pub fn startpoint_to_lightweight(&self, ep: EndpointId) -> Result<Startpoint> {
+        self.make_startpoint(ep, true)
+    }
+
+    fn make_startpoint(&self, ep: EndpointId, lightweight: bool) -> Result<Startpoint> {
+        if !self.endpoints.read().contains_key(&ep) {
+            return Err(NexusError::UnknownEndpoint(ep.0));
+        }
+        let mut sp = Startpoint::unbound();
+        sp.add_link(Link::new(
+            Target {
+                context: self.info.id,
+                endpoint: ep,
+            },
+            self.table.clone(),
+            lightweight,
+        ));
+        Ok(sp)
+    }
+
+    /// Resolves the descriptor table of another context via the fabric —
+    /// used when unpacking lightweight startpoints.
+    pub fn lookup_descriptor_table(&self, ctx: ContextId) -> Result<DescriptorTable> {
+        let fab = self.fabric()?;
+        let c = fab
+            .contexts
+            .read()
+            .get(&ctx)
+            .cloned()
+            .ok_or(NexusError::UnknownContext(ctx))?;
+        Ok(c.descriptor_table().clone())
+    }
+
+    // -- selection ---------------------------------------------------------------
+
+    /// Replaces the automatic selection policy (default:
+    /// [`FirstApplicable`]).
+    pub fn set_policy(&self, policy: Arc<dyn SelectionPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Name of the active selection policy (enquiry).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.read().name()
+    }
+
+    /// Enquiry: methods of `sp`'s first link applicable from this context,
+    /// in priority order.
+    pub fn applicable_methods(&self, sp: &Startpoint) -> Result<Vec<MethodId>> {
+        let reg = self.registry()?;
+        let link = sp.links().first().ok_or(NexusError::UnboundStartpoint)?;
+        Ok(crate::selection::applicable_methods(
+            &self.info,
+            &link.table(),
+            &reg,
+        ))
+    }
+
+    /// Enquiry: the methods this context has receive sources for.
+    pub fn enabled_methods(&self) -> Vec<MethodId> {
+        self.poll.lock().methods()
+    }
+
+    /// Selects (if necessary) and returns the communication object for a
+    /// link. This is where automatic vs manual selection and the
+    /// communication-object cache come together.
+    fn resolve_link(&self, link: &Link) -> Result<Arc<dyn CommObject>> {
+        let pinned = *link.pinned.lock();
+        {
+            let chosen = link.chosen.lock();
+            if let Some((m, obj)) = chosen.as_ref() {
+                if pinned.is_none_or(|p| p == *m) {
+                    return Ok(Arc::clone(obj));
+                }
+            }
+        }
+        let reg = self.registry()?;
+        let table = link.table();
+        let method = match pinned {
+            Some(p) => {
+                let module = reg.resolve(p).ok_or(NexusError::UnknownMethod(p))?;
+                let desc = table.get(p).ok_or(NexusError::MethodNotApplicable {
+                    method: p,
+                    target: link.target.context,
+                })?;
+                if !module.applicable(&self.info, desc) {
+                    return Err(NexusError::MethodNotApplicable {
+                        method: p,
+                        target: link.target.context,
+                    });
+                }
+                p
+            }
+            None => self
+                .policy
+                .read()
+                .select(&self.info, &table, &reg)
+                .ok_or(NexusError::NoApplicableMethod {
+                    target: link.target.context,
+                })?,
+        };
+        let obj = self.connect_cached(link.target.context, method, &table)?;
+        *link.chosen.lock() = Some((method, Arc::clone(&obj)));
+        Ok(obj)
+    }
+
+    /// Returns the (possibly cached) communication object for
+    /// (`target`, `method`), connecting if necessary.
+    fn connect_cached(
+        &self,
+        target: ContextId,
+        method: MethodId,
+        table: &DescriptorTable,
+    ) -> Result<Arc<dyn CommObject>> {
+        if let Some(obj) = self.comm_cache.lock().get(&(target, method)) {
+            return Ok(Arc::clone(obj));
+        }
+        let reg = self.registry()?;
+        let module = reg.resolve(method).ok_or(NexusError::UnknownMethod(method))?;
+        let desc = table
+            .get(method)
+            .ok_or(NexusError::MethodNotApplicable { method, target })?;
+        let obj = module.connect(&self.info, desc)?;
+        self.comm_cache
+            .lock()
+            .insert((target, method), Arc::clone(&obj));
+        Ok(obj)
+    }
+
+    /// Enquiry: number of distinct communication objects currently cached.
+    pub fn cached_connections(&self) -> usize {
+        self.comm_cache.lock().len()
+    }
+
+    // -- RSR issue ------------------------------------------------------------
+
+    /// Issues a remote service request on `sp`: for each endpoint linked to
+    /// the startpoint, transfers `payload` to the endpoint's context and
+    /// invokes `handler` there (asynchronously; this call returns once the
+    /// data is handed to each link's communication method).
+    pub fn rsr(&self, sp: &Startpoint, handler: &str, payload: Buffer) -> Result<()> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        if sp.is_unbound() {
+            return Err(NexusError::UnboundStartpoint);
+        }
+        let bytes = payload.into_bytes();
+        for link in sp.links() {
+            let msg = Rsr::new(
+                link.target.context,
+                link.target.endpoint,
+                handler,
+                bytes.clone(),
+            );
+            self.send_with_failover(link, &msg)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one RSR over a link's selected method, failing over to the
+    /// next applicable method when the connection errors (§1's "switch
+    /// among alternative communication substrates in the event of error").
+    /// Pinned links do not fail over — manual selection means the
+    /// application took responsibility. Each failed method is excluded
+    /// from re-selection and its cached connection is evicted; the chosen
+    /// replacement sticks for subsequent sends.
+    fn send_with_failover(&self, link: &Link, msg: &Rsr) -> Result<()> {
+        let wire = msg.wire_len();
+        let pinned = link.pinned.lock().is_some();
+        let mut failed: Vec<MethodId> = Vec::new();
+        loop {
+            let obj = if failed.is_empty() {
+                self.resolve_link(link)?
+            } else {
+                self.reselect_excluding(link, &failed)?
+            };
+            match obj.send(msg) {
+                Ok(()) => {
+                    self.stats.record_send(obj.method(), wire);
+                    return Ok(());
+                }
+                Err(e) => {
+                    let method = obj.method();
+                    obj.close();
+                    link.invalidate();
+                    self.comm_cache
+                        .lock()
+                        .remove(&(link.target.context, method));
+                    self.stats.record_failover(method);
+                    if pinned {
+                        return Err(e);
+                    }
+                    failed.push(method);
+                }
+            }
+        }
+    }
+
+    /// Re-runs selection for a link with `excluded` methods removed, and
+    /// stores the new choice on the link.
+    fn reselect_excluding(
+        &self,
+        link: &Link,
+        excluded: &[MethodId],
+    ) -> Result<Arc<dyn CommObject>> {
+        let reg = self.registry()?;
+        let table = link.table();
+        let policy = self.policy.read().clone();
+        let wrapper = ExcludeMethods::new(policy, excluded.iter().copied());
+        let method =
+            wrapper
+                .select(&self.info, &table, &reg)
+                .ok_or(NexusError::NoApplicableMethod {
+                    target: link.target.context,
+                })?;
+        let obj = self.connect_cached(link.target.context, method, &table)?;
+        *link.chosen.lock() = Some((method, Arc::clone(&obj)));
+        Ok(obj)
+    }
+
+    // -- progress / dispatch -----------------------------------------------------
+
+    /// Sets the skip_poll value for `method`: its receiver is probed on
+    /// every `k`-th invocation of the unified polling function (§3.3).
+    pub fn set_skip_poll(&self, method: MethodId, k: u64) -> bool {
+        self.poll.lock().set_skip_poll(method, k)
+    }
+
+    /// Current skip_poll value for `method`.
+    pub fn skip_poll(&self, method: MethodId) -> Option<u64> {
+        self.poll.lock().skip_poll(method)
+    }
+
+    /// Enables adaptive skip_poll control for `method`: the skip value
+    /// falls when the method carries traffic and grows while it is silent
+    /// (the paper's proposed future refinement of §3.3, implemented).
+    pub fn set_adaptive_skip_poll(
+        &self,
+        method: MethodId,
+        cfg: crate::poll::AdaptiveSkipPoll,
+    ) -> bool {
+        self.poll.lock().set_adaptive(method, cfg)
+    }
+
+    /// Moves `method` out of the poll rotation into a dedicated blocking
+    /// receive thread (the refinement for systems whose transport supports
+    /// blocking, §3.3). Fails if the module does not support blocking.
+    pub fn start_blocking_poller(&self, method: MethodId) -> Result<()> {
+        let reg = self.registry()?;
+        let module = reg.resolve(method).ok_or(NexusError::UnknownMethod(method))?;
+        if !module.supports_blocking() {
+            return Err(NexusError::BadParam {
+                key: "blocking".to_owned(),
+                reason: format!("method {method} does not support blocking receives"),
+            });
+        }
+        let receiver = self
+            .poll
+            .lock()
+            .remove_source(method)
+            .ok_or(NexusError::UnknownMethod(method))?;
+        self.blocking.lock().push(BlockingPoller::spawn(
+            method,
+            receiver,
+            Duration::from_millis(10),
+        ));
+        Ok(())
+    }
+
+    /// Runs one pass of the unified polling function and dispatches every
+    /// retrieved RSR (message-driven execution). Returns the number of
+    /// messages handled. Handlers run *without* internal locks held, so
+    /// they may freely issue RSRs or even call `progress` again.
+    pub fn progress(&self) -> Result<usize> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        let mut msgs: Vec<(MethodId, Rsr)> = Vec::new();
+        // Drain blocking pollers first: their thread already paid the wait.
+        {
+            let blocking = self.blocking.lock();
+            for p in blocking.iter() {
+                while let Some(m) = p.try_pop() {
+                    msgs.push((p.method(), m));
+                }
+            }
+        }
+        let outcome = {
+            let mut eng = self.poll.lock();
+            eng.poll_once()?
+        };
+        for (method, found) in &outcome.probed {
+            self.stats.record_poll(*method, *found);
+        }
+        msgs.extend(outcome.messages);
+        let n = msgs.len();
+        let mut first_err = None;
+        for (method, msg) in msgs {
+            self.stats.record_recv(method, msg.wire_len());
+            if let Err(e) = self.dispatch(method, msg) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Calls [`Context::progress`] until `pred()` is true or `timeout`
+    /// elapses. Returns whether the predicate was satisfied.
+    pub fn progress_until<F: FnMut() -> bool>(&self, mut pred: F, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if !matches!(self.progress(), Ok(n) if n > 0) {
+                // Idle pass: let other runtime threads make progress.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Spawns a thread that drives this context's progress until the
+    /// returned guard is dropped. Convenience for applications that want
+    /// message-driven execution without structuring their own loop; the
+    /// thread yields the CPU whenever a pass finds nothing (important on
+    /// machines with few hardware threads).
+    pub fn spawn_progress_thread(self: &Arc<Self>) -> ProgressGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("nexus-progress-{}", self.info.id))
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match ctx.progress() {
+                        Ok(n) if n > 0 => {}
+                        _ => std::thread::yield_now(),
+                    }
+                }
+            })
+            .expect("spawn progress thread");
+        ProgressGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Dispatches one received RSR: runs the named handler if the RSR is
+    /// addressed to this context, otherwise acts as a forwarding node and
+    /// re-sends it to its destination over a different method.
+    fn dispatch(&self, arrival: MethodId, msg: Rsr) -> Result<()> {
+        if msg.dest != self.info.id {
+            return self.forward(arrival, msg);
+        }
+        let ep = {
+            let eps = self.endpoints.read();
+            let state = eps
+                .get(&msg.endpoint)
+                .ok_or(NexusError::UnknownEndpoint(msg.endpoint.0))?;
+            EndpointRef {
+                id: msg.endpoint,
+                attached: state.attached.clone(),
+            }
+        };
+        let handler = self
+            .handlers
+            .get(&msg.handler)
+            .ok_or_else(|| NexusError::UnknownHandler(msg.handler.clone()))?;
+        let mut buf = Buffer::from_bytes(msg.payload);
+        self.stats
+            .handler_invocations
+            .fetch_add(1, Ordering::Relaxed);
+        handler(HandlerArgs {
+            context: self,
+            endpoint: ep,
+            buffer: &mut buf,
+        });
+        Ok(())
+    }
+
+    /// Forwarding-node path: re-send an RSR addressed to another context,
+    /// excluding the method it arrived on (which the destination cannot
+    /// receive directly — that is why the traffic came here).
+    fn forward(&self, arrival: MethodId, mut msg: Rsr) -> Result<()> {
+        if msg.ttl == 0 {
+            return Err(NexusError::Decode("RSR TTL exhausted while forwarding"));
+        }
+        msg.ttl -= 1;
+        let table = self.lookup_descriptor_table(msg.dest)?;
+        let reg = self.registry()?;
+        let policy = ExcludeMethods::new(FirstApplicable, [arrival]);
+        let method = policy
+            .select(&self.info, &table, &reg)
+            .ok_or(NexusError::NoApplicableMethod { target: msg.dest })?;
+        let obj = self.connect_cached(msg.dest, method, &table)?;
+        obj.send(&msg)?;
+        self.stats.record_forward(arrival);
+        self.stats.record_send(method, msg.wire_len());
+        Ok(())
+    }
+
+    // -- stats / shutdown ---------------------------------------------------------
+
+    /// The context's statistics block (enquiry).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Returns this context's extension of type `T`, creating it with
+    /// `init` on first use. Protocol layers (e.g. global pointers) use
+    /// this for per-context plumbing without a global registry.
+    pub fn extension<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let key = std::any::TypeId::of::<T>();
+        if let Some(e) = self.extensions.lock().get(&key) {
+            return Arc::clone(e).downcast::<T>().expect("keyed by TypeId");
+        }
+        // Build outside the lock: init may call back into the context.
+        let value = Arc::new(init());
+        let mut g = self.extensions.lock();
+        let entry = g
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>);
+        Arc::clone(entry).downcast::<T>().expect("keyed by TypeId")
+    }
+
+    /// Stops receive processing and releases transport resources.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.poll.lock().close_all();
+        self.blocking.lock().clear(); // Drop impl stops the threads.
+        let cache = std::mem::take(&mut *self.comm_cache.lock());
+        for obj in cache.values() {
+            obj.close();
+        }
+    }
+}
+
+impl Drop for Context {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Stops and joins a context's progress thread when dropped.
+pub struct ProgressGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressGuard {
+    /// Stops the progress thread now (equivalent to dropping the guard).
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::test_support::TestModule;
+    use std::sync::atomic::AtomicU32;
+
+    /// Fabric with partition-scoped "mpl" (rank 10) and universal "tcp"
+    /// (rank 30).
+    fn fabric() -> Fabric {
+        let f = Fabric::new();
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::MPL, "mpl", 10, true)));
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+        f
+    }
+
+    #[test]
+    fn context_descriptor_table_is_fastest_first() {
+        let f = fabric();
+        let c = f.create_context().unwrap();
+        assert_eq!(
+            c.descriptor_table().methods(),
+            vec![MethodId::MPL, MethodId::TCP]
+        );
+        assert_eq!(c.enabled_methods(), vec![MethodId::MPL, MethodId::TCP]);
+    }
+
+    #[test]
+    fn rsr_same_partition_picks_mpl_and_delivers() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("hit", move |args| {
+            assert_eq!(args.buffer.get_u32().unwrap(), 77);
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        let mut buf = Buffer::new();
+        buf.put_u32(77);
+        a.rsr(&sp, "hit", buf).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::MPL));
+        assert!(b.progress_until(
+            || hits.load(Ordering::Relaxed) == 1,
+            Duration::from_secs(1)
+        ));
+        assert_eq!(a.stats().snapshot_method(MethodId::MPL).sends, 1);
+        assert_eq!(b.stats().snapshot_method(MethodId::MPL).recvs, 1);
+    }
+
+    #[test]
+    fn rsr_cross_partition_falls_back_to_tcp() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(8), PartitionId(2)).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("hit", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
+        assert!(b.progress_until(
+            || hits.load(Ordering::Relaxed) == 1,
+            Duration::from_secs(1)
+        ));
+    }
+
+    #[test]
+    fn manual_pin_overrides_automatic_selection() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        sp.set_method(MethodId::TCP);
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
+        assert_eq!(a.stats().snapshot_method(MethodId::TCP).sends, 1);
+        // Unpin: next send re-selects the faster method.
+        sp.clear_method();
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::MPL));
+    }
+
+    #[test]
+    fn pin_to_inapplicable_method_errors() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(9), PartitionId(2)).unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        sp.set_method(MethodId::MPL); // different partition: not applicable
+        match a.rsr(&sp, "hit", Buffer::new()) {
+            Err(NexusError::MethodNotApplicable { method, .. }) => {
+                assert_eq!(method, MethodId::MPL)
+            }
+            other => panic!("expected MethodNotApplicable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comm_objects_are_shared_between_startpoints() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep1 = b.create_endpoint();
+        let ep2 = b.create_endpoint();
+        let sp1 = b.startpoint_to(ep1).unwrap();
+        let sp2 = b.startpoint_to(ep2).unwrap();
+        a.rsr(&sp1, "hit", Buffer::new()).unwrap();
+        a.rsr(&sp2, "hit", Buffer::new()).unwrap();
+        // Same (target context, method): one cached connection.
+        assert_eq!(a.cached_connections(), 1);
+    }
+
+    #[test]
+    fn multicast_startpoint_delivers_to_all_endpoints() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let c = f.create_context().unwrap();
+        let count = Arc::new(AtomicU32::new(0));
+        for ctx in [&b, &c] {
+            let k = Arc::clone(&count);
+            ctx.register_handler("hit", move |_| {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let ep_b = b.create_endpoint();
+        let ep_c = c.create_endpoint();
+        let mut sp = b.startpoint_to(ep_b).unwrap();
+        sp.merge(&c.startpoint_to(ep_c).unwrap());
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        b.progress().unwrap();
+        c.progress().unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn startpoint_travels_inside_rsr_and_replies_flow_back() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        // a sets up a reply endpoint and ships its startpoint to b; b's
+        // handler unpacks it and RSRs back.
+        let got = Arc::new(AtomicU32::new(0));
+        let g = Arc::clone(&got);
+        a.register_handler("reply", move |args| {
+            g.store(args.buffer.get_u32().unwrap(), Ordering::Relaxed);
+        });
+        b.register_handler("request", move |args| {
+            let mut sp = Startpoint::unpack(args.buffer, args.context).unwrap();
+            let x = args.buffer.get_u32().unwrap();
+            let mut reply = Buffer::new();
+            reply.put_u32(x * 2);
+            args.context.rsr(&sp, "reply", reply).unwrap();
+            sp.unbind(sp.targets()[0]); // exercise unbind on the copy
+        });
+        let ep_a = a.create_endpoint();
+        let reply_sp = a.startpoint_to(ep_a).unwrap();
+        let ep_b = b.create_endpoint();
+        let req_sp = b.startpoint_to(ep_b).unwrap();
+        let mut buf = Buffer::new();
+        reply_sp.pack(&mut buf);
+        buf.put_u32(21);
+        a.rsr(&req_sp, "request", buf).unwrap();
+        b.progress().unwrap();
+        assert!(a.progress_until(
+            || got.load(Ordering::Relaxed) == 42,
+            Duration::from_secs(1)
+        ));
+    }
+
+    #[test]
+    fn lightweight_startpoint_resolves_table_from_fabric() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to_lightweight(ep).unwrap();
+        let mut buf = Buffer::new();
+        sp.pack(&mut buf);
+        let sp2 = Startpoint::unpack(&mut buf, &a).unwrap();
+        assert_eq!(
+            sp2.links()[0].table().methods(),
+            b.descriptor_table().methods()
+        );
+    }
+
+    #[test]
+    fn forwarding_node_relays_to_destination() {
+        let f = fabric();
+        // Forwarder and worker share partition 1; the external context is
+        // in partition 2 and can only use TCP. The worker does not enable
+        // TCP itself; its TCP descriptor routes through the forwarder.
+        let forwarder = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let worker = f
+            .create_context_with(ContextOpts {
+                node: NodeId(1),
+                partition: PartitionId(1),
+                methods: Some(vec![MethodId::MPL]),
+                forward_via: Some(ForwardVia {
+                    method: MethodId::TCP,
+                    forwarder: forwarder.id(),
+                }),
+            })
+            .unwrap();
+        let external = f.create_context_at(NodeId(9), PartitionId(2)).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        worker.register_handler("hit", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = worker.create_endpoint();
+        let sp = worker.startpoint_to(ep).unwrap();
+        // The worker's table advertises MPL (own) + TCP (via forwarder).
+        assert_eq!(
+            worker.descriptor_table().methods(),
+            vec![MethodId::MPL, MethodId::TCP]
+        );
+        external.rsr(&sp, "hit", Buffer::new()).unwrap();
+        // Message lands at the forwarder over TCP...
+        forwarder.progress().unwrap();
+        assert_eq!(
+            forwarder.stats().snapshot_method(MethodId::TCP).forwards,
+            1
+        );
+        // ...and reaches the worker over MPL.
+        assert!(worker.progress_until(
+            || hits.load(Ordering::Relaxed) == 1,
+            Duration::from_secs(1)
+        ));
+        assert_eq!(worker.stats().snapshot_method(MethodId::MPL).recvs, 1);
+    }
+
+    #[test]
+    fn unknown_handler_is_an_error_at_dispatch() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.rsr(&sp, "nope", Buffer::new()).unwrap();
+        match b.progress() {
+            Err(NexusError::UnknownHandler(h)) => assert_eq!(h, "nope"),
+            other => panic!("expected UnknownHandler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destroyed_endpoint_fails_dispatch() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        assert!(b.destroy_endpoint(ep));
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert!(matches!(
+            b.progress(),
+            Err(NexusError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_startpoint_rsr_errors() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let sp = Startpoint::unbound();
+        assert!(matches!(
+            a.rsr(&sp, "x", Buffer::new()),
+            Err(NexusError::UnboundStartpoint)
+        ));
+    }
+
+    #[test]
+    fn restricting_methods_limits_the_table() {
+        let f = fabric();
+        let c = f
+            .create_context_with(ContextOpts {
+                methods: Some(vec![MethodId::TCP]),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(c.descriptor_table().methods(), vec![MethodId::TCP]);
+        let bad = f.create_context_with(ContextOpts {
+            methods: Some(vec![MethodId::UDP]),
+            ..Default::default()
+        });
+        assert!(matches!(bad, Err(NexusError::UnknownMethod(_))));
+    }
+
+    #[test]
+    fn endpoint_attachment_reaches_handlers() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let seen = Arc::new(AtomicU32::new(0));
+        let s = Arc::clone(&seen);
+        b.register_handler("read", move |args| {
+            let v = args.endpoint.attached_as::<AtomicU32>().unwrap();
+            s.store(v.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        b.attach(ep, Arc::new(AtomicU32::new(123))).unwrap();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.rsr(&sp, "read", Buffer::new()).unwrap();
+        b.progress().unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn shutdown_refuses_further_work() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        f.shutdown();
+        assert!(matches!(
+            a.rsr(&sp, "hit", Buffer::new()),
+            Err(NexusError::ShutDown)
+        ));
+        assert!(matches!(a.progress(), Err(NexusError::ShutDown)));
+        assert!(f.create_context().is_err());
+    }
+
+    #[test]
+    fn progress_thread_drives_delivery() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("hit", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        let guard = b.spawn_progress_thread();
+        for _ in 0..50 {
+            a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::Relaxed) < 50 {
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        guard.stop();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn forwarding_loop_is_cut_by_ttl() {
+        // Two contexts that each claim the other as their TCP forwarder:
+        // a message neither can deliver bounces until the TTL kills it.
+        let f = fabric();
+        let x = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let y = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
+        // Craft an RSR addressed to a third, nonexistent context and
+        // inject it at x as if it had arrived over TCP.
+        let msg = Rsr::new(ContextId(99), crate::endpoint::EndpointId(1), "h", bytes::Bytes::new());
+        // x forwarding fails because context 99 does not exist.
+        assert!(matches!(
+            x.dispatch(MethodId::TCP, msg),
+            Err(NexusError::UnknownContext(_))
+        ));
+        // A zero-TTL message is dropped with a decode error, never re-sent.
+        let mut dead = Rsr::new(y.id(), crate::endpoint::EndpointId(1), "h", bytes::Bytes::new());
+        dead.ttl = 0;
+        assert!(matches!(
+            x.dispatch(MethodId::TCP, dead),
+            Err(NexusError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_senders_and_receiver_threads() {
+        // 4 sender contexts hammer one receiver from their own threads
+        // while the receiver progresses on another; nothing is lost.
+        let f = fabric();
+        let rx = f.create_context().unwrap();
+        let total = Arc::new(AtomicU32::new(0));
+        {
+            let t = Arc::clone(&total);
+            rx.register_handler("n", move |_| {
+                t.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let ep = rx.create_endpoint();
+        const PER_SENDER: u32 = 200;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let tx = f.create_context().unwrap();
+                let sp = rx.startpoint_to(ep).unwrap();
+                s.spawn(move || {
+                    for _ in 0..PER_SENDER {
+                        tx.rsr(&sp, "n", Buffer::new()).unwrap();
+                    }
+                });
+            }
+            let rx = Arc::clone(&rx);
+            let t = Arc::clone(&total);
+            s.spawn(move || {
+                assert!(rx.progress_until(
+                    || t.load(Ordering::Relaxed) == 4 * PER_SENDER,
+                    Duration::from_secs(30),
+                ));
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * PER_SENDER);
+    }
+
+    #[test]
+    fn send_failure_fails_over_to_next_method() {
+        use crate::module::fault_support::FlakyModule;
+        let f = Fabric::new();
+        let flaky = Arc::new(FlakyModule::new(MethodId::MPL, "flaky-mpl", 10));
+        f.registry().register(Arc::clone(&flaky) as _);
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("hit", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        // First send: healthy fast path.
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::MPL));
+        // Break the fast path: the next RSR must fail over to TCP and
+        // still be delivered.
+        flaky.set_broken(true);
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
+        assert!(b.progress_until(
+            || hits.load(Ordering::Relaxed) == 2,
+            Duration::from_secs(1)
+        ));
+        assert_eq!(a.stats().snapshot_method(MethodId::MPL).failovers, 1);
+        // The replacement sticks: a third send goes straight over TCP with
+        // no further failed attempts on the broken method.
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(a.stats().snapshot_method(MethodId::MPL).failovers, 1);
+        assert_eq!(a.stats().snapshot_method(MethodId::TCP).sends, 2);
+    }
+
+    #[test]
+    fn pinned_link_does_not_fail_over() {
+        use crate::module::fault_support::FlakyModule;
+        let f = Fabric::new();
+        let flaky = Arc::new(FlakyModule::new(MethodId::MPL, "flaky-mpl", 10));
+        flaky.set_broken(true);
+        f.registry().register(Arc::clone(&flaky) as _);
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        sp.set_method(MethodId::MPL);
+        assert!(matches!(
+            a.rsr(&sp, "hit", Buffer::new()),
+            Err(NexusError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn failover_with_no_alternative_reports_no_applicable_method() {
+        use crate::module::fault_support::FlakyModule;
+        let f = Fabric::new();
+        let flaky = Arc::new(FlakyModule::new(MethodId::MPL, "flaky-mpl", 10));
+        flaky.set_broken(true);
+        f.registry().register(Arc::clone(&flaky) as _);
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        assert!(matches!(
+            a.rsr(&sp, "hit", Buffer::new()),
+            Err(NexusError::NoApplicableMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn skip_poll_is_settable_per_context() {
+        let f = fabric();
+        let c = f.create_context().unwrap();
+        assert!(c.set_skip_poll(MethodId::TCP, 20));
+        assert_eq!(c.skip_poll(MethodId::TCP), Some(20));
+        assert_eq!(c.skip_poll(MethodId::MPL), Some(1));
+        assert!(!c.set_skip_poll(MethodId::UDP, 5));
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for the Nexus runtime.
+
+use crate::context::ContextId;
+use crate::descriptor::MethodId;
+use std::fmt;
+
+/// Result alias used throughout the runtime.
+pub type Result<T> = std::result::Result<T, NexusError>;
+
+/// Errors produced by the multimethod communication runtime.
+#[derive(Debug)]
+pub enum NexusError {
+    /// No communication method in a startpoint's descriptor table is
+    /// applicable from the local context.
+    NoApplicableMethod {
+        /// The context the communication was directed to.
+        target: ContextId,
+    },
+    /// A method was requested explicitly (manual selection) but is not
+    /// applicable or not present locally.
+    MethodNotApplicable {
+        /// The requested method.
+        method: MethodId,
+        /// The context the communication was directed to.
+        target: ContextId,
+    },
+    /// A communication module with the given method identifier is not
+    /// registered.
+    UnknownMethod(MethodId),
+    /// The named handler has not been registered in the destination context.
+    UnknownHandler(String),
+    /// The referenced context does not exist (or has been shut down).
+    UnknownContext(ContextId),
+    /// The startpoint is not bound to any endpoint.
+    UnboundStartpoint,
+    /// The referenced endpoint does not exist in its context.
+    UnknownEndpoint(u64),
+    /// A buffer `get_*` call ran past the end of the data.
+    BufferUnderflow {
+        /// Bytes requested by the failed read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// Wire data failed to decode (corrupt frame, bad magic, truncated
+    /// descriptor table, ...).
+    Decode(&'static str),
+    /// A module rejected a parameter name or value.
+    BadParam {
+        /// Parameter key that was rejected.
+        key: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error in the resource-database configuration text.
+    Config {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An I/O error from a transport (TCP/UDP modules).
+    Io(std::io::Error),
+    /// The connection underlying a communication object has been closed.
+    ConnectionClosed,
+    /// The fabric (or a context) has been shut down.
+    ShutDown,
+    /// A blocking operation (e.g. a layered-library receive) timed out.
+    Timeout {
+        /// Description of what was being waited for.
+        what: String,
+    },
+}
+
+impl fmt::Display for NexusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NexusError::NoApplicableMethod { target } => {
+                write!(f, "no applicable communication method for context {target}")
+            }
+            NexusError::MethodNotApplicable { method, target } => {
+                write!(f, "method {method} is not applicable for context {target}")
+            }
+            NexusError::UnknownMethod(m) => write!(f, "unknown communication method {m}"),
+            NexusError::UnknownHandler(h) => write!(f, "unknown handler {h:?}"),
+            NexusError::UnknownContext(c) => write!(f, "unknown context {c}"),
+            NexusError::UnboundStartpoint => write!(f, "startpoint is not bound to any endpoint"),
+            NexusError::UnknownEndpoint(e) => write!(f, "unknown endpoint {e}"),
+            NexusError::BufferUnderflow { needed, remaining } => write!(
+                f,
+                "buffer underflow: needed {needed} bytes, {remaining} remaining"
+            ),
+            NexusError::Decode(what) => write!(f, "decode error: {what}"),
+            NexusError::BadParam { key, reason } => write!(f, "bad parameter {key:?}: {reason}"),
+            NexusError::Config { line, reason } => {
+                write!(f, "config error at line {line}: {reason}")
+            }
+            NexusError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NexusError::ConnectionClosed => write!(f, "connection closed"),
+            NexusError::ShutDown => write!(f, "runtime has been shut down"),
+            NexusError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NexusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NexusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NexusError {
+    fn from(e: std::io::Error) -> Self {
+        NexusError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextId;
+    use crate::descriptor::MethodId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NexusError::NoApplicableMethod {
+            target: ContextId(3),
+        };
+        assert!(e.to_string().contains("context 3"));
+        let e = NexusError::MethodNotApplicable {
+            method: MethodId::TCP,
+            target: ContextId(1),
+        };
+        assert!(e.to_string().contains("tcp") || e.to_string().contains("method"));
+        let e = NexusError::BufferUnderflow {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(e.to_string().contains('8') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io = std::io::Error::other("boom");
+        let e: NexusError = io.into();
+        assert!(matches!(e, NexusError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

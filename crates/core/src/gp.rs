@@ -1,0 +1,387 @@
+//! Global pointers: remote read/write through startpoints.
+//!
+//! §2.2: "A local address can be associated with an endpoint, in which
+//! case any startpoint associated with the endpoint can be thought of as a
+//! 'global pointer' to that address." The related-work section points at
+//! Split-C's global pointers with remote put/get. This module makes that
+//! idiom first-class: a [`GlobalCell`] is an endpoint with an attached
+//! byte buffer plus auto-registered handlers, and a [`GlobalPointer`] is a
+//! startpoint wrapper with `read` / `write` / `fetch_add_f64` operations —
+//! each implemented as an RSR roundtrip, over whatever communication
+//! method selection picks for the link.
+
+use crate::buffer::Buffer;
+use crate::context::Context;
+use crate::endpoint::EndpointId;
+use crate::error::{NexusError, Result};
+use crate::startpoint::Startpoint;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handler names used by the protocol (registered once per context).
+const H_READ: &str = "_nexus.gp.read";
+const H_WRITE: &str = "_nexus.gp.write";
+const H_FADD: &str = "_nexus.gp.fadd";
+const H_REPLY: &str = "_nexus.gp.reply";
+
+/// The storage an endpoint exposes to remote readers/writers.
+#[derive(Debug, Default)]
+pub struct CellStorage {
+    data: Mutex<Vec<u8>>,
+}
+
+impl CellStorage {
+    /// Reads the current contents.
+    pub fn get(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Replaces the contents.
+    pub fn set(&self, v: Vec<u8>) {
+        *self.data.lock() = v;
+    }
+
+    /// Interprets the contents as one `f64` and adds `x` to it, returning
+    /// the previous value. Errors if the cell is not 8 bytes.
+    fn fetch_add_f64(&self, x: f64) -> Result<f64> {
+        let mut g = self.data.lock();
+        if g.len() != 8 {
+            return Err(NexusError::Decode("cell is not an f64"));
+        }
+        let old = f64::from_le_bytes(g[..8].try_into().unwrap());
+        g[..8].copy_from_slice(&(old + x).to_le_bytes());
+        Ok(old)
+    }
+}
+
+/// A context-local cell readable and writable through global pointers.
+pub struct GlobalCell {
+    storage: Arc<CellStorage>,
+    endpoint: EndpointId,
+}
+
+impl GlobalCell {
+    /// Creates a cell in `ctx` with initial contents, installing the
+    /// protocol handlers if they are not present yet.
+    pub fn new(ctx: &Arc<Context>, initial: Vec<u8>) -> Result<GlobalCell> {
+        ensure_handlers(ctx);
+        let storage = Arc::new(CellStorage::default());
+        storage.set(initial);
+        let endpoint = ctx.create_endpoint();
+        ctx.attach(endpoint, Arc::clone(&storage) as _)?;
+        Ok(GlobalCell { storage, endpoint })
+    }
+
+    /// Creates a cell holding one `f64`.
+    pub fn new_f64(ctx: &Arc<Context>, v: f64) -> Result<GlobalCell> {
+        Self::new(ctx, v.to_le_bytes().to_vec())
+    }
+
+    /// Local access to the storage.
+    pub fn storage(&self) -> &CellStorage {
+        &self.storage
+    }
+
+    /// A global pointer to this cell (heavyweight startpoint).
+    pub fn pointer(&self, ctx: &Context) -> Result<GlobalPointer> {
+        Ok(GlobalPointer {
+            sp: ctx.startpoint_to(self.endpoint)?,
+        })
+    }
+}
+
+/// Installs the global-pointer protocol handlers in a context (idempotent).
+pub fn ensure_handlers(ctx: &Arc<Context>) {
+    if ctx.handlers().get(H_READ).is_some() {
+        return;
+    }
+    // read: [reply_sp, token] -> reply(token, bytes)
+    ctx.register_handler(H_READ, |args| {
+        let storage = args
+            .endpoint
+            .attached_as::<CellStorage>()
+            .expect("gp endpoint has storage");
+        let reply_sp =
+            Startpoint::unpack(args.buffer, args.context).expect("read carries reply sp");
+        let token = args.buffer.get_u64().expect("read carries token");
+        let mut out = Buffer::new();
+        out.put_u64(token);
+        out.put_bytes(&storage.get());
+        let _ = args.context.rsr(&reply_sp, H_REPLY, out);
+    });
+    // write: [reply_sp, token, bytes] -> reply(token, []) (ack)
+    ctx.register_handler(H_WRITE, |args| {
+        let storage = args
+            .endpoint
+            .attached_as::<CellStorage>()
+            .expect("gp endpoint has storage");
+        let reply_sp =
+            Startpoint::unpack(args.buffer, args.context).expect("write carries reply sp");
+        let token = args.buffer.get_u64().expect("write carries token");
+        let bytes = args.buffer.get_bytes().expect("write carries payload");
+        storage.set(bytes);
+        let mut out = Buffer::new();
+        out.put_u64(token);
+        out.put_bytes(&[]);
+        let _ = args.context.rsr(&reply_sp, H_REPLY, out);
+    });
+    // fadd: [reply_sp, token, x] -> reply(token, old_value)
+    ctx.register_handler(H_FADD, |args| {
+        let storage = args
+            .endpoint
+            .attached_as::<CellStorage>()
+            .expect("gp endpoint has storage");
+        let reply_sp =
+            Startpoint::unpack(args.buffer, args.context).expect("fadd carries reply sp");
+        let token = args.buffer.get_u64().expect("fadd carries token");
+        let x = args.buffer.get_f64().expect("fadd carries addend");
+        let mut out = Buffer::new();
+        out.put_u64(token);
+        match storage.fetch_add_f64(x) {
+            Ok(old) => out.put_bytes(&old.to_le_bytes()),
+            Err(_) => out.put_bytes(&[]),
+        }
+        let _ = args.context.rsr(&reply_sp, H_REPLY, out);
+    });
+    // reply: deposit into the caller's pending-reply table.
+    ctx.register_handler(H_REPLY, |args| {
+        let table = args
+            .endpoint
+            .attached_as::<ReplyTable>()
+            .expect("reply endpoint has table");
+        let token = args.buffer.get_u64().expect("reply carries token");
+        let bytes = args.buffer.get_bytes().expect("reply carries payload");
+        table.complete(token, bytes);
+    });
+}
+
+/// Pending synchronous operations awaiting replies.
+#[derive(Default)]
+struct ReplyTable {
+    next_token: AtomicU64,
+    done: Mutex<std::collections::HashMap<u64, Vec<u8>>>,
+}
+
+impl ReplyTable {
+    fn begin(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn complete(&self, token: u64, bytes: Vec<u8>) {
+        self.done.lock().insert(token, bytes);
+    }
+
+    fn try_take(&self, token: u64) -> Option<Vec<u8>> {
+        self.done.lock().remove(&token)
+    }
+}
+
+/// A remote-readable, remote-writable reference to a [`GlobalCell`].
+pub struct GlobalPointer {
+    sp: Startpoint,
+}
+
+impl Clone for GlobalPointer {
+    fn clone(&self) -> Self {
+        GlobalPointer {
+            sp: self.sp.clone(),
+        }
+    }
+}
+
+impl GlobalPointer {
+    /// Wraps an already-obtained startpoint (e.g. one that travelled in a
+    /// buffer).
+    pub fn from_startpoint(sp: Startpoint) -> GlobalPointer {
+        GlobalPointer { sp }
+    }
+
+    /// The underlying startpoint (for packing, pinning, table edits).
+    pub fn startpoint(&self) -> &Startpoint {
+        &self.sp
+    }
+
+    fn roundtrip(&self, ctx: &Arc<Context>, handler: &str, extra: impl FnOnce(&mut Buffer)) -> Result<Vec<u8>> {
+        ensure_handlers(ctx);
+        // Per-context reply plumbing, created on first use.
+        let table = reply_table(ctx)?;
+        let token = table.0.begin();
+        let mut buf = Buffer::new();
+        let reply_sp = ctx.startpoint_to(table.1)?;
+        reply_sp.pack(&mut buf);
+        buf.put_u64(token);
+        extra(&mut buf);
+        ctx.rsr(&self.sp, handler, buf)?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(bytes) = table.0.try_take(token) {
+                return Ok(bytes);
+            }
+            ctx.progress()?;
+            if Instant::now() >= deadline {
+                return Err(NexusError::Timeout {
+                    what: format!("global-pointer {handler} reply"),
+                });
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Reads the remote cell's bytes.
+    pub fn read(&self, ctx: &Arc<Context>) -> Result<Vec<u8>> {
+        self.roundtrip(ctx, H_READ, |_| {})
+    }
+
+    /// Reads the remote cell as an `f64`.
+    pub fn read_f64(&self, ctx: &Arc<Context>) -> Result<f64> {
+        let b = self.read(ctx)?;
+        if b.len() != 8 {
+            return Err(NexusError::Decode("cell is not an f64"));
+        }
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Overwrites the remote cell (acknowledged).
+    pub fn write(&self, ctx: &Arc<Context>, bytes: &[u8]) -> Result<()> {
+        self.roundtrip(ctx, H_WRITE, |buf| buf.put_bytes(bytes))
+            .map(|_| ())
+    }
+
+    /// Writes the remote cell as an `f64` (acknowledged).
+    pub fn write_f64(&self, ctx: &Arc<Context>, v: f64) -> Result<()> {
+        self.write(ctx, &v.to_le_bytes())
+    }
+
+    /// Atomically adds to the remote `f64` cell, returning the previous
+    /// value (atomic with respect to other global-pointer operations on
+    /// the same cell: the owning context serializes handler execution).
+    pub fn fetch_add_f64(&self, ctx: &Arc<Context>, x: f64) -> Result<f64> {
+        let b = self.roundtrip(ctx, H_FADD, |buf| buf.put_f64(x))?;
+        if b.len() != 8 {
+            return Err(NexusError::Decode("cell is not an f64"));
+        }
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+/// Per-context global-pointer plumbing, stored as a context extension.
+struct GpPlumbing {
+    table: Arc<ReplyTable>,
+    endpoint: EndpointId,
+}
+
+/// Returns (creating on first use) the context's reply table + endpoint.
+fn reply_table(ctx: &Arc<Context>) -> Result<(Arc<ReplyTable>, EndpointId)> {
+    let plumbing = ctx.extension(|| {
+        let table = Arc::new(ReplyTable::default());
+        let endpoint = ctx.create_endpoint();
+        ctx.attach(endpoint, Arc::clone(&table) as _)
+            .expect("endpoint just created");
+        GpPlumbing { table, endpoint }
+    });
+    Ok((Arc::clone(&plumbing.table), plumbing.endpoint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fabric;
+    use crate::descriptor::MethodId;
+    use crate::module::test_support::TestModule;
+
+    fn fabric() -> Fabric {
+        let f = Fabric::new();
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::SHMEM, "shmem", 5, false)));
+        f
+    }
+
+    #[test]
+    fn read_and_write_through_a_pointer() {
+        let f = fabric();
+        let owner = f.create_context().unwrap();
+        let user = f.create_context().unwrap();
+        let cell = GlobalCell::new(&owner, b"initial".to_vec()).unwrap();
+        let gp = cell.pointer(&owner).unwrap();
+        let _guard = owner.spawn_progress_thread();
+        assert_eq!(gp.read(&user).unwrap(), b"initial");
+        gp.write(&user, b"updated").unwrap();
+        assert_eq!(gp.read(&user).unwrap(), b"updated");
+        assert_eq!(cell.storage().get(), b"updated");
+        f.shutdown();
+    }
+
+    #[test]
+    fn f64_cell_fetch_add_serializes() {
+        let f = fabric();
+        let owner = f.create_context().unwrap();
+        let cell = GlobalCell::new_f64(&owner, 10.0).unwrap();
+        let gp = cell.pointer(&owner).unwrap();
+        let _guard = owner.spawn_progress_thread();
+        // Two user contexts increment concurrently; the owner's handler
+        // serialization makes the cell's final value exact.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let user = f.create_context().unwrap();
+                let gp = gp.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        gp.fetch_add_f64(&user, 1.0).unwrap();
+                    }
+                });
+            }
+        });
+        let check = f.create_context().unwrap();
+        assert_eq!(gp.read_f64(&check).unwrap(), 60.0);
+        f.shutdown();
+    }
+
+    #[test]
+    fn pointer_travels_inside_an_rsr() {
+        let f = fabric();
+        let owner = f.create_context().unwrap();
+        let peer = f.create_context().unwrap();
+        let cell = GlobalCell::new_f64(&owner, 5.0).unwrap();
+        let gp = cell.pointer(&owner).unwrap();
+        // Ship the pointer to the peer inside a message; the peer reads
+        // through it (the "global name" usage of §2.2).
+        let observed = Arc::new(Mutex::new(None));
+        {
+            let obs = Arc::clone(&observed);
+            let peer_for_handler: Arc<Context> = Arc::clone(&peer);
+            peer.register_handler("use-gp", move |args| {
+                let sp = Startpoint::unpack(args.buffer, args.context).unwrap();
+                let gp = GlobalPointer::from_startpoint(sp);
+                let v = gp.read_f64(&peer_for_handler).unwrap();
+                *obs.lock() = Some(v);
+            });
+        }
+        let ep = peer.create_endpoint();
+        let sp_to_peer = peer.startpoint_to(ep).unwrap();
+        let mut buf = Buffer::new();
+        gp.startpoint().pack(&mut buf);
+        let _guard = owner.spawn_progress_thread();
+        owner.rsr(&sp_to_peer, "use-gp", buf).unwrap();
+        assert!(peer.progress_until(
+            || observed.lock().is_some(),
+            Duration::from_secs(5)
+        ));
+        assert_eq!(*observed.lock(), Some(5.0));
+        f.shutdown();
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let f = fabric();
+        let owner = f.create_context().unwrap();
+        let cell = GlobalCell::new(&owner, b"not-a-float".to_vec()).unwrap();
+        let gp = cell.pointer(&owner).unwrap();
+        let user = f.create_context().unwrap();
+        let _guard = owner.spawn_progress_thread();
+        assert!(gp.read_f64(&user).is_err());
+        assert!(gp.fetch_add_f64(&user, 1.0).is_err());
+        f.shutdown();
+    }
+}

@@ -1,0 +1,107 @@
+//! Handler registration and dispatch.
+//!
+//! An RSR names a *handler* — the procedure invoked in the destination
+//! context with the endpoint and the data buffer as arguments. Handlers are
+//! registered per context under string names; dispatch happens inside the
+//! context's progress loop (message-driven execution).
+
+use crate::buffer::Buffer;
+use crate::context::Context;
+use crate::endpoint::EndpointRef;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Arguments passed to a handler invocation.
+pub struct HandlerArgs<'a> {
+    /// The context the handler runs in (usable for reply RSRs, creating
+    /// endpoints, enquiry, ...).
+    pub context: &'a Context,
+    /// The endpoint the RSR was addressed to, including any attached local
+    /// address/object.
+    pub endpoint: EndpointRef,
+    /// The sender's data buffer, positioned at the first byte.
+    pub buffer: &'a mut Buffer,
+}
+
+/// A registered handler procedure.
+pub type HandlerFn = Arc<dyn Fn(HandlerArgs<'_>) + Send + Sync>;
+
+/// Name → handler table for one context.
+#[derive(Default)]
+pub struct HandlerRegistry {
+    handlers: RwLock<HashMap<String, HandlerFn>>,
+}
+
+impl HandlerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a handler under `name`.
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(HandlerArgs<'_>) + Send + Sync + 'static,
+    {
+        self.handlers.write().insert(name.to_owned(), Arc::new(f));
+    }
+
+    /// Removes the handler registered under `name`.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.handlers.write().remove(name).is_some()
+    }
+
+    /// Looks up a handler by name.
+    pub fn get(&self, name: &str) -> Option<HandlerFn> {
+        self.handlers.read().get(name).cloned()
+    }
+
+    /// The registered handler names (unordered).
+    pub fn names(&self) -> Vec<String> {
+        self.handlers.read().keys().cloned().collect()
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.read().len()
+    }
+
+    /// True if no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn register_lookup_unregister() {
+        let reg = HandlerRegistry::new();
+        assert!(reg.is_empty());
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        reg.register("ping", move |_args| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("ping").is_some());
+        assert!(reg.get("pong").is_none());
+        assert!(reg.unregister("ping"));
+        assert!(!reg.unregister("ping"));
+    }
+
+    #[test]
+    fn replacing_a_handler_keeps_one_entry() {
+        let reg = HandlerRegistry::new();
+        reg.register("h", |_| {});
+        reg.register("h", |_| {});
+        assert_eq!(reg.len(), 1);
+        let mut names = reg.names();
+        names.sort();
+        assert_eq!(names, vec!["h"]);
+    }
+}

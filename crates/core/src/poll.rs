@@ -1,0 +1,533 @@
+//! Unified polling across communication methods.
+//!
+//! Incoming RSRs must be detected across *all* methods a context has
+//! enabled (§3.3). The straightforward design — iterate every method's
+//! receiver on each poll — makes an infrequently used, expensive method
+//! (TCP `select`, >100 µs) tax a frequently used, cheap one (MPL probe,
+//! ~15 µs). The paper's remedy is the **`skip_poll`** parameter: a method
+//! with `skip_poll = k` is checked only every `k`-th invocation of the
+//! unified polling function. A second remedy, for systems that allow a
+//! thread to block awaiting communication, is a dedicated blocking thread
+//! per method ([`BlockingPoller`]).
+
+use crate::descriptor::MethodId;
+use crate::error::Result;
+use crate::module::CommReceiver;
+use crate::rsr::Rsr;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Parameters of the adaptive skip_poll controller (the paper's "future
+/// work": *adaptive adjustment of skip_poll values*).
+///
+/// The controller is multiplicative-decrease / multiplicative-increase on
+/// evidence: finding a message halves the skip (the method is active —
+/// look often), while `grow_after` consecutive empty probes double it
+/// (the method is quiet — stop paying for it), clamped to `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSkipPoll {
+    /// Lower bound on the skip value (1 = may poll every pass).
+    pub min: u64,
+    /// Upper bound on the skip value.
+    pub max: u64,
+    /// Consecutive empty probes before the skip doubles.
+    pub grow_after: u64,
+}
+
+impl Default for AdaptiveSkipPoll {
+    fn default() -> Self {
+        AdaptiveSkipPoll {
+            min: 1,
+            max: 4096,
+            grow_after: 8,
+        }
+    }
+}
+
+/// One method's receive source within the poll rotation.
+struct PollSource {
+    method: MethodId,
+    receiver: Box<dyn CommReceiver>,
+    /// Poll this source every `skip`-th call (1 = every call).
+    skip: u64,
+    /// Calls since the last actual poll of this source.
+    since_last: u64,
+    /// Adaptive controller, if enabled for this source.
+    adaptive: Option<AdaptiveSkipPoll>,
+    /// Consecutive empty probes (drives adaptive growth).
+    empty_streak: u64,
+}
+
+/// The unified poll engine for one context.
+///
+/// Not thread-safe by itself; the owning context serializes access.
+#[derive(Default)]
+pub struct PollEngine {
+    sources: Vec<PollSource>,
+    /// Total invocations of [`PollEngine::poll_once`].
+    calls: u64,
+}
+
+/// Result of one pass of the unified polling function.
+#[derive(Debug, Default)]
+pub struct PollOutcome {
+    /// Messages retrieved this pass, tagged with the method that carried
+    /// them.
+    pub messages: Vec<(MethodId, Rsr)>,
+    /// Methods actually probed this pass (after skip_poll filtering), and
+    /// whether each probe found a message.
+    pub probed: Vec<(MethodId, bool)>,
+}
+
+impl PollEngine {
+    /// Creates an engine with no sources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a receive source for `method` (at skip_poll = 1).
+    pub fn add_source(&mut self, method: MethodId, receiver: Box<dyn CommReceiver>) {
+        self.sources.push(PollSource {
+            method,
+            receiver,
+            skip: 1,
+            since_last: 0,
+            adaptive: None,
+            empty_streak: 0,
+        });
+    }
+
+    /// Removes and returns the receiver for `method` (used when moving a
+    /// method to a blocking poller thread).
+    pub fn remove_source(&mut self, method: MethodId) -> Option<Box<dyn CommReceiver>> {
+        let idx = self.sources.iter().position(|s| s.method == method)?;
+        Some(self.sources.remove(idx).receiver)
+    }
+
+    /// Sets the skip_poll value for `method`. A value of `k` means the
+    /// method is checked on every `k`-th call of the polling function;
+    /// `1` restores per-call checking. Values of 0 are treated as 1.
+    /// Disables adaptive control for the method. Returns whether the
+    /// method had a source.
+    pub fn set_skip_poll(&mut self, method: MethodId, k: u64) -> bool {
+        match self.sources.iter_mut().find(|s| s.method == method) {
+            Some(s) => {
+                s.skip = k.max(1);
+                s.since_last = 0;
+                s.adaptive = None;
+                s.empty_streak = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables adaptive skip_poll control for `method` (starting from its
+    /// current skip value, clamped into the configured range). Returns
+    /// whether the method had a source.
+    pub fn set_adaptive(&mut self, method: MethodId, cfg: AdaptiveSkipPoll) -> bool {
+        match self.sources.iter_mut().find(|s| s.method == method) {
+            Some(s) => {
+                s.skip = s.skip.clamp(cfg.min.max(1), cfg.max.max(1));
+                s.adaptive = Some(cfg);
+                s.empty_streak = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current skip_poll value for `method`.
+    pub fn skip_poll(&self, method: MethodId) -> Option<u64> {
+        self.sources
+            .iter()
+            .find(|s| s.method == method)
+            .map(|s| s.skip)
+    }
+
+    /// The methods with receive sources, in rotation order.
+    pub fn methods(&self) -> Vec<MethodId> {
+        self.sources.iter().map(|s| s.method).collect()
+    }
+
+    /// Runs one pass of the unified polling function: each source whose
+    /// skip counter has elapsed is probed once. Transport errors from one
+    /// source do not prevent probing the others; the first error is
+    /// returned after the full pass.
+    pub fn poll_once(&mut self) -> Result<PollOutcome> {
+        self.calls += 1;
+        let mut out = PollOutcome::default();
+        let mut first_err = None;
+        for s in &mut self.sources {
+            s.since_last += 1;
+            if s.since_last < s.skip {
+                continue;
+            }
+            s.since_last = 0;
+            match s.receiver.poll() {
+                Ok(Some(msg)) => {
+                    out.probed.push((s.method, true));
+                    out.messages.push((s.method, msg));
+                    if let Some(cfg) = s.adaptive {
+                        // Activity: look more often.
+                        s.empty_streak = 0;
+                        s.skip = (s.skip / 2).max(cfg.min.max(1));
+                    }
+                }
+                Ok(None) => {
+                    out.probed.push((s.method, false));
+                    if let Some(cfg) = s.adaptive {
+                        s.empty_streak += 1;
+                        if s.empty_streak >= cfg.grow_after {
+                            // Sustained silence: back off.
+                            s.empty_streak = 0;
+                            s.skip = (s.skip * 2).clamp(cfg.min.max(1), cfg.max.max(1));
+                        }
+                    }
+                }
+                Err(e) => {
+                    out.probed.push((s.method, false));
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Total calls to [`PollEngine::poll_once`] so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Closes all receivers.
+    pub fn close_all(&mut self) {
+        for s in &mut self.sources {
+            s.receiver.close();
+        }
+        self.sources.clear();
+    }
+}
+
+/// A dedicated blocking receive thread for one method.
+///
+/// On systems where a method supports blocking receives, a specialized
+/// polling function can run in its own thread of control and block, so the
+/// method never appears in the poll rotation at all. Retrieved messages are
+/// parked in a lock-free queue that the context drains during `progress`.
+pub struct BlockingPoller {
+    method: MethodId,
+    queue: Arc<SegQueue<Rsr>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BlockingPoller {
+    /// Spawns a thread that blocks on `receiver` (with `timeout` as the
+    /// shutdown-check granularity) and enqueues everything it receives.
+    pub fn spawn(
+        method: MethodId,
+        mut receiver: Box<dyn CommReceiver>,
+        timeout: Duration,
+    ) -> Self {
+        let queue = Arc::new(SegQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let q = Arc::clone(&queue);
+        let st = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("nexus-blocking-poll-{method}"))
+            .spawn(move || {
+                while !st.load(Ordering::Relaxed) {
+                    match receiver.recv_timeout(timeout) {
+                        Ok(Some(msg)) => q.push(msg),
+                        Ok(None) => {}
+                        Err(_) => {
+                            // Transport error: back off briefly rather than
+                            // spinning; shutdown flag still honored.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+                receiver.close();
+            })
+            .expect("spawn blocking poller");
+        BlockingPoller {
+            method,
+            queue,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The method this poller serves.
+    pub fn method(&self) -> MethodId {
+        self.method
+    }
+
+    /// Takes one message received by the blocking thread, if any.
+    pub fn try_pop(&self) -> Option<Rsr> {
+        self.queue.pop()
+    }
+
+    /// Signals the thread to stop and waits for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BlockingPoller {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextId;
+    use crate::endpoint::EndpointId;
+    use bytes::Bytes;
+    use parking_lot::Mutex;
+
+    /// A scripted receiver: pops from a shared vec on each poll.
+    struct Scripted {
+        inbox: Arc<Mutex<Vec<Rsr>>>,
+        polls: Arc<Mutex<u64>>,
+    }
+
+    impl CommReceiver for Scripted {
+        fn poll(&mut self) -> Result<Option<Rsr>> {
+            *self.polls.lock() += 1;
+            Ok(self.inbox.lock().pop())
+        }
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Rsr>> {
+            let deadline = std::time::Instant::now() + timeout;
+            loop {
+                if let Some(m) = self.inbox.lock().pop() {
+                    *self.polls.lock() += 1;
+                    return Ok(Some(m));
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    type Inbox = Arc<Mutex<Vec<Rsr>>>;
+    type PollCount = Arc<Mutex<u64>>;
+
+    fn scripted() -> (Scripted, Inbox, PollCount) {
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        let polls = Arc::new(Mutex::new(0));
+        (
+            Scripted {
+                inbox: Arc::clone(&inbox),
+                polls: Arc::clone(&polls),
+            },
+            inbox,
+            polls,
+        )
+    }
+
+    fn msg(h: &str) -> Rsr {
+        Rsr::new(ContextId(0), EndpointId(0), h, Bytes::new())
+    }
+
+    #[test]
+    fn poll_rotates_all_sources_by_default() {
+        let mut eng = PollEngine::new();
+        let (r1, in1, _) = scripted();
+        let (r2, in2, _) = scripted();
+        eng.add_source(MethodId::MPL, Box::new(r1));
+        eng.add_source(MethodId::TCP, Box::new(r2));
+        in1.lock().push(msg("a"));
+        in2.lock().push(msg("b"));
+        let out = eng.poll_once().unwrap();
+        assert_eq!(out.messages.len(), 2);
+        assert_eq!(out.probed.len(), 2);
+    }
+
+    #[test]
+    fn skip_poll_reduces_probe_frequency() {
+        let mut eng = PollEngine::new();
+        let (r1, _, p1) = scripted();
+        let (r2, _, p2) = scripted();
+        eng.add_source(MethodId::MPL, Box::new(r1));
+        eng.add_source(MethodId::TCP, Box::new(r2));
+        assert!(eng.set_skip_poll(MethodId::TCP, 5));
+        for _ in 0..20 {
+            eng.poll_once().unwrap();
+        }
+        assert_eq!(*p1.lock(), 20, "cheap method polled every time");
+        assert_eq!(*p2.lock(), 4, "expensive method polled every 5th time");
+    }
+
+    #[test]
+    fn skip_poll_one_means_every_call_and_zero_is_clamped() {
+        let mut eng = PollEngine::new();
+        let (r1, _, p1) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r1));
+        eng.set_skip_poll(MethodId::TCP, 0);
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(1));
+        for _ in 0..3 {
+            eng.poll_once().unwrap();
+        }
+        assert_eq!(*p1.lock(), 3);
+        assert!(!eng.set_skip_poll(MethodId::UDP, 2));
+    }
+
+    #[test]
+    fn messages_still_arrive_with_skip_poll_just_later() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_skip_poll(MethodId::TCP, 3);
+        inbox.lock().push(msg("late"));
+        let mut got_at = None;
+        for i in 1..=6 {
+            let out = eng.poll_once().unwrap();
+            if !out.messages.is_empty() {
+                got_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(got_at, Some(3));
+    }
+
+    #[test]
+    fn remove_source_stops_polling_it() {
+        let mut eng = PollEngine::new();
+        let (r1, _, p1) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r1));
+        let taken = eng.remove_source(MethodId::TCP);
+        assert!(taken.is_some());
+        eng.poll_once().unwrap();
+        assert_eq!(*p1.lock(), 0);
+        assert!(eng.remove_source(MethodId::TCP).is_none());
+    }
+
+    #[test]
+    fn adaptive_skip_grows_while_silent() {
+        let mut eng = PollEngine::new();
+        let (r, _, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 1,
+                max: 64,
+                grow_after: 4,
+            },
+        );
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(1));
+        // 4 empty probes -> skip 2; 4 more -> 4; ... capped at 64.
+        for _ in 0..1000 {
+            eng.poll_once().unwrap();
+        }
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(64), "capped at max");
+    }
+
+    #[test]
+    fn adaptive_skip_falls_on_traffic() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_skip_poll(MethodId::TCP, 32);
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 1,
+                max: 64,
+                grow_after: 1_000_000,
+            },
+        );
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(32));
+        // Each delivered message halves the skip: 32 -> 16 -> 8 -> 4.
+        for expect in [16u64, 8, 4] {
+            inbox.lock().push(msg("m"));
+            loop {
+                let out = eng.poll_once().unwrap();
+                if !out.messages.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(eng.skip_poll(MethodId::TCP), Some(expect));
+        }
+    }
+
+    #[test]
+    fn adaptive_respects_min_bound_and_manual_reset() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 4,
+                max: 64,
+                grow_after: 2,
+            },
+        );
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(4), "clamped up to min");
+        inbox.lock().push(msg("m"));
+        loop {
+            if !eng.poll_once().unwrap().messages.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(4), "min bound holds");
+        // Manual set_skip_poll disables adaptation.
+        eng.set_skip_poll(MethodId::TCP, 7);
+        for _ in 0..100 {
+            eng.poll_once().unwrap();
+        }
+        assert_eq!(eng.skip_poll(MethodId::TCP), Some(7), "no drift after manual set");
+    }
+
+    #[test]
+    fn blocking_poller_delivers_and_stops() {
+        let (r, inbox, _) = scripted();
+        let poller = BlockingPoller::spawn(
+            MethodId::TCP,
+            Box::new(r),
+            Duration::from_millis(5),
+        );
+        inbox.lock().push(msg("x"));
+        let mut got = None;
+        for _ in 0..200 {
+            if let Some(m) = poller.try_pop() {
+                got = Some(m);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.expect("message should arrive").handler, "x");
+        poller.stop();
+    }
+
+    #[test]
+    fn poll_outcome_records_empty_probes() {
+        let mut eng = PollEngine::new();
+        let (r, _, _) = scripted();
+        eng.add_source(MethodId::MPL, Box::new(r));
+        let out = eng.poll_once().unwrap();
+        assert_eq!(out.probed, vec![(MethodId::MPL, false)]);
+        assert!(out.messages.is_empty());
+    }
+}

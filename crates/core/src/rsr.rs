@@ -1,0 +1,159 @@
+//! Remote service requests and their wire representation.
+//!
+//! The RSR is the single communication operation supported by a
+//! communication link (§2.2): it carries a handler (procedure) name and a
+//! data buffer to the address space holding the endpoint, where the named
+//! handler is invoked with the endpoint and the buffer as arguments.
+//!
+//! [`Rsr`] is the in-flight representation every communication module sends
+//! and receives. Modules that need framing (TCP) length-prefix the encoded
+//! bytes themselves; datagram and queue transports carry the encoding as a
+//! unit.
+
+use crate::buffer::Buffer;
+use crate::context::ContextId;
+use crate::endpoint::EndpointId;
+use crate::error::{NexusError, Result};
+use bytes::Bytes;
+
+/// Default time-to-live for an RSR. Forwarding nodes decrement this; it
+/// exists purely to turn accidental forwarding cycles into clean errors.
+pub const DEFAULT_TTL: u8 = 8;
+
+/// Wire magic byte guarding against cross-protocol confusion on sockets.
+const MAGIC: u8 = 0xA5;
+
+/// A remote service request in flight.
+#[derive(Debug, Clone)]
+pub struct Rsr {
+    /// The context holding the destination endpoint.
+    pub dest: ContextId,
+    /// The destination endpoint within that context.
+    pub endpoint: EndpointId,
+    /// Name of the handler to invoke at the destination.
+    pub handler: String,
+    /// Remaining forwarding hops.
+    pub ttl: u8,
+    /// The sender's data buffer, already serialized.
+    pub payload: Bytes,
+}
+
+impl Rsr {
+    /// Creates an RSR with the default TTL.
+    pub fn new(dest: ContextId, endpoint: EndpointId, handler: &str, payload: Bytes) -> Self {
+        Rsr {
+            dest,
+            endpoint,
+            handler: handler.to_owned(),
+            ttl: DEFAULT_TTL,
+            payload,
+        }
+    }
+
+    /// Size of the encoded frame in bytes.
+    pub fn wire_len(&self) -> usize {
+        1 + 1 + 4 + 8 + 2 + self.handler.len() + 4 + self.payload.len()
+    }
+
+    /// Encodes the RSR into a standalone frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = Buffer::with_capacity(self.wire_len());
+        buf.put_u8(MAGIC);
+        buf.put_u8(self.ttl);
+        buf.put_u32(self.dest.0);
+        buf.put_u64(self.endpoint.0);
+        buf.put_u16(self.handler.len() as u16);
+        buf.put_raw(self.handler.as_bytes());
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_raw(&self.payload);
+        buf.into_bytes()
+    }
+
+    /// Decodes a frame previously produced by [`Rsr::encode`].
+    pub fn decode(frame: &[u8]) -> Result<Rsr> {
+        let mut buf = Buffer::new();
+        buf.put_raw(frame);
+        if buf.get_u8()? != MAGIC {
+            return Err(NexusError::Decode("bad RSR magic"));
+        }
+        let ttl = buf.get_u8()?;
+        let dest = ContextId(buf.get_u32()?);
+        let endpoint = EndpointId(buf.get_u64()?);
+        let hlen = buf.get_u16()? as usize;
+        let hbytes = buf.get_raw(hlen)?;
+        let handler = String::from_utf8(hbytes)
+            .map_err(|_| NexusError::Decode("handler name is not UTF-8"))?;
+        let plen = buf.get_u32()? as usize;
+        let payload = Bytes::from(buf.get_raw(plen)?);
+        if buf.remaining() != 0 {
+            return Err(NexusError::Decode("trailing bytes after RSR frame"));
+        }
+        Ok(Rsr {
+            dest,
+            endpoint,
+            handler,
+            ttl,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rsr {
+        Rsr::new(
+            ContextId(7),
+            EndpointId(42),
+            "on_temperature",
+            Bytes::from_static(b"\x01\x02\x03"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample();
+        let frame = r.encode();
+        assert_eq!(frame.len(), r.wire_len());
+        let d = Rsr::decode(&frame).unwrap();
+        assert_eq!(d.dest, r.dest);
+        assert_eq!(d.endpoint, r.endpoint);
+        assert_eq!(d.handler, r.handler);
+        assert_eq!(d.ttl, DEFAULT_TTL);
+        assert_eq!(d.payload, r.payload);
+    }
+
+    #[test]
+    fn empty_payload_and_handler_roundtrip() {
+        let r = Rsr::new(ContextId(0), EndpointId(0), "", Bytes::new());
+        let d = Rsr::decode(&r.encode()).unwrap();
+        assert_eq!(d.handler, "");
+        assert!(d.payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = sample().encode().to_vec();
+        frame[0] = 0x00;
+        assert!(Rsr::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = sample().encode();
+        for cut in 1..frame.len() {
+            assert!(
+                Rsr::decode(&frame[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut frame = sample().encode().to_vec();
+        frame.push(0);
+        assert!(Rsr::decode(&frame).is_err());
+    }
+}

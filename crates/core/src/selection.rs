@@ -1,0 +1,305 @@
+//! Communication method selection.
+//!
+//! Upon receipt of a startpoint, a context must decide which of the methods
+//! in the attached descriptor table to use (§3.2). The default automatic
+//! rule is [`FirstApplicable`]: scan the table in order and take the first
+//! method that is (a) implemented by a locally registered module and
+//! (b) *applicable* per that module's method-specific criteria. Because
+//! descriptor tables are ordered fastest-first by default, this realizes
+//! the paper's "fastest first" policy. Manual selection is layered on top:
+//! a startpoint can be pinned to a method, and users can reorder or edit
+//! the descriptor table itself.
+
+use crate::context::ContextInfo;
+use crate::descriptor::{DescriptorTable, MethodId};
+use crate::module::ModuleRegistry;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A pluggable selection policy.
+pub trait SelectionPolicy: Send + Sync {
+    /// Chooses a method from `table` for communication initiated in
+    /// `local`, or `None` if no method is usable.
+    fn select(
+        &self,
+        local: &ContextInfo,
+        table: &DescriptorTable,
+        registry: &ModuleRegistry,
+    ) -> Option<MethodId>;
+
+    /// Policy name for enquiry output.
+    fn name(&self) -> &'static str;
+}
+
+impl SelectionPolicy for std::sync::Arc<dyn SelectionPolicy> {
+    fn select(
+        &self,
+        local: &ContextInfo,
+        table: &DescriptorTable,
+        registry: &ModuleRegistry,
+    ) -> Option<MethodId> {
+        (**self).select(local, table, registry)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Returns every method in `table` that is applicable from `local`, in
+/// table order. This is the enquiry primitive behind all policies.
+pub fn applicable_methods(
+    local: &ContextInfo,
+    table: &DescriptorTable,
+    registry: &ModuleRegistry,
+) -> Vec<MethodId> {
+    table
+        .entries()
+        .iter()
+        .filter(|desc| {
+            registry
+                .resolve(desc.method)
+                .is_some_and(|m| m.applicable(local, desc))
+        })
+        .map(|desc| desc.method)
+        .collect()
+}
+
+/// The default automatic policy: ordered scan, first applicable method wins.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstApplicable;
+
+impl SelectionPolicy for FirstApplicable {
+    fn select(
+        &self,
+        local: &ContextInfo,
+        table: &DescriptorTable,
+        registry: &ModuleRegistry,
+    ) -> Option<MethodId> {
+        table.entries().iter().find_map(|desc| {
+            registry
+                .resolve(desc.method)
+                .filter(|m| m.applicable(local, desc))
+                .map(|_| desc.method)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "first-applicable"
+    }
+}
+
+/// Wraps another policy, excluding a set of methods from consideration.
+///
+/// Used by forwarding nodes, which must not re-send a message over the
+/// method it arrived on, and by applications that want to blacklist a
+/// method temporarily (e.g. after repeated errors, per the instrument
+/// scenarios in §1).
+pub struct ExcludeMethods<P> {
+    inner: P,
+    excluded: HashSet<MethodId>,
+}
+
+impl<P: SelectionPolicy> ExcludeMethods<P> {
+    /// Creates a policy that behaves like `inner` with `excluded` removed.
+    pub fn new(inner: P, excluded: impl IntoIterator<Item = MethodId>) -> Self {
+        ExcludeMethods {
+            inner,
+            excluded: excluded.into_iter().collect(),
+        }
+    }
+}
+
+impl<P: SelectionPolicy> SelectionPolicy for ExcludeMethods<P> {
+    fn select(
+        &self,
+        local: &ContextInfo,
+        table: &DescriptorTable,
+        registry: &ModuleRegistry,
+    ) -> Option<MethodId> {
+        let mut filtered = DescriptorTable::new();
+        for d in table.entries() {
+            if !self.excluded.contains(&d.method) {
+                filtered.push(d.clone());
+            }
+        }
+        self.inner.select(local, &filtered, registry)
+    }
+
+    fn name(&self) -> &'static str {
+        "exclude-methods"
+    }
+}
+
+/// Estimator of currently available bandwidth for a method, in bytes/sec.
+///
+/// The paper sketches extending selection with network QoS parameters by
+/// "looking at available network bandwidth rather than raw bandwidth".
+/// This hook supplies that estimate; applications can wire it to real
+/// measurements, and the benches wire it to simulated load.
+pub type BandwidthEstimator = Arc<dyn Fn(MethodId) -> f64 + Send + Sync>;
+
+/// QoS-aware policy: ordered scan, first applicable method whose *available*
+/// bandwidth meets a floor; falls back to plain first-applicable if none
+/// qualifies (connectivity beats QoS).
+pub struct QosAware {
+    /// Minimum acceptable available bandwidth in bytes/sec.
+    pub min_bandwidth: f64,
+    estimator: BandwidthEstimator,
+}
+
+impl QosAware {
+    /// Creates a QoS policy with the given floor and estimator.
+    pub fn new(min_bandwidth: f64, estimator: BandwidthEstimator) -> Self {
+        QosAware {
+            min_bandwidth,
+            estimator,
+        }
+    }
+}
+
+impl SelectionPolicy for QosAware {
+    fn select(
+        &self,
+        local: &ContextInfo,
+        table: &DescriptorTable,
+        registry: &ModuleRegistry,
+    ) -> Option<MethodId> {
+        let candidates = applicable_methods(local, table, registry);
+        candidates
+            .iter()
+            .copied()
+            .find(|&m| (self.estimator)(m) >= self.min_bandwidth)
+            .or_else(|| candidates.first().copied())
+    }
+
+    fn name(&self) -> &'static str {
+        "qos-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextId, ContextInfo, NodeId, PartitionId};
+    use crate::descriptor::CommDescriptor;
+    use crate::module::test_support::TestModule;
+
+    fn info(ctx: u32, part: u32) -> ContextInfo {
+        ContextInfo {
+            id: ContextId(ctx),
+            node: NodeId(ctx),
+            partition: PartitionId(part),
+        }
+    }
+
+    /// Registry with a partition-scoped "mpl" and an unrestricted "tcp",
+    /// plus descriptor tables as a remote context in partition 1 would
+    /// advertise them.
+    fn setup() -> (ModuleRegistry, DescriptorTable) {
+        let reg = ModuleRegistry::new();
+        let mpl = TestModule::new(MethodId::MPL, "mpl", 10, true);
+        let tcp = TestModule::new(MethodId::TCP, "tcp", 30, false);
+        // Open the remote side so descriptors exist.
+        let remote = info(9, 1);
+        let (mpl_desc, _r1) = crate::module::CommModule::open(&mpl, &remote).unwrap();
+        let (tcp_desc, _r2) = crate::module::CommModule::open(&tcp, &remote).unwrap();
+        reg.register(std::sync::Arc::new(mpl));
+        reg.register(std::sync::Arc::new(tcp));
+        let table: DescriptorTable = [mpl_desc, tcp_desc].into_iter().collect();
+        (reg, table)
+    }
+
+    #[test]
+    fn first_applicable_prefers_table_order() {
+        let (reg, table) = setup();
+        // Same partition: MPL is applicable and listed first.
+        let chosen = FirstApplicable.select(&info(1, 1), &table, &reg);
+        assert_eq!(chosen, Some(MethodId::MPL));
+    }
+
+    #[test]
+    fn first_applicable_skips_inapplicable_methods() {
+        let (reg, table) = setup();
+        // Different partition: MPL inapplicable, falls through to TCP.
+        let chosen = FirstApplicable.select(&info(1, 2), &table, &reg);
+        assert_eq!(chosen, Some(MethodId::TCP));
+    }
+
+    #[test]
+    fn selection_respects_user_reordering() {
+        let (reg, mut table) = setup();
+        table.prioritize(MethodId::TCP);
+        let chosen = FirstApplicable.select(&info(1, 1), &table, &reg);
+        assert_eq!(chosen, Some(MethodId::TCP));
+    }
+
+    #[test]
+    fn no_modules_means_no_selection() {
+        let (_, table) = setup();
+        let empty = ModuleRegistry::new();
+        assert_eq!(FirstApplicable.select(&info(1, 1), &table, &empty), None);
+    }
+
+    #[test]
+    fn deleting_a_descriptor_disables_the_method() {
+        let (reg, mut table) = setup();
+        table.remove(MethodId::MPL);
+        let chosen = FirstApplicable.select(&info(1, 1), &table, &reg);
+        assert_eq!(chosen, Some(MethodId::TCP));
+    }
+
+    #[test]
+    fn exclude_methods_filters() {
+        let (reg, table) = setup();
+        let policy = ExcludeMethods::new(FirstApplicable, [MethodId::MPL]);
+        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::TCP));
+        let policy = ExcludeMethods::new(FirstApplicable, [MethodId::MPL, MethodId::TCP]);
+        assert_eq!(policy.select(&info(1, 1), &table, &reg), None);
+    }
+
+    #[test]
+    fn applicable_methods_lists_in_table_order() {
+        let (reg, table) = setup();
+        assert_eq!(
+            applicable_methods(&info(1, 1), &table, &reg),
+            vec![MethodId::MPL, MethodId::TCP]
+        );
+        assert_eq!(
+            applicable_methods(&info(1, 2), &table, &reg),
+            vec![MethodId::TCP]
+        );
+    }
+
+    #[test]
+    fn qos_policy_skips_saturated_methods() {
+        let (reg, table) = setup();
+        // MPL is "saturated" (low available bandwidth); TCP has headroom.
+        let est: BandwidthEstimator = Arc::new(|m| {
+            if m == MethodId::MPL {
+                1_000.0
+            } else {
+                8_000_000.0
+            }
+        });
+        let policy = QosAware::new(1_000_000.0, est);
+        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::TCP));
+    }
+
+    #[test]
+    fn qos_policy_falls_back_to_connectivity() {
+        let (reg, table) = setup();
+        let est: BandwidthEstimator = Arc::new(|_| 0.0);
+        let policy = QosAware::new(1_000_000.0, est);
+        // Nothing meets the floor, but we still pick the first applicable.
+        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::MPL));
+    }
+
+    #[test]
+    fn unknown_method_in_table_is_ignored() {
+        let (reg, mut table) = setup();
+        table.push_front(CommDescriptor::new(MethodId(0x777), vec![]));
+        let chosen = FirstApplicable.select(&info(1, 1), &table, &reg);
+        assert_eq!(chosen, Some(MethodId::MPL));
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-method instrumentation counters.
+//!
+//! The paper requires *enquiry functions* that let programmers evaluate the
+//! effectiveness of automatic selection and tune manual selections (§2.1).
+//! Every context keeps a [`Stats`] block with per-method counters that the
+//! enquiry API and the benchmark harnesses read.
+
+use crate::descriptor::MethodId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one communication method within one context.
+#[derive(Debug, Default)]
+pub struct MethodCounters {
+    /// RSRs sent via this method.
+    pub sends: AtomicU64,
+    /// Payload + header bytes sent.
+    pub send_bytes: AtomicU64,
+    /// RSRs received via this method.
+    pub recvs: AtomicU64,
+    /// Payload + header bytes received.
+    pub recv_bytes: AtomicU64,
+    /// Poll operations issued against this method's receiver.
+    pub polls: AtomicU64,
+    /// Poll operations that found no message.
+    pub empty_polls: AtomicU64,
+    /// Messages forwarded onward (forwarding-node role).
+    pub forwards: AtomicU64,
+    /// Send failures that triggered failover away from this method.
+    pub failovers: AtomicU64,
+}
+
+/// A snapshot of [`MethodCounters`] (plain integers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MethodSnapshot {
+    /// RSRs sent via this method.
+    pub sends: u64,
+    /// Payload + header bytes sent.
+    pub send_bytes: u64,
+    /// RSRs received via this method.
+    pub recvs: u64,
+    /// Payload + header bytes received.
+    pub recv_bytes: u64,
+    /// Poll operations issued against this method's receiver.
+    pub polls: u64,
+    /// Poll operations that found no message.
+    pub empty_polls: u64,
+    /// Messages forwarded onward.
+    pub forwards: u64,
+    /// Send failures that triggered failover away from this method.
+    pub failovers: u64,
+}
+
+impl MethodCounters {
+    fn snapshot(&self) -> MethodSnapshot {
+        MethodSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            recv_bytes: self.recv_bytes.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            empty_polls: self.empty_polls.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-context statistics, keyed by method.
+#[derive(Default)]
+pub struct Stats {
+    methods: RwLock<HashMap<MethodId, Arc<MethodCounters>>>,
+    /// Handler invocations in this context (any method).
+    pub handler_invocations: AtomicU64,
+}
+
+impl Stats {
+    /// Creates an empty stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for `method`, created on first use.
+    pub fn method(&self, method: MethodId) -> Arc<MethodCounters> {
+        if let Some(c) = self.methods.read().get(&method) {
+            return Arc::clone(c);
+        }
+        let mut g = self.methods.write();
+        Arc::clone(g.entry(method).or_default())
+    }
+
+    /// Records a sent RSR.
+    pub fn record_send(&self, method: MethodId, bytes: usize) {
+        let c = self.method(method);
+        c.sends.fetch_add(1, Ordering::Relaxed);
+        c.send_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received RSR.
+    pub fn record_recv(&self, method: MethodId, bytes: usize) {
+        let c = self.method(method);
+        c.recvs.fetch_add(1, Ordering::Relaxed);
+        c.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one poll operation and whether it found a message.
+    pub fn record_poll(&self, method: MethodId, found: bool) {
+        let c = self.method(method);
+        c.polls.fetch_add(1, Ordering::Relaxed);
+        if !found {
+            c.empty_polls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a forwarded message.
+    pub fn record_forward(&self, method: MethodId) {
+        self.method(method).forwards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a send failure that triggered failover away from `method`.
+    pub fn record_failover(&self, method: MethodId) {
+        self.method(method).failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all per-method counters.
+    pub fn snapshot(&self) -> HashMap<MethodId, MethodSnapshot> {
+        self.methods
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.snapshot()))
+            .collect()
+    }
+
+    /// Snapshot for one method (zeroes if never used).
+    pub fn snapshot_method(&self, method: MethodId) -> MethodSnapshot {
+        self.methods
+            .read()
+            .get(&method)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        s.record_send(MethodId::TCP, 100);
+        s.record_send(MethodId::TCP, 50);
+        s.record_recv(MethodId::TCP, 100);
+        s.record_poll(MethodId::TCP, false);
+        s.record_poll(MethodId::TCP, true);
+        s.record_forward(MethodId::TCP);
+        let snap = s.snapshot_method(MethodId::TCP);
+        assert_eq!(snap.sends, 2);
+        assert_eq!(snap.send_bytes, 150);
+        assert_eq!(snap.recvs, 1);
+        assert_eq!(snap.recv_bytes, 100);
+        assert_eq!(snap.polls, 2);
+        assert_eq!(snap.empty_polls, 1);
+        assert_eq!(snap.forwards, 1);
+    }
+
+    #[test]
+    fn unused_method_snapshots_to_zero() {
+        let s = Stats::new();
+        assert_eq!(s.snapshot_method(MethodId::UDP), MethodSnapshot::default());
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_covers_all_methods() {
+        let s = Stats::new();
+        s.record_send(MethodId::MPL, 1);
+        s.record_send(MethodId::TCP, 2);
+        let all = s.snapshot();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[&MethodId::MPL].send_bytes, 1);
+        assert_eq!(all[&MethodId::TCP].send_bytes, 2);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = Arc::new(Stats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_send(MethodId::MPL, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot_method(MethodId::MPL).sends, 4000);
+    }
+}

@@ -1,0 +1,540 @@
+//! Communicators: scoped two-sided communication and collectives.
+//!
+//! The paper's §2.2 discusses why communicators alone are a poor carrier
+//! for multimethod information (symmetric, collectively created, not
+//! mobile) — but they remain the natural *application-facing* scope, so
+//! this mini-MPI implements them on top of communication links: each
+//! communicator owns its own copies of the startpoints to its members,
+//! which is precisely what lets a communication method be associated with
+//! a communicator ([`Comm::set_method`]) without affecting any other.
+
+use crate::msg::{Match, MpiMsg};
+use crate::world::ProcInner;
+use nexus_rt::descriptor::MethodId;
+use nexus_rt::error::{NexusError, Result};
+use nexus_rt::startpoint::Startpoint;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tag bit marking library-internal (collective) traffic. User tags must
+/// stay below this.
+pub const INTERNAL_TAG: u32 = 0x8000_0000;
+
+/// Largest tag available to applications.
+pub const MAX_USER_TAG: u32 = INTERNAL_TAG - 1;
+
+const OP_BARRIER: u32 = 1;
+const OP_BCAST: u32 = 2;
+const OP_REDUCE: u32 = 3;
+const OP_GATHER: u32 = 4;
+const OP_SCATTER: u32 = 5;
+const OP_ALLTOALL: u32 = 6;
+
+/// Elementwise reduction operators over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+}
+
+fn itag(op: u32, round: u32) -> u32 {
+    INTERNAL_TAG | (op << 20) | (round & 0xFFFFF)
+}
+
+fn fnv1a(words: &[u32]) -> u32 {
+    let mut h: u32 = 0x811C9DC5;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x01000193);
+        }
+    }
+    h | 1 // never collide with the world communicator (id 0)
+}
+
+/// A communicator: an ordered group of ranks with a private tag space.
+#[derive(Clone)]
+pub struct Comm {
+    proc: Arc<ProcInner>,
+    id: u32,
+    /// Members as world ranks; communicator rank = index.
+    members: Arc<Vec<usize>>,
+    /// This process's rank within the communicator.
+    my_rank: usize,
+    /// This communicator's own startpoints to its members (cloned from the
+    /// world set, so per-communicator method selection is independent).
+    sps: Arc<Vec<Startpoint>>,
+}
+
+impl Comm {
+    pub(crate) fn world(proc: Arc<ProcInner>) -> Comm {
+        let members: Vec<usize> = (0..proc.size).collect();
+        let sps: Vec<Startpoint> = proc.world_sps.to_vec();
+        Comm {
+            my_rank: proc.rank,
+            id: 0,
+            members: Arc::new(members),
+            sps: Arc::new(sps),
+            proc,
+        }
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The communicator id (world = 0).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The members as world ranks, in communicator-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    // -- method selection (the multimethod hooks) ---------------------------
+
+    /// Pins every link of this communicator to `method` (manual selection
+    /// scoped to the communicator). Other communicators are unaffected.
+    pub fn set_method(&self, method: MethodId) {
+        for sp in self.sps.iter() {
+            sp.set_method(method);
+        }
+    }
+
+    /// Returns links to automatic selection.
+    pub fn clear_method(&self) {
+        for sp in self.sps.iter() {
+            sp.clear_method();
+        }
+    }
+
+    /// Enquiry: the method currently selected toward each member (None =
+    /// no communication yet).
+    pub fn methods_in_use(&self) -> Vec<Option<MethodId>> {
+        self.sps
+            .iter()
+            .map(|sp| sp.current_methods().first().and_then(|(_, m)| *m))
+            .collect()
+    }
+
+    // -- point-to-point -----------------------------------------------------
+
+    /// Sends `data` to communicator rank `dst` with `tag` (asynchronous,
+    /// buffered semantics).
+    pub fn send(&self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is in the internal range");
+        self.send_raw(dst, tag, data)
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
+        let msg = MpiMsg {
+            comm: self.id,
+            src: self.my_rank as u32,
+            tag,
+            data: data.to_vec(),
+        };
+        self.proc.ctx.rsr(&self.sps[dst], "mpi", msg.encode())
+    }
+
+    /// Receives a message matching (`src`, `tag`) — `None` = wildcard.
+    /// Returns (source rank, tag, payload). Progresses the runtime while
+    /// waiting; times out after 60 s.
+    pub fn recv(&self, src: Option<usize>, tag: Option<u32>) -> Result<(usize, u32, Vec<u8>)> {
+        let m = Match {
+            comm: self.id,
+            src: src.map(|s| s as u32),
+            tag,
+        };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(msg) = self.proc.queue.take_match(m) {
+                return Ok((msg.src as usize, msg.tag, msg.data));
+            }
+            if self.proc.ctx.progress()? == 0 {
+                // Nothing to do: give the peer rank's thread the core
+                // (essential on machines with few hardware threads).
+                std::thread::yield_now();
+            }
+            if Instant::now() >= deadline {
+                return Err(NexusError::Timeout {
+                    what: format!(
+                        "recv(comm={}, src={src:?}, tag={tag:?}) at rank {}",
+                        self.id, self.my_rank
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Combined send + receive (safe against exchange deadlock because
+    /// sends are asynchronous).
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        send_tag: u32,
+        data: &[u8],
+        src: usize,
+        recv_tag: u32,
+    ) -> Result<Vec<u8>> {
+        self.send(dst, send_tag, data)?;
+        let (_, _, d) = self.recv(Some(src), Some(recv_tag))?;
+        Ok(d)
+    }
+
+    // -- collectives -----------------------------------------------------------
+
+    /// Dissemination barrier (log₂ n rounds).
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        let r = self.my_rank;
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let up = (r + dist) % n;
+            let down = (r + n - dist) % n;
+            self.send_raw(up, itag(OP_BARRIER, k), &[])?;
+            self.recv(Some(down), Some(itag(OP_BARRIER, k)))?;
+            dist <<= 1;
+            k += 1;
+        }
+        Ok(())
+    }
+
+    fn vrank(&self, rank: usize, root: usize) -> usize {
+        (rank + self.size() - root) % self.size()
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_vrank(&self, v: usize, root: usize) -> usize {
+        (v + root) % self.size()
+    }
+
+    /// Binomial-tree broadcast. The root passes the payload; every rank
+    /// returns it.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>> {
+        let n = self.size();
+        if n == 1 {
+            return Ok(data);
+        }
+        let v = self.vrank(self.my_rank, root);
+        let mut payload = data;
+        let mut mask = 1usize;
+        while mask < n {
+            if v & mask != 0 {
+                let src = self.from_vrank(v - mask, root);
+                let (_, _, d) = self.recv(Some(src), Some(itag(OP_BCAST, 0)))?;
+                payload = d;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < n && v & (mask - 1) == 0 {
+                let dst = self.from_vrank(v + mask, root);
+                self.send_raw(dst, itag(OP_BCAST, 0), &payload)?;
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Binomial-tree elementwise reduction of `f64` vectors under `op`.
+    /// Returns the result on the root, `None` elsewhere.
+    pub fn reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> Result<Option<Vec<f64>>> {
+        let n = self.size();
+        let v = self.vrank(self.my_rank, root);
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if v & mask == 0 {
+                let src_v = v | mask;
+                if src_v < n {
+                    let src = self.from_vrank(src_v, root);
+                    let (_, _, d) = self.recv(Some(src), Some(itag(OP_REDUCE, 0)))?;
+                    let other = decode_f64s(&d)?;
+                    if other.len() != acc.len() {
+                        return Err(NexusError::Decode("reduce length mismatch"));
+                    }
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a = op.apply(*a, b);
+                    }
+                }
+            } else {
+                let dst = self.from_vrank(v & !mask, root);
+                self.send_raw(dst, itag(OP_REDUCE, 0), &encode_f64s(&acc))?;
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Binomial-tree elementwise sum (convenience for [`Comm::reduce_f64`]).
+    pub fn reduce_sum_f64(&self, root: usize, data: &[f64]) -> Result<Option<Vec<f64>>> {
+        self.reduce_f64(root, data, ReduceOp::Sum)
+    }
+
+    /// Reduce-to-root followed by broadcast: every rank gets the result.
+    pub fn allreduce_f64(&self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        let reduced = self.reduce_f64(0, data, op)?;
+        let bytes = match reduced {
+            Some(v) => encode_f64s(&v),
+            None => Vec::new(),
+        };
+        let out = self.bcast(0, bytes)?;
+        decode_f64s(&out)
+    }
+
+    /// Allreduce under elementwise sum.
+    pub fn allreduce_sum_f64(&self, data: &[f64]) -> Result<Vec<f64>> {
+        self.allreduce_f64(data, ReduceOp::Sum)
+    }
+
+    /// Scatters `parts[i]` from the root to communicator rank `i`. The
+    /// root passes `Some(parts)` (one entry per rank); everyone returns
+    /// their part.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Vec<u8>>>) -> Result<Vec<u8>> {
+        if self.my_rank == root {
+            let parts = parts.ok_or(NexusError::Decode("root must supply scatter parts"))?;
+            if parts.len() != self.size() {
+                return Err(NexusError::Decode("scatter needs one part per rank"));
+            }
+            let mut mine = Vec::new();
+            for (i, p) in parts.into_iter().enumerate() {
+                if i == root {
+                    mine = p;
+                } else {
+                    self.send_raw(i, itag(OP_SCATTER, 0), &p)?;
+                }
+            }
+            Ok(mine)
+        } else {
+            let (_, _, d) = self.recv(Some(root), Some(itag(OP_SCATTER, 0)))?;
+            Ok(d)
+        }
+    }
+
+    /// All-to-all personalized exchange: sends `parts[j]` to rank `j`,
+    /// returns the parts received from every rank (in rank order; the
+    /// local part moves without communication).
+    pub fn alltoall(&self, parts: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
+        let n = self.size();
+        if parts.len() != n {
+            return Err(NexusError::Decode("alltoall needs one part per rank"));
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        for (j, p) in parts.into_iter().enumerate() {
+            if j == self.my_rank {
+                out[j] = p;
+            } else {
+                self.send_raw(j, itag(OP_ALLTOALL, 0), &p)?;
+            }
+        }
+        for _ in 0..n - 1 {
+            let (src, _, d) = self.recv(None, Some(itag(OP_ALLTOALL, 0)))?;
+            out[src] = d;
+        }
+        Ok(out)
+    }
+
+    /// Non-blocking probe: progresses the runtime once and reports whether
+    /// a matching message is queued (without consuming it).
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<u32>) -> Result<bool> {
+        self.proc.ctx.progress()?;
+        Ok(self.proc.queue.peek_match(Match {
+            comm: self.id,
+            src: src.map(|s| s as u32),
+            tag,
+        }))
+    }
+
+    /// Posts a nonblocking receive: returns a [`RecvRequest`] that can be
+    /// tested or waited on. (Sends are already nonblocking: an RSR returns
+    /// once handed to its communication method.)
+    pub fn irecv(&self, src: Option<usize>, tag: Option<u32>) -> RecvRequest {
+        RecvRequest {
+            comm: self.clone(),
+            m: Match {
+                comm: self.id,
+                src: src.map(|s| s as u32),
+                tag,
+            },
+        }
+    }
+
+    /// Gathers each rank's bytes at the root (returned in rank order).
+    pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        if self.my_rank != root {
+            self.send_raw(root, itag(OP_GATHER, 0), data)?;
+            return Ok(None);
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        out[root] = data.to_vec();
+        for _ in 0..self.size() - 1 {
+            let (src, _, d) = self.recv(None, Some(itag(OP_GATHER, 0)))?;
+            out[src] = d;
+        }
+        Ok(Some(out))
+    }
+
+    /// Gathers every rank's bytes on every rank.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let gathered = self.gather(0, data)?;
+        let packed = match gathered {
+            Some(parts) => {
+                let mut b = nexus_rt::buffer::Buffer::new();
+                b.put_u32(parts.len() as u32);
+                for p in &parts {
+                    b.put_bytes(p);
+                }
+                b.into_bytes().to_vec()
+            }
+            None => Vec::new(),
+        };
+        let all = self.bcast(0, packed)?;
+        let mut b = nexus_rt::buffer::Buffer::new();
+        b.put_raw(&all);
+        let count = b.get_u32()? as usize;
+        let mut parts = Vec::with_capacity(count);
+        for _ in 0..count {
+            parts.push(b.get_bytes()?);
+        }
+        Ok(parts)
+    }
+
+    /// Splits the communicator: ranks with equal `color` form a new
+    /// communicator, ordered by (`key`, parent rank). Collective.
+    pub fn split(&self, color: u32, key: i64) -> Result<Comm> {
+        // Exchange (color, key) among all members.
+        let mut b = nexus_rt::buffer::Buffer::new();
+        b.put_u32(color);
+        b.put_i64(key);
+        let infos = self.allgather(b.as_slice())?;
+        let mut mine: Vec<(i64, usize)> = Vec::new(); // (key, parent rank)
+        for (parent_rank, bytes) in infos.iter().enumerate() {
+            let mut rb = nexus_rt::buffer::Buffer::new();
+            rb.put_raw(bytes);
+            let c = rb.get_u32()?;
+            let k = rb.get_i64()?;
+            if c == color {
+                mine.push((k, parent_rank));
+            }
+        }
+        mine.sort();
+        let members: Vec<usize> = mine.iter().map(|&(_, pr)| self.members[pr]).collect();
+        let my_rank = members
+            .iter()
+            .position(|&w| w == self.proc.rank)
+            .expect("caller is in its own color group");
+        let seq = self.proc.split_seq.fetch_add(1, Ordering::Relaxed);
+        let id = fnv1a(&[self.id, seq, color]);
+        let sps: Vec<Startpoint> = members
+            .iter()
+            .map(|&w| self.proc.world_sps[w].clone())
+            .collect();
+        // A dissemination barrier on the *parent* ensures everyone has
+        // finished the exchange before the new communicator is used.
+        self.barrier()?;
+        Ok(Comm {
+            proc: Arc::clone(&self.proc),
+            id,
+            members: Arc::new(members),
+            my_rank,
+            sps: Arc::new(sps),
+        })
+    }
+
+    /// Duplicates the communicator (same group, fresh id and links).
+    pub fn dup(&self) -> Result<Comm> {
+        let seq = self.proc.split_seq.fetch_add(1, Ordering::Relaxed);
+        let id = fnv1a(&[self.id, seq, DUP_MARKER]);
+        let sps: Vec<Startpoint> = self
+            .members
+            .iter()
+            .map(|&w| self.proc.world_sps[w].clone())
+            .collect();
+        self.barrier()?;
+        Ok(Comm {
+            proc: Arc::clone(&self.proc),
+            id,
+            members: Arc::clone(&self.members),
+            my_rank: self.my_rank,
+            sps: Arc::new(sps),
+        })
+    }
+}
+
+/// Distinguishes `dup`-derived ids from `split`-derived ones.
+const DUP_MARKER: u32 = 0xD0B1;
+
+/// A pending nonblocking receive posted with [`Comm::irecv`].
+pub struct RecvRequest {
+    comm: Comm,
+    m: Match,
+}
+
+impl RecvRequest {
+    /// Progresses the runtime once and completes the request if a matching
+    /// message is available. Returns `None` when still pending.
+    pub fn test(&self) -> Result<Option<(usize, u32, Vec<u8>)>> {
+        self.comm.proc.ctx.progress()?;
+        Ok(self
+            .comm
+            .proc
+            .queue
+            .take_match(self.m)
+            .map(|msg| (msg.src as usize, msg.tag, msg.data)))
+    }
+
+    /// Blocks (progressing the runtime) until the request completes.
+    pub fn wait(self) -> Result<(usize, u32, Vec<u8>)> {
+        self.comm
+            .recv(self.m.src.map(|s| s as usize), self.m.tag)
+    }
+}
+
+/// Encodes an `f64` slice as little-endian bytes.
+pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian bytes into an `f64` vector.
+pub fn decode_f64s(b: &[u8]) -> Result<Vec<f64>> {
+    if !b.len().is_multiple_of(8) {
+        return Err(NexusError::Decode("f64 byte length not a multiple of 8"));
+    }
+    Ok(b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}

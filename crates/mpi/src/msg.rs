@@ -1,0 +1,202 @@
+//! Two-sided message plumbing: wire headers and the matching queue.
+//!
+//! MPI-style two-sided communication is layered on one-sided RSRs exactly
+//! the way MPICH was layered on Nexus for the I-WAY: every rank registers
+//! one handler that deposits incoming messages into an *unexpected message
+//! queue*; `recv` searches the queue for a match on (communicator, source,
+//! tag), progressing the runtime until one appears.
+
+use nexus_rt::buffer::Buffer;
+use nexus_rt::error::Result;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A received, not-yet-matched message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiMsg {
+    /// Communicator id the message was sent on.
+    pub comm: u32,
+    /// Sender's rank within that communicator.
+    pub src: u32,
+    /// Application tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl MpiMsg {
+    /// Encodes header + payload into an RSR buffer.
+    pub fn encode(&self) -> Buffer {
+        let mut b = Buffer::with_capacity(16 + self.data.len());
+        b.put_u32(self.comm);
+        b.put_u32(self.src);
+        b.put_u32(self.tag);
+        b.put_bytes(&self.data);
+        b
+    }
+
+    /// Decodes from an RSR buffer.
+    pub fn decode(b: &mut Buffer) -> Result<MpiMsg> {
+        Ok(MpiMsg {
+            comm: b.get_u32()?,
+            src: b.get_u32()?,
+            tag: b.get_u32()?,
+            data: b.get_bytes()?,
+        })
+    }
+}
+
+/// Match criteria for `recv`.
+#[derive(Debug, Clone, Copy)]
+pub struct Match {
+    /// Communicator id (always exact).
+    pub comm: u32,
+    /// Source rank, or None for any-source.
+    pub src: Option<u32>,
+    /// Tag, or None for any-tag.
+    pub tag: Option<u32>,
+}
+
+impl Match {
+    fn matches(&self, m: &MpiMsg) -> bool {
+        m.comm == self.comm
+            && self.src.is_none_or(|s| s == m.src)
+            && self.tag.is_none_or(|t| t == m.tag)
+    }
+}
+
+/// The unexpected-message queue for one rank.
+///
+/// Matching preserves per-(source, tag) arrival order, which is what MPI's
+/// non-overtaking rule requires.
+#[derive(Default)]
+pub struct MsgQueue {
+    q: Mutex<VecDeque<MpiMsg>>,
+}
+
+impl MsgQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a message (called from the RSR handler).
+    pub fn push(&self, m: MpiMsg) {
+        self.q.lock().push_back(m);
+    }
+
+    /// Removes and returns the earliest message matching `m`, if any.
+    pub fn take_match(&self, m: Match) -> Option<MpiMsg> {
+        let mut g = self.q.lock();
+        let idx = g.iter().position(|x| m.matches(x))?;
+        g.remove(idx)
+    }
+
+    /// Whether a message matching `m` is queued (without consuming it).
+    pub fn peek_match(&self, m: Match) -> bool {
+        self.q.lock().iter().any(|x| m.matches(x))
+    }
+
+    /// Number of queued (unmatched) messages.
+    pub fn len(&self) -> usize {
+        self.q.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(comm: u32, src: u32, tag: u32, byte: u8) -> MpiMsg {
+        MpiMsg {
+            comm,
+            src,
+            tag,
+            data: vec![byte],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = msg(7, 3, 42, 9);
+        let mut b = m.encode();
+        assert_eq!(MpiMsg::decode(&mut b).unwrap(), m);
+    }
+
+    #[test]
+    fn exact_match_takes_earliest() {
+        let q = MsgQueue::new();
+        q.push(msg(1, 0, 5, 1));
+        q.push(msg(1, 0, 5, 2));
+        let got = q
+            .take_match(Match {
+                comm: 1,
+                src: Some(0),
+                tag: Some(5),
+            })
+            .unwrap();
+        assert_eq!(got.data, vec![1], "non-overtaking order");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn wildcards_match_any() {
+        let q = MsgQueue::new();
+        q.push(msg(1, 2, 9, 1));
+        assert!(q
+            .take_match(Match {
+                comm: 1,
+                src: None,
+                tag: None,
+            })
+            .is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mismatched_fields_do_not_match() {
+        let q = MsgQueue::new();
+        q.push(msg(1, 2, 9, 1));
+        for m in [
+            Match {
+                comm: 2,
+                src: Some(2),
+                tag: Some(9),
+            },
+            Match {
+                comm: 1,
+                src: Some(3),
+                tag: Some(9),
+            },
+            Match {
+                comm: 1,
+                src: Some(2),
+                tag: Some(8),
+            },
+        ] {
+            assert!(q.take_match(m).is_none());
+        }
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn selective_match_skips_nonmatching_earlier_messages() {
+        let q = MsgQueue::new();
+        q.push(msg(1, 0, 1, 1));
+        q.push(msg(1, 1, 2, 2));
+        let got = q
+            .take_match(Match {
+                comm: 1,
+                src: Some(1),
+                tag: Some(2),
+            })
+            .unwrap();
+        assert_eq!(got.data, vec![2]);
+        assert_eq!(q.len(), 1);
+    }
+}

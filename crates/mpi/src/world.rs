@@ -1,0 +1,266 @@
+//! World construction: ranks, placement, and the runtime plumbing.
+//!
+//! An [`MpiWorld`] assembles a fabric, one context per rank (each on its
+//! own node, with a configurable partition — the SP2 layout), the
+//! per-rank unexpected-message queue and its RSR handler, and startpoints
+//! from every rank to every rank. [`run_world`] spawns one thread per rank
+//! and hands each its [`Process`].
+
+use crate::comm::Comm;
+use crate::msg::{MpiMsg, MsgQueue};
+use nexus_rt::context::{Context, ContextOpts, Fabric, NodeId, PartitionId};
+use nexus_rt::endpoint::EndpointId;
+use nexus_rt::error::{NexusError, Result};
+use nexus_rt::startpoint::Startpoint;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+
+/// Placement and transport configuration for a world.
+#[derive(Clone)]
+pub struct WorldLayout {
+    /// Partition id per rank.
+    pub partitions: Vec<u32>,
+    /// Node id per rank (None = every rank on its own node). Ranks sharing
+    /// a node can use the shared-memory method — the full SMP-cluster
+    /// hierarchy: shmem within a node, mpl within a partition, sockets
+    /// across partitions.
+    pub nodes: Option<Vec<u32>>,
+    /// Register socket transports (tcp/udp/rudp) in addition to the
+    /// in-process queue transports. Cross-partition traffic requires this
+    /// (or any universal method).
+    pub sockets: bool,
+}
+
+impl WorldLayout {
+    /// All ranks in one partition (no sockets needed).
+    pub fn uniform(ranks: usize) -> Self {
+        WorldLayout {
+            partitions: vec![0; ranks],
+            nodes: None,
+            sockets: false,
+        }
+    }
+
+    /// Explicit per-rank partitions, with socket transports enabled so
+    /// cross-partition traffic has a method.
+    pub fn partitioned(partitions: Vec<u32>) -> Self {
+        WorldLayout {
+            partitions,
+            nodes: None,
+            sockets: true,
+        }
+    }
+
+    /// Explicit per-rank nodes in one partition (SMP-cluster style).
+    pub fn with_nodes(nodes: Vec<u32>) -> Self {
+        WorldLayout {
+            partitions: vec![0; nodes.len()],
+            nodes: Some(nodes),
+            sockets: false,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn node_of(&self, rank: usize) -> u32 {
+        match &self.nodes {
+            Some(ns) => ns[rank],
+            None => rank as u32,
+        }
+    }
+}
+
+pub(crate) struct ProcInner {
+    pub rank: usize,
+    pub size: usize,
+    pub ctx: Arc<Context>,
+    pub queue: Arc<MsgQueue>,
+    #[allow(dead_code)]
+    pub endpoint: EndpointId,
+    pub world_sps: Vec<Startpoint>,
+    /// Split-generation counter shared by all communicators of this
+    /// process (collective-call ordering keeps it consistent across ranks).
+    pub split_seq: AtomicU32,
+}
+
+/// One rank's handle onto the world (held by that rank's thread).
+#[derive(Clone)]
+pub struct Process {
+    pub(crate) inner: Arc<ProcInner>,
+}
+
+impl Process {
+    /// This process's world rank.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The underlying runtime context (for enquiry, skip_poll tuning,
+    /// policy changes — the knobs the paper exposes).
+    pub fn context(&self) -> &Arc<Context> {
+        &self.inner.ctx
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        Comm::world(Arc::clone(&self.inner))
+    }
+}
+
+/// A constructed world whose processes have not yet been handed out.
+pub struct MpiWorld {
+    fabric: Fabric,
+    procs: Vec<Option<Process>>,
+}
+
+impl MpiWorld {
+    /// Builds a world per `layout`.
+    pub fn build(layout: &WorldLayout) -> Result<MpiWorld> {
+        let n = layout.ranks();
+        assert!(n > 0, "world needs at least one rank");
+        let fabric = Fabric::new();
+        if layout.sockets {
+            nexus_transports::register_defaults(&fabric);
+        } else {
+            nexus_transports::register_queue_modules(&fabric);
+        }
+
+        if let Some(ns) = &layout.nodes {
+            assert_eq!(ns.len(), n, "one node id per rank");
+        }
+        // Contexts: one per rank, placed per the layout.
+        let mut ctxs = Vec::with_capacity(n);
+        for (rank, &part) in layout.partitions.iter().enumerate() {
+            let ctx = fabric.create_context_with(ContextOpts {
+                node: NodeId(layout.node_of(rank)),
+                partition: PartitionId(part),
+                ..Default::default()
+            })?;
+            ctxs.push(ctx);
+        }
+
+        // Per-rank queues, handlers, endpoints.
+        let mut queues = Vec::with_capacity(n);
+        let mut eps = Vec::with_capacity(n);
+        for ctx in &ctxs {
+            let queue = Arc::new(MsgQueue::new());
+            let q = Arc::clone(&queue);
+            ctx.register_handler("mpi", move |args| {
+                match MpiMsg::decode(args.buffer) {
+                    Ok(m) => q.push(m),
+                    Err(_) => { /* corrupt frame: drop, like a bad packet */ }
+                }
+            });
+            let ep = ctx.create_endpoint();
+            queues.push(queue);
+            eps.push(ep);
+        }
+
+        // Startpoints: rank i -> rank j for all pairs (including self:
+        // self-sends go through the local method).
+        let mut procs = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut sps = Vec::with_capacity(n);
+            for j in 0..n {
+                sps.push(ctxs[j].startpoint_to(eps[j])?);
+            }
+            procs.push(Some(Process {
+                inner: Arc::new(ProcInner {
+                    rank,
+                    size: n,
+                    ctx: Arc::clone(&ctxs[rank]),
+                    queue: Arc::clone(&queues[rank]),
+                    endpoint: eps[rank],
+                    world_sps: sps,
+                    split_seq: AtomicU32::new(0),
+                }),
+            }));
+        }
+        Ok(MpiWorld { fabric, procs })
+    }
+
+    /// The underlying fabric (module registry, contexts).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Takes ownership of one rank's process handle (once per rank).
+    pub fn take_process(&mut self, rank: usize) -> Result<Process> {
+        self.procs
+            .get_mut(rank)
+            .and_then(Option::take)
+            .ok_or(NexusError::UnknownContext(
+                nexus_rt::context::ContextId(rank as u32),
+            ))
+    }
+}
+
+/// Builds a world and runs `f(process)` on one thread per rank, joining
+/// them all. Panics in any rank propagate.
+pub fn run_world<F>(layout: &WorldLayout, f: F) -> Result<()>
+where
+    F: Fn(Process) + Send + Sync,
+{
+    let mut world = MpiWorld::build(layout)?;
+    let n = layout.ranks();
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let proc = world.take_process(rank).expect("fresh world");
+            handles.push(s.spawn(move || f(proc)));
+        }
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    });
+    world.fabric.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_take_processes() {
+        let mut w = MpiWorld::build(&WorldLayout::uniform(4)).unwrap();
+        for r in 0..4 {
+            let p = w.take_process(r).unwrap();
+            assert_eq!(p.rank(), r);
+            assert_eq!(p.size(), 4);
+        }
+        // Second take fails.
+        assert!(w.take_process(0).is_err());
+        assert!(w.take_process(99).is_err());
+    }
+
+    #[test]
+    fn partitioned_layout_places_ranks() {
+        let layout = WorldLayout::partitioned(vec![1, 1, 2]);
+        let mut w = MpiWorld::build(&layout).unwrap();
+        let p0 = w.take_process(0).unwrap();
+        let p2 = w.take_process(2).unwrap();
+        assert_eq!(p0.context().info().partition.0, 1);
+        assert_eq!(p2.context().info().partition.0, 2);
+    }
+
+    #[test]
+    fn run_world_executes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        run_world(&WorldLayout::uniform(3), |p| {
+            count.fetch_add(1 + p.rank(), Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1 + 2 + 3);
+    }
+}

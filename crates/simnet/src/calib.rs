@@ -1,0 +1,163 @@
+//! Calibration: model constants anchored to the paper's published numbers.
+//!
+//! The paper reports, for the Argonne SP2 (Power-1 nodes, multistage
+//! switch):
+//!
+//! * MPL bandwidth ≈ **36 MB/s**; TCP over the switch ≈ **8 MB/s**;
+//! * `mpc_status` (MPL probe) ≈ **15 µs**; `select` ≳ **100 µs**;
+//! * TCP small-message one-way latency ≈ **2 ms**;
+//! * Nexus ping-pong, 0-byte one-way: **83 µs** (MPL only) → **156 µs**
+//!   with TCP polling enabled;
+//! * MPICH-on-Nexus execution overhead ≈ 6 % vs MPICH-on-MPL.
+//!
+//! The constants below are chosen so the simulator lands on those anchors
+//! (the micro-effects — probe residuals, chunked ingestion — then produce
+//! the *shapes* of Figs. 4/6 and Table 1 mechanically). Where the paper
+//! does not publish a number (e.g. raw-MPL 0-byte latency) we pick a value
+//! consistent with its derived quantities and say so.
+
+use crate::model::{MethodModel, NetworkModel};
+use nexus_rt::descriptor::MethodId;
+
+/// MPL probe cost: the paper's measured `mpc_status` (15 µs).
+pub const MPL_PROBE_NS: u64 = 15_000;
+
+/// TCP readiness-scan cost: the paper's `select` ("over 100 microseconds").
+pub const TCP_PROBE_NS: u64 = 100_000;
+
+/// MPL one-way wire latency. Not published directly; chosen so the raw
+/// (non-Nexus) 0-byte one-way lands near 50 µs, consistent with Fig. 4's
+/// raw-MPL curve sitting well below the 83 µs Nexus curve.
+pub const MPL_LATENCY_NS: u64 = 28_000;
+
+/// TCP one-way latency: "small-message latencies of around 2 milliseconds".
+pub const TCP_LATENCY_NS: u64 = 2_000_000;
+
+/// TCP wire bandwidth: 8 MB/s over the switch.
+pub const TCP_WIRE_BW: u64 = 8_000_000;
+
+/// Ingestion chunk: device-to-user copies proceed in 16 KiB units.
+pub const MPL_CHUNK: u64 = 16 * 1024;
+
+/// Copy cost per MPL chunk, set so that sustained MPL bandwidth
+/// (chunk / (chunk_copy + probe)) ≈ 36 MB/s:
+/// 16384 B / 36 MB/s = 455 µs; minus the 15 µs probe ≈ 440 µs.
+pub const MPL_CHUNK_COPY_NS: u64 = 440_000;
+
+/// TCP ingestion chunk and copy: the wire (8 MB/s) is the bottleneck, so
+/// ingestion is made cheap; 64 KiB chunks at ~25 µs.
+pub const TCP_CHUNK: u64 = 64 * 1024;
+/// See [`TCP_CHUNK`].
+pub const TCP_CHUNK_COPY_NS: u64 = 25_000;
+
+/// Ingesting a header-only (0-byte) MPL message.
+pub const MPL_HEADER_INGEST_NS: u64 = 4_000;
+
+/// Ingesting a header-only (0-byte) TCP message.
+pub const TCP_HEADER_INGEST_NS: u64 = 6_000;
+
+/// Sender CPU, raw MPL program (low-level `mpc_bsend`-style path).
+pub const RAW_SEND_FIXED_NS: u64 = 20_000;
+
+/// Extra fixed sender CPU Nexus adds per RSR (header construction,
+/// function-table dispatch, buffer bookkeeping). Chosen with
+/// [`NEXUS_DISPATCH_NS`] so the Nexus-over-MPL 0-byte one-way ≈ 83 µs.
+pub const NEXUS_SEND_OVERHEAD_NS: u64 = 5_000;
+
+/// Receive-side handler dispatch cost Nexus adds per RSR (handler lookup,
+/// message-driven invocation).
+pub const NEXUS_DISPATCH_NS: u64 = 7_000;
+
+/// Sender CPU per byte for MPL, in thousandths of ns/byte. Small: the
+/// dominant per-byte cost sits in ingestion.
+pub const MPL_SEND_MILLS_PER_BYTE: u64 = 2; // 0.002 ns/B
+
+/// TCP fixed sender CPU (socket write syscall path).
+pub const TCP_SEND_FIXED_NS: u64 = 60_000;
+
+/// TCP sender CPU per byte (kernel copy at ~200 MB/s → 5 ns/B).
+pub const TCP_SEND_MILLS_PER_BYTE: u64 = 5_000;
+
+/// CPU a forwarding node spends per forwarded message (receive + re-send
+/// bookkeeping) on top of the normal ingestion and send costs.
+pub const FORWARD_CPU_NS: u64 = 30_000;
+
+/// The MPL method model.
+pub fn mpl_model() -> MethodModel {
+    MethodModel {
+        method: MethodId::MPL,
+        name: "mpl",
+        latency_ns: MPL_LATENCY_NS,
+        wire_bw: None,
+        probe_ns: MPL_PROBE_NS,
+        send_fixed_ns: RAW_SEND_FIXED_NS,
+        send_mills_per_byte: MPL_SEND_MILLS_PER_BYTE,
+        chunk_bytes: MPL_CHUNK,
+        chunk_copy_ns: MPL_CHUNK_COPY_NS,
+        header_ingest_ns: MPL_HEADER_INGEST_NS,
+        partition_scoped: true,
+    }
+}
+
+/// The TCP method model.
+pub fn tcp_model() -> MethodModel {
+    MethodModel {
+        method: MethodId::TCP,
+        name: "tcp",
+        latency_ns: TCP_LATENCY_NS,
+        wire_bw: Some(TCP_WIRE_BW),
+        probe_ns: TCP_PROBE_NS,
+        send_fixed_ns: TCP_SEND_FIXED_NS,
+        send_mills_per_byte: TCP_SEND_MILLS_PER_BYTE,
+        chunk_bytes: TCP_CHUNK,
+        chunk_copy_ns: TCP_CHUNK_COPY_NS,
+        header_ingest_ns: TCP_HEADER_INGEST_NS,
+        partition_scoped: false,
+    }
+}
+
+/// The standard two-method SP2 testbed: MPL (partition-scoped, probed
+/// first) + TCP (universal).
+pub fn sp2_network() -> NetworkModel {
+    let mut net = NetworkModel::new();
+    net.add(mpl_model());
+    net.add(tcp_model());
+    net
+}
+
+/// An MPL-only network (the "Nexus single-method" configuration of Fig. 4).
+pub fn sp2_mpl_only() -> NetworkModel {
+    let mut net = NetworkModel::new();
+    net.add(mpl_model());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpl_effective_bandwidth_near_36_mb_s() {
+        let m = mpl_model();
+        // Sustained: one chunk per (copy + probe).
+        let per_chunk_ns = m.chunk_copy_ns + m.probe_ns;
+        let bw = m.chunk_bytes as f64 / (per_chunk_ns as f64 / 1e9);
+        assert!(
+            (30e6..42e6).contains(&bw),
+            "MPL effective bandwidth {bw:.0} B/s should be ≈36 MB/s"
+        );
+    }
+
+    #[test]
+    fn tcp_bandwidth_is_8_mb_s() {
+        let m = tcp_model();
+        assert_eq!(m.wire_bw, Some(8_000_000));
+    }
+
+    #[test]
+    fn probe_cost_differential_matches_paper() {
+        // select is at least ~7x mpc_status on the SP2 (15 vs >100 µs).
+        // (Read through the models so the check survives recalibration.)
+        assert!(tcp_model().probe_ns >= 6 * mpl_model().probe_ns);
+    }
+}

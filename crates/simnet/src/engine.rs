@@ -1,0 +1,1113 @@
+//! The discrete-event engine: simulated nodes running message-driven
+//! programs over modeled communication methods.
+//!
+//! Each node alternates between *busy* periods (compute, send CPU, message
+//! ingestion) and *idle polling*: back-to-back passes of the unified poll
+//! loop, in which each modeled method is probed according to its
+//! `skip_poll` setting. A message becomes *visible* at the end of the first
+//! probe of its method that starts at or after its wire arrival; it is then
+//! *ingested* chunk by chunk, each ingestion step paying the probes other
+//! methods are owed on that pass — the mechanism behind the paper's
+//! observation that TCP polling degrades MPL bandwidth. Finally the RSR
+//! dispatch cost is charged and the program's `on_message` runs.
+//!
+//! Nodes in `raw_mode` bypass all of this (visibility = arrival, ingestion
+//! = pure copy): they model the low-level "pure MPL" baseline of Fig. 4.
+//!
+//! Time only advances through the event queue; identical inputs produce
+//! bit-identical schedules.
+
+use crate::calib::{FORWARD_CPU_NS, NEXUS_DISPATCH_NS, NEXUS_SEND_OVERHEAD_NS};
+use crate::model::NetworkModel;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use nexus_rt::descriptor::MethodId;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Baseline cost of one poll-loop pass (loop overhead, even if no method is
+/// probed on this pass because of skip_poll).
+pub const POLL_LOOP_BASE_NS: u64 = 500;
+
+/// A message in flight or delivered.
+#[derive(Debug, Clone)]
+pub struct SimMsg {
+    /// Sending node index.
+    pub from: usize,
+    /// Final destination node index.
+    pub to: usize,
+    /// Method carrying the message.
+    pub method: MethodId,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Application tag.
+    pub tag: u32,
+    /// Application immediate value.
+    pub info: u64,
+    /// When the sender issued it.
+    pub sent_at: SimTime,
+    /// When the last byte reached the destination "device".
+    pub arrival: SimTime,
+    /// Whether the message has already passed through a forwarder.
+    pub forwarded: bool,
+}
+
+/// Per-node counters.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Probes issued per method (aligned with the network model's order).
+    pub probes: Vec<u64>,
+    /// Messages received (dispatched to the program).
+    pub msgs_recv: u64,
+    /// Messages sent by the program.
+    pub msgs_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Pure compute time requested by the program.
+    pub compute_ns: u64,
+    /// Time spent in message ingestion (copies + owed probes).
+    pub ingest_ns: u64,
+    /// Messages re-sent in the forwarding role.
+    pub forwards: u64,
+}
+
+/// What a program may do during a callback. Actions are applied in order;
+/// each send or compute extends the node's busy time.
+enum Action {
+    Send {
+        to: usize,
+        size: u64,
+        tag: u32,
+        info: u64,
+        method: Option<MethodId>,
+    },
+    Compute(u64),
+    /// Compute `ns` during which the application performs `ops` runtime
+    /// calls, each of which runs one poll-loop pass (the paper: "the
+    /// polling function will be called at least every time a Nexus
+    /// operation is performed").
+    ComputePolled {
+        ns: u64,
+        ops: u64,
+    },
+    SetSkip {
+        method: MethodId,
+        k: u64,
+    },
+    Finish,
+}
+
+/// The interface a program uses during callbacks.
+pub struct NodeApi<'a> {
+    now: SimTime,
+    node: usize,
+    partition: u32,
+    actions: &'a mut Vec<Action>,
+}
+
+impl NodeApi<'_> {
+    /// Current simulated time (at callback entry; queued actions will
+    /// execute after it).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// This node's partition.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Sends `size` bytes to node `to` with automatic method selection.
+    pub fn send(&mut self, to: usize, size: u64, tag: u32) {
+        self.actions.push(Action::Send {
+            to,
+            size,
+            tag,
+            info: 0,
+            method: None,
+        });
+    }
+
+    /// Sends with an application immediate value attached.
+    pub fn send_info(&mut self, to: usize, size: u64, tag: u32, info: u64) {
+        self.actions.push(Action::Send {
+            to,
+            size,
+            tag,
+            info,
+            method: None,
+        });
+    }
+
+    /// Sends forcing a specific method (manual selection).
+    pub fn send_via(&mut self, method: MethodId, to: usize, size: u64, tag: u32) {
+        self.actions.push(Action::Send {
+            to,
+            size,
+            tag,
+            info: 0,
+            method: Some(method),
+        });
+    }
+
+    /// Busy-computes for `ns` nanoseconds without touching the runtime.
+    pub fn compute(&mut self, ns: u64) {
+        self.actions.push(Action::Compute(ns));
+    }
+
+    /// Busy-computes for `ns` nanoseconds while performing `ops` runtime
+    /// calls (each runs one poll pass).
+    pub fn compute_polled(&mut self, ns: u64, ops: u64) {
+        self.actions.push(Action::ComputePolled { ns, ops });
+    }
+
+    /// Changes this node's skip_poll for `method` from this point on.
+    pub fn set_skip_poll(&mut self, method: MethodId, k: u64) {
+        self.actions.push(Action::SetSkip { method, k });
+    }
+
+    /// Marks this node finished (no further callbacks).
+    pub fn finish(&mut self) {
+        self.actions.push(Action::Finish);
+    }
+}
+
+/// A message-driven simulated program.
+pub trait NodeProgram: Any {
+    /// Called once at simulation start.
+    fn on_start(&mut self, api: &mut NodeApi<'_>);
+
+    /// Called when a message addressed to this node has been received,
+    /// ingested, and dispatched.
+    fn on_message(&mut self, api: &mut NodeApi<'_>, msg: &SimMsg);
+
+    /// Downcast support (programs carry the measurements out of the sim).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Node placement and mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeConfig {
+    /// Partition the node belongs to.
+    pub partition: u32,
+    /// Raw low-level mode: no poll loop, no Nexus overheads (the "pure
+    /// MPL" baseline).
+    pub raw_mode: bool,
+}
+
+struct Node {
+    partition: u32,
+    raw_mode: bool,
+    program: Option<Box<dyn NodeProgram>>,
+    done: bool,
+    /// Node is busy until this time.
+    ready_at: SimTime,
+    /// Poll-phase anchor: idle polling has been running since this time...
+    anchor: SimTime,
+    /// ...with this many passes completed before the anchor.
+    anchor_pass: u64,
+    /// Wake-event validity counter.
+    epoch: u64,
+    /// Per-method inbound messages, arrival-ordered (event order == time
+    /// order, so push_back maintains sortedness).
+    inbox: Vec<VecDeque<SimMsg>>,
+    /// skip_poll per method.
+    skips: Vec<u64>,
+    stats: NodeStats,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(SimMsg),
+    Wake { node: usize, epoch: u64 },
+    /// A forwarding node's poll loop has noticed foreign traffic and
+    /// re-sends it.
+    Forward { fwd: usize, msg: SimMsg },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Result of locating the next visible message while idle-polling.
+struct Visibility {
+    /// End of the probe that detects the message.
+    visible_at: SimTime,
+    /// Method index in the model.
+    method_idx: usize,
+    /// Passes completed from the anchor up to and including the detecting
+    /// pass's position for that probe.
+    passes_consumed: u64,
+}
+
+/// The simulation.
+pub struct Sim {
+    net: NetworkModel,
+    nodes: Vec<Node>,
+    events: BinaryHeap<Reverse<Event>>,
+    time: SimTime,
+    seq: u64,
+    /// partition -> forwarding node for TCP traffic into that partition.
+    forwarders: HashMap<u32, usize>,
+    /// Mean delay until a forwarder's poll loop services foreign traffic
+    /// (its own program may be busy computing; the forwarding path runs in
+    /// the runtime's poll loop, modeled with this service time).
+    forwarder_service_ns: u64,
+    trace: Option<Trace>,
+    started: bool,
+}
+
+impl Sim {
+    /// Creates a simulation over the given network model.
+    pub fn new(net: NetworkModel) -> Self {
+        Sim {
+            net,
+            nodes: Vec::new(),
+            events: BinaryHeap::new(),
+            time: SimTime::ZERO,
+            seq: 0,
+            forwarders: HashMap::new(),
+            forwarder_service_ns: 2_000_000,
+            trace: None,
+            started: false,
+        }
+    }
+
+    /// Sets the forwarder service delay (see the field docs).
+    pub fn set_forwarder_service_ns(&mut self, ns: u64) {
+        self.forwarder_service_ns = ns;
+    }
+
+    /// Enables event tracing, keeping the last `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, at: SimTime, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(at, ev);
+        }
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Adds a node; returns its index.
+    pub fn add_node(&mut self, cfg: NodeConfig, program: Box<dyn NodeProgram>) -> usize {
+        assert!(!self.started, "add nodes before run()");
+        let n_methods = self.net.methods().len();
+        self.nodes.push(Node {
+            partition: cfg.partition,
+            raw_mode: cfg.raw_mode,
+            program: Some(program),
+            done: false,
+            ready_at: SimTime::ZERO,
+            anchor: SimTime::ZERO,
+            anchor_pass: 0,
+            epoch: 0,
+            inbox: (0..n_methods).map(|_| VecDeque::new()).collect(),
+            skips: vec![1; n_methods],
+            stats: NodeStats {
+                probes: vec![0; n_methods],
+                ..Default::default()
+            },
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Declares `node` the forwarding node for TCP traffic into
+    /// `partition`: senders outside the partition reach the forwarder,
+    /// which re-sends over MPL. Other nodes in the partition then drop TCP
+    /// from their poll rotation entirely (that is the point of the design).
+    pub fn set_forwarder(&mut self, partition: u32, node: usize) {
+        self.forwarders.insert(partition, node);
+        // Non-forwarder nodes in the partition stop polling TCP.
+        let tcp_idx = self.method_idx(MethodId::TCP);
+        if let Some(idx) = tcp_idx {
+            for (i, n) in self.nodes.iter_mut().enumerate() {
+                if n.partition == partition && i != node {
+                    n.skips[idx] = u64::MAX;
+                }
+            }
+        }
+    }
+
+    /// Sets skip_poll for one node and method before the run starts.
+    pub fn set_skip_poll(&mut self, node: usize, method: MethodId, k: u64) {
+        if let Some(idx) = self.method_idx(method) {
+            self.nodes[node].skips[idx] = k.max(1);
+        }
+    }
+
+    /// Sets skip_poll for every node.
+    pub fn set_skip_poll_all(&mut self, method: MethodId, k: u64) {
+        for i in 0..self.nodes.len() {
+            self.set_skip_poll(i, method, k);
+        }
+    }
+
+    fn method_idx(&self, m: MethodId) -> Option<usize> {
+        self.net.methods().iter().position(|mm| mm.method == m)
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Runs the simulation until the event queue drains or `limit` is hit.
+    /// Returns the final simulated time.
+    pub fn run(&mut self, limit: SimTime) -> SimTime {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.run_callback(i, SimTime::ZERO, None);
+            }
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.time > limit {
+                // Put it back for a possible continued run and stop.
+                self.events.push(Reverse(ev));
+                self.time = limit;
+                return self.time;
+            }
+            self.time = ev.time;
+            match ev.kind {
+                EventKind::Arrival(msg) => self.handle_arrival(msg),
+                EventKind::Wake { node, epoch } => self.handle_wake(node, epoch),
+                EventKind::Forward { fwd, msg } => self.forward(fwd, msg),
+            }
+        }
+        self.time
+    }
+
+    /// Simulated current time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Stats for one node.
+    pub fn node_stats(&self, node: usize) -> &NodeStats {
+        &self.nodes[node].stats
+    }
+
+    /// Immutable access to a node's program (for reading measurements out;
+    /// downcast with `as_any`).
+    pub fn program(&self, node: usize) -> &dyn NodeProgram {
+        self.nodes[node]
+            .program
+            .as_deref()
+            .expect("program is only absent during its own callback")
+    }
+
+    // -- internals ------------------------------------------------------------
+
+    fn handle_arrival(&mut self, msg: SimMsg) {
+        let node_idx = self.arrival_node(&msg);
+        if node_idx != msg.to {
+            // Forwarding-node path: the runtime's poll loop services
+            // foreign traffic after the forwarder's service delay.
+            let t = self.time + self.forwarder_service_ns;
+            self.push_event(
+                t,
+                EventKind::Forward {
+                    fwd: node_idx,
+                    msg,
+                },
+            );
+            return;
+        }
+        let Some(midx) = self.method_idx(msg.method) else {
+            return;
+        };
+        let node = &mut self.nodes[node_idx];
+        if node.done {
+            return;
+        }
+        node.inbox[midx].push_back(msg);
+        // (Re)compute when the node will notice something. If it is busy,
+        // the visibility anchor already sits at its `ready_at`, so the
+        // computed wake time is after the busy period ends.
+        self.schedule_wake(node_idx);
+    }
+
+    /// Which node physically receives this message: the destination, or the
+    /// partition's forwarder for not-yet-forwarded TCP traffic from outside.
+    fn arrival_node(&self, msg: &SimMsg) -> usize {
+        if msg.forwarded || msg.method != MethodId::TCP {
+            return msg.to;
+        }
+        let dest_part = self.nodes[msg.to].partition;
+        match self.forwarders.get(&dest_part) {
+            Some(&f) if f != msg.to && self.nodes[msg.from].partition != dest_part => f,
+            _ => msg.to,
+        }
+    }
+
+    fn schedule_wake(&mut self, node_idx: usize) {
+        let vis = self.find_visibility(node_idx);
+        let node = &mut self.nodes[node_idx];
+        node.epoch += 1;
+        if let Some(v) = vis {
+            let epoch = node.epoch;
+            self.push_event(
+                v.visible_at,
+                EventKind::Wake {
+                    node: node_idx,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Finds the earliest message visibility for an idle node, or None if
+    /// its inboxes are empty.
+    fn find_visibility(&self, node_idx: usize) -> Option<Visibility> {
+        let node = &self.nodes[node_idx];
+        if node.inbox.iter().all(|q| q.is_empty()) {
+            return None;
+        }
+        if node.raw_mode {
+            // Raw programs see messages the instant they arrive.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (i, q) in node.inbox.iter().enumerate() {
+                if let Some(m) = q.front() {
+                    let t = m.arrival.max(node.anchor);
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let (t, i) = best?;
+            return Some(Visibility {
+                visible_at: t,
+                method_idx: i,
+                passes_consumed: 0,
+            });
+        }
+        let methods = self.net.methods();
+        let mut t = node.anchor;
+        let mut pass: u64 = 0;
+        // Fast-forward: no probe can detect a message before the earliest
+        // arrival, so whole blocks of passes that end before it are skipped
+        // in closed form (otherwise long idle waits cost one loop iteration
+        // per ~15 µs pass).
+        let earliest = node
+            .inbox
+            .iter()
+            .filter_map(|q| q.front().map(|m| m.arrival))
+            .min()
+            .expect("checked non-empty above");
+        const BLOCK: u64 = 1024;
+        loop {
+            let p0 = node.anchor_pass + pass;
+            let mut cost = BLOCK * POLL_LOOP_BASE_NS;
+            for (i, m) in methods.iter().enumerate() {
+                let skip = node.skips[i].max(1);
+                if skip == u64::MAX {
+                    continue;
+                }
+                // Probes of method i in passes [p0, p0 + BLOCK).
+                let count = (p0 + BLOCK).div_ceil(skip) - p0.div_ceil(skip);
+                cost += count * m.probe_ns;
+            }
+            if SimTime(t.as_ns() + cost) > earliest {
+                break;
+            }
+            t += cost;
+            pass += BLOCK;
+        }
+        // Iterate poll passes until a probe detects an arrived message.
+        // Bounded: some method always has skip >= 1 and every pass costs at
+        // least POLL_LOOP_BASE_NS, so time strictly advances.
+        loop {
+            let pass_no = node.anchor_pass + pass;
+            t += POLL_LOOP_BASE_NS;
+            for (i, m) in methods.iter().enumerate() {
+                let skip = node.skips[i];
+                if skip == u64::MAX || !pass_no.is_multiple_of(skip) {
+                    continue;
+                }
+                // Probe of method i occupies [t, t + probe_ns).
+                if let Some(front) = node.inbox[i].front() {
+                    if front.arrival <= t {
+                        return Some(Visibility {
+                            visible_at: t + m.probe_ns,
+                            method_idx: i,
+                            passes_consumed: pass + 1,
+                        });
+                    }
+                }
+                t += m.probe_ns;
+            }
+            pass += 1;
+        }
+    }
+
+    fn handle_wake(&mut self, node_idx: usize, epoch: u64) {
+        {
+            let node = &self.nodes[node_idx];
+            if node.done || node.epoch != epoch {
+                return;
+            }
+        }
+        // Recompute (deterministic; any newer arrival would have bumped the
+        // epoch and rescheduled).
+        let Some(vis) = self.find_visibility(node_idx) else {
+            return;
+        };
+        // Account the probes performed while waiting.
+        {
+            let node = &mut self.nodes[node_idx];
+            let methods_n = node.skips.len();
+            for i in 0..methods_n {
+                let skip = node.skips[i];
+                if skip == u64::MAX {
+                    continue;
+                }
+                // Passes anchor_pass .. anchor_pass+passes_consumed probed
+                // method i every `skip` passes (approximate count; exact
+                // per-pass accounting is not needed for the reports).
+                node.stats.probes[i] += vis.passes_consumed / skip.max(1)
+                    + u64::from(vis.passes_consumed % skip.max(1) != 0 && skip == 1);
+            }
+        }
+        let msg = self.nodes[node_idx].inbox[vis.method_idx]
+            .pop_front()
+            .expect("visibility implies a queued message");
+        self.trace_event(
+            vis.visible_at,
+            TraceEvent::Visible {
+                node: node_idx,
+                method: msg.method,
+                arrival: msg.arrival,
+            },
+        );
+        // Ingest the message.
+        let (t_done, passes_ingest) = self.ingest(node_idx, vis.method_idx, &msg, vis.visible_at);
+        {
+            let node = &mut self.nodes[node_idx];
+            node.anchor_pass += vis.passes_consumed + passes_ingest;
+            node.stats.ingest_ns += t_done - vis.visible_at;
+        }
+        {
+            let node = &mut self.nodes[node_idx];
+            node.stats.msgs_recv += 1;
+            node.stats.bytes_recv += msg.size;
+        }
+        self.trace_event(t_done, TraceEvent::Dispatch { node: node_idx, tag: msg.tag });
+        self.run_callback(node_idx, t_done, Some(&msg));
+    }
+
+    /// Chunked ingestion: returns completion time and passes consumed.
+    fn ingest(
+        &mut self,
+        node_idx: usize,
+        method_idx: usize,
+        msg: &SimMsg,
+        start: SimTime,
+    ) -> (SimTime, u64) {
+        let model = &self.net.methods()[method_idx];
+        let node = &self.nodes[node_idx];
+        let chunks = model.chunks(msg.size);
+        if node.raw_mode {
+            let mut t = start;
+            for c in 0..chunks {
+                t += model.chunk_cost_ns(msg.size, c);
+            }
+            return (t, 0);
+        }
+        let methods = self.net.methods();
+        let mut t = start;
+        let mut probes_paid: Vec<u64> = vec![0; methods.len()];
+        for c in 0..chunks {
+            let pass_no = node.anchor_pass + c;
+            t += model.chunk_cost_ns(msg.size, c);
+            // Between chunk copies the poll loop runs the probes owed to
+            // the *other* methods — the select-slows-the-copy effect. A
+            // single-chunk (small) message involves no such interleaving.
+            if c + 1 == chunks {
+                break;
+            }
+            for (i, m) in methods.iter().enumerate() {
+                if i == method_idx {
+                    continue;
+                }
+                let skip = node.skips[i];
+                if skip != u64::MAX && pass_no.is_multiple_of(skip) {
+                    t += m.probe_ns;
+                    probes_paid[i] += 1;
+                }
+            }
+        }
+        t += NEXUS_DISPATCH_NS;
+        let node = &mut self.nodes[node_idx];
+        for (i, p) in probes_paid.into_iter().enumerate() {
+            node.stats.probes[i] += p;
+        }
+        (t, chunks)
+    }
+
+    /// Forwarding-node re-send: pay forwarding + send CPU and relay over
+    /// MPL. Runs in the runtime's poll loop; the forwarder's *program*
+    /// schedule is not perturbed (its drag comes from polling TCP at
+    /// skip 1, which `set_forwarder` leaves in place on the forwarder).
+    fn forward(&mut self, fwd_idx: usize, mut msg: SimMsg) {
+        msg.forwarded = true;
+        self.nodes[fwd_idx].stats.forwards += 1;
+        self.trace_event(
+            self.time,
+            TraceEvent::Forward {
+                node: fwd_idx,
+                to: msg.to,
+            },
+        );
+        let mpl = self
+            .net
+            .get(MethodId::MPL)
+            .expect("forwarding requires an MPL model");
+        let dep = self.time + FORWARD_CPU_NS + mpl.send_cpu_ns(msg.size);
+        let arrival = dep + mpl.arrival_delay_ns(msg.size);
+        let fwd_msg = SimMsg {
+            method: MethodId::MPL,
+            sent_at: dep,
+            arrival,
+            ..msg
+        };
+        self.push_event(arrival, EventKind::Arrival(fwd_msg));
+    }
+
+    /// Runs a program callback at time `t` and applies its actions.
+    fn run_callback(&mut self, node_idx: usize, t: SimTime, msg: Option<&SimMsg>) {
+        let mut program = match self.nodes[node_idx].program.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let mut actions = Vec::new();
+        {
+            let node = &self.nodes[node_idx];
+            let mut api = NodeApi {
+                now: t,
+                node: node_idx,
+                partition: node.partition,
+                actions: &mut actions,
+            };
+            match msg {
+                Some(m) => program.on_message(&mut api, m),
+                None => program.on_start(&mut api),
+            }
+        }
+        self.nodes[node_idx].program = Some(program);
+        self.apply_actions(node_idx, t, actions);
+        self.after_busy(node_idx);
+    }
+
+    fn apply_actions(&mut self, node_idx: usize, start: SimTime, actions: Vec<Action>) {
+        let mut t = start;
+        for a in actions {
+            match a {
+                Action::Compute(ns) => {
+                    t += ns;
+                    self.nodes[node_idx].stats.compute_ns += ns;
+                }
+                Action::ComputePolled { ns, ops } => {
+                    t += ns;
+                    self.nodes[node_idx].stats.compute_ns += ns;
+                    if !self.nodes[node_idx].raw_mode && ops > 0 {
+                        let methods = self.net.methods();
+                        let base_pass = self.nodes[node_idx].anchor_pass;
+                        let mut extra: u64 = 0;
+                        let mut probes_paid = vec![0u64; methods.len()];
+                        for op in 0..ops {
+                            let pass_no = base_pass + op;
+                            extra += POLL_LOOP_BASE_NS;
+                            for (i, m) in methods.iter().enumerate() {
+                                let skip = self.nodes[node_idx].skips[i];
+                                if skip != u64::MAX && pass_no.is_multiple_of(skip) {
+                                    extra += m.probe_ns;
+                                    probes_paid[i] += 1;
+                                }
+                            }
+                        }
+                        t += extra;
+                        let node = &mut self.nodes[node_idx];
+                        node.anchor_pass += ops;
+                        for (i, p) in probes_paid.into_iter().enumerate() {
+                            node.stats.probes[i] += p;
+                        }
+                    }
+                }
+                Action::Send {
+                    to,
+                    size,
+                    tag,
+                    info,
+                    method,
+                } => {
+                    let from_part = self.nodes[node_idx].partition;
+                    let to_part = self.nodes[to].partition;
+                    let mid = method
+                        .or_else(|| self.net.select(from_part, to_part))
+                        .expect("no applicable method for send");
+                    assert!(
+                        self.net.applicable(mid, from_part, to_part),
+                        "method {mid} cannot carry {from_part}->{to_part}"
+                    );
+                    let model = self.net.get(mid).expect("selected method is modeled");
+                    let raw = self.nodes[node_idx].raw_mode;
+                    let mut cpu = model.send_cpu_ns(size);
+                    if !raw {
+                        cpu += NEXUS_SEND_OVERHEAD_NS;
+                    }
+                    t += cpu;
+                    let arrival = t + model.arrival_delay_ns(size);
+                    let msg = SimMsg {
+                        from: node_idx,
+                        to,
+                        method: mid,
+                        size,
+                        tag,
+                        info,
+                        sent_at: t,
+                        arrival,
+                        forwarded: false,
+                    };
+                    self.trace_event(
+                        t,
+                        TraceEvent::Send {
+                            from: node_idx,
+                            to,
+                            method: mid,
+                            size,
+                            arrival,
+                        },
+                    );
+                    self.push_event(arrival, EventKind::Arrival(msg));
+                    let node = &mut self.nodes[node_idx];
+                    node.stats.msgs_sent += 1;
+                    node.stats.bytes_sent += size;
+                }
+                Action::SetSkip { method, k } => {
+                    if let Some(idx) = self.method_idx(method) {
+                        self.nodes[node_idx].skips[idx] = k.max(1);
+                    }
+                }
+                Action::Finish => {
+                    self.nodes[node_idx].done = true;
+                }
+            }
+        }
+        let node = &mut self.nodes[node_idx];
+        node.ready_at = t;
+        node.anchor = t;
+    }
+
+    /// After a node finishes its busy period, resume idle polling: if it
+    /// has pending messages, schedule the next wake.
+    fn after_busy(&mut self, node_idx: usize) {
+        let node = &self.nodes[node_idx];
+        if node.done {
+            return;
+        }
+        if node.inbox.iter().any(|q| !q.is_empty()) {
+            self.schedule_wake(node_idx);
+        } else {
+            // Nothing pending: bump the epoch so stale wakes die; the next
+            // arrival will schedule a fresh one.
+            self.nodes[node_idx].epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+
+    /// Sends one message at start; records receive times.
+    struct Sender {
+        to: usize,
+        size: u64,
+        via: Option<MethodId>,
+    }
+    impl NodeProgram for Sender {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            match self.via {
+                Some(m) => api.send_via(m, self.to, self.size, 1),
+                None => api.send(self.to, self.size, 1),
+            }
+            api.finish();
+        }
+        fn on_message(&mut self, _api: &mut NodeApi<'_>, _msg: &SimMsg) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Records when messages were dispatched to it.
+    #[derive(Default)]
+    struct Recorder {
+        times: Vec<SimTime>,
+        tags: Vec<u32>,
+    }
+    impl NodeProgram for Recorder {
+        fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+        fn on_message(&mut self, api: &mut NodeApi<'_>, msg: &SimMsg) {
+            self.times.push(api.now());
+            self.tags.push(msg.tag);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn one_way(size: u64, same_partition: bool) -> SimTime {
+        let mut sim = Sim::new(calib::sp2_network());
+        let rx = sim.add_node(
+            NodeConfig {
+                partition: 1,
+                raw_mode: false,
+            },
+            Box::new(Recorder::default()),
+        );
+        let _tx = sim.add_node(
+            NodeConfig {
+                partition: if same_partition { 1 } else { 2 },
+                raw_mode: false,
+            },
+            Box::new(Sender {
+                to: rx,
+                size,
+                via: None,
+            }),
+        );
+        sim.run(SimTime::from_secs(100));
+        let rec = sim.program(rx).as_any().downcast_ref::<Recorder>().unwrap();
+        assert_eq!(rec.times.len(), 1);
+        rec.times[0]
+    }
+
+    #[test]
+    fn same_partition_selects_mpl_and_is_fast() {
+        let t = one_way(0, true);
+        // Should be on the order of 100-300 µs (MPL path incl. polling).
+        assert!(t < SimTime::from_us(400), "got {t}");
+    }
+
+    #[test]
+    fn cross_partition_uses_tcp_and_pays_2ms() {
+        let t = one_way(0, false);
+        assert!(t > SimTime::from_ms(2), "got {t}");
+        assert!(t < SimTime::from_ms(4), "got {t}");
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let a = one_way(0, true);
+        let b = one_way(100_000, true);
+        let c = one_way(1_000_000, true);
+        assert!(a < b && b < c, "{a} {b} {c}");
+        // 1 MB over ~36 MB/s ≈ 28 ms.
+        assert!(c > SimTime::from_ms(20) && c < SimTime::from_ms(45), "got {c}");
+    }
+
+    #[test]
+    fn skip_poll_delays_tcp_visibility() {
+        let mut base = None;
+        for k in [1u64, 1000] {
+            let mut sim = Sim::new(calib::sp2_network());
+            let rx = sim.add_node(
+                NodeConfig {
+                    partition: 1,
+                    raw_mode: false,
+                },
+                Box::new(Recorder::default()),
+            );
+            let _tx = sim.add_node(
+                NodeConfig {
+                    partition: 2,
+                    raw_mode: false,
+                },
+                Box::new(Sender {
+                    to: rx,
+                    size: 0,
+                    via: None,
+                }),
+            );
+            sim.set_skip_poll(rx, MethodId::TCP, k);
+            sim.run(SimTime::from_secs(100));
+            let rec = sim.program(rx).as_any().downcast_ref::<Recorder>().unwrap();
+            let t = rec.times[0];
+            match base {
+                None => base = Some(t),
+                Some(b) => assert!(
+                    t > b + (SimTime::from_ms(1) - SimTime::ZERO),
+                    "skip {k} should delay visibility: {t} vs {b}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_mode_is_faster_than_nexus() {
+        let run = |raw: bool| -> SimTime {
+            let mut sim = Sim::new(calib::sp2_mpl_only());
+            let rx = sim.add_node(
+                NodeConfig {
+                    partition: 1,
+                    raw_mode: raw,
+                },
+                Box::new(Recorder::default()),
+            );
+            let _tx = sim.add_node(
+                NodeConfig {
+                    partition: 1,
+                    raw_mode: raw,
+                },
+                Box::new(Sender {
+                    to: rx,
+                    size: 0,
+                    via: None,
+                }),
+            );
+            sim.run(SimTime::from_secs(1));
+            sim.program(rx)
+                .as_any()
+                .downcast_ref::<Recorder>()
+                .unwrap()
+                .times[0]
+        };
+        let raw = run(true);
+        let nexus = run(false);
+        assert!(raw < nexus, "raw {raw} should beat nexus {nexus}");
+    }
+
+    #[test]
+    fn forwarding_routes_through_the_forwarder() {
+        let mut sim = Sim::new(calib::sp2_network());
+        let worker = sim.add_node(
+            NodeConfig {
+                partition: 1,
+                raw_mode: false,
+            },
+            Box::new(Recorder::default()),
+        );
+        let fwd = sim.add_node(
+            NodeConfig {
+                partition: 1,
+                raw_mode: false,
+            },
+            Box::new(Recorder::default()),
+        );
+        let _ext = sim.add_node(
+            NodeConfig {
+                partition: 2,
+                raw_mode: false,
+            },
+            Box::new(Sender {
+                to: worker,
+                size: 1000,
+                via: None,
+            }),
+        );
+        sim.set_forwarder(1, fwd);
+        sim.run(SimTime::from_secs(100));
+        let rec = sim
+            .program(worker)
+            .as_any()
+            .downcast_ref::<Recorder>()
+            .unwrap();
+        assert_eq!(rec.times.len(), 1, "message reached the worker");
+        assert_eq!(sim.node_stats(fwd).forwards, 1, "via the forwarder");
+        // The worker received it over MPL (its TCP polling is off).
+        assert_eq!(sim.node_stats(worker).msgs_recv, 1);
+    }
+
+    #[test]
+    fn determinism_same_seedless_run() {
+        let t1 = one_way(12345, true);
+        let t2 = one_way(12345, true);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn compute_polled_charges_probe_costs() {
+        struct Worker {
+            done_at: Option<SimTime>,
+        }
+        impl NodeProgram for Worker {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.compute_polled(1_000_000, 100);
+                api.send_info(0, 0, 9, 0); // to self: marks completion
+            }
+            fn on_message(&mut self, api: &mut NodeApi<'_>, _msg: &SimMsg) {
+                self.done_at = Some(api.now());
+                api.finish();
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let run = |k: u64| -> SimTime {
+            let mut sim = Sim::new(calib::sp2_network());
+            let w = sim.add_node(
+                NodeConfig {
+                    partition: 1,
+                    raw_mode: false,
+                },
+                Box::new(Worker { done_at: None }),
+            );
+            sim.set_skip_poll(w, MethodId::TCP, k);
+            sim.run(SimTime::from_secs(10));
+            sim.program(w)
+                .as_any()
+                .downcast_ref::<Worker>()
+                .unwrap()
+                .done_at
+                .unwrap()
+        };
+        let fast = run(1_000_000); // TCP essentially never polled
+        let slow = run(1); // 100 ops x 100 µs of select = +10 ms
+        assert!(
+            slow - fast > 9_000_000,
+            "select overhead should be ~10ms: {} vs {}",
+            slow,
+            fast
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # nexus-simnet: a deterministic simulator of the paper's testbed
+//!
+//! The paper's experiments ran on the Argonne IBM SP2: Power-1 nodes on a
+//! multistage switch, divided into software *partitions* (MPL only works
+//! within one; TCP works everywhere). We obviously do not have that
+//! machine, so this crate provides its stand-in: a discrete-event
+//! simulation of nodes that run message-driven programs over modeled
+//! communication methods, with the unified poll loop — probe costs,
+//! `skip_poll`, chunked device-to-user ingestion, forwarding nodes —
+//! modeled explicitly, because those are precisely the quantities the
+//! paper's evaluation measures.
+//!
+//! All model constants are calibrated to the paper's published numbers
+//! (see [`calib`]): MPL 36 MB/s and 15 µs probe, TCP 8 MB/s / 2 ms / 100 µs
+//! select, Nexus 0-byte one-way 83 µs → 156 µs with TCP polling. The
+//! simulation is integer-time and bit-for-bit deterministic.
+//!
+//! * [`engine`] — event queue, nodes, poll-pass arithmetic, forwarding
+//! * [`model`] — per-method cost models and the network assembly
+//! * [`calib`] — paper-anchored constants
+//! * [`pingpong`] — Fig. 4 / Fig. 6 microbenchmark workloads
+//! * [`trace`] — optional event tracing for run inspection
+//! * [`time`], [`rng`] — simulated time and deterministic randomness
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod engine;
+pub mod model;
+pub mod pingpong;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{NodeApi, NodeConfig, NodeProgram, NodeStats, Sim, SimMsg};
+pub use model::{MethodModel, NetworkModel};
+pub use time::SimTime;

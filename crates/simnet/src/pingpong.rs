@@ -1,0 +1,371 @@
+//! Ping-pong microbenchmarks: the workloads behind Figs. 4 and 6.
+//!
+//! * [`single_pingpong`] bounces a fixed-size message between two nodes and
+//!   reports the one-way time, under three configurations: raw (low-level
+//!   MPL program), Nexus with MPL only, Nexus with MPL + TCP in the poll
+//!   rotation. This regenerates Fig. 4.
+//! * [`dual_pingpong`] runs two ping-pongs concurrently sharing a node —
+//!   one over MPL inside a partition, one over TCP between partitions — for
+//!   a range of skip_poll values, reporting both one-way times. This
+//!   regenerates Fig. 6 (and the skip_poll trade-off at its heart).
+
+use crate::calib;
+use crate::engine::{NodeApi, NodeConfig, NodeProgram, Sim, SimMsg};
+use crate::time::SimTime;
+use nexus_rt::descriptor::MethodId;
+use std::any::Any;
+
+/// Tags distinguishing the two concurrent ping-pongs.
+const TAG_MPL: u32 = 1;
+/// See [`TAG_MPL`].
+const TAG_TCP: u32 = 2;
+
+/// Echo server: bounces every message straight back to its sender.
+pub struct Echo;
+
+impl NodeProgram for Echo {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+    fn on_message(&mut self, api: &mut NodeApi<'_>, msg: &SimMsg) {
+        api.send_info(msg.from, msg.size, msg.tag, msg.info);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Initiator of a single ping-pong: `rounds` roundtrips of `size` bytes.
+pub struct Pinger {
+    partner: usize,
+    size: u64,
+    rounds: u64,
+    completed: u64,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl Pinger {
+    /// Creates a pinger.
+    pub fn new(partner: usize, size: u64, rounds: u64) -> Self {
+        Pinger {
+            partner,
+            size,
+            rounds,
+            completed: 0,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Mean one-way time, if the run completed.
+    pub fn one_way(&self) -> Option<SimTime> {
+        let (s, f) = (self.started_at?, self.finished_at?);
+        Some(SimTime((f - s) / (2 * self.rounds)))
+    }
+}
+
+impl NodeProgram for Pinger {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.started_at = Some(api.now());
+        api.send(self.partner, self.size, TAG_MPL);
+    }
+    fn on_message(&mut self, api: &mut NodeApi<'_>, _msg: &SimMsg) {
+        self.completed += 1;
+        if self.completed < self.rounds {
+            api.send(self.partner, self.size, TAG_MPL);
+        } else {
+            self.finished_at = Some(api.now());
+            api.finish();
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Which Fig. 4 configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PingPongMode {
+    /// Low-level MPL program (no Nexus runtime at all).
+    RawMpl,
+    /// Nexus with a single method (MPL) in the poll rotation.
+    NexusMpl,
+    /// Nexus with MPL + TCP in the poll rotation (TCP never used).
+    NexusMplTcp,
+}
+
+/// Runs a single ping-pong and returns the mean one-way time.
+pub fn single_pingpong(mode: PingPongMode, size: u64, rounds: u64) -> SimTime {
+    let net = match mode {
+        PingPongMode::NexusMplTcp => calib::sp2_network(),
+        _ => calib::sp2_mpl_only(),
+    };
+    let raw = mode == PingPongMode::RawMpl;
+    let mut sim = Sim::new(net);
+    let cfg = NodeConfig {
+        partition: 1,
+        raw_mode: raw,
+    };
+    // Node 0 echoes; node 1 initiates and measures.
+    let echo = sim.add_node(cfg, Box::new(Echo));
+    let pinger = sim.add_node(cfg, Box::new(Pinger::new(echo, size, rounds)));
+    sim.run(SimTime::from_secs(3_600));
+    sim.program(pinger)
+        .as_any()
+        .downcast_ref::<Pinger>()
+        .expect("pinger program")
+        .one_way()
+        .expect("ping-pong completed")
+}
+
+/// The contended node of the dual ping-pong: initiates an MPL ping-pong
+/// with a partner in its own partition *and* a TCP ping-pong with a partner
+/// in another partition, concurrently. When the MPL side completes its
+/// fixed roundtrips, both one-way times are computed (the paper's
+/// methodology for Fig. 6).
+pub struct DualPinger {
+    mpl_partner: usize,
+    tcp_partner: usize,
+    size: u64,
+    mpl_rounds: u64,
+    mpl_completed: u64,
+    tcp_completed: u64,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+    running: bool,
+}
+
+impl DualPinger {
+    /// Creates the dual pinger.
+    pub fn new(mpl_partner: usize, tcp_partner: usize, size: u64, mpl_rounds: u64) -> Self {
+        DualPinger {
+            mpl_partner,
+            tcp_partner,
+            size,
+            mpl_rounds,
+            mpl_completed: 0,
+            tcp_completed: 0,
+            started_at: None,
+            finished_at: None,
+            running: true,
+        }
+    }
+
+    /// Mean MPL one-way time after completion.
+    pub fn mpl_one_way(&self) -> Option<SimTime> {
+        let (s, f) = (self.started_at?, self.finished_at?);
+        Some(SimTime((f - s) / (2 * self.mpl_rounds)))
+    }
+
+    /// Mean TCP one-way time after completion (None if the TCP side never
+    /// completed a roundtrip — possible at extreme skip_poll).
+    pub fn tcp_one_way(&self) -> Option<SimTime> {
+        let (s, f) = (self.started_at?, self.finished_at?);
+        if self.tcp_completed == 0 {
+            return None;
+        }
+        Some(SimTime((f - s) / (2 * self.tcp_completed)))
+    }
+}
+
+impl NodeProgram for DualPinger {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.started_at = Some(api.now());
+        api.send(self.mpl_partner, self.size, TAG_MPL);
+        api.send(self.tcp_partner, self.size, TAG_TCP);
+    }
+    fn on_message(&mut self, api: &mut NodeApi<'_>, msg: &SimMsg) {
+        if !self.running {
+            return;
+        }
+        match msg.tag {
+            TAG_MPL => {
+                self.mpl_completed += 1;
+                if self.mpl_completed < self.mpl_rounds {
+                    api.send(self.mpl_partner, self.size, TAG_MPL);
+                } else {
+                    self.finished_at = Some(api.now());
+                    self.running = false;
+                    api.finish();
+                }
+            }
+            TAG_TCP => {
+                self.tcp_completed += 1;
+                api.send(self.tcp_partner, self.size, TAG_TCP);
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Result of one dual ping-pong run.
+#[derive(Debug, Clone, Copy)]
+pub struct DualResult {
+    /// skip_poll value the run used (for TCP, on every node).
+    pub skip_poll: u64,
+    /// Mean MPL one-way time.
+    pub mpl_one_way: SimTime,
+    /// Mean TCP one-way time (None if no TCP roundtrip completed).
+    pub tcp_one_way: Option<SimTime>,
+    /// TCP roundtrips completed while MPL ran its fixed count.
+    pub tcp_roundtrips: u64,
+}
+
+/// Runs the dual ping-pong (Fig. 5 configuration) with the given TCP
+/// skip_poll applied to every node, and returns both one-way times.
+pub fn dual_pingpong(size: u64, mpl_rounds: u64, skip_poll: u64) -> DualResult {
+    let mut sim = Sim::new(calib::sp2_network());
+    let p1 = NodeConfig {
+        partition: 1,
+        raw_mode: false,
+    };
+    let p2 = NodeConfig {
+        partition: 2,
+        raw_mode: false,
+    };
+    let mpl_echo = sim.add_node(p1, Box::new(Echo));
+    let tcp_echo = sim.add_node(p2, Box::new(Echo));
+    let dual = sim.add_node(
+        p1,
+        Box::new(DualPinger::new(mpl_echo, tcp_echo, size, mpl_rounds)),
+    );
+    sim.set_skip_poll_all(MethodId::TCP, skip_poll);
+    sim.run(SimTime::from_secs(24 * 3_600));
+    let prog = sim
+        .program(dual)
+        .as_any()
+        .downcast_ref::<DualPinger>()
+        .expect("dual pinger");
+    DualResult {
+        skip_poll,
+        mpl_one_way: prog.mpl_one_way().expect("MPL side completed"),
+        tcp_one_way: prog.tcp_one_way(),
+        tcp_roundtrips: prog.tcp_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROUNDS: u64 = 500;
+
+    #[test]
+    fn fig4_anchor_nexus_mpl_zero_byte_near_83us() {
+        let t = single_pingpong(PingPongMode::NexusMpl, 0, ROUNDS);
+        let us = t.as_us_f64();
+        assert!(
+            (60.0..110.0).contains(&us),
+            "0-byte Nexus/MPL one-way should be ≈83 µs, got {us:.1}"
+        );
+    }
+
+    #[test]
+    fn fig4_anchor_tcp_polling_roughly_doubles_small_message_cost() {
+        let single = single_pingpong(PingPongMode::NexusMpl, 0, ROUNDS);
+        let multi = single_pingpong(PingPongMode::NexusMplTcp, 0, ROUNDS);
+        let ratio = multi.as_us_f64() / single.as_us_f64();
+        assert!(
+            (1.5..2.6).contains(&ratio),
+            "83→156 µs is a ~1.9x increase; got {:.1} -> {:.1} ({ratio:.2}x)",
+            single.as_us_f64(),
+            multi.as_us_f64()
+        );
+    }
+
+    #[test]
+    fn fig4_raw_mpl_is_fastest_at_zero_bytes() {
+        let raw = single_pingpong(PingPongMode::RawMpl, 0, ROUNDS);
+        let nexus = single_pingpong(PingPongMode::NexusMpl, 0, ROUNDS);
+        assert!(raw < nexus, "{raw} !< {nexus}");
+    }
+
+    #[test]
+    fn fig4_raw_and_nexus_converge_for_large_messages() {
+        let raw = single_pingpong(PingPongMode::RawMpl, 1 << 20, 20);
+        let nexus = single_pingpong(PingPongMode::NexusMpl, 1 << 20, 20);
+        let ratio = nexus.as_us_f64() / raw.as_us_f64();
+        assert!(
+            ratio < 1.05,
+            "Nexus overhead should vanish at 1 MB: ratio {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn fig4_tcp_polling_degrades_large_message_bandwidth() {
+        let single = single_pingpong(PingPongMode::NexusMpl, 1 << 20, 20);
+        let multi = single_pingpong(PingPongMode::NexusMplTcp, 1 << 20, 20);
+        let ratio = multi.as_us_f64() / single.as_us_f64();
+        assert!(
+            ratio > 1.10,
+            "TCP polling should visibly degrade MPL bandwidth, ratio {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn fig4_mpl_bandwidth_near_36_mb_s() {
+        let t = single_pingpong(PingPongMode::RawMpl, 1 << 20, 20);
+        let bw = (1 << 20) as f64 / t.as_secs_f64();
+        assert!(
+            (30e6..42e6).contains(&bw),
+            "raw MPL bandwidth ≈36 MB/s, got {:.1} MB/s",
+            bw / 1e6
+        );
+    }
+
+    #[test]
+    fn fig6_mpl_improves_with_skip_poll() {
+        let r1 = dual_pingpong(0, 200, 1);
+        let r20 = dual_pingpong(0, 200, 20);
+        assert!(
+            r20.mpl_one_way < r1.mpl_one_way,
+            "skip_poll should speed up MPL: {} vs {}",
+            r20.mpl_one_way,
+            r1.mpl_one_way
+        );
+    }
+
+    #[test]
+    fn fig6_tcp_degrades_at_extreme_skip_poll() {
+        let r20 = dual_pingpong(0, 400, 20);
+        let r5000 = dual_pingpong(0, 400, 5_000);
+        let t20 = r20.tcp_one_way.expect("tcp completed at skip 20");
+        if let Some(t5000) = r5000.tcp_one_way {
+            assert!(
+                t5000 > t20,
+                "TCP should slow down at skip 5000: {t5000} vs {t20}"
+            );
+        } // None = so extreme that no roundtrip completed: also "worse"
+
+    }
+
+    #[test]
+    fn fig6_skip_20_does_not_hurt_tcp_much() {
+        let r1 = dual_pingpong(0, 400, 1);
+        let r20 = dual_pingpong(0, 400, 20);
+        let t1 = r1.tcp_one_way.unwrap().as_us_f64();
+        let t20 = r20.tcp_one_way.unwrap().as_us_f64();
+        assert!(
+            t20 < t1 * 1.25,
+            "skip 20 should cost TCP <25%: {t1:.0} -> {t20:.0} µs"
+        );
+    }
+
+    #[test]
+    fn fig6_10kb_shape_holds_too() {
+        let r1 = dual_pingpong(10_000, 100, 1);
+        let r50 = dual_pingpong(10_000, 100, 50);
+        assert!(r50.mpl_one_way < r1.mpl_one_way);
+        assert!(r1.tcp_one_way.is_some() && r50.tcp_one_way.is_some());
+    }
+
+    #[test]
+    fn dual_pingpong_is_deterministic() {
+        let a = dual_pingpong(0, 100, 10);
+        let b = dual_pingpong(0, 100, 10);
+        assert_eq!(a.mpl_one_way, b.mpl_one_way);
+        assert_eq!(a.tcp_roundtrips, b.tcp_roundtrips);
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulated time.
+//!
+//! Simulation time is a nanosecond counter from the start of the run. All
+//! model constants (latencies, probe costs, copy costs) are expressed in
+//! nanoseconds so arithmetic stays in integers and the simulation is
+//! bit-for-bit deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from microseconds.
+    pub fn from_us(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanosecond count.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds (floating point, for reporting).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in milliseconds (floating point, for reporting).
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds (floating point, for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_us_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_us(5).as_ns(), 5_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimTime::from_ms(1).as_us_f64(), 1000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_us(10) + 500;
+        assert_eq!(t.as_ns(), 10_500);
+        assert_eq!(t - SimTime::from_us(10), 500);
+        assert_eq!(SimTime(5).saturating_sub(SimTime(9)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_us(83).to_string(), "83.000us");
+        assert_eq!(SimTime::from_ms(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_secs(105).to_string(), "105.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_us(1) < SimTime::from_ms(1));
+    }
+}

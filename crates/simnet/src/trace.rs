@@ -1,0 +1,201 @@
+//! Event tracing for simulation runs.
+//!
+//! A [`Trace`] records the engine's interesting moments — sends, wire
+//! arrivals, visibility (the probe that noticed a message), dispatches,
+//! forwards — with their simulated times, so an experiment that produces a
+//! surprising number can be opened up and read line by line. Recording is
+//! off unless a trace is attached; a bounded ring keeps memory flat on
+//! long runs.
+
+use crate::time::SimTime;
+use nexus_rt::descriptor::MethodId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A program issued a send.
+    Send {
+        /// Sending node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Carrying method.
+        method: MethodId,
+        /// Payload size.
+        size: u64,
+        /// Wire-arrival time of the message.
+        arrival: SimTime,
+    },
+    /// A message became visible to its receiver's poll loop.
+    Visible {
+        /// Receiving node.
+        node: usize,
+        /// Carrying method.
+        method: MethodId,
+        /// Wire arrival time (visibility latency = now - arrival).
+        arrival: SimTime,
+    },
+    /// A message was dispatched to the receiving program.
+    Dispatch {
+        /// Receiving node.
+        node: usize,
+        /// Application tag.
+        tag: u32,
+    },
+    /// A forwarding node relayed a message.
+    Forward {
+        /// The forwarder.
+        node: usize,
+        /// Final destination.
+        to: usize,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.event {
+            TraceEvent::Send {
+                from,
+                to,
+                method,
+                size,
+                arrival,
+            } => write!(
+                f,
+                "{:>12}  send    {from} -> {to} via {method} ({size} B, arrives {arrival})",
+                self.at.to_string()
+            ),
+            TraceEvent::Visible {
+                node,
+                method,
+                arrival,
+            } => write!(
+                f,
+                "{:>12}  visible node {node} via {method} (waited {})",
+                self.at.to_string(),
+                SimTime(self.at.as_ns().saturating_sub(arrival.as_ns()))
+            ),
+            TraceEvent::Dispatch { node, tag } => write!(
+                f,
+                "{:>12}  handle  node {node} tag {tag}",
+                self.at.to_string()
+            ),
+            TraceEvent::Forward { node, to } => write!(
+                f,
+                "{:>12}  forward node {node} -> {to}",
+                self.at.to_string()
+            ),
+        }
+    }
+}
+
+/// A bounded ring of trace records.
+#[derive(Debug)]
+pub struct Trace {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Total events seen (including any that fell off the ring).
+    pub total: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceRecord { at, event });
+        self.total += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Renders the retained records as text, one per line.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for r in &self.ring {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut t = Trace::new(3);
+        for i in 0..5u32 {
+            t.record(
+                SimTime::from_us(i as u64),
+                TraceEvent::Dispatch { node: 0, tag: i },
+            );
+        }
+        assert_eq!(t.total, 5);
+        let tags: Vec<u32> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::Dispatch { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let mut t = Trace::new(8);
+        t.record(
+            SimTime::from_us(10),
+            TraceEvent::Send {
+                from: 1,
+                to: 2,
+                method: MethodId::MPL,
+                size: 100,
+                arrival: SimTime::from_us(40),
+            },
+        );
+        t.record(
+            SimTime::from_us(55),
+            TraceEvent::Visible {
+                node: 2,
+                method: MethodId::MPL,
+                arrival: SimTime::from_us(40),
+            },
+        );
+        t.record(SimTime::from_us(60), TraceEvent::Dispatch { node: 2, tag: 7 });
+        t.record(SimTime::from_us(80), TraceEvent::Forward { node: 3, to: 4 });
+        let d = t.dump();
+        assert!(d.contains("send    1 -> 2 via mpl"));
+        assert!(d.contains("visible node 2 via mpl (waited 15.000us)"));
+        assert!(d.contains("handle  node 2 tag 7"));
+        assert!(d.contains("forward node 3 -> 4"));
+        assert_eq!(d.lines().count(), 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use nexus_rt::descriptor::MethodId;
+use nexus_simnet::calib;
+use nexus_simnet::engine::{NodeApi, NodeConfig, NodeProgram, Sim, SimMsg};
+use nexus_simnet::SimTime;
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Computes `delay` then sends one message of `size` to node 0.
+struct DelayedSender {
+    delay_ns: u64,
+    size: u64,
+    via: Option<MethodId>,
+}
+
+impl NodeProgram for DelayedSender {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.compute(self.delay_ns);
+        match self.via {
+            Some(m) => api.send_via(m, 0, self.size, 1),
+            None => api.send(0, self.size, 1),
+        }
+        api.finish();
+    }
+    fn on_message(&mut self, _: &mut NodeApi<'_>, _: &SimMsg) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Records arrival metadata and dispatch times.
+#[derive(Default)]
+struct Recorder {
+    dispatched_at: Vec<SimTime>,
+    arrivals: Vec<SimTime>,
+    methods: Vec<MethodId>,
+}
+
+impl NodeProgram for Recorder {
+    fn on_start(&mut self, _: &mut NodeApi<'_>) {}
+    fn on_message(&mut self, api: &mut NodeApi<'_>, msg: &SimMsg) {
+        self.dispatched_at.push(api.now());
+        self.arrivals.push(msg.arrival);
+        self.methods.push(msg.method);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn run_one(
+    delay_ns: u64,
+    size: u64,
+    skip: u64,
+    same_partition: bool,
+) -> (Vec<SimTime>, Vec<SimTime>, Vec<MethodId>) {
+    let mut sim = Sim::new(calib::sp2_network());
+    let rx = sim.add_node(
+        NodeConfig {
+            partition: 1,
+            raw_mode: false,
+        },
+        Box::new(Recorder::default()),
+    );
+    sim.add_node(
+        NodeConfig {
+            partition: if same_partition { 1 } else { 2 },
+            raw_mode: false,
+        },
+        Box::new(DelayedSender {
+            delay_ns,
+            size,
+            via: None,
+        }),
+    );
+    sim.set_skip_poll(rx, MethodId::TCP, skip);
+    sim.run(SimTime::from_secs(3_600));
+    let rec = sim.program(rx).as_any().downcast_ref::<Recorder>().unwrap();
+    (
+        rec.dispatched_at.clone(),
+        rec.arrivals.clone(),
+        rec.methods.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dispatch_never_precedes_arrival(
+        delay_us in 0u64..100_000,
+        size in 0u64..200_000,
+        skip in 1u64..10_000,
+        same_partition in any::<bool>(),
+    ) {
+        let (dispatched, arrivals, methods) =
+            run_one(delay_us * 1_000, size, skip, same_partition);
+        prop_assert_eq!(dispatched.len(), 1, "exactly one delivery");
+        prop_assert!(dispatched[0] >= arrivals[0], "causality");
+        // Selection matches placement.
+        let expect = if same_partition { MethodId::MPL } else { MethodId::TCP };
+        prop_assert_eq!(methods[0], expect);
+    }
+
+    #[test]
+    fn runs_are_bit_identical(
+        delay_us in 0u64..10_000,
+        size in 0u64..50_000,
+        skip in 1u64..1_000,
+    ) {
+        let a = run_one(delay_us * 1_000, size, skip, true);
+        let b = run_one(delay_us * 1_000, size, skip, true);
+        prop_assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn fifo_per_sender_is_preserved(
+        gap_us in 1u64..1_000,
+        n in 2usize..10,
+    ) {
+        // A sender that emits n messages back-to-back with compute gaps;
+        // the receiver must dispatch them in order.
+        struct Burst {
+            n: usize,
+            gap_ns: u64,
+        }
+        impl NodeProgram for Burst {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for i in 0..self.n {
+                    api.compute(self.gap_ns);
+                    api.send_info(0, 0, 1, i as u64);
+                }
+                api.finish();
+            }
+            fn on_message(&mut self, _: &mut NodeApi<'_>, _: &SimMsg) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        #[derive(Default)]
+        struct InfoRecorder {
+            infos: Vec<u64>,
+        }
+        impl NodeProgram for InfoRecorder {
+            fn on_start(&mut self, _: &mut NodeApi<'_>) {}
+            fn on_message(&mut self, _: &mut NodeApi<'_>, msg: &SimMsg) {
+                self.infos.push(msg.info);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(calib::sp2_network());
+        let rx = sim.add_node(
+            NodeConfig { partition: 1, raw_mode: false },
+            Box::new(InfoRecorder::default()),
+        );
+        sim.add_node(
+            NodeConfig { partition: 1, raw_mode: false },
+            Box::new(Burst { n, gap_ns: gap_us * 1_000 }),
+        );
+        sim.run(SimTime::from_secs(3_600));
+        let rec = sim.program(rx).as_any().downcast_ref::<InfoRecorder>().unwrap();
+        prop_assert_eq!(rec.infos.len(), n);
+        let sorted: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(&rec.infos, &sorted, "same-link FIFO");
+    }
+
+    #[test]
+    fn larger_skip_never_delivers_unboundedly_late(
+        delay_us in 0u64..10_000,
+        skip in 1u64..100_000,
+    ) {
+        // With arbitrary skip, the message still arrives, and not later
+        // than arrival + skip passes' worth of time + ingestion slack.
+        let (dispatched, arrivals, _) = run_one(delay_us * 1_000, 0, skip, false);
+        let worst_wait_ns =
+            skip * (calib::MPL_PROBE_NS + 500) + calib::TCP_PROBE_NS + 10_000_000;
+        prop_assert!(
+            dispatched[0].as_ns() <= arrivals[0].as_ns() + worst_wait_ns,
+            "visibility bounded by one skip period: dispatched {} arrival {} skip {}",
+            dispatched[0],
+            arrivals[0],
+            skip
+        );
+    }
+}
+
+#[test]
+fn trace_records_the_message_lifecycle() {
+    let mut sim = Sim::new(calib::sp2_network());
+    sim.enable_trace(64);
+    let rx = sim.add_node(
+        NodeConfig {
+            partition: 1,
+            raw_mode: false,
+        },
+        Box::new(Recorder::default()),
+    );
+    sim.add_node(
+        NodeConfig {
+            partition: 1,
+            raw_mode: false,
+        },
+        Box::new(DelayedSender {
+            delay_ns: 1_000,
+            size: 500,
+            via: None,
+        }),
+    );
+    sim.run(SimTime::from_secs(10));
+    let trace = sim.trace().expect("enabled");
+    let dump = trace.dump();
+    assert!(dump.contains("send    1 -> 0 via mpl"), "{dump}");
+    assert!(dump.contains("visible node 0 via mpl"), "{dump}");
+    assert!(dump.contains("handle  node 0 tag 1"), "{dump}");
+    assert_eq!(trace.total, 3, "{dump}");
+    let _ = rx;
+}
+
+#[test]
+fn trace_records_forwarding() {
+    use nexus_simnet::trace::TraceEvent;
+    let mut sim = Sim::new(calib::sp2_network());
+    sim.enable_trace(64);
+    let worker = sim.add_node(
+        NodeConfig {
+            partition: 1,
+            raw_mode: false,
+        },
+        Box::new(Recorder::default()),
+    );
+    let fwd = sim.add_node(
+        NodeConfig {
+            partition: 1,
+            raw_mode: false,
+        },
+        Box::new(Recorder::default()),
+    );
+    sim.add_node(
+        NodeConfig {
+            partition: 2,
+            raw_mode: false,
+        },
+        Box::new(DelayedSender {
+            delay_ns: 0,
+            size: 100,
+            via: None,
+        }),
+    );
+    sim.set_forwarder(1, fwd);
+    sim.run(SimTime::from_secs(10));
+    let trace = sim.trace().unwrap();
+    assert!(trace
+        .records()
+        .any(|r| matches!(r.event, TraceEvent::Forward { node, to } if node == fwd && to == worker)));
+}

@@ -1,0 +1,102 @@
+//! The `local` module: intra-context communication.
+//!
+//! When a startpoint and endpoint live in the same context, the RSR does
+//! not need a network at all — it goes through an in-context queue and is
+//! dispatched on the next `progress` call, preserving the message-driven
+//! execution model (handlers never run re-entrantly inside `rsr`).
+
+use crate::queue::{QueueDescriptor, QueueMedium, QueueObject, QueueReceiver};
+use nexus_rt::context::ContextInfo;
+use nexus_rt::descriptor::{CommDescriptor, MethodId};
+use nexus_rt::error::Result;
+use nexus_rt::module::{CommModule, CommObject, CommReceiver};
+use std::sync::Arc;
+
+/// Intra-context communication module.
+pub struct LocalModule {
+    medium: Arc<QueueMedium>,
+}
+
+impl Default for LocalModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalModule {
+    /// Creates the module.
+    pub fn new() -> Self {
+        LocalModule {
+            medium: Arc::new(QueueMedium::new()),
+        }
+    }
+}
+
+impl CommModule for LocalModule {
+    fn method(&self) -> MethodId {
+        MethodId::LOCAL
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn cost_rank(&self) -> u32 {
+        0
+    }
+
+    fn open(&self, ctx: &ContextInfo) -> Result<(CommDescriptor, Box<dyn CommReceiver>)> {
+        let desc = QueueDescriptor::encode(MethodId::LOCAL, ctx);
+        let rx = QueueReceiver::new(Arc::clone(&self.medium), ctx.id);
+        Ok((desc, Box::new(rx)))
+    }
+
+    fn applicable(&self, local: &ContextInfo, desc: &CommDescriptor) -> bool {
+        desc.method == MethodId::LOCAL
+            && QueueDescriptor::decode(desc).is_ok_and(|d| d.context == local.id)
+    }
+
+    fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
+        let d = QueueDescriptor::decode(desc)?;
+        QueueObject::connect(MethodId::LOCAL, &self.medium, d.context)
+    }
+
+    fn poll_cost_ns(&self) -> u64 {
+        50
+    }
+
+    fn supports_blocking(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_rt::context::{ContextId, NodeId, PartitionId};
+
+    fn info(id: u32) -> ContextInfo {
+        ContextInfo {
+            id: ContextId(id),
+            node: NodeId(0),
+            partition: PartitionId(0),
+        }
+    }
+
+    #[test]
+    fn applicable_only_within_same_context() {
+        let m = LocalModule::new();
+        let (desc, _rx) = m.open(&info(1)).unwrap();
+        assert!(m.applicable(&info(1), &desc));
+        assert!(!m.applicable(&info(2), &desc));
+    }
+
+    #[test]
+    fn rejects_foreign_descriptors() {
+        let m = LocalModule::new();
+        let foreign = CommDescriptor::new(MethodId::TCP, vec![1, 2, 3]);
+        assert!(!m.applicable(&info(1), &foreign));
+        let garbage = CommDescriptor::new(MethodId::LOCAL, vec![1]);
+        assert!(!m.applicable(&info(1), &garbage));
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared machinery for the in-process queue transports.
+//!
+//! The `local`, `shmem`, and `mpl` modules all move RSRs through
+//! lock-free per-context queues; they differ only in their applicability
+//! rules, descriptors, and cost characteristics. [`QueueMedium`] is the
+//! shared "wire": a map from context id to its inbound queue.
+
+use crossbeam::queue::SegQueue;
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::{ContextId, ContextInfo};
+use nexus_rt::descriptor::{CommDescriptor, MethodId};
+use nexus_rt::error::{NexusError, Result};
+use nexus_rt::module::{CommObject, CommReceiver};
+use nexus_rt::rsr::Rsr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The shared medium: one inbound queue per registered context.
+#[derive(Default)]
+pub struct QueueMedium {
+    queues: Mutex<HashMap<ContextId, Arc<SegQueue<Rsr>>>>,
+}
+
+impl QueueMedium {
+    /// Creates an empty medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a context and returns its inbound queue.
+    pub fn register(&self, ctx: ContextId) -> Arc<SegQueue<Rsr>> {
+        let q = Arc::new(SegQueue::new());
+        self.queues.lock().insert(ctx, Arc::clone(&q));
+        q
+    }
+
+    /// Removes a context's queue (shutdown).
+    pub fn unregister(&self, ctx: ContextId) {
+        self.queues.lock().remove(&ctx);
+    }
+
+    /// Looks up a context's queue.
+    pub fn queue_for(&self, ctx: ContextId) -> Option<Arc<SegQueue<Rsr>>> {
+        self.queues.lock().get(&ctx).cloned()
+    }
+}
+
+/// Placement facts a queue descriptor carries on the wire: enough for any
+/// applicability rule the queue transports use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDescriptor {
+    /// Target context.
+    pub context: ContextId,
+    /// Target node.
+    pub node: u32,
+    /// Target partition ("session id" in MPL terms).
+    pub partition: u32,
+}
+
+impl QueueDescriptor {
+    /// Builds the wire descriptor for `method` from context placement.
+    pub fn encode(method: MethodId, info: &ContextInfo) -> CommDescriptor {
+        let mut b = Buffer::new();
+        b.put_u32(info.id.0);
+        b.put_u32(info.node.0);
+        b.put_u32(info.partition.0);
+        CommDescriptor::new(method, b.into_bytes().to_vec())
+    }
+
+    /// Parses a queue descriptor's payload.
+    pub fn decode(desc: &CommDescriptor) -> Result<QueueDescriptor> {
+        let mut b = Buffer::new();
+        b.put_raw(&desc.data);
+        Ok(QueueDescriptor {
+            context: ContextId(b.get_u32()?),
+            node: b.get_u32()?,
+            partition: b.get_u32()?,
+        })
+    }
+}
+
+/// Receive side: pops from the context's queue.
+pub struct QueueReceiver {
+    medium: Arc<QueueMedium>,
+    ctx: ContextId,
+    queue: Arc<SegQueue<Rsr>>,
+}
+
+impl QueueReceiver {
+    /// Registers `ctx` in the medium and returns its receiver.
+    pub fn new(medium: Arc<QueueMedium>, ctx: ContextId) -> Self {
+        let queue = medium.register(ctx);
+        QueueReceiver { medium, ctx, queue }
+    }
+}
+
+impl CommReceiver for QueueReceiver {
+    fn poll(&mut self) -> Result<Option<Rsr>> {
+        Ok(self.queue.pop())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Rsr>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.queue.pop() {
+                return Ok(Some(m));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn close(&mut self) {
+        self.medium.unregister(self.ctx);
+    }
+}
+
+/// Sender side: pushes into the target context's queue.
+pub struct QueueObject {
+    method: MethodId,
+    queue: Arc<SegQueue<Rsr>>,
+}
+
+impl QueueObject {
+    /// Connects to `target` within `medium`.
+    pub fn connect(
+        method: MethodId,
+        medium: &QueueMedium,
+        target: ContextId,
+    ) -> Result<Arc<dyn CommObject>> {
+        let queue = medium
+            .queue_for(target)
+            .ok_or(NexusError::UnknownContext(target))?;
+        Ok(Arc::new(QueueObject { method, queue }))
+    }
+}
+
+impl CommObject for QueueObject {
+    fn method(&self) -> MethodId {
+        self.method
+    }
+
+    fn send(&self, rsr: &Rsr) -> Result<()> {
+        self.queue.push(rsr.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nexus_rt::context::{NodeId, PartitionId};
+    use nexus_rt::endpoint::EndpointId;
+
+    fn info(id: u32, node: u32, part: u32) -> ContextInfo {
+        ContextInfo {
+            id: ContextId(id),
+            node: NodeId(node),
+            partition: PartitionId(part),
+        }
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = QueueDescriptor::encode(MethodId::MPL, &info(3, 4, 5));
+        assert_eq!(d.method, MethodId::MPL);
+        let q = QueueDescriptor::decode(&d).unwrap();
+        assert_eq!(q.context, ContextId(3));
+        assert_eq!(q.node, 4);
+        assert_eq!(q.partition, 5);
+    }
+
+    #[test]
+    fn medium_send_receive() {
+        let medium = Arc::new(QueueMedium::new());
+        let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
+        let obj = QueueObject::connect(MethodId::SHMEM, &medium, ContextId(1)).unwrap();
+        assert!(rx.poll().unwrap().is_none());
+        obj.send(&Rsr::new(ContextId(1), EndpointId(9), "h", Bytes::new()))
+            .unwrap();
+        let m = rx.poll().unwrap().unwrap();
+        assert_eq!(m.endpoint, EndpointId(9));
+    }
+
+    #[test]
+    fn connect_to_unknown_context_fails() {
+        let medium = QueueMedium::new();
+        assert!(QueueObject::connect(MethodId::SHMEM, &medium, ContextId(9)).is_err());
+    }
+
+    #[test]
+    fn close_unregisters() {
+        let medium = Arc::new(QueueMedium::new());
+        let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
+        rx.close();
+        assert!(medium.queue_for(ContextId(1)).is_none());
+    }
+
+    #[test]
+    fn recv_timeout_returns_when_message_arrives() {
+        let medium = Arc::new(QueueMedium::new());
+        let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
+        let obj = QueueObject::connect(MethodId::SHMEM, &medium, ContextId(1)).unwrap();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            obj.send(&Rsr::new(ContextId(1), EndpointId(1), "x", Bytes::new()))
+                .unwrap();
+        });
+        let m = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(m.is_some());
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,521 @@
+//! The `rudp` module: reliable, ordered delivery layered over UDP.
+//!
+//! The paper's related-work discussion (x-kernel, Horus) points at building
+//! richer protocols by composing simpler elements; `rudp` is that idea
+//! inside this module set — a go-back-none, selective-ack reliability layer
+//! on top of real UDP sockets:
+//!
+//! * every DATA packet carries a connection id and sequence number;
+//! * the receiver acks every DATA it sees and releases messages in order,
+//!   holding out-of-order arrivals in a reorder buffer;
+//! * the sender keeps unacked packets and retransmits them after `rto_ms`,
+//!   driven by a per-connection pump thread;
+//! * deterministic loss injection (`loss`, `seed` parameters) applies to
+//!   DATA transmissions, so reliability is actually exercised on loopback.
+
+use crate::util::XorShift;
+use nexus_rt::context::ContextInfo;
+use nexus_rt::descriptor::{CommDescriptor, MethodId};
+use nexus_rt::error::{NexusError, Result};
+use nexus_rt::module::{CommModule, CommObject, CommReceiver};
+use nexus_rt::rsr::Rsr;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TYPE_DATA: u8 = 0;
+const TYPE_ACK: u8 = 1;
+
+/// Maximum DATA payload per packet (one RSR frame; no fragmentation).
+pub const MAX_FRAME: usize = 59_000;
+
+/// Sender window: cap on unacked packets before `send` applies
+/// backpressure.
+const WINDOW: usize = 512;
+
+fn encode_packet(ptype: u8, conn: u64, seq: u64, frame: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(17 + frame.len());
+    v.push(ptype);
+    v.extend_from_slice(&conn.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(frame);
+    v
+}
+
+fn decode_header(pkt: &[u8]) -> Option<(u8, u64, u64, &[u8])> {
+    if pkt.len() < 17 {
+        return None;
+    }
+    let ptype = pkt[0];
+    let conn = u64::from_le_bytes(pkt[1..9].try_into().ok()?);
+    let seq = u64::from_le_bytes(pkt[9..17].try_into().ok()?);
+    Some((ptype, conn, seq, &pkt[17..]))
+}
+
+/// Reliable-UDP module.
+pub struct RudpModule {
+    loss_bits: Arc<AtomicU64>,
+    rng: Arc<XorShift>,
+    rto_ms: Arc<AtomicU64>,
+    next_conn: AtomicU64,
+    /// DATA transmissions suppressed by injection.
+    injected_drops: Arc<AtomicU64>,
+    /// Retransmissions performed (observability).
+    retransmits: Arc<AtomicU64>,
+}
+
+impl Default for RudpModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RudpModule {
+    /// Creates the module (no loss, 20 ms RTO).
+    pub fn new() -> Self {
+        RudpModule {
+            loss_bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            rng: Arc::new(XorShift::new(1)),
+            rto_ms: Arc::new(AtomicU64::new(20)),
+            next_conn: AtomicU64::new(1),
+            injected_drops: Arc::new(AtomicU64::new(0)),
+            retransmits: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// DATA transmissions suppressed by loss injection so far.
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops.load(Ordering::Relaxed)
+    }
+
+    /// Retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-source reorder state at the receiver.
+#[derive(Default)]
+struct ConnRecvState {
+    next_expected: u64,
+    reorder: BTreeMap<u64, Rsr>,
+}
+
+struct RudpReceiver {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+    conns: HashMap<u64, ConnRecvState>,
+    ready: VecDeque<Rsr>,
+}
+
+impl RudpReceiver {
+    fn drain_socket(&mut self) -> Result<()> {
+        loop {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((n, src)) => {
+                    let Some((ptype, conn, seq, frame)) = decode_header(&self.buf[..n]) else {
+                        continue; // runt packet: drop
+                    };
+                    if ptype != TYPE_DATA {
+                        continue; // receivers only consume DATA
+                    }
+                    // Ack everything we see, including duplicates (the
+                    // original ack may have raced the retransmit).
+                    let ack = encode_packet(TYPE_ACK, conn, seq, &[]);
+                    let _ = self.socket.send_to(&ack, src);
+                    let st = self.conns.entry(conn).or_default();
+                    if seq < st.next_expected || st.reorder.contains_key(&seq) {
+                        continue; // duplicate
+                    }
+                    st.reorder.insert(seq, Rsr::decode(frame)?);
+                    while let Some(m) = st.reorder.remove(&st.next_expected) {
+                        st.next_expected += 1;
+                        self.ready.push_back(m);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl CommReceiver for RudpReceiver {
+    fn poll(&mut self) -> Result<Option<Rsr>> {
+        if let Some(m) = self.ready.pop_front() {
+            return Ok(Some(m));
+        }
+        self.drain_socket()?;
+        Ok(self.ready.pop_front())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Rsr>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.poll()? {
+                return Ok(Some(m));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+struct Unacked {
+    packet: Vec<u8>,
+    last_sent: Instant,
+}
+
+struct SenderShared {
+    socket: UdpSocket,
+    unacked: Mutex<BTreeMap<u64, Unacked>>,
+    loss_bits: Arc<AtomicU64>,
+    rng: Arc<XorShift>,
+    rto_ms: Arc<AtomicU64>,
+    injected_drops: Arc<AtomicU64>,
+    retransmits: Arc<AtomicU64>,
+    stop: AtomicBool,
+}
+
+impl SenderShared {
+    /// Transmits a packet, applying loss injection to DATA.
+    fn transmit(&self, packet: &[u8]) {
+        let loss = f64::from_bits(self.loss_bits.load(Ordering::Relaxed));
+        if loss > 0.0 && self.rng.next_f64() < loss {
+            self.injected_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = self.socket.send(packet);
+    }
+
+    /// Processes incoming ACKs and retransmits overdue packets.
+    fn pump_once(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match self.socket.recv(&mut buf) {
+                Ok(n) => {
+                    if let Some((TYPE_ACK, _conn, seq, _)) = decode_header(&buf[..n]) {
+                        self.unacked.lock().remove(&seq);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        let rto = Duration::from_millis(self.rto_ms.load(Ordering::Relaxed));
+        let now = Instant::now();
+        let mut to_retransmit = Vec::new();
+        {
+            let mut g = self.unacked.lock();
+            for u in g.values_mut() {
+                if now.duration_since(u.last_sent) >= rto {
+                    u.last_sent = now;
+                    to_retransmit.push(u.packet.clone());
+                }
+            }
+        }
+        for p in to_retransmit {
+            self.retransmits.fetch_add(1, Ordering::Relaxed);
+            self.transmit(&p);
+        }
+    }
+}
+
+struct RudpObject {
+    shared: Arc<SenderShared>,
+    conn: u64,
+    next_seq: AtomicU64,
+    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl CommObject for RudpObject {
+    fn method(&self) -> MethodId {
+        MethodId::RUDP
+    }
+
+    fn send(&self, rsr: &Rsr) -> Result<()> {
+        let frame = rsr.encode();
+        if frame.len() > MAX_FRAME {
+            return Err(NexusError::BadParam {
+                key: "payload".to_owned(),
+                reason: format!("RSR frame of {} bytes exceeds rudp limit {MAX_FRAME}", frame.len()),
+            });
+        }
+        // Backpressure: wait for window space (the pump thread drains acks).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.unacked.lock().len() >= WINDOW {
+            if Instant::now() >= deadline {
+                return Err(NexusError::ConnectionClosed);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let packet = encode_packet(TYPE_DATA, self.conn, seq, &frame);
+        self.shared.unacked.lock().insert(
+            seq,
+            Unacked {
+                packet: packet.clone(),
+                last_sent: Instant::now(),
+            },
+        );
+        self.shared.transmit(&packet);
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RudpObject {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl CommModule for RudpModule {
+    fn method(&self) -> MethodId {
+        MethodId::RUDP
+    }
+
+    fn name(&self) -> &'static str {
+        "rudp"
+    }
+
+    fn cost_rank(&self) -> u32 {
+        50
+    }
+
+    fn open(&self, _ctx: &ContextInfo) -> Result<(CommDescriptor, Box<dyn CommReceiver>)> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_nonblocking(true)?;
+        let addr = socket.local_addr()?;
+        Ok((
+            CommDescriptor::new(MethodId::RUDP, addr.to_string().into_bytes()),
+            Box::new(RudpReceiver {
+                socket,
+                buf: vec![0; 65_536],
+                conns: HashMap::new(),
+                ready: VecDeque::new(),
+            }),
+        ))
+    }
+
+    fn applicable(&self, _local: &ContextInfo, desc: &CommDescriptor) -> bool {
+        desc.method == MethodId::RUDP
+            && std::str::from_utf8(&desc.data)
+                .ok()
+                .and_then(|s| s.parse::<SocketAddr>().ok())
+                .is_some()
+    }
+
+    fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
+        let addr: SocketAddr = std::str::from_utf8(&desc.data)
+            .map_err(|_| NexusError::Decode("rudp descriptor is not UTF-8"))?
+            .parse()
+            .map_err(|_| NexusError::Decode("rudp descriptor is not an address"))?;
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(addr)?;
+        socket.set_nonblocking(true)?;
+        let shared = Arc::new(SenderShared {
+            socket,
+            unacked: Mutex::new(BTreeMap::new()),
+            loss_bits: Arc::clone(&self.loss_bits),
+            rng: Arc::clone(&self.rng),
+            rto_ms: Arc::clone(&self.rto_ms),
+            injected_drops: Arc::clone(&self.injected_drops),
+            retransmits: Arc::clone(&self.retransmits),
+            stop: AtomicBool::new(false),
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name("nexus-rudp-pump".to_owned())
+            .spawn(move || {
+                while !pump_shared.stop.load(Ordering::Relaxed) {
+                    pump_shared.pump_once();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+            .expect("spawn rudp pump");
+        Ok(Arc::new(RudpObject {
+            shared,
+            conn: self.next_conn.fetch_add(1, Ordering::Relaxed),
+            next_seq: AtomicU64::new(0),
+            pump: Mutex::new(Some(pump)),
+        }))
+    }
+
+    fn poll_cost_ns(&self) -> u64 {
+        25_000
+    }
+
+    fn supports_blocking(&self) -> bool {
+        true
+    }
+
+    fn set_param(&self, key: &str, value: &str) -> Result<()> {
+        match key {
+            "loss" => {
+                let v: f64 = value.parse().map_err(|_| NexusError::BadParam {
+                    key: key.to_owned(),
+                    reason: format!("not a float: {value:?}"),
+                })?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(NexusError::BadParam {
+                        key: key.to_owned(),
+                        reason: "loss must be in [0,1]".to_owned(),
+                    });
+                }
+                self.loss_bits.store(v.to_bits(), Ordering::Relaxed);
+                Ok(())
+            }
+            "seed" => {
+                let v: u64 = value.parse().map_err(|_| NexusError::BadParam {
+                    key: key.to_owned(),
+                    reason: format!("not an integer: {value:?}"),
+                })?;
+                self.rng.reseed(v);
+                Ok(())
+            }
+            "rto_ms" => {
+                let v: u64 = value.parse().map_err(|_| NexusError::BadParam {
+                    key: key.to_owned(),
+                    reason: format!("not an integer: {value:?}"),
+                })?;
+                self.rto_ms.store(v.max(1), Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(NexusError::BadParam {
+                key: key.to_owned(),
+                reason: "rudp supports loss, seed, rto_ms".to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nexus_rt::context::{ContextId, NodeId, PartitionId};
+    use nexus_rt::endpoint::EndpointId;
+
+    fn info(id: u32) -> ContextInfo {
+        ContextInfo {
+            id: ContextId(id),
+            node: NodeId(id),
+            partition: PartitionId(id),
+        }
+    }
+
+    fn msg(i: u32) -> Rsr {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&i.to_le_bytes());
+        Rsr::new(ContextId(1), EndpointId(1), "seq", Bytes::from(payload))
+    }
+
+    fn collect(rx: &mut dyn CommReceiver, n: usize, secs: u64) -> Vec<Rsr> {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while got.len() < n && Instant::now() < deadline {
+            match rx.poll().unwrap() {
+                Some(m) => got.push(m),
+                None => std::thread::sleep(Duration::from_micros(200)),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn lossless_in_order_delivery() {
+        let m = RudpModule::new();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        for i in 0..100u32 {
+            obj.send(&msg(i)).unwrap();
+        }
+        let got = collect(rx.as_mut(), 100, 10);
+        assert_eq!(got.len(), 100);
+        for (i, g) in got.iter().enumerate() {
+            let v = u32::from_le_bytes(g.payload[..4].try_into().unwrap());
+            assert_eq!(v, i as u32, "ordered delivery");
+        }
+    }
+
+    #[test]
+    fn delivery_survives_heavy_loss() {
+        let m = RudpModule::new();
+        m.set_param("seed", "7").unwrap();
+        m.set_param("loss", "0.3").unwrap();
+        m.set_param("rto_ms", "5").unwrap();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        for i in 0..200u32 {
+            obj.send(&msg(i)).unwrap();
+        }
+        let got = collect(rx.as_mut(), 200, 30);
+        assert_eq!(got.len(), 200, "all messages delivered despite 30% loss");
+        for (i, g) in got.iter().enumerate() {
+            let v = u32::from_le_bytes(g.payload[..4].try_into().unwrap());
+            assert_eq!(v, i as u32, "ordered despite retransmission");
+        }
+        assert!(m.injected_drops() > 0, "loss was actually injected");
+        assert!(m.retransmits() > 0, "retransmission actually happened");
+    }
+
+    #[test]
+    fn two_senders_do_not_interfere() {
+        let m = RudpModule::new();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let o1 = m.connect(&info(2), &desc).unwrap();
+        let o2 = m.connect(&info(3), &desc).unwrap();
+        for i in 0..50u32 {
+            o1.send(&msg(i)).unwrap();
+            o2.send(&msg(1000 + i)).unwrap();
+        }
+        let got = collect(rx.as_mut(), 100, 10);
+        assert_eq!(got.len(), 100);
+        let (a, b): (Vec<u32>, Vec<u32>) = got
+            .iter()
+            .map(|g| u32::from_le_bytes(g.payload[..4].try_into().unwrap()))
+            .partition(|&v| v < 1000);
+        assert_eq!(a, (0..50).collect::<Vec<_>>());
+        assert_eq!(b, (1000..1050).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let m = RudpModule::new();
+        let (desc, _rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        let big = Rsr::new(
+            ContextId(1),
+            EndpointId(1),
+            "big",
+            Bytes::from(vec![0u8; MAX_FRAME + 1]),
+        );
+        assert!(obj.send(&big).is_err());
+    }
+
+    #[test]
+    fn param_validation() {
+        let m = RudpModule::new();
+        assert!(m.set_param("loss", "0.1").is_ok());
+        assert!(m.set_param("loss", "2").is_err());
+        assert!(m.set_param("rto_ms", "10").is_ok());
+        assert!(m.set_param("rto_ms", "x").is_err());
+        assert!(m.set_param("seed", "3").is_ok());
+        assert!(m.set_param("nope", "1").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The `shmem` module: shared-memory communication between contexts on the
+//! same node.
+//!
+//! Applicability: both contexts must report the same [`NodeId`] — sharing
+//! an address space (here: lock-free queues inside one process) is only
+//! meaningful within one machine. Probe cost is in the tens of
+//! nanoseconds, which makes it the cheapest inter-context method and the
+//! natural first entry of a descriptor table.
+//!
+//! [`NodeId`]: nexus_rt::context::NodeId
+
+use crate::queue::{QueueDescriptor, QueueMedium, QueueObject, QueueReceiver};
+use nexus_rt::context::ContextInfo;
+use nexus_rt::descriptor::{CommDescriptor, MethodId};
+use nexus_rt::error::Result;
+use nexus_rt::module::{CommModule, CommObject, CommReceiver};
+use std::sync::Arc;
+
+/// Same-node shared-memory communication module.
+pub struct ShmemModule {
+    medium: Arc<QueueMedium>,
+}
+
+impl Default for ShmemModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShmemModule {
+    /// Creates the module.
+    pub fn new() -> Self {
+        ShmemModule {
+            medium: Arc::new(QueueMedium::new()),
+        }
+    }
+}
+
+impl CommModule for ShmemModule {
+    fn method(&self) -> MethodId {
+        MethodId::SHMEM
+    }
+
+    fn name(&self) -> &'static str {
+        "shmem"
+    }
+
+    fn cost_rank(&self) -> u32 {
+        5
+    }
+
+    fn open(&self, ctx: &ContextInfo) -> Result<(CommDescriptor, Box<dyn CommReceiver>)> {
+        let desc = QueueDescriptor::encode(MethodId::SHMEM, ctx);
+        let rx = QueueReceiver::new(Arc::clone(&self.medium), ctx.id);
+        Ok((desc, Box::new(rx)))
+    }
+
+    fn applicable(&self, local: &ContextInfo, desc: &CommDescriptor) -> bool {
+        desc.method == MethodId::SHMEM
+            && QueueDescriptor::decode(desc).is_ok_and(|d| d.node == local.node.0)
+    }
+
+    fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
+        let d = QueueDescriptor::decode(desc)?;
+        QueueObject::connect(MethodId::SHMEM, &self.medium, d.context)
+    }
+
+    fn poll_cost_ns(&self) -> u64 {
+        80
+    }
+
+    fn supports_blocking(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_rt::context::{ContextId, NodeId, PartitionId};
+
+    fn info(id: u32, node: u32) -> ContextInfo {
+        ContextInfo {
+            id: ContextId(id),
+            node: NodeId(node),
+            partition: PartitionId(0),
+        }
+    }
+
+    #[test]
+    fn applicable_same_node_only() {
+        let m = ShmemModule::new();
+        let (desc, _rx) = m.open(&info(1, 3)).unwrap();
+        assert!(m.applicable(&info(2, 3), &desc), "same node, other context");
+        assert!(!m.applicable(&info(2, 4), &desc), "different node");
+    }
+
+    #[test]
+    fn connect_and_deliver() {
+        use nexus_rt::endpoint::EndpointId;
+        use nexus_rt::rsr::Rsr;
+        let m = ShmemModule::new();
+        let (desc, mut rx) = m.open(&info(1, 0)).unwrap();
+        let obj = m.connect(&info(2, 0), &desc).unwrap();
+        obj.send(&Rsr::new(
+            ContextId(1),
+            EndpointId(5),
+            "h",
+            bytes::Bytes::new(),
+        ))
+        .unwrap();
+        assert_eq!(rx.poll().unwrap().unwrap().endpoint, EndpointId(5));
+    }
+}

@@ -1,0 +1,90 @@
+//! Small shared utilities for the transport modules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tiny deterministic RNG (xorshift64*) used for fault injection.
+///
+/// Fault injection must be reproducible in tests, so transports never use
+/// OS entropy: the seed is a module parameter.
+#[derive(Debug)]
+pub struct XorShift {
+    state: AtomicU64,
+}
+
+impl XorShift {
+    /// Creates an RNG from a nonzero seed (zero is mapped to a constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: AtomicU64::new(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed }),
+        }
+    }
+
+    /// Next raw 64-bit value. Lock-free; sequential callers observe a
+    /// deterministic sequence.
+    pub fn next_u64(&self) -> u64 {
+        let mut x = self.state.load(Ordering::Relaxed);
+        loop {
+            let mut y = x;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            match self
+                .state
+                .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return y.wrapping_mul(0x2545F4914F6CDD1D),
+                Err(cur) => x = cur,
+            }
+        }
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Reseeds the generator.
+    pub fn reseed(&self, seed: u64) {
+        self.state.store(
+            if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequence() {
+        let a = XorShift::new(42);
+        let b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let a = XorShift::new(0);
+        assert_ne!(a.next_u64(), a.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let a = XorShift::new(7);
+        for _ in 0..1000 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn reseed_restarts_sequence() {
+        let a = XorShift::new(5);
+        let first = a.next_u64();
+        a.reseed(5);
+        assert_eq!(a.next_u64(), first);
+    }
+}

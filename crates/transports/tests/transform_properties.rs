@@ -1,0 +1,65 @@
+//! Property tests for the payload transforms (protocol-composition layer).
+
+use nexus_transports::{Chain, Checksum, PayloadTransform, Rle, XorCipher};
+use proptest::prelude::*;
+
+fn assert_roundtrip(t: &dyn PayloadTransform, payload: &[u8]) -> Result<(), TestCaseError> {
+    let enc = t.encode(payload);
+    let dec = t
+        .decode(&enc)
+        .map_err(|e| TestCaseError::fail(format!("{} decode: {e}", t.name())))?;
+    prop_assert_eq!(dec, payload);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrips_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        assert_roundtrip(&Rle, &payload)?;
+    }
+
+    #[test]
+    fn cipher_roundtrips_any_payload_and_key(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        key in any::<u64>(),
+    ) {
+        assert_roundtrip(&XorCipher::new(key), &payload)?;
+    }
+
+    #[test]
+    fn checksum_roundtrips_and_catches_any_single_flip(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let c = Checksum;
+        assert_roundtrip(&c, &payload)?;
+        let mut enc = c.encode(&payload);
+        let i = flip_at.index(enc.len());
+        enc[i] ^= 1 << flip_bit;
+        prop_assert!(c.decode(&enc).is_err(), "flip at {i} undetected");
+    }
+
+    #[test]
+    fn chain_roundtrips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        key in any::<u64>(),
+    ) {
+        let chain = Chain::new(vec![
+            Box::new(Rle),
+            Box::new(XorCipher::new(key)),
+            Box::new(Checksum),
+        ]);
+        assert_roundtrip(&chain, &payload)?;
+    }
+
+    #[test]
+    fn rle_compresses_runs(
+        byte in any::<u8>(),
+        run in 1usize..4096,
+    ) {
+        let payload = vec![byte; run];
+        let enc = Rle.encode(&payload);
+        prop_assert!(enc.len() <= 2 * run.div_ceil(255).max(1) + 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! A collaborative-environment sketch (§1/§2): one application, three
+//! kinds of traffic, three methods — simultaneously.
+//!
+//! A "presenter" context shares state with several "viewer" contexts:
+//!
+//! * **control messages** go over the reliable fast path, multicast by
+//!   binding one startpoint to every viewer's endpoint (the paper's
+//!   multicast: an RSR on a multi-bound startpoint reaches every linked
+//!   endpoint);
+//! * **bulk scene data** is pinned to TCP (manual selection — say, to keep
+//!   the fast path free for control);
+//! * **video frames** go over lossy UDP: stale frames are worthless, so
+//!   retransmission would be wrong; we inject 20 % loss and watch the
+//!   application shrug it off.
+//!
+//! Run with: `cargo run --example collaborative`
+
+use nexus_rt::prelude::*;
+use nexus_transports::register_defaults;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<()> {
+    let fabric = Fabric::new();
+    register_defaults(&fabric);
+    // Make the video path lossy (deterministically).
+    let udp = fabric
+        .registry()
+        .get(MethodId::UDP)
+        .expect("udp registered");
+    udp.set_param("seed", "42")?;
+    udp.set_param("loss", "0.2")?;
+
+    let presenter = fabric.create_context_at(NodeId(0), PartitionId(0))?;
+    let viewers: Vec<_> = (1..=3u32)
+        .map(|n| fabric.create_context_at(NodeId(n), PartitionId(0)).unwrap())
+        .collect();
+
+    let control_seen = Arc::new(AtomicU32::new(0));
+    let scene_bytes = Arc::new(AtomicU32::new(0));
+    let frames_seen = Arc::new(AtomicU32::new(0));
+
+    // Each viewer: one endpoint per traffic class.
+    let mut control_sp = Startpoint::unbound();
+    let mut scene_sps = Vec::new();
+    let mut video_sps = Vec::new();
+    for v in &viewers {
+        let id = v.id();
+        {
+            let seen = Arc::clone(&control_seen);
+            v.register_handler("control", move |args| {
+                let cmd = args.buffer.get_str().unwrap();
+                println!("[viewer {id}] control: {cmd}");
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+            let bytes = Arc::clone(&scene_bytes);
+            v.register_handler("scene", move |args| {
+                bytes.fetch_add(args.buffer.remaining() as u32, Ordering::Relaxed);
+            });
+            let frames = Arc::clone(&frames_seen);
+            v.register_handler("frame", move |_| {
+                frames.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let ep_control = v.create_endpoint();
+        control_sp.merge(&v.startpoint_to(ep_control)?); // multicast link
+        let ep_scene = v.create_endpoint();
+        scene_sps.push(v.startpoint_to(ep_scene)?);
+        let ep_video = v.create_endpoint();
+        video_sps.push(v.startpoint_to(ep_video)?);
+    }
+
+    // Manual selection per traffic class.
+    for sp in &scene_sps {
+        sp.set_method(MethodId::TCP);
+    }
+    for sp in &video_sps {
+        sp.set_method(MethodId::UDP);
+    }
+
+    // One control multicast, one scene blob each, a burst of video frames.
+    let mut cmd = Buffer::new();
+    cmd.put_str("begin session");
+    presenter.rsr(&control_sp, "control", cmd)?;
+
+    for sp in &scene_sps {
+        let mut blob = Buffer::new();
+        blob.put_raw(&vec![7u8; 100_000]);
+        presenter.rsr(sp, "scene", blob)?;
+    }
+    const FRAMES: u32 = 50;
+    for i in 0..FRAMES {
+        for sp in &video_sps {
+            let mut frame = Buffer::new();
+            frame.put_u32(i);
+            frame.put_raw(&vec![0u8; 8_000]);
+            presenter.rsr(sp, "frame", frame)?;
+        }
+        // Viewers keep draining while the stream plays (otherwise kernel
+        // socket buffers overflow and *real* UDP drops pile on top of the
+        // injected ones).
+        for v in &viewers {
+            let _ = v.progress();
+        }
+    }
+
+    // Drive the viewers until control + scene are in and the video burst
+    // has drained (minus whatever the lossy channel ate).
+    let ok = presenter.progress_until(
+        || {
+            for v in &viewers {
+                let _ = v.progress();
+            }
+            control_seen.load(Ordering::Relaxed) == 3
+                && scene_bytes.load(Ordering::Relaxed) == 300_000
+        },
+        Duration::from_secs(10),
+    );
+    assert!(ok, "reliable traffic must all arrive");
+    std::thread::sleep(Duration::from_millis(100));
+    for v in &viewers {
+        let _ = v.progress();
+    }
+
+    let got = frames_seen.load(Ordering::Relaxed);
+    let sent = FRAMES * viewers.len() as u32;
+    println!("\ncontrol messages: 3/3 (multicast over the fast path)");
+    println!("scene data: 300000/300000 bytes (pinned to TCP)");
+    println!(
+        "video frames: {got}/{sent} arrived over lossy UDP ({} dropped by injection) — \
+         and nobody waited for the missing ones",
+        sent - got
+    );
+    assert!(got < sent, "with 20% injected loss some frames must vanish");
+    assert!(got > sent / 2, "most frames still arrive");
+
+    // Each viewer link used a different method per class — one application,
+    // three methods at once.
+    println!(
+        "methods in use: control={:?} scene={:?} video={:?}",
+        control_sp.current_methods()[0].1.map(|m| m.to_string()),
+        scene_sps[0].current_methods()[0].1.map(|m| m.to_string()),
+        video_sps[0].current_methods()[0].1.map(|m| m.to_string()),
+    );
+    fabric.shutdown();
+    Ok(())
+}

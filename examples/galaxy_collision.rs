@@ -1,0 +1,59 @@
+//! Galaxies collide (the I-WAY application class the paper cites).
+//!
+//! Two star clusters fall into each other under self-gravity, computed
+//! with the systolic ring pipeline over mini-MPI — here with the ring
+//! split across two partitions, so half the hops ride the fast partition
+//! method and half cross "the wide area" over TCP, multimethod style.
+//!
+//! Run with: `cargo run --release --example galaxy_collision`
+
+use nexus_nbody::{
+    colliding_clusters, run_distributed, total_energy, NbodyParams, RunConfig,
+};
+use std::time::Instant;
+
+fn main() {
+    let params = NbodyParams::default();
+    let cfg = RunConfig {
+        n: 64,
+        ranks: 4,
+        steps: 40,
+        partitioned: true,
+    };
+    println!(
+        "galaxy collision: {} bodies, {} ranks across 2 partitions, {} steps",
+        cfg.n, cfg.ranks, cfg.steps
+    );
+    let initial = colliding_clusters(cfg.n);
+    let e0 = total_energy(&params, &initial);
+
+    let t0 = Instant::now();
+    let final_bodies = run_distributed(cfg, params).expect("distributed run");
+    let wall = t0.elapsed();
+
+    let e1 = total_energy(&params, &final_bodies);
+    // Separation of the two cluster centroids along the collision axis.
+    let centroid = |stride_off: usize| -> f64 {
+        let xs: Vec<f64> = final_bodies
+            .iter()
+            .skip(stride_off)
+            .step_by(2)
+            .map(|b| b.pos[0])
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let sep_before = 2.0;
+    let sep_after = (centroid(1) - centroid(0)).abs();
+    println!("centroid separation: {sep_before:.2} -> {sep_after:.2} (they fell together)");
+    println!(
+        "energy drift over the run: {:.3}% (leapfrog is symplectic)",
+        ((e1 - e0) / e0).abs() * 100.0
+    );
+    println!(
+        "{} ring stages x {} steps x 2 force evaluations in {:?}",
+        cfg.ranks - 1,
+        cfg.steps,
+        wall
+    );
+    assert!(sep_after < sep_before);
+}

@@ -1,0 +1,136 @@
+//! Metacomputing across OS processes: one logical system, two programs.
+//!
+//! The parent process plays the "supercomputer site": a context with a
+//! `solve` service. It packs a startpoint to that service into hex bytes
+//! and launches a child process (this same binary with `worker` as an
+//! argument), handing the startpoint over through the environment — the
+//! same way I-WAY components exchanged contact information out of band.
+//! The child builds its *own* fabric (disjoint context-id range, different
+//! node/partition ids: it really is elsewhere), reconstructs the
+//! startpoint, and issues RSRs: automatic selection discovers that the
+//! only applicable method across the process boundary is TCP, and the
+//! request crosses a real socket.
+//!
+//! Run with: `cargo run --example two_process`
+
+use nexus_rt::prelude::*;
+use nexus_transports::register_defaults;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn parent() -> Result<()> {
+    let fabric = Fabric::with_id_base(0);
+    register_defaults(&fabric);
+    let site = fabric.create_context_at(NodeId(0), PartitionId(1))?;
+
+    let served = Arc::new(AtomicU32::new(0));
+    {
+        let served = Arc::clone(&served);
+        site.register_handler("solve", move |args| {
+            let reply_sp = Startpoint::unpack_standalone(args.buffer)
+                .expect("request carries a reply startpoint");
+            let x = args.buffer.get_f64().unwrap();
+            println!("[parent] solve({x}) over {:?}", "tcp");
+            let mut out = Buffer::new();
+            out.put_f64(x.sqrt());
+            args.context.rsr(&reply_sp, "solution", out).unwrap();
+            served.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let ep = site.create_endpoint();
+    let sp = site.startpoint_to(ep)?;
+    let mut packed = Buffer::new();
+    sp.pack(&mut packed);
+    let hex = to_hex(packed.as_slice());
+    println!(
+        "[parent] exported startpoint: {} bytes, methods {:?}",
+        packed.len(),
+        sp.links()[0].table().methods()
+    );
+
+    // Launch the worker: same binary, `worker` argument, startpoint in env.
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("worker")
+        .env("NEXUS_STARTPOINT_HEX", hex)
+        .spawn()
+        .expect("spawn worker process");
+
+    // Serve until the worker has been answered (3 requests), then reap it.
+    let ok = site.progress_until(
+        || served.load(Ordering::Relaxed) == 3,
+        Duration::from_secs(30),
+    );
+    assert!(ok, "worker requests must arrive over TCP");
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "worker exited cleanly");
+    println!("[parent] served 3 requests from another OS process");
+    fabric.shutdown();
+    Ok(())
+}
+
+fn worker() -> Result<()> {
+    // A different "site": disjoint context ids, different placement — so
+    // in-process methods are (correctly) inapplicable and TCP is selected.
+    let fabric = Fabric::with_id_base(1_000);
+    register_defaults(&fabric);
+    let me = fabric.create_context_at(NodeId(1_000), PartitionId(2))?;
+
+    let hex = std::env::var("NEXUS_STARTPOINT_HEX").expect("startpoint from parent");
+    let mut buf = Buffer::new();
+    buf.put_raw(&from_hex(&hex));
+    let solver = Startpoint::unpack_standalone(&mut buf)?;
+    println!(
+        "[worker] imported startpoint; applicable methods here: {:?}",
+        me.applicable_methods(&solver)?
+    );
+
+    let answers = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    {
+        let answers = Arc::clone(&answers);
+        me.register_handler("solution", move |args| {
+            answers.lock().push(args.buffer.get_f64().unwrap());
+        });
+    }
+    let reply_ep = me.create_endpoint();
+    let reply_sp = me.startpoint_to(reply_ep)?;
+
+    for x in [4.0f64, 9.0, 144.0] {
+        let mut req = Buffer::new();
+        reply_sp.pack(&mut req);
+        req.put_f64(x);
+        me.rsr(&solver, "solve", req)?;
+    }
+    assert_eq!(
+        solver.current_methods()[0].1,
+        Some(MethodId::TCP),
+        "cross-process traffic must ride TCP"
+    );
+    let ok = me.progress_until(|| answers.lock().len() == 3, Duration::from_secs(30));
+    assert!(ok, "solutions must come back");
+    let got = answers.lock().clone();
+    assert_eq!(got, vec![2.0, 3.0, 12.0]);
+    println!("[worker] sqrt answers from the other process: {got:?}");
+    fabric.shutdown();
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        worker()
+    } else {
+        parent()
+    }
+}

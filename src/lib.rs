@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the nexus workspace.
+pub use nexus_climate as climate;
+pub use nexus_mpi as mpi;
+pub use nexus_nbody as nbody;
+pub use nexus_rt as rt;
+pub use nexus_simnet as simnet;
+pub use nexus_transports as transports;

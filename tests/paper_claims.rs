@@ -1,0 +1,81 @@
+//! Integration-level checks of the paper's headline quantitative claims,
+//! run on the calibrated simulator — the executable version of
+//! EXPERIMENTS.md.
+
+use nexus::climate::{run_table1, Table1Config, Table1Variant};
+use nexus::simnet::pingpong::{dual_pingpong, single_pingpong, PingPongMode};
+
+/// §3.3: "the cost for a zero-byte message ... increases from 83 to 156
+/// microseconds with TCP polling".
+#[test]
+fn claim_zero_byte_83_to_156_us() {
+    let single = single_pingpong(PingPongMode::NexusMpl, 0, 1000).as_us_f64();
+    let multi = single_pingpong(PingPongMode::NexusMplTcp, 0, 1000).as_us_f64();
+    assert!(
+        (70.0..100.0).contains(&single),
+        "single-method 0-byte ≈ 83 µs, got {single:.1}"
+    );
+    assert!(
+        (125.0..190.0).contains(&multi),
+        "multimethod 0-byte ≈ 156 µs, got {multi:.1}"
+    );
+    assert!(multi > single * 1.4, "TCP polling costs dearly at 0 bytes");
+}
+
+/// §3.3 / Fig. 4: "TCP support degrades MPL communication performance even
+/// for large messages", while Nexus-vs-raw overhead vanishes there.
+#[test]
+fn claim_large_message_behavior() {
+    let raw = single_pingpong(PingPongMode::RawMpl, 1 << 20, 20).as_us_f64();
+    let single = single_pingpong(PingPongMode::NexusMpl, 1 << 20, 20).as_us_f64();
+    let multi = single_pingpong(PingPongMode::NexusMplTcp, 1 << 20, 20).as_us_f64();
+    assert!(single / raw < 1.03, "Nexus overhead vanishes at 1 MiB");
+    assert!(multi / single > 1.1, "TCP polling still hurts at 1 MiB");
+    let bw = (1u64 << 20) as f64 / (raw * 1e-6) / 1e6;
+    assert!((30.0..42.0).contains(&bw), "MPL ≈ 36 MB/s, got {bw:.1}");
+}
+
+/// Fig. 6: "skip_poll values of around 20 provide improvement in MPL
+/// performance, while not impacting TCP performance significantly".
+#[test]
+fn claim_skip_poll_20_sweet_spot() {
+    let r1 = dual_pingpong(0, 800, 1);
+    let r20 = dual_pingpong(0, 800, 20);
+    let r2000 = dual_pingpong(0, 800, 2000);
+    // MPL improves at 20.
+    assert!(r20.mpl_one_way < r1.mpl_one_way);
+    // TCP barely moves at 20...
+    let t1 = r1.tcp_one_way.unwrap().as_us_f64();
+    let t20 = r20.tcp_one_way.unwrap().as_us_f64();
+    assert!(t20 < t1 * 1.3, "skip 20: TCP {t1:.0} -> {t20:.0} µs");
+    // ...but collapses at 2000.
+    if let Some(t) = r2000.tcp_one_way {
+        assert!(t.as_us_f64() > t1 * 2.0);
+    } // None = no roundtrip completed at all: also a collapse
+
+}
+
+/// Table 1's ordering: selective-TCP best; a tuned skip_poll within 1 %;
+/// forwarding ≈ skip_poll(1); extremes degrade.
+#[test]
+fn claim_table1_ordering() {
+    let cfg = Table1Config::default();
+    let sel = run_table1(Table1Variant::SelectiveTcp, cfg).secs_per_step;
+    let fwd = run_table1(Table1Variant::Forwarding, cfg).secs_per_step;
+    let s1 = run_table1(Table1Variant::SkipPoll(1), cfg).secs_per_step;
+    let tuned = run_table1(Table1Variant::SkipPoll(12_000), cfg).secs_per_step;
+    assert!(sel <= tuned && tuned <= s1, "{sel} {tuned} {s1}");
+    assert!((tuned - sel) / sel < 0.01, "tuned within 0.1-1% of best");
+    assert!(s1 - sel > 2.0, "skip 1 pays seconds of selects per step");
+    assert!((fwd / s1 - 1.0).abs() < 0.1, "forwarding ≈ skip 1");
+}
+
+/// §4: layering the climate model's exchanges on the no-multimethod path
+/// (TCP for everything) is clearly the worst configuration.
+#[test]
+fn claim_tcp_everywhere_loses() {
+    let cfg = Table1Config::default();
+    let sel = run_table1(Table1Variant::SelectiveTcp, cfg).secs_per_step;
+    let tcp = run_table1(Table1Variant::TcpOnly, cfg).secs_per_step;
+    assert!(tcp > sel + 3.0, "tcp {tcp:.1} vs selective {sel:.1}");
+}

@@ -1,0 +1,285 @@
+//! Property-based tests of the wire formats and core invariants.
+
+use bytes::Bytes;
+use nexus::rt::buffer::Buffer;
+use nexus::rt::context::{ContextId, ContextInfo, NodeId, PartitionId};
+use nexus::rt::descriptor::{CommDescriptor, DescriptorTable, MethodId};
+use nexus::rt::endpoint::EndpointId;
+use nexus::rt::module::{test_support::TestModule, ModuleRegistry};
+use nexus::rt::rsr::Rsr;
+use nexus::rt::selection::{applicable_methods, FirstApplicable, SelectionPolicy};
+use proptest::prelude::*;
+
+/// One typed value a buffer can hold.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+    F64s(Vec<f64>),
+    U32s(Vec<u32>),
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<u8>().prop_map(Item::U8),
+        any::<u16>().prop_map(Item::U16),
+        any::<u32>().prop_map(Item::U32),
+        any::<u64>().prop_map(Item::U64),
+        any::<i32>().prop_map(Item::I32),
+        any::<i64>().prop_map(Item::I64),
+        any::<f32>().prop_map(Item::F32),
+        any::<f64>().prop_map(Item::F64),
+        any::<bool>().prop_map(Item::Bool),
+        ".{0,40}".prop_map(Item::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes),
+        proptest::collection::vec(any::<f64>(), 0..32).prop_map(Item::F64s),
+        proptest::collection::vec(any::<u32>(), 0..32).prop_map(Item::U32s),
+    ]
+}
+
+fn put(buf: &mut Buffer, item: &Item) {
+    match item {
+        Item::U8(v) => buf.put_u8(*v),
+        Item::U16(v) => buf.put_u16(*v),
+        Item::U32(v) => buf.put_u32(*v),
+        Item::U64(v) => buf.put_u64(*v),
+        Item::I32(v) => buf.put_i32(*v),
+        Item::I64(v) => buf.put_i64(*v),
+        Item::F32(v) => buf.put_f32(*v),
+        Item::F64(v) => buf.put_f64(*v),
+        Item::Bool(v) => buf.put_bool(*v),
+        Item::Str(v) => buf.put_str(v),
+        Item::Bytes(v) => buf.put_bytes(v),
+        Item::F64s(v) => buf.put_f64_slice(v),
+        Item::U32s(v) => buf.put_u32_slice(v),
+    }
+}
+
+fn get(buf: &mut Buffer, template: &Item) -> Item {
+    match template {
+        Item::U8(_) => Item::U8(buf.get_u8().unwrap()),
+        Item::U16(_) => Item::U16(buf.get_u16().unwrap()),
+        Item::U32(_) => Item::U32(buf.get_u32().unwrap()),
+        Item::U64(_) => Item::U64(buf.get_u64().unwrap()),
+        Item::I32(_) => Item::I32(buf.get_i32().unwrap()),
+        Item::I64(_) => Item::I64(buf.get_i64().unwrap()),
+        Item::F32(_) => Item::F32(buf.get_f32().unwrap()),
+        Item::F64(_) => Item::F64(buf.get_f64().unwrap()),
+        Item::Bool(_) => Item::Bool(buf.get_bool().unwrap()),
+        Item::Str(_) => Item::Str(buf.get_str().unwrap()),
+        Item::Bytes(_) => Item::Bytes(buf.get_bytes().unwrap()),
+        Item::F64s(_) => Item::F64s(buf.get_f64_slice().unwrap()),
+        Item::U32s(_) => Item::U32s(buf.get_u32_slice().unwrap()),
+    }
+}
+
+fn items_eq(a: &Item, b: &Item) -> bool {
+    // NaN-tolerant comparison for the float variants.
+    match (a, b) {
+        (Item::F32(x), Item::F32(y)) => x.to_bits() == y.to_bits(),
+        (Item::F64(x), Item::F64(y)) => x.to_bits() == y.to_bits(),
+        (Item::F64s(x), Item::F64s(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn buffer_roundtrips_any_typed_sequence(items in proptest::collection::vec(item_strategy(), 0..24)) {
+        let mut buf = Buffer::new();
+        for item in &items {
+            put(&mut buf, item);
+        }
+        // Through the wire and back.
+        let mut rx = Buffer::from_bytes(buf.into_bytes());
+        for item in &items {
+            let got = get(&mut rx, item);
+            prop_assert!(items_eq(&got, item), "{item:?} != {got:?}");
+        }
+        prop_assert_eq!(rx.remaining(), 0);
+    }
+
+    #[test]
+    fn rsr_frame_roundtrips(
+        ctx in any::<u32>(),
+        ep in any::<u64>(),
+        handler in "[a-z_]{0,24}",
+        ttl in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut msg = Rsr::new(ContextId(ctx), EndpointId(ep), &handler, Bytes::from(payload.clone()));
+        msg.ttl = ttl;
+        let decoded = Rsr::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded.dest, msg.dest);
+        prop_assert_eq!(decoded.endpoint, msg.endpoint);
+        prop_assert_eq!(decoded.handler, handler);
+        prop_assert_eq!(decoded.ttl, ttl);
+        prop_assert_eq!(&decoded.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn rsr_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Rsr::decode(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn descriptor_table_roundtrips_and_preserves_order(
+        entries in proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)),
+            0..12,
+        )
+    ) {
+        let table: DescriptorTable = entries
+            .iter()
+            .map(|(m, d)| CommDescriptor::new(MethodId(*m), d.clone()))
+            .collect();
+        let mut buf = Buffer::new();
+        table.encode(&mut buf);
+        prop_assert_eq!(buf.len(), table.wire_len());
+        let decoded = DescriptorTable::decode(&mut buf).unwrap();
+        prop_assert_eq!(decoded, table);
+    }
+
+    #[test]
+    fn descriptor_table_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut buf = Buffer::new();
+        buf.put_raw(&bytes);
+        let _ = DescriptorTable::decode(&mut buf);
+    }
+
+    #[test]
+    fn table_edits_keep_one_entry_per_method(
+        ops in proptest::collection::vec((any::<u16>(), 0u8..4), 1..32)
+    ) {
+        let mut table = DescriptorTable::new();
+        for (m, op) in ops {
+            let method = MethodId(m % 8); // force collisions
+            match op {
+                0 => table.push(CommDescriptor::new(method, vec![1])),
+                1 => table.push_front(CommDescriptor::new(method, vec![2])),
+                2 => { table.remove(method); }
+                _ => { table.prioritize(method); }
+            }
+            let methods = table.methods();
+            let mut dedup = methods.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), methods.len(), "duplicate method in table");
+        }
+    }
+
+    #[test]
+    fn selection_always_returns_an_applicable_method(
+        partitions in proptest::collection::vec(0u32..4, 1..8),
+        local_partition in 0u32..4,
+    ) {
+        // A registry with a partition-scoped and a universal method; the
+        // chosen method must always be applicable, and must be the first
+        // applicable entry of the table.
+        let registry = ModuleRegistry::new();
+        let mpl = TestModule::new(MethodId::MPL, "mpl", 10, true);
+        let tcp = TestModule::new(MethodId::TCP, "tcp", 30, false);
+        use nexus::rt::module::CommModule;
+        // Remote context in the first partition of the list.
+        let remote = ContextInfo {
+            id: ContextId(77),
+            node: NodeId(77),
+            partition: PartitionId(partitions[0]),
+        };
+        let (d1, _r1) = mpl.open(&remote).unwrap();
+        let (d2, _r2) = tcp.open(&remote).unwrap();
+        registry.register(std::sync::Arc::new(mpl));
+        registry.register(std::sync::Arc::new(tcp));
+        let table: DescriptorTable = [d1, d2].into_iter().collect();
+        let local = ContextInfo {
+            id: ContextId(1),
+            node: NodeId(1),
+            partition: PartitionId(local_partition),
+        };
+        let chosen = FirstApplicable.select(&local, &table, &registry).unwrap();
+        let applicable = applicable_methods(&local, &table, &registry);
+        prop_assert!(applicable.contains(&chosen));
+        prop_assert_eq!(chosen, applicable[0], "fastest-first = first applicable");
+        if local_partition == partitions[0] {
+            prop_assert_eq!(chosen, MethodId::MPL);
+        } else {
+            prop_assert_eq!(chosen, MethodId::TCP);
+        }
+    }
+
+    #[test]
+    fn decomp_slabs_always_tile_the_domain(width in 1usize..512, ranks in 1usize..32) {
+        use nexus::climate::decomp::slab;
+        let mut next = 0;
+        for r in 0..ranks {
+            let (off, w) = slab(width, ranks, r);
+            prop_assert_eq!(off, next);
+            next = off + w;
+            // Balanced to within one column.
+            prop_assert!(w + 1 >= width / ranks);
+            prop_assert!(w <= width / ranks + 1);
+        }
+        prop_assert_eq!(next, width);
+    }
+}
+
+/// Startpoint pack/unpack across a real fabric (heavier setup, so plain
+/// test with a few seeds rather than full proptest).
+#[test]
+fn startpoint_wire_roundtrip_preserves_links_and_tables() {
+    use nexus::rt::prelude::*;
+    use nexus::transports::register_queue_modules;
+    let fabric = Fabric::new();
+    register_queue_modules(&fabric);
+    let receiver = fabric.create_context().unwrap();
+    let mut sp = Startpoint::unbound();
+    let mut ctxs = Vec::new();
+    for _ in 0..5 {
+        let c = fabric.create_context().unwrap();
+        let ep = c.create_endpoint();
+        sp.merge(&c.startpoint_to(ep).unwrap());
+        ctxs.push(c);
+    }
+    let mut buf = Buffer::new();
+    sp.pack(&mut buf);
+    let back = Startpoint::unpack(&mut buf, &receiver).unwrap();
+    assert_eq!(back.targets(), sp.targets());
+    for (a, b) in back.links().iter().zip(sp.links()) {
+        assert_eq!(a.table().methods(), b.table().methods());
+    }
+    fabric.shutdown();
+}
+
+/// Simulation determinism across repeated runs (the property every
+/// experiment in EXPERIMENTS.md relies on).
+#[test]
+fn simnet_experiments_are_reproducible() {
+    use nexus::simnet::pingpong::{dual_pingpong, single_pingpong, PingPongMode};
+    for mode in [
+        PingPongMode::RawMpl,
+        PingPongMode::NexusMpl,
+        PingPongMode::NexusMplTcp,
+    ] {
+        let a = single_pingpong(mode, 777, 100);
+        let b = single_pingpong(mode, 777, 100);
+        assert_eq!(a, b, "{mode:?}");
+    }
+    let a = dual_pingpong(100, 50, 7);
+    let b = dual_pingpong(100, 50, 7);
+    assert_eq!(a.mpl_one_way, b.mpl_one_way);
+    assert_eq!(a.tcp_one_way, b.tcp_one_way);
+}
