@@ -45,5 +45,10 @@ fn bench_nbody_forces(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stencil, bench_coupled_period, bench_nbody_forces);
+criterion_group!(
+    benches,
+    bench_stencil,
+    bench_coupled_period,
+    bench_nbody_forces
+);
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn bench_pass_cost_by_source_count(c: &mut Criterion) {
             for i in 0..n {
                 eng.add_source(MethodId(i as u16), Box::new(CostedEmpty { cost_ns: 0 }));
             }
-            b.iter(|| black_box(eng.poll_once().unwrap()))
+            b.iter(|| black_box(eng.poll_once()))
         });
     }
     g.finish();
@@ -52,11 +52,15 @@ fn bench_skip_poll_amortization(c: &mut Criterion) {
             eng.add_source(MethodId::MPL, Box::new(CostedEmpty { cost_ns: 0 }));
             eng.add_source(MethodId::TCP, Box::new(CostedEmpty { cost_ns: 2_000 }));
             eng.set_skip_poll(MethodId::TCP, skip);
-            b.iter(|| black_box(eng.poll_once().unwrap()))
+            b.iter(|| black_box(eng.poll_once()))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_pass_cost_by_source_count, bench_skip_poll_amortization);
+criterion_group!(
+    benches,
+    bench_pass_cost_by_source_count,
+    bench_skip_poll_amortization
+);
 criterion_main!(benches);

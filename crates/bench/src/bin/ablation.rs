@@ -1,7 +1,8 @@
 //! Ablations of individual design choices: startpoint weight, connection
-//! sharing, adaptive skip_poll.
+//! sharing, adaptive skip_poll — plus the runtime-measured cost EWMAs the
+//! QoS/selection machinery can consult instead of a-priori constants.
 
-use nexus_bench::ablation;
+use nexus_bench::{ablation, pollcost};
 
 fn main() {
     println!("=== Design-choice ablations ===\n");
@@ -9,4 +10,8 @@ fn main() {
     let conns = ablation::connection_sharing(10);
     let rows = ablation::skip_poll_ablation(5, 50, 5_000);
     print!("{}", ablation::format_report(sizes, (10, conns), &rows));
+
+    println!("\n=== Runtime-measured cost EWMAs ===\n");
+    let measured = pollcost::measured(100, 2_000);
+    print!("{}", pollcost::format_measured(&measured));
 }

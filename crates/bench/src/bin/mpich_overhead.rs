@@ -10,7 +10,5 @@ fn main() {
     print!("{}", overhead::format(&r));
     println!("\n=== Blocking poller (§3.3 refinement) over real TCP ===\n");
     let (poll, block) = overhead::blocking_poller_comparison(2_000);
-    println!(
-        "TCP ping-pong one-way: polled {poll:.1} us, blocking thread {block:.1} us"
-    );
+    println!("TCP ping-pong one-way: polled {poll:.1} us, blocking thread {block:.1} us");
 }

@@ -1,5 +1,7 @@
 //! Measures live empty-poll costs per method (the §3.3 probe-cost
-//! differential that motivates skip_poll).
+//! differential that motivates skip_poll), then the runtime's own
+//! trace-layer EWMAs of the same costs, read back through the enquiry
+//! API.
 
 use nexus_bench::pollcost;
 
@@ -7,4 +9,8 @@ fn main() {
     println!("=== Probe costs (live) ===\n");
     let rows = pollcost::run(1_000_000, 8);
     print!("{}", pollcost::format(&rows));
+
+    println!("\n=== Probe/send costs as the runtime measured them ===\n");
+    let measured = pollcost::measured(200, 5_000);
+    print!("{}", pollcost::format_measured(&measured));
 }

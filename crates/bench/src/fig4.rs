@@ -31,15 +31,7 @@ pub fn small_sizes() -> Vec<u64> {
 /// The paper's right-panel sizes (wider range, to 1 MiB).
 pub fn large_sizes() -> Vec<u64> {
     vec![
-        0,
-        1_000,
-        4_000,
-        16_000,
-        64_000,
-        131_072,
-        262_144,
-        524_288,
-        1_048_576,
+        0, 1_000, 4_000, 16_000, 64_000, 131_072, 262_144, 524_288, 1_048_576,
     ]
 }
 
@@ -50,13 +42,16 @@ pub fn run(sizes: &[u64], rounds: u64) -> Vec<Fig4Row> {
         .map(|&size| {
             // Fewer roundtrips for the big sizes keeps runtimes sane
             // without changing the mean (the simulation is deterministic).
-            let r = if size >= 65_536 { rounds.min(50) } else { rounds };
+            let r = if size >= 65_536 {
+                rounds.min(50)
+            } else {
+                rounds
+            };
             Fig4Row {
                 size,
                 raw_us: single_pingpong(PingPongMode::RawMpl, size, r).as_us_f64(),
                 nexus_mpl_us: single_pingpong(PingPongMode::NexusMpl, size, r).as_us_f64(),
-                nexus_mpl_tcp_us: single_pingpong(PingPongMode::NexusMplTcp, size, r)
-                    .as_us_f64(),
+                nexus_mpl_tcp_us: single_pingpong(PingPongMode::NexusMplTcp, size, r).as_us_f64(),
             }
         })
         .collect()
@@ -78,7 +73,12 @@ pub fn format(title: &str, rows: &[Fig4Row]) -> String {
     format!(
         "{title}\n{}",
         report::table(
-            &["bytes", "raw MPL (us)", "Nexus MPL (us)", "Nexus MPL+TCP (us)"],
+            &[
+                "bytes",
+                "raw MPL (us)",
+                "Nexus MPL (us)",
+                "Nexus MPL+TCP (us)"
+            ],
             &body,
         )
     )

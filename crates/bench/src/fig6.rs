@@ -42,7 +42,12 @@ pub fn format(title: &str, rows: &[DualResult]) -> String {
     format!(
         "{title}\n{}",
         report::table(
-            &["skip_poll", "MPL one-way (us)", "TCP one-way (us)", "TCP roundtrips"],
+            &[
+                "skip_poll",
+                "MPL one-way (us)",
+                "TCP one-way (us)",
+                "TCP roundtrips"
+            ],
             &body,
         )
     )

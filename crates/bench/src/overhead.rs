@@ -56,18 +56,10 @@ fn bare_pingpong(rounds: u64, size: usize) -> f64 {
     use nexus_rt::module::CommReceiver;
     let mut rx_a = QueueReceiver::new(Arc::clone(&medium), ContextId(0));
     let mut rx_b = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
-    let to_b = QueueObject::connect(
-        nexus_rt::descriptor::MethodId::MPL,
-        &medium,
-        ContextId(1),
-    )
-    .unwrap();
-    let to_a = QueueObject::connect(
-        nexus_rt::descriptor::MethodId::MPL,
-        &medium,
-        ContextId(0),
-    )
-    .unwrap();
+    let to_b =
+        QueueObject::connect(nexus_rt::descriptor::MethodId::MPL, &medium, ContextId(1)).unwrap();
+    let to_a =
+        QueueObject::connect(nexus_rt::descriptor::MethodId::MPL, &medium, ContextId(0)).unwrap();
     let payload = bytes::Bytes::from(vec![0u8; size]);
     let msg_b = Rsr::new(ContextId(1), EndpointId(1), "p", payload.clone());
     let msg_a = Rsr::new(ContextId(0), EndpointId(1), "p", payload);
@@ -204,7 +196,12 @@ pub fn format(r: &OverheadResult) -> String {
          bare transport : {:>8.2} us\n\
          Nexus RSR      : {:>8.2} us  (+{:.0}% over bare)\n\
          mini-MPI       : {:>8.2} us  (+{:.1}% over RSR; paper reports ~6% for MPICH-on-Nexus)\n",
-        0, r.bare_us, r.rsr_us, r.rsr_over_bare_pct(), r.mpi_us, r.mpi_over_rsr_pct()
+        0,
+        r.bare_us,
+        r.rsr_us,
+        r.rsr_over_bare_pct(),
+        r.mpi_us,
+        r.mpi_over_rsr_pct()
     )
 }
 

@@ -8,9 +8,11 @@
 //! is what the unified-poll design problem actually needs.
 
 use crate::report;
-use nexus_rt::context::{ContextId, ContextInfo, NodeId, PartitionId};
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::{ContextId, ContextInfo, Fabric, NodeId, PartitionId};
+use nexus_rt::descriptor::MethodId;
 use nexus_rt::module::{CommModule, CommReceiver};
-use nexus_transports::{MplModule, ShmemModule, TcpModule, UdpModule};
+use nexus_transports::{register_defaults, MplModule, ShmemModule, TcpModule, UdpModule};
 use std::time::Instant;
 
 /// Measured empty-poll cost of one method.
@@ -119,6 +121,123 @@ pub fn format(rows: &[ProbeCost]) -> String {
     )
 }
 
+/// Per-method costs as the runtime itself measured them: the poll-cost
+/// EWMA fed by the receiving context's `PollEngine` timing every probe,
+/// and the send-cost EWMA fed by the sender timing every transport send.
+/// `hint_ns` is the module's a-priori constant (the role the paper's §3.3
+/// numbers — `mpc_status` 15 µs, `select` >100 µs — play in selection).
+#[derive(Debug, Clone)]
+pub struct MeasuredCost {
+    /// Method name.
+    pub name: &'static str,
+    /// Poll-cost EWMA on the receiving context, ns (None if never probed).
+    pub poll_ewma_ns: Option<f64>,
+    /// Probe samples behind the poll EWMA.
+    pub poll_samples: u64,
+    /// Send-cost EWMA on the sending context, ns (None if never sent).
+    pub send_ewma_ns: Option<f64>,
+    /// Send samples behind the send EWMA.
+    pub send_samples: u64,
+    /// The module's own a-priori poll-cost hint.
+    pub hint_ns: u64,
+}
+
+/// The module's a-priori poll-cost hint for a well-known method.
+fn hint_ns(m: MethodId) -> u64 {
+    match m {
+        MethodId::SHMEM => ShmemModule::new().poll_cost_ns(),
+        MethodId::MPL => MplModule::new().poll_cost_ns(),
+        MethodId::UDP => UdpModule::new().poll_cost_ns(),
+        MethodId::TCP => TcpModule::new().poll_cost_ns(),
+        _ => 0,
+    }
+}
+
+/// Drives real RSR traffic over each reliable method, lets the receive
+/// loop spin over the quiet sources, then reads the measured EWMAs back
+/// through the enquiry API ([`nexus_rt::context::Context::method_cost_estimate`]).
+pub fn measured(msgs_per_method: u32, quiet_polls: u32) -> Vec<MeasuredCost> {
+    let fabric = Fabric::new();
+    register_defaults(&fabric);
+    let a = fabric.create_context().unwrap();
+    let b = fabric.create_context().unwrap();
+    b.register_handler("m", |_| {});
+
+    // UDP is unreliable, so only the methods where every RSR must arrive.
+    let methods = [
+        ("shmem", MethodId::SHMEM),
+        ("mpl", MethodId::MPL),
+        ("tcp", MethodId::TCP),
+    ];
+    for (_, m) in methods {
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        sp.set_method(m);
+        for _ in 0..msgs_per_method {
+            a.rsr(&sp, "m", Buffer::new()).unwrap();
+            let _ = b.progress();
+        }
+    }
+    // Quiet passes: every enabled method's receiver gets probed empty,
+    // so each poll-cost EWMA settles on that method's live probe cost.
+    for _ in 0..quiet_polls {
+        let _ = b.progress();
+    }
+
+    let out = methods
+        .iter()
+        .map(|&(name, m)| {
+            let rx = b.method_cost_estimate(m); // poll side lives on the receiver
+            let tx = a.method_cost_estimate(m); // send side lives on the sender
+            MeasuredCost {
+                name,
+                poll_ewma_ns: rx.poll_cost_ns,
+                poll_samples: rx.poll_samples,
+                send_ewma_ns: tx.send_cost_ns,
+                send_samples: tx.send_samples,
+                hint_ns: hint_ns(m),
+            }
+        })
+        .collect();
+    fabric.shutdown();
+    out
+}
+
+/// Formats the measured-EWMA table next to the a-priori hints.
+pub fn format_measured(rows: &[MeasuredCost]) -> String {
+    let opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.0}"),
+        None => "-".to_owned(),
+    };
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                opt(r.poll_ewma_ns),
+                r.poll_samples.to_string(),
+                opt(r.send_ewma_ns),
+                r.send_samples.to_string(),
+                r.hint_ns.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "runtime-measured cost EWMAs (trace layer) vs a-priori hints\n{}",
+        report::table(
+            &[
+                "method",
+                "poll EWMA ns",
+                "probes",
+                "send EWMA ns",
+                "sends",
+                "hint ns",
+            ],
+            &body
+        )
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +260,28 @@ mod tests {
         let rows = run(10_000, 1);
         let t = format(&rows);
         for m in ["shmem", "mpl", "udp", "tcp"] {
+            assert!(t.contains(m));
+        }
+    }
+
+    #[test]
+    fn measured_ewmas_have_samples_for_every_driven_method() {
+        let rows = measured(20, 500);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.poll_samples > 0 && r.poll_ewma_ns.is_some(),
+                "{} poll EWMA never fed",
+                r.name
+            );
+            assert!(
+                r.send_samples >= 20 && r.send_ewma_ns.is_some(),
+                "{} send EWMA never fed",
+                r.name
+            );
+        }
+        let t = format_measured(&rows);
+        for m in ["shmem", "mpl", "tcp"] {
             assert!(t.contains(m));
         }
     }

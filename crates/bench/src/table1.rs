@@ -10,9 +10,21 @@ pub fn variants() -> Vec<(&'static str, Table1Variant, Option<f64>)> {
         ("Forwarding", Table1Variant::Forwarding, Some(109.3)),
         ("skip poll 1", Table1Variant::SkipPoll(1), Some(109.1)),
         ("skip poll 100", Table1Variant::SkipPoll(100), Some(107.8)),
-        ("skip poll 10000", Table1Variant::SkipPoll(10_000), Some(105.4)),
-        ("skip poll 12000", Table1Variant::SkipPoll(12_000), Some(105.0)),
-        ("skip poll 13000", Table1Variant::SkipPoll(13_000), Some(108.3)),
+        (
+            "skip poll 10000",
+            Table1Variant::SkipPoll(10_000),
+            Some(105.4),
+        ),
+        (
+            "skip poll 12000",
+            Table1Variant::SkipPoll(12_000),
+            Some(105.0),
+        ),
+        (
+            "skip poll 13000",
+            Table1Variant::SkipPoll(13_000),
+            Some(108.3),
+        ),
         ("TCP everywhere", Table1Variant::TcpOnly, None),
     ]
 }

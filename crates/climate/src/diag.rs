@@ -126,8 +126,8 @@ mod tests {
     fn violations_are_reported_individually() {
         let bad = StencilParams {
             dt: 1.0,
-            diff: 1.0,  // diffusion number 4
-            vx: 2.0,    // CFL 2
+            diff: 1.0, // diffusion number 4
+            vx: 2.0,   // CFL 2
             vy: 0.0,
             relax: 1.5, // overshoot
         };
@@ -165,13 +165,7 @@ mod tests {
     #[test]
     fn unstable_parameters_actually_blow_up() {
         // The checker's point: a violated diffusion number really explodes.
-        let mut g = Grid::new(12, 12, 0, |i, j| {
-            if i == 6 && j == 6 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let mut g = Grid::new(12, 12, 0, |i, j| if i == 6 && j == 6 { 1.0 } else { 0.0 });
         let p = StencilParams {
             dt: 1.0,
             diff: 1.0,

@@ -172,18 +172,18 @@ fn ocean_rank_main(cfg: &RunConfig, world: &Comm, model: &Comm) -> Result<Grid> 
 /// Runs the coupled model distributed over `n_atm + n_ocean` rank threads
 /// and returns the global checksums (identical to the serial reference's).
 pub fn run_distributed(cfg: RunConfig) -> Result<RunResult> {
-    assert!(cfg.n_atm.is_multiple_of(cfg.n_ocean), "paper layout: 16/8, tests 4/2");
     assert!(
-        cfg.coupled.width.is_multiple_of(cfg.n_atm) && cfg.coupled.width.is_multiple_of(cfg.n_ocean),
+        cfg.n_atm.is_multiple_of(cfg.n_ocean),
+        "paper layout: 16/8, tests 4/2"
+    );
+    assert!(
+        cfg.coupled.width.is_multiple_of(cfg.n_atm)
+            && cfg.coupled.width.is_multiple_of(cfg.n_ocean),
         "widths must tile so coupling segments align"
     );
     let n = cfg.n_atm + cfg.n_ocean;
     let layout = if cfg.partitioned {
-        WorldLayout::partitioned(
-            (0..n)
-                .map(|r| if r < cfg.n_atm { 1 } else { 2 })
-                .collect(),
-        )
+        WorldLayout::partitioned((0..n).map(|r| if r < cfg.n_atm { 1 } else { 2 }).collect())
     } else {
         WorldLayout::uniform(n)
     };

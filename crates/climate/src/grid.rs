@@ -24,12 +24,7 @@ pub struct Grid {
 
 impl Grid {
     /// Creates a slab initialized by `f(global_row, global_col)`.
-    pub fn new<F: Fn(usize, usize) -> f64>(
-        h: usize,
-        w: usize,
-        col_offset: usize,
-        f: F,
-    ) -> Grid {
+    pub fn new<F: Fn(usize, usize) -> f64>(h: usize, w: usize, col_offset: usize, f: F) -> Grid {
         let stride = w + 2;
         let mut data = vec![0.0; h * stride];
         for i in 0..h {
@@ -197,13 +192,18 @@ mod tests {
     use super::*;
 
     fn bump(h: usize, w: usize) -> Grid {
-        Grid::new(h, w, 0, |i, j| {
-            if i == h / 2 && j == w / 2 {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Grid::new(
+            h,
+            w,
+            0,
+            |i, j| {
+                if i == h / 2 && j == w / 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     const P: StencilParams = StencilParams {
@@ -231,7 +231,15 @@ mod tests {
         let c0 = g.checksum();
         for _ in 0..10 {
             wrap_halos(&mut g);
-            g = step(&g, StencilParams { vx: 0.0, vy: 0.0, ..P }, None);
+            g = step(
+                &g,
+                StencilParams {
+                    vx: 0.0,
+                    vy: 0.0,
+                    ..P
+                },
+                None,
+            );
         }
         // Peak decays, mass approximately conserved in the interior
         // (boundary rows are Dirichlet sinks, so allow small leakage).
@@ -246,7 +254,15 @@ mod tests {
         let mut g = bump(12, 12);
         for _ in 0..50 {
             wrap_halos(&mut g);
-            g = step(&g, StencilParams { vx: 0.0, vy: 0.0, ..P }, None);
+            g = step(
+                &g,
+                StencilParams {
+                    vx: 0.0,
+                    vy: 0.0,
+                    ..P
+                },
+                None,
+            );
             let (mn, mx) = g.min_max();
             assert!(mn >= -1e-12 && mx <= 1.0 + 1e-12, "mn={mn} mx={mx}");
         }
@@ -271,7 +287,13 @@ mod tests {
         let forcing = vec![10.0; 4];
         let stepped = step(
             &g,
-            StencilParams { relax: 0.5, vx: 0.0, vy: 0.0, diff: 0.0, dt: 0.1 },
+            StencilParams {
+                relax: 0.5,
+                vx: 0.0,
+                vy: 0.0,
+                diff: 0.0,
+                dt: 0.1,
+            },
             Some((&forcing, 3)),
         );
         for j in 0..4 {

@@ -259,7 +259,10 @@ fn ring(base: usize, n: usize, i: usize) -> (usize, usize) {
 
 /// Runs one Table 1 variant and reports seconds per atmosphere timestep.
 pub fn run_table1(variant: Table1Variant, cfg: Table1Config) -> Table1Row {
-    assert!(cfg.steps.is_multiple_of(2), "steps must be whole coupling periods");
+    assert!(
+        cfg.steps.is_multiple_of(2),
+        "steps must be whole coupling periods"
+    );
     assert!(cfg.n_atm.is_multiple_of(cfg.n_ocean));
     let net: NetworkModel = match variant {
         Table1Variant::TcpOnly => {

@@ -171,11 +171,8 @@ mod tests {
         tracker.sample_with_elapsed(&stats, 0.0);
         stats.record_send(MethodId::MPL, 35_000_000);
         tracker.sample_with_elapsed(&stats, 1.0);
-        let est = AvailableBandwidth::new(
-            [(MethodId::MPL, 36e6), (MethodId::TCP, 8e6)],
-            tracker,
-        )
-        .into_estimator();
+        let est = AvailableBandwidth::new([(MethodId::MPL, 36e6), (MethodId::TCP, 8e6)], tracker)
+            .into_estimator();
         let policy = QosAware::new(4e6, est);
 
         let registry = ModuleRegistry::new();

@@ -96,13 +96,14 @@ impl RtConfig {
                         line: lineno,
                         reason: "skip_poll needs a module name".into(),
                     })?;
-                    let v: u64 = words
-                        .next()
-                        .and_then(|w| w.parse().ok())
-                        .ok_or(NexusError::Config {
-                            line: lineno,
-                            reason: "skip_poll needs an integer value".into(),
-                        })?;
+                    let v: u64 =
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(NexusError::Config {
+                                line: lineno,
+                                reason: "skip_poll needs an integer value".into(),
+                            })?;
                     cfg.skip_poll.push((module.to_owned(), v));
                 }
                 "policy" => {
@@ -173,10 +174,12 @@ impl RtConfig {
         if !self.modules.is_empty() {
             let mut order = Vec::with_capacity(self.modules.len());
             for name in &self.modules {
-                let m = registry.get_by_name(name).ok_or_else(|| NexusError::Config {
-                    line: 0,
-                    reason: format!("unknown module {name:?}"),
-                })?;
+                let m = registry
+                    .get_by_name(name)
+                    .ok_or_else(|| NexusError::Config {
+                        line: 0,
+                        reason: format!("unknown module {name:?}"),
+                    })?;
                 order.push(m.method());
             }
             registry.set_order(&order)?;
@@ -200,10 +203,12 @@ impl RtConfig {
         }
         let mut out = Vec::with_capacity(self.modules.len());
         for name in &self.modules {
-            let m = registry.get_by_name(name).ok_or_else(|| NexusError::Config {
-                line: 0,
-                reason: format!("unknown module {name:?}"),
-            })?;
+            let m = registry
+                .get_by_name(name)
+                .ok_or_else(|| NexusError::Config {
+                    line: 0,
+                    reason: format!("unknown module {name:?}"),
+                })?;
             out.push(m.method());
         }
         Ok(Some(out))

@@ -13,6 +13,7 @@
 //! target the same context with the same method), a selection policy, and
 //! statistics for the enquiry functions.
 
+use crate::buffer::Buffer;
 use crate::descriptor::{DescriptorTable, MethodId};
 use crate::endpoint::{Attached, EndpointId, EndpointRef, EndpointState};
 use crate::error::{NexusError, Result};
@@ -20,10 +21,12 @@ use crate::handler::{HandlerArgs, HandlerRegistry};
 use crate::module::{CommObject, ModuleRegistry};
 use crate::poll::{BlockingPoller, PollEngine};
 use crate::rsr::Rsr;
-use crate::selection::{ExcludeMethods, FirstApplicable, SelectionPolicy};
-use crate::startpoint::{Link, Startpoint, Target};
+use crate::selection::{
+    self, ExcludeMethods, FirstApplicable, MethodCostEstimate, SelectionPolicy,
+};
+use crate::startpoint::{Link, SelectedMethod, Startpoint, Target};
 use crate::stats::Stats;
-use crate::buffer::Buffer;
+use crate::trace::{HistogramSummary, Trace, TraceEventKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -42,14 +45,12 @@ impl fmt::Display for ContextId {
 }
 
 /// Identifies a physical node (processor) in the emulated testbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u32);
 
 /// Identifies a partition (the SP2 software abstraction: MPL works only
 /// within one partition; TCP works everywhere).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PartitionId(pub u32);
 
 /// Immutable placement facts about a context, given to communication
@@ -88,8 +89,6 @@ pub struct ContextOpts {
     /// Optional forwarding arrangement (see [`ForwardVia`]).
     pub forward_via: Option<ForwardVia>,
 }
-
-
 
 struct FabricInner {
     registry: Arc<ModuleRegistry>,
@@ -205,6 +204,13 @@ impl Fabric {
             }
         }
 
+        // Bind the engine's sources to the context's stats and trace
+        // before construction: every probe then records its measured cost
+        // and outcome through cached atomics, without locking.
+        let stats = Stats::new();
+        let trace = Arc::new(Trace::new());
+        engine.bind(&stats, &trace);
+
         let ctx = Arc::new(Context {
             info,
             fabric: Arc::downgrade(&self.inner),
@@ -216,7 +222,8 @@ impl Fabric {
             blocking: Mutex::new(Vec::new()),
             comm_cache: Mutex::new(HashMap::new()),
             policy: RwLock::new(Arc::new(FirstApplicable)),
-            stats: Stats::new(),
+            stats,
+            trace,
             shutdown: AtomicBool::new(false),
             extensions: Mutex::new(HashMap::new()),
         });
@@ -247,7 +254,13 @@ impl Fabric {
     /// Shuts down every context and refuses further creation.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
-        let ctxs: Vec<_> = self.inner.contexts.write().drain().map(|(_, c)| c).collect();
+        let ctxs: Vec<_> = self
+            .inner
+            .contexts
+            .write()
+            .drain()
+            .map(|(_, c)| c)
+            .collect();
         for c in ctxs {
             c.shutdown();
         }
@@ -267,6 +280,7 @@ pub struct Context {
     comm_cache: Mutex<HashMap<(ContextId, MethodId), Arc<dyn CommObject>>>,
     policy: RwLock<Arc<dyn SelectionPolicy>>,
     stats: Stats,
+    trace: Arc<Trace>,
     shutdown: AtomicBool,
     /// Typed extension storage for protocol layers built on the context
     /// (e.g. the global-pointer reply plumbing).
@@ -427,13 +441,13 @@ impl Context {
     /// Selects (if necessary) and returns the communication object for a
     /// link. This is where automatic vs manual selection and the
     /// communication-object cache come together.
-    fn resolve_link(&self, link: &Link) -> Result<Arc<dyn CommObject>> {
+    fn resolve_link(&self, link: &Link) -> Result<SelectedMethod> {
         let pinned = *link.pinned.lock();
         {
             let chosen = link.chosen.lock();
-            if let Some((m, obj)) = chosen.as_ref() {
-                if pinned.is_none_or(|p| p == *m) {
-                    return Ok(Arc::clone(obj));
+            if let Some(sel) = chosen.as_ref() {
+                if pinned.is_none_or(|p| p == sel.method) {
+                    return Ok(sel.clone());
                 }
             }
         }
@@ -454,17 +468,44 @@ impl Context {
                 }
                 p
             }
-            None => self
-                .policy
-                .read()
-                .select(&self.info, &table, &reg)
-                .ok_or(NexusError::NoApplicableMethod {
+            None => self.policy.read().select(&self.info, &table, &reg).ok_or(
+                NexusError::NoApplicableMethod {
                     target: link.target.context,
-                })?,
+                },
+            )?,
         };
-        let obj = self.connect_cached(link.target.context, method, &table)?;
-        *link.chosen.lock() = Some((method, Arc::clone(&obj)));
-        Ok(obj)
+        self.select_into_link(link, method, &table)
+    }
+
+    /// Connects `method` for a link, stores the selection (with cached
+    /// recording handles) on the link, and traces the method switch.
+    fn select_into_link(
+        &self,
+        link: &Link,
+        method: MethodId,
+        table: &DescriptorTable,
+    ) -> Result<SelectedMethod> {
+        let obj = self.connect_cached(link.target.context, method, table)?;
+        let sel = SelectedMethod {
+            method,
+            obj,
+            counters: self.stats.method(method),
+            ltrace: self.trace.link(link.target.context, method),
+        };
+        let prev = {
+            let mut chosen = link.chosen.lock();
+            let prev = chosen.as_ref().map(|s| s.method);
+            *chosen = Some(sel.clone());
+            prev
+        };
+        if prev != Some(method) {
+            self.trace.record_event(TraceEventKind::MethodSwitch {
+                target: link.target.context,
+                from: prev,
+                to: method,
+            });
+        }
+        Ok(sel)
     }
 
     /// Returns the (possibly cached) communication object for
@@ -479,7 +520,9 @@ impl Context {
             return Ok(Arc::clone(obj));
         }
         let reg = self.registry()?;
-        let module = reg.resolve(method).ok_or(NexusError::UnknownMethod(method))?;
+        let module = reg
+            .resolve(method)
+            .ok_or(NexusError::UnknownMethod(method))?;
         let desc = table
             .get(method)
             .ok_or(NexusError::MethodNotApplicable { method, target })?;
@@ -533,24 +576,45 @@ impl Context {
         let pinned = link.pinned.lock().is_some();
         let mut failed: Vec<MethodId> = Vec::new();
         loop {
-            let obj = if failed.is_empty() {
+            let sel = if failed.is_empty() {
                 self.resolve_link(link)?
             } else {
                 self.reselect_excluding(link, &failed)?
             };
-            match obj.send(msg) {
+            let start = Instant::now();
+            match sel.obj.send(msg) {
                 Ok(()) => {
-                    self.stats.record_send(obj.method(), wire);
+                    // Steady-state recording: atomics only, through the
+                    // handles cached on the link's selection; the event
+                    // timestamp reuses the end-of-send clock reading.
+                    let end = Instant::now();
+                    let cost_ns = end.duration_since(start).as_nanos() as u64;
+                    sel.counters.note_send(wire);
+                    sel.ltrace.send_latency_ns.record(cost_ns);
+                    sel.ltrace.send_bytes.record(wire as u64);
+                    sel.ltrace.send_cost_ns.record(cost_ns as f64);
+                    self.trace.record_event_at(
+                        end,
+                        TraceEventKind::Send {
+                            target: link.target.context,
+                            method: sel.method,
+                            wire_bytes: wire as u64,
+                        },
+                    );
                     return Ok(());
                 }
                 Err(e) => {
-                    let method = obj.method();
-                    obj.close();
+                    let method = sel.method;
+                    sel.obj.close();
                     link.invalidate();
                     self.comm_cache
                         .lock()
                         .remove(&(link.target.context, method));
                     self.stats.record_failover(method);
+                    self.trace.record_event(TraceEventKind::Failover {
+                        target: link.target.context,
+                        from: method,
+                    });
                     if pinned {
                         return Err(e);
                     }
@@ -562,11 +626,7 @@ impl Context {
 
     /// Re-runs selection for a link with `excluded` methods removed, and
     /// stores the new choice on the link.
-    fn reselect_excluding(
-        &self,
-        link: &Link,
-        excluded: &[MethodId],
-    ) -> Result<Arc<dyn CommObject>> {
+    fn reselect_excluding(&self, link: &Link, excluded: &[MethodId]) -> Result<SelectedMethod> {
         let reg = self.registry()?;
         let table = link.table();
         let policy = self.policy.read().clone();
@@ -577,9 +637,7 @@ impl Context {
                 .ok_or(NexusError::NoApplicableMethod {
                     target: link.target.context,
                 })?;
-        let obj = self.connect_cached(link.target.context, method, &table)?;
-        *link.chosen.lock() = Some((method, Arc::clone(&obj)));
-        Ok(obj)
+        self.select_into_link(link, method, &table)
     }
 
     // -- progress / dispatch -----------------------------------------------------
@@ -587,7 +645,20 @@ impl Context {
     /// Sets the skip_poll value for `method`: its receiver is probed on
     /// every `k`-th invocation of the unified polling function (§3.3).
     pub fn set_skip_poll(&self, method: MethodId, k: u64) -> bool {
-        self.poll.lock().set_skip_poll(method, k)
+        let (ok, before) = {
+            let mut eng = self.poll.lock();
+            let before = eng.skip_poll(method);
+            (eng.set_skip_poll(method, k), before)
+        };
+        let to = k.max(1);
+        if ok && before != Some(to) {
+            self.trace.record_event(TraceEventKind::SkipPollChange {
+                method,
+                from: before.unwrap_or(0),
+                to,
+            });
+        }
+        ok
     }
 
     /// Current skip_poll value for `method`.
@@ -611,7 +682,9 @@ impl Context {
     /// blocking, §3.3). Fails if the module does not support blocking.
     pub fn start_blocking_poller(&self, method: MethodId) -> Result<()> {
         let reg = self.registry()?;
-        let module = reg.resolve(method).ok_or(NexusError::UnknownMethod(method))?;
+        let module = reg
+            .resolve(method)
+            .ok_or(NexusError::UnknownMethod(method))?;
         if !module.supports_blocking() {
             return Err(NexusError::BadParam {
                 key: "blocking".to_owned(),
@@ -623,11 +696,15 @@ impl Context {
             .lock()
             .remove_source(method)
             .ok_or(NexusError::UnknownMethod(method))?;
-        self.blocking.lock().push(BlockingPoller::spawn(
-            method,
-            receiver,
-            Duration::from_millis(10),
-        ));
+        self.blocking
+            .lock()
+            .push(BlockingPoller::spawn_instrumented(
+                method,
+                receiver,
+                Duration::from_millis(10),
+                Some(self.stats.method(method)),
+                Some(Arc::clone(&self.trace)),
+            ));
         Ok(())
     }
 
@@ -651,16 +728,38 @@ impl Context {
         }
         let outcome = {
             let mut eng = self.poll.lock();
-            eng.poll_once()?
+            eng.poll_once()
         };
-        for (method, found) in &outcome.probed {
-            self.stats.record_poll(*method, *found);
+        // Per-probe counters and poll-cost EWMAs were recorded lock-free
+        // inside the engine, through the handles bound at construction.
+        for sc in &outcome.skip_changes {
+            self.trace.record_event(TraceEventKind::SkipPollChange {
+                method: sc.method,
+                from: sc.from,
+                to: sc.to,
+            });
         }
+        // A transport error from one source must not swallow traffic the
+        // pass retrieved: dispatch everything first, then report the
+        // earliest error (poll errors before dispatch errors).
+        let mut first_err = outcome.errors.into_iter().next().map(|(_, e)| e);
         msgs.extend(outcome.messages);
         let n = msgs.len();
-        let mut first_err = None;
+        // Recv counters/histograms were already recorded where the
+        // message was retrieved (poll engine source or blocking-poller
+        // thread), through handles cached there. Here we only stamp the
+        // pass's Recv events — with a single clock reading — and run the
+        // handlers.
+        let pass_at = if n > 0 { Some(Instant::now()) } else { None };
         for (method, msg) in msgs {
-            self.stats.record_recv(method, msg.wire_len());
+            let wire = msg.wire_len();
+            self.trace.record_event_at(
+                pass_at.expect("set when any message exists"),
+                TraceEventKind::Recv {
+                    method,
+                    wire_bytes: wire as u64,
+                },
+            );
             if let Err(e) = self.dispatch(method, msg) {
                 if first_err.is_none() {
                     first_err = Some(e);
@@ -778,6 +877,30 @@ impl Context {
         &self.stats
     }
 
+    /// The context's observability layer (enquiry): per-`(link, method)`
+    /// latency/size histograms, measured poll-cost EWMAs, and the event
+    /// ring. `self.trace().render()` exports it as plain text.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enquiry: measured cost estimate for `method` — the poll-cost EWMA
+    /// from the unified polling function and the send-cost EWMA across
+    /// this context's links using the method. Values are `None` until the
+    /// runtime has taken the corresponding measurement.
+    pub fn method_cost_estimate(&self, method: MethodId) -> MethodCostEstimate {
+        selection::method_cost_estimate(&self.trace, method)
+    }
+
+    /// Enquiry: distribution of measured transport-send latency (ns) on
+    /// the link to `target` over `method`, or `None` if nothing has been
+    /// sent that way.
+    pub fn link_latency(&self, target: ContextId, method: MethodId) -> Option<HistogramSummary> {
+        self.trace
+            .get_link(target, method)
+            .and_then(|t| t.send_latency_ns.summary())
+    }
+
     /// Returns this context's extension of type `T`, creating it with
     /// `init` on first use. Protocol layers (e.g. global pointers) use
     /// this for per-context plumbing without a global registry.
@@ -890,10 +1013,7 @@ mod tests {
         buf.put_u32(77);
         a.rsr(&sp, "hit", buf).unwrap();
         assert_eq!(sp.current_methods()[0].1, Some(MethodId::MPL));
-        assert!(b.progress_until(
-            || hits.load(Ordering::Relaxed) == 1,
-            Duration::from_secs(1)
-        ));
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
         assert_eq!(a.stats().snapshot_method(MethodId::MPL).sends, 1);
         assert_eq!(b.stats().snapshot_method(MethodId::MPL).recvs, 1);
     }
@@ -912,10 +1032,7 @@ mod tests {
         let sp = b.startpoint_to(ep).unwrap();
         a.rsr(&sp, "hit", Buffer::new()).unwrap();
         assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
-        assert!(b.progress_until(
-            || hits.load(Ordering::Relaxed) == 1,
-            Duration::from_secs(1)
-        ));
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
     }
 
     #[test]
@@ -1021,10 +1138,7 @@ mod tests {
         buf.put_u32(21);
         a.rsr(&req_sp, "request", buf).unwrap();
         b.progress().unwrap();
-        assert!(a.progress_until(
-            || got.load(Ordering::Relaxed) == 42,
-            Duration::from_secs(1)
-        ));
+        assert!(a.progress_until(|| got.load(Ordering::Relaxed) == 42, Duration::from_secs(1)));
     }
 
     #[test]
@@ -1077,15 +1191,9 @@ mod tests {
         external.rsr(&sp, "hit", Buffer::new()).unwrap();
         // Message lands at the forwarder over TCP...
         forwarder.progress().unwrap();
-        assert_eq!(
-            forwarder.stats().snapshot_method(MethodId::TCP).forwards,
-            1
-        );
+        assert_eq!(forwarder.stats().snapshot_method(MethodId::TCP).forwards, 1);
         // ...and reaches the worker over MPL.
-        assert!(worker.progress_until(
-            || hits.load(Ordering::Relaxed) == 1,
-            Duration::from_secs(1)
-        ));
+        assert!(worker.progress_until(|| hits.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
         assert_eq!(worker.stats().snapshot_method(MethodId::MPL).recvs, 1);
     }
 
@@ -1113,10 +1221,7 @@ mod tests {
         let sp = b.startpoint_to(ep).unwrap();
         assert!(b.destroy_endpoint(ep));
         a.rsr(&sp, "hit", Buffer::new()).unwrap();
-        assert!(matches!(
-            b.progress(),
-            Err(NexusError::UnknownEndpoint(_))
-        ));
+        assert!(matches!(b.progress(), Err(NexusError::UnknownEndpoint(_))));
     }
 
     #[test]
@@ -1217,14 +1322,24 @@ mod tests {
         let y = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
         // Craft an RSR addressed to a third, nonexistent context and
         // inject it at x as if it had arrived over TCP.
-        let msg = Rsr::new(ContextId(99), crate::endpoint::EndpointId(1), "h", bytes::Bytes::new());
+        let msg = Rsr::new(
+            ContextId(99),
+            crate::endpoint::EndpointId(1),
+            "h",
+            bytes::Bytes::new(),
+        );
         // x forwarding fails because context 99 does not exist.
         assert!(matches!(
             x.dispatch(MethodId::TCP, msg),
             Err(NexusError::UnknownContext(_))
         ));
         // A zero-TTL message is dropped with a decode error, never re-sent.
-        let mut dead = Rsr::new(y.id(), crate::endpoint::EndpointId(1), "h", bytes::Bytes::new());
+        let mut dead = Rsr::new(
+            y.id(),
+            crate::endpoint::EndpointId(1),
+            "h",
+            bytes::Bytes::new(),
+        );
         dead.ttl = 0;
         assert!(matches!(
             x.dispatch(MethodId::TCP, dead),
@@ -1294,10 +1409,7 @@ mod tests {
         flaky.set_broken(true);
         a.rsr(&sp, "hit", Buffer::new()).unwrap();
         assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
-        assert!(b.progress_until(
-            || hits.load(Ordering::Relaxed) == 2,
-            Duration::from_secs(1)
-        ));
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) == 2, Duration::from_secs(1)));
         assert_eq!(a.stats().snapshot_method(MethodId::MPL).failovers, 1);
         // The replacement sticks: a third send goes straight over TCP with
         // no further failed attempts on the broken method.

@@ -203,7 +203,12 @@ impl GlobalPointer {
         &self.sp
     }
 
-    fn roundtrip(&self, ctx: &Arc<Context>, handler: &str, extra: impl FnOnce(&mut Buffer)) -> Result<Vec<u8>> {
+    fn roundtrip(
+        &self,
+        ctx: &Arc<Context>,
+        handler: &str,
+        extra: impl FnOnce(&mut Buffer),
+    ) -> Result<Vec<u8>> {
         ensure_handlers(ctx);
         // Per-context reply plumbing, created on first use.
         let table = reply_table(ctx)?;
@@ -293,8 +298,12 @@ mod tests {
 
     fn fabric() -> Fabric {
         let f = Fabric::new();
-        f.registry()
-            .register(Arc::new(TestModule::new(MethodId::SHMEM, "shmem", 5, false)));
+        f.registry().register(Arc::new(TestModule::new(
+            MethodId::SHMEM,
+            "shmem",
+            5,
+            false,
+        )));
         f
     }
 
@@ -364,10 +373,7 @@ mod tests {
         gp.startpoint().pack(&mut buf);
         let _guard = owner.spawn_progress_thread();
         owner.rsr(&sp_to_peer, "use-gp", buf).unwrap();
-        assert!(peer.progress_until(
-            || observed.lock().is_some(),
-            Duration::from_secs(5)
-        ));
+        assert!(peer.progress_until(|| observed.lock().is_some(), Duration::from_secs(5)));
         assert_eq!(*observed.lock(), Some(5.0));
         f.shutdown();
     }

@@ -66,6 +66,7 @@
 //! | [`handler`] | handler registration and dispatch |
 //! | [`gp`] | global pointers: remote read/write/fetch-add through startpoints |
 //! | [`stats`] | per-method counters for the enquiry functions |
+//! | [`trace`] | per-link histograms, measured poll-cost EWMAs, event ring |
 //! | [`config`] | resource database + command-line overrides |
 
 #![warn(missing_docs)]
@@ -85,6 +86,7 @@ pub mod rsr;
 pub mod selection;
 pub mod startpoint;
 pub mod stats;
+pub mod trace;
 
 /// Convenience re-exports for application code.
 pub mod prelude {
@@ -99,8 +101,14 @@ pub mod prelude {
     pub use crate::gp::{GlobalCell, GlobalPointer};
     pub use crate::handler::HandlerArgs;
     pub use crate::module::{CommModule, CommObject, CommReceiver, ModuleRegistry};
+    pub use crate::poll::{AdaptiveSkipPoll, PollOutcome, Probe, SkipChange};
     pub use crate::selection::{
-        applicable_methods, ExcludeMethods, FirstApplicable, QosAware, SelectionPolicy,
+        applicable_methods, method_cost_estimate, ExcludeMethods, FirstApplicable,
+        MethodCostEstimate, QosAware, SelectionPolicy,
     };
     pub use crate::startpoint::{Startpoint, Target};
+    pub use crate::stats::{MethodSnapshot, Stats};
+    pub use crate::trace::{
+        Ewma, HistogramSummary, LogHistogram, Trace, TraceEvent, TraceEventKind,
+    };
 }

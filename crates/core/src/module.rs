@@ -226,7 +226,12 @@ impl ModuleRegistry {
 
     /// The default method order (fastest first unless overridden).
     pub fn default_order(&self) -> Vec<MethodId> {
-        self.inner.read().modules.iter().map(|m| m.method()).collect()
+        self.inner
+            .read()
+            .modules
+            .iter()
+            .map(|m| m.method())
+            .collect()
     }
 
     /// Overrides the default priority order. Methods named in `order` move
@@ -463,7 +468,11 @@ pub mod fault_support {
         fn applicable(&self, local: &ContextInfo, desc: &CommDescriptor) -> bool {
             self.inner.applicable(local, desc)
         }
-        fn connect(&self, local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
+        fn connect(
+            &self,
+            local: &ContextInfo,
+            desc: &CommDescriptor,
+        ) -> Result<Arc<dyn CommObject>> {
             Ok(Arc::new(FlakyObject {
                 inner: self.inner.connect(local, desc)?,
                 broken: Arc::clone(&self.broken),
@@ -486,7 +495,12 @@ mod tests {
         let reg = ModuleRegistry::new();
         reg.register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
         reg.register(Arc::new(TestModule::new(MethodId::MPL, "mpl", 10, true)));
-        reg.register(Arc::new(TestModule::new(MethodId::SHMEM, "shmem", 5, false)));
+        reg.register(Arc::new(TestModule::new(
+            MethodId::SHMEM,
+            "shmem",
+            5,
+            false,
+        )));
         assert_eq!(
             reg.default_order(),
             vec![MethodId::SHMEM, MethodId::MPL, MethodId::TCP]

@@ -11,14 +11,16 @@
 //! per method ([`BlockingPoller`]).
 
 use crate::descriptor::MethodId;
-use crate::error::Result;
+use crate::error::NexusError;
 use crate::module::CommReceiver;
 use crate::rsr::Rsr;
+use crate::stats::{MethodCounters, Stats};
+use crate::trace::{MethodTrace, Trace, TraceEventKind};
 use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Parameters of the adaptive skip_poll controller (the paper's "future
 /// work": *adaptive adjustment of skip_poll values*).
@@ -59,7 +61,22 @@ struct PollSource {
     adaptive: Option<AdaptiveSkipPoll>,
     /// Consecutive empty probes (drives adaptive growth).
     empty_streak: u64,
+    /// Cached per-method counters (set by [`PollEngine::bind`]); recording
+    /// through them is lock-free.
+    counters: Option<Arc<MethodCounters>>,
+    /// Cached per-method trace (poll-cost EWMA), set by
+    /// [`PollEngine::bind`].
+    mtrace: Option<Arc<MethodTrace>>,
+    /// Probes performed on this source; every
+    /// [`PROBE_SAMPLE_EVERY`]-th one (starting with the first) is timed.
+    probe_tick: u64,
 }
+
+/// One out of this many probes per source is wall-clock timed for the
+/// poll-cost EWMA. Sampling keeps the steady-state cost of a probe pass
+/// at a fraction of a clock read while the EWMA still converges on the
+/// true probe cost (empty-probe cost is stable per method).
+pub const PROBE_SAMPLE_EVERY: u64 = 16;
 
 /// The unified poll engine for one context.
 ///
@@ -71,15 +88,47 @@ pub struct PollEngine {
     calls: u64,
 }
 
+/// One probe of one receive source within a poll pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// The probed method.
+    pub method: MethodId,
+    /// Whether the probe retrieved a message.
+    pub found: bool,
+    /// Measured wall-clock cost of the probe in nanoseconds, if this
+    /// probe was one of the timed samples (see [`PROBE_SAMPLE_EVERY`]).
+    pub cost_ns: Option<u64>,
+}
+
+/// A skip_poll adjustment made by the adaptive controller during a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipChange {
+    /// The adjusted method.
+    pub method: MethodId,
+    /// Skip value before the pass.
+    pub from: u64,
+    /// Skip value after the pass.
+    pub to: u64,
+}
+
 /// Result of one pass of the unified polling function.
+///
+/// A pass always completes: messages retrieved before a failing source are
+/// in `messages` *and* the failure is in `errors` — one erroring transport
+/// never causes delivered traffic to be dropped.
 #[derive(Debug, Default)]
 pub struct PollOutcome {
     /// Messages retrieved this pass, tagged with the method that carried
     /// them.
     pub messages: Vec<(MethodId, Rsr)>,
-    /// Methods actually probed this pass (after skip_poll filtering), and
-    /// whether each probe found a message.
-    pub probed: Vec<(MethodId, bool)>,
+    /// Probes issued this pass (after skip_poll filtering), with measured
+    /// costs.
+    pub probed: Vec<Probe>,
+    /// Transport errors encountered this pass, per method. Erroring
+    /// sources stay in the rotation; persistent failures repeat here.
+    pub errors: Vec<(MethodId, NexusError)>,
+    /// Adaptive skip_poll adjustments made during this pass.
+    pub skip_changes: Vec<SkipChange>,
 }
 
 impl PollEngine {
@@ -97,7 +146,22 @@ impl PollEngine {
             since_last: 0,
             adaptive: None,
             empty_streak: 0,
+            counters: None,
+            mtrace: None,
+            probe_tick: 0,
         });
+    }
+
+    /// Attaches per-method counters and trace handles (poll-cost EWMAs) to
+    /// every current source. The owning context calls this once at
+    /// construction; afterwards each probe records into plain atomics —
+    /// no lock is taken per poll event. Engines that are never bound
+    /// (benches, tests) skip recording entirely.
+    pub fn bind(&mut self, stats: &Stats, trace: &Trace) {
+        for s in &mut self.sources {
+            s.counters = Some(stats.method(s.method));
+            s.mtrace = Some(trace.method(s.method));
+        }
     }
 
     /// Removes and returns the receiver for `method` (used when moving a
@@ -154,22 +218,56 @@ impl PollEngine {
     }
 
     /// Runs one pass of the unified polling function: each source whose
-    /// skip counter has elapsed is probed once. Transport errors from one
-    /// source do not prevent probing the others; the first error is
-    /// returned after the full pass.
-    pub fn poll_once(&mut self) -> Result<PollOutcome> {
+    /// skip counter has elapsed is probed once, and each probe is timed.
+    /// Transport errors from one source do not prevent probing the others
+    /// and never discard messages already retrieved this pass — errors are
+    /// reported in [`PollOutcome::errors`] alongside the messages.
+    pub fn poll_once(&mut self) -> PollOutcome {
         self.calls += 1;
         let mut out = PollOutcome::default();
-        let mut first_err = None;
         for s in &mut self.sources {
             s.since_last += 1;
             if s.since_last < s.skip {
                 continue;
             }
             s.since_last = 0;
-            match s.receiver.poll() {
+            let skip_before = s.skip;
+            // Timing every probe would double the cost of the cheap
+            // in-process probes (two clock reads dwarf a queue check), so
+            // only every `PROBE_SAMPLE_EVERY`-th probe per source is
+            // timed — the first one always, so the EWMA is seeded
+            // immediately. Empty-probe cost is stable, so the sampled
+            // EWMA converges to the same value at a fraction of the
+            // overhead.
+            let timed = s.probe_tick % PROBE_SAMPLE_EVERY == 0;
+            s.probe_tick += 1;
+            let start = timed.then(Instant::now);
+            let polled = s.receiver.poll();
+            let cost_ns = start.map(|t| t.elapsed().as_nanos() as u64);
+            let found = matches!(polled, Ok(Some(_)));
+            if let (Some(ns), Some(mt)) = (cost_ns, &s.mtrace) {
+                mt.poll_cost_ns.record(ns as f64);
+            }
+            if let Some(c) = &s.counters {
+                c.note_poll(found);
+            }
+            out.probed.push(Probe {
+                method: s.method,
+                found,
+                cost_ns,
+            });
+            match polled {
                 Ok(Some(msg)) => {
-                    out.probed.push((s.method, true));
+                    // Recv accounting happens here, where the per-method
+                    // handles are already cached, so the dispatch loop
+                    // upstairs never touches the stats/trace maps.
+                    let wire = msg.wire_len() as u64;
+                    if let Some(c) = &s.counters {
+                        c.note_recv(wire as usize);
+                    }
+                    if let Some(mt) = &s.mtrace {
+                        mt.recv_bytes.record(wire);
+                    }
                     out.messages.push((s.method, msg));
                     if let Some(cfg) = s.adaptive {
                         // Activity: look more often.
@@ -178,7 +276,6 @@ impl PollEngine {
                     }
                 }
                 Ok(None) => {
-                    out.probed.push((s.method, false));
                     if let Some(cfg) = s.adaptive {
                         s.empty_streak += 1;
                         if s.empty_streak >= cfg.grow_after {
@@ -189,17 +286,21 @@ impl PollEngine {
                     }
                 }
                 Err(e) => {
-                    out.probed.push((s.method, false));
-                    if first_err.is_none() {
-                        first_err = Some(e);
+                    if let Some(c) = &s.counters {
+                        c.note_poll_error();
                     }
+                    out.errors.push((s.method, e));
                 }
             }
+            if s.skip != skip_before {
+                out.skip_changes.push(SkipChange {
+                    method: s.method,
+                    from: skip_before,
+                    to: s.skip,
+                });
+            }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(out),
-        }
+        out
     }
 
     /// Total calls to [`PollEngine::poll_once`] so far.
@@ -226,32 +327,85 @@ pub struct BlockingPoller {
     method: MethodId,
     queue: Arc<SegQueue<Rsr>>,
     stop: Arc<AtomicBool>,
+    /// Transport errors seen by the thread (total, not consecutive).
+    errors: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
+
+/// First backoff after a blocking-poller transport error.
+const BLOCKING_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Ceiling on the blocking poller's error backoff.
+const BLOCKING_BACKOFF_CAP: Duration = Duration::from_millis(256);
 
 impl BlockingPoller {
     /// Spawns a thread that blocks on `receiver` (with `timeout` as the
     /// shutdown-check granularity) and enqueues everything it receives.
-    pub fn spawn(
+    pub fn spawn(method: MethodId, receiver: Box<dyn CommReceiver>, timeout: Duration) -> Self {
+        Self::spawn_instrumented(method, receiver, timeout, None, None)
+    }
+
+    /// Like [`BlockingPoller::spawn`], with instrumentation: transport
+    /// errors are counted into `counters` and surfaced as
+    /// [`TraceEventKind::PollError`] events in `trace` (at each
+    /// power-of-two consecutive count, to bound ring traffic). Consecutive
+    /// errors back off exponentially from 1 ms, capped at 256 ms, so a
+    /// persistently failing transport does not spin the thread; a
+    /// successful receive resets the backoff.
+    pub fn spawn_instrumented(
         method: MethodId,
         mut receiver: Box<dyn CommReceiver>,
         timeout: Duration,
+        counters: Option<Arc<MethodCounters>>,
+        trace: Option<Arc<Trace>>,
     ) -> Self {
         let queue = Arc::new(SegQueue::new());
         let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
         let q = Arc::clone(&queue);
         let st = Arc::clone(&stop);
+        let errs = Arc::clone(&errors);
+        // Resolve the per-method trace handle once; the thread then
+        // records receives through plain atomics.
+        let mtrace = trace.as_ref().map(|t| t.method(method));
         let handle = std::thread::Builder::new()
             .name(format!("nexus-blocking-poll-{method}"))
             .spawn(move || {
+                let mut consecutive: u64 = 0;
                 while !st.load(Ordering::Relaxed) {
                     match receiver.recv_timeout(timeout) {
-                        Ok(Some(msg)) => q.push(msg),
-                        Ok(None) => {}
+                        Ok(Some(msg)) => {
+                            consecutive = 0;
+                            let wire = msg.wire_len() as u64;
+                            if let Some(c) = &counters {
+                                c.note_recv(wire as usize);
+                            }
+                            if let Some(mt) = &mtrace {
+                                mt.recv_bytes.record(wire);
+                            }
+                            q.push(msg);
+                        }
+                        Ok(None) => {
+                            consecutive = 0;
+                        }
                         Err(_) => {
-                            // Transport error: back off briefly rather than
-                            // spinning; shutdown flag still honored.
-                            std::thread::sleep(Duration::from_millis(1));
+                            consecutive += 1;
+                            errs.fetch_add(1, Ordering::Relaxed);
+                            if let Some(c) = &counters {
+                                c.note_poll_error();
+                            }
+                            if let Some(t) = &trace {
+                                if consecutive.is_power_of_two() {
+                                    t.record_event(TraceEventKind::PollError {
+                                        method,
+                                        consecutive,
+                                    });
+                                }
+                            }
+                            let exp = consecutive.saturating_sub(1).min(8) as u32;
+                            let backoff = BLOCKING_BACKOFF_BASE
+                                .saturating_mul(1u32 << exp)
+                                .min(BLOCKING_BACKOFF_CAP);
+                            std::thread::sleep(backoff);
                         }
                     }
                 }
@@ -262,8 +416,14 @@ impl BlockingPoller {
             method,
             queue,
             stop,
+            errors,
             handle: Some(handle),
         }
+    }
+
+    /// Total transport errors the thread has seen.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
     }
 
     /// The method this poller serves.
@@ -300,6 +460,7 @@ mod tests {
     use super::*;
     use crate::context::ContextId;
     use crate::endpoint::EndpointId;
+    use crate::error::Result;
     use bytes::Bytes;
     use parking_lot::Mutex;
 
@@ -358,7 +519,7 @@ mod tests {
         eng.add_source(MethodId::TCP, Box::new(r2));
         in1.lock().push(msg("a"));
         in2.lock().push(msg("b"));
-        let out = eng.poll_once().unwrap();
+        let out = eng.poll_once();
         assert_eq!(out.messages.len(), 2);
         assert_eq!(out.probed.len(), 2);
     }
@@ -372,7 +533,7 @@ mod tests {
         eng.add_source(MethodId::TCP, Box::new(r2));
         assert!(eng.set_skip_poll(MethodId::TCP, 5));
         for _ in 0..20 {
-            eng.poll_once().unwrap();
+            eng.poll_once();
         }
         assert_eq!(*p1.lock(), 20, "cheap method polled every time");
         assert_eq!(*p2.lock(), 4, "expensive method polled every 5th time");
@@ -386,7 +547,7 @@ mod tests {
         eng.set_skip_poll(MethodId::TCP, 0);
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(1));
         for _ in 0..3 {
-            eng.poll_once().unwrap();
+            eng.poll_once();
         }
         assert_eq!(*p1.lock(), 3);
         assert!(!eng.set_skip_poll(MethodId::UDP, 2));
@@ -401,7 +562,7 @@ mod tests {
         inbox.lock().push(msg("late"));
         let mut got_at = None;
         for i in 1..=6 {
-            let out = eng.poll_once().unwrap();
+            let out = eng.poll_once();
             if !out.messages.is_empty() {
                 got_at = Some(i);
                 break;
@@ -417,7 +578,7 @@ mod tests {
         eng.add_source(MethodId::TCP, Box::new(r1));
         let taken = eng.remove_source(MethodId::TCP);
         assert!(taken.is_some());
-        eng.poll_once().unwrap();
+        eng.poll_once();
         assert_eq!(*p1.lock(), 0);
         assert!(eng.remove_source(MethodId::TCP).is_none());
     }
@@ -438,7 +599,7 @@ mod tests {
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(1));
         // 4 empty probes -> skip 2; 4 more -> 4; ... capped at 64.
         for _ in 0..1000 {
-            eng.poll_once().unwrap();
+            eng.poll_once();
         }
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(64), "capped at max");
     }
@@ -462,7 +623,7 @@ mod tests {
         for expect in [16u64, 8, 4] {
             inbox.lock().push(msg("m"));
             loop {
-                let out = eng.poll_once().unwrap();
+                let out = eng.poll_once();
                 if !out.messages.is_empty() {
                     break;
                 }
@@ -487,7 +648,7 @@ mod tests {
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(4), "clamped up to min");
         inbox.lock().push(msg("m"));
         loop {
-            if !eng.poll_once().unwrap().messages.is_empty() {
+            if !eng.poll_once().messages.is_empty() {
                 break;
             }
         }
@@ -495,19 +656,19 @@ mod tests {
         // Manual set_skip_poll disables adaptation.
         eng.set_skip_poll(MethodId::TCP, 7);
         for _ in 0..100 {
-            eng.poll_once().unwrap();
+            eng.poll_once();
         }
-        assert_eq!(eng.skip_poll(MethodId::TCP), Some(7), "no drift after manual set");
+        assert_eq!(
+            eng.skip_poll(MethodId::TCP),
+            Some(7),
+            "no drift after manual set"
+        );
     }
 
     #[test]
     fn blocking_poller_delivers_and_stops() {
         let (r, inbox, _) = scripted();
-        let poller = BlockingPoller::spawn(
-            MethodId::TCP,
-            Box::new(r),
-            Duration::from_millis(5),
-        );
+        let poller = BlockingPoller::spawn(MethodId::TCP, Box::new(r), Duration::from_millis(5));
         inbox.lock().push(msg("x"));
         let mut got = None;
         for _ in 0..200 {
@@ -526,8 +687,149 @@ mod tests {
         let mut eng = PollEngine::new();
         let (r, _, _) = scripted();
         eng.add_source(MethodId::MPL, Box::new(r));
-        let out = eng.poll_once().unwrap();
-        assert_eq!(out.probed, vec![(MethodId::MPL, false)]);
+        let out = eng.poll_once();
+        assert_eq!(out.probed.len(), 1);
+        assert_eq!(out.probed[0].method, MethodId::MPL);
+        assert!(!out.probed[0].found);
         assert!(out.messages.is_empty());
+        assert!(out.errors.is_empty());
+    }
+
+    /// A receiver whose every poll fails with a transport error.
+    struct Failing;
+
+    impl CommReceiver for Failing {
+        fn poll(&mut self) -> Result<Option<Rsr>> {
+            Err(NexusError::ConnectionClosed)
+        }
+        fn recv_timeout(&mut self, _timeout: Duration) -> Result<Option<Rsr>> {
+            Err(NexusError::ConnectionClosed)
+        }
+    }
+
+    #[test]
+    fn erroring_source_does_not_drop_retrieved_messages() {
+        // Regression: an error from one source used to turn the whole pass
+        // into Err, discarding messages other sources had already handed
+        // over. The erroring source comes first so its failure happens
+        // before the delivering source is probed.
+        let mut eng = PollEngine::new();
+        let (good, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(Failing));
+        eng.add_source(MethodId::MPL, Box::new(good));
+        inbox.lock().push(msg("survivor"));
+        let out = eng.poll_once();
+        assert_eq!(out.messages.len(), 1, "delivered message must survive");
+        assert_eq!(out.messages[0].1.handler, "survivor");
+        assert_eq!(out.errors.len(), 1, "and the error must be reported");
+        assert_eq!(out.errors[0].0, MethodId::TCP);
+        assert!(matches!(out.errors[0].1, NexusError::ConnectionClosed));
+        // The erroring source stays in the rotation and keeps reporting.
+        let again = eng.poll_once();
+        assert_eq!(again.errors.len(), 1);
+    }
+
+    #[test]
+    fn probes_carry_measured_costs() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::MPL, Box::new(r));
+        inbox.lock().push(msg("m"));
+        let out = eng.poll_once();
+        assert!(out.probed[0].found);
+        // The first probe of a source is always a timed sample; check the
+        // cost is populated sanely (a mutex-guarded vec pop stays well
+        // under a second).
+        assert!(out.probed[0].cost_ns.unwrap() < 1_000_000_000);
+        // Subsequent probes inside the sampling window are untimed.
+        let next = eng.poll_once();
+        assert_eq!(next.probed[0].cost_ns, None);
+    }
+
+    #[test]
+    fn bound_engine_records_polls_and_errors_lock_free() {
+        let stats = Stats::new();
+        let trace = Trace::new();
+        let mut eng = PollEngine::new();
+        let (good, inbox, _) = scripted();
+        eng.add_source(MethodId::MPL, Box::new(good));
+        eng.add_source(MethodId::TCP, Box::new(Failing));
+        eng.bind(&stats, &trace);
+        inbox.lock().push(msg("m"));
+        for _ in 0..3 {
+            eng.poll_once();
+        }
+        let mpl = stats.snapshot_method(MethodId::MPL);
+        assert_eq!(mpl.polls, 3);
+        assert_eq!(mpl.empty_polls, 2, "one probe found the message");
+        let tcp = stats.snapshot_method(MethodId::TCP);
+        assert_eq!(tcp.polls, 3);
+        assert_eq!(tcp.poll_errors, 3);
+        let ewma = trace.get_method(MethodId::MPL).unwrap();
+        // Of the three probes only the first falls on the sampling grid.
+        assert_eq!(ewma.poll_cost_ns.samples(), 1);
+        assert!(ewma.poll_cost_ns.value().is_some());
+    }
+
+    #[test]
+    fn adaptive_changes_are_reported_as_skip_changes() {
+        let mut eng = PollEngine::new();
+        let (r, _, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 1,
+                max: 8,
+                grow_after: 2,
+            },
+        );
+        let mut changes = Vec::new();
+        for _ in 0..6 {
+            changes.extend(eng.poll_once().skip_changes);
+        }
+        assert_eq!(
+            changes,
+            vec![
+                SkipChange {
+                    method: MethodId::TCP,
+                    from: 1,
+                    to: 2
+                },
+                SkipChange {
+                    method: MethodId::TCP,
+                    from: 2,
+                    to: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_poller_counts_errors_and_backs_off() {
+        let stats = Stats::new();
+        let trace = Arc::new(Trace::new());
+        let poller = BlockingPoller::spawn_instrumented(
+            MethodId::TCP,
+            Box::new(Failing),
+            Duration::from_millis(1),
+            Some(stats.method(MethodId::TCP)),
+            Some(Arc::clone(&trace)),
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        let seen = poller.error_count();
+        assert!(seen >= 2, "errors keep being counted, saw {seen}");
+        // Exponential backoff: 60 ms admits at most 1+2+4+8+16+32 ms of
+        // sleeping ≈ 6 errors; a 1 ms flat sleep would admit ~60.
+        assert!(seen <= 10, "backoff must slow the error loop, saw {seen}");
+        assert_eq!(stats.snapshot_method(MethodId::TCP).poll_errors, seen);
+        let events = trace.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::PollError { method, .. } if method == MethodId::TCP)),
+            "poll errors surface in the event ring"
+        );
+        poller.stop();
     }
 }

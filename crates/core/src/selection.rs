@@ -13,6 +13,7 @@
 use crate::context::ContextInfo;
 use crate::descriptor::{DescriptorTable, MethodId};
 use crate::module::ModuleRegistry;
+use crate::trace::Trace;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -128,6 +129,59 @@ impl<P: SelectionPolicy> SelectionPolicy for ExcludeMethods<P> {
 
     fn name(&self) -> &'static str {
         "exclude-methods"
+    }
+}
+
+/// Measured cost estimate for one method, read from a context's
+/// [`Trace`] layer.
+///
+/// This is the enquiry counterpart to the paper's §3.3 probe-cost
+/// constants: instead of assuming mpc_status ≈ 15 µs and `select()`
+/// over 100 µs, applications (and cost-aware policies) can ask what the
+/// runtime has actually measured on this machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodCostEstimate {
+    /// The method being estimated.
+    pub method: MethodId,
+    /// EWMA of the measured cost of probing this method's receiver in the
+    /// unified polling function, in nanoseconds. `None` until the first
+    /// probe.
+    pub poll_cost_ns: Option<f64>,
+    /// Probes behind `poll_cost_ns`.
+    pub poll_samples: u64,
+    /// Mean of the per-link send-cost EWMAs for this method, in
+    /// nanoseconds. `None` until the first send.
+    pub send_cost_ns: Option<f64>,
+    /// Sends behind `send_cost_ns`, across all links.
+    pub send_samples: u64,
+}
+
+/// Enquiry: builds a [`MethodCostEstimate`] for `method` from `trace`.
+/// Contexts expose this as `Context::method_cost_estimate`.
+pub fn method_cost_estimate(trace: &Trace, method: MethodId) -> MethodCostEstimate {
+    let (poll_cost_ns, poll_samples) = match trace.get_method(method) {
+        Some(mt) => (mt.poll_cost_ns.value(), mt.poll_cost_ns.samples()),
+        None => (None, 0),
+    };
+    let mut sum = 0.0;
+    let mut links = 0u64;
+    let mut send_samples = 0u64;
+    for ((_, m), lt) in trace.link_entries() {
+        if m != method {
+            continue;
+        }
+        if let Some(v) = lt.send_cost_ns.value() {
+            sum += v;
+            links += 1;
+        }
+        send_samples += lt.send_cost_ns.samples();
+    }
+    MethodCostEstimate {
+        method,
+        poll_cost_ns,
+        poll_samples,
+        send_cost_ns: (links > 0).then(|| sum / links as f64),
+        send_samples,
     }
 }
 
@@ -253,7 +307,10 @@ mod tests {
     fn exclude_methods_filters() {
         let (reg, table) = setup();
         let policy = ExcludeMethods::new(FirstApplicable, [MethodId::MPL]);
-        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::TCP));
+        assert_eq!(
+            policy.select(&info(1, 1), &table, &reg),
+            Some(MethodId::TCP)
+        );
         let policy = ExcludeMethods::new(FirstApplicable, [MethodId::MPL, MethodId::TCP]);
         assert_eq!(policy.select(&info(1, 1), &table, &reg), None);
     }
@@ -283,7 +340,10 @@ mod tests {
             }
         });
         let policy = QosAware::new(1_000_000.0, est);
-        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::TCP));
+        assert_eq!(
+            policy.select(&info(1, 1), &table, &reg),
+            Some(MethodId::TCP)
+        );
     }
 
     #[test]
@@ -292,7 +352,41 @@ mod tests {
         let est: BandwidthEstimator = Arc::new(|_| 0.0);
         let policy = QosAware::new(1_000_000.0, est);
         // Nothing meets the floor, but we still pick the first applicable.
-        assert_eq!(policy.select(&info(1, 1), &table, &reg), Some(MethodId::MPL));
+        assert_eq!(
+            policy.select(&info(1, 1), &table, &reg),
+            Some(MethodId::MPL)
+        );
+    }
+
+    #[test]
+    fn cost_estimate_reflects_trace_measurements() {
+        use crate::context::ContextId;
+        let trace = Trace::new();
+        let empty = method_cost_estimate(&trace, MethodId::TCP);
+        assert_eq!(empty.poll_cost_ns, None);
+        assert_eq!(empty.send_cost_ns, None);
+        assert_eq!(empty.poll_samples, 0);
+
+        trace.method(MethodId::TCP).poll_cost_ns.record(120_000.0);
+        // Two links using TCP, one using MPL (must be ignored).
+        trace
+            .link(ContextId(2), MethodId::TCP)
+            .send_cost_ns
+            .record(1_000.0);
+        trace
+            .link(ContextId(3), MethodId::TCP)
+            .send_cost_ns
+            .record(3_000.0);
+        trace
+            .link(ContextId(2), MethodId::MPL)
+            .send_cost_ns
+            .record(50.0);
+
+        let est = method_cost_estimate(&trace, MethodId::TCP);
+        assert_eq!(est.poll_cost_ns, Some(120_000.0));
+        assert_eq!(est.poll_samples, 1);
+        assert_eq!(est.send_cost_ns, Some(2_000.0), "mean across TCP links");
+        assert_eq!(est.send_samples, 2);
     }
 
     #[test]

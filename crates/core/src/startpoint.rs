@@ -26,6 +26,8 @@ use crate::descriptor::{DescriptorTable, MethodId};
 use crate::endpoint::EndpointId;
 use crate::error::{NexusError, Result};
 use crate::module::CommObject;
+use crate::stats::MethodCounters;
+use crate::trace::LinkMethodTrace;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -39,6 +41,22 @@ pub struct Target {
     pub endpoint: EndpointId,
 }
 
+/// A link's resolved selection: the method, its live connection, and the
+/// cached recording handles (per-method counters, per-`(link, method)`
+/// trace) that make the send hot path lock-free. Built by the context when
+/// it (re)selects a method for the link.
+#[derive(Clone)]
+pub(crate) struct SelectedMethod {
+    /// The selected method.
+    pub(crate) method: MethodId,
+    /// The live communication object.
+    pub(crate) obj: Arc<dyn CommObject>,
+    /// The selecting context's counters for `method`.
+    pub(crate) counters: Arc<MethodCounters>,
+    /// The selecting context's trace for `(target, method)`.
+    pub(crate) ltrace: Arc<LinkMethodTrace>,
+}
+
 /// One communication link within a startpoint.
 pub struct Link {
     /// Where this link points.
@@ -48,8 +66,8 @@ pub struct Link {
     pub(crate) table: Mutex<DescriptorTable>,
     /// Manual method pin, if any.
     pub(crate) pinned: Mutex<Option<MethodId>>,
-    /// The method + connection currently selected for this link.
-    pub(crate) chosen: Mutex<Option<(MethodId, Arc<dyn CommObject>)>>,
+    /// The selection currently in force for this link.
+    pub(crate) chosen: Mutex<Option<SelectedMethod>>,
     /// Pack without the descriptor table (receiver reconstructs it).
     pub(crate) lightweight: bool,
 }
@@ -67,7 +85,7 @@ impl Link {
 
     /// The method currently selected for this link, if one has been chosen.
     pub fn current_method(&self) -> Option<MethodId> {
-        self.chosen.lock().as_ref().map(|(m, _)| *m)
+        self.chosen.lock().as_ref().map(|s| s.method)
     }
 
     /// Snapshot of the link's descriptor table.
@@ -220,7 +238,7 @@ impl Startpoint {
     /// skipped; the first error is returned.
     pub fn set_param(&self, key: &str, value: &str) -> Result<()> {
         for l in &self.links {
-            let obj = l.chosen.lock().as_ref().map(|(_, o)| Arc::clone(o));
+            let obj = l.chosen.lock().as_ref().map(|s| Arc::clone(&s.obj));
             if let Some(obj) = obj {
                 obj.set_param(key, value)?;
             }
@@ -309,11 +327,13 @@ impl Startpoint {
             .links
             .iter()
             .map(|l| {
-                4 + 8 + 1 + if l.lightweight {
-                    0
-                } else {
-                    l.table.lock().wire_len()
-                }
+                4 + 8
+                    + 1
+                    + if l.lightweight {
+                        0
+                    } else {
+                        l.table.lock().wire_len()
+                    }
             })
             .sum::<usize>()
     }

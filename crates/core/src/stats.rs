@@ -30,6 +30,8 @@ pub struct MethodCounters {
     pub forwards: AtomicU64,
     /// Send failures that triggered failover away from this method.
     pub failovers: AtomicU64,
+    /// Transport errors returned by this method's receive source.
+    pub poll_errors: AtomicU64,
 }
 
 /// A snapshot of [`MethodCounters`] (plain integers).
@@ -51,6 +53,8 @@ pub struct MethodSnapshot {
     pub forwards: u64,
     /// Send failures that triggered failover away from this method.
     pub failovers: u64,
+    /// Transport errors returned by this method's receive source.
+    pub poll_errors: u64,
 }
 
 impl MethodCounters {
@@ -64,7 +68,46 @@ impl MethodCounters {
             empty_polls: self.empty_polls.load(Ordering::Relaxed),
             forwards: self.forwards.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            poll_errors: self.poll_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records a sent RSR. Hot paths call this through a cached
+    /// `Arc<MethodCounters>` (see [`Stats::method`]) so recording stays
+    /// lock-free; `Stats::record_*` are the lock-then-record conveniences.
+    pub fn note_send(&self, bytes: usize) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.send_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received RSR.
+    pub fn note_recv(&self, bytes: usize) {
+        self.recvs.fetch_add(1, Ordering::Relaxed);
+        self.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one poll operation and whether it found a message.
+    pub fn note_poll(&self, found: bool) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if !found {
+            self.empty_polls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a forwarded message.
+    pub fn note_forward(&self) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a send failure that triggered failover away from this
+    /// method.
+    pub fn note_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a transport error from this method's receive source.
+    pub fn note_poll_error(&self) {
+        self.poll_errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -83,6 +126,11 @@ impl Stats {
     }
 
     /// Counters for `method`, created on first use.
+    ///
+    /// Hot paths (RSR issue, the unified polling function) call this once
+    /// and cache the returned `Arc`, then record through the
+    /// `MethodCounters::note_*` methods — steady-state recording touches
+    /// only atomics, never this map's lock.
     pub fn method(&self, method: MethodId) -> Arc<MethodCounters> {
         if let Some(c) = self.methods.read().get(&method) {
             return Arc::clone(c);
@@ -93,35 +141,27 @@ impl Stats {
 
     /// Records a sent RSR.
     pub fn record_send(&self, method: MethodId, bytes: usize) {
-        let c = self.method(method);
-        c.sends.fetch_add(1, Ordering::Relaxed);
-        c.send_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.method(method).note_send(bytes);
     }
 
     /// Records a received RSR.
     pub fn record_recv(&self, method: MethodId, bytes: usize) {
-        let c = self.method(method);
-        c.recvs.fetch_add(1, Ordering::Relaxed);
-        c.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.method(method).note_recv(bytes);
     }
 
     /// Records one poll operation and whether it found a message.
     pub fn record_poll(&self, method: MethodId, found: bool) {
-        let c = self.method(method);
-        c.polls.fetch_add(1, Ordering::Relaxed);
-        if !found {
-            c.empty_polls.fetch_add(1, Ordering::Relaxed);
-        }
+        self.method(method).note_poll(found);
     }
 
     /// Records a forwarded message.
     pub fn record_forward(&self, method: MethodId) {
-        self.method(method).forwards.fetch_add(1, Ordering::Relaxed);
+        self.method(method).note_forward();
     }
 
     /// Records a send failure that triggered failover away from `method`.
     pub fn record_failover(&self, method: MethodId) {
-        self.method(method).failovers.fetch_add(1, Ordering::Relaxed);
+        self.method(method).note_failover();
     }
 
     /// Snapshot of all per-method counters.
@@ -164,6 +204,21 @@ mod tests {
         assert_eq!(snap.polls, 2);
         assert_eq!(snap.empty_polls, 1);
         assert_eq!(snap.forwards, 1);
+    }
+
+    #[test]
+    fn cached_handle_feeds_the_same_counters() {
+        let s = Stats::new();
+        let c = s.method(MethodId::TCP);
+        c.note_send(10);
+        c.note_poll(false);
+        c.note_poll_error();
+        let snap = s.snapshot_method(MethodId::TCP);
+        assert_eq!(snap.sends, 1);
+        assert_eq!(snap.send_bytes, 10);
+        assert_eq!(snap.polls, 1);
+        assert_eq!(snap.empty_polls, 1);
+        assert_eq!(snap.poll_errors, 1);
     }
 
     #[test]

@@ -1,0 +1,789 @@
+//! Low-overhead per-link observability.
+//!
+//! The paper's enquiry functions (§2.1) let programmers *evaluate the
+//! effectiveness of method selection*; doing that well needs more than the
+//! event counters in [`crate::stats`]. This module adds the measurement
+//! layer behind those enquiries:
+//!
+//! * [`LogHistogram`] — lock-free, log-bucketed (power-of-two buckets,
+//!   HDR-style) histograms of send latency and message sizes, kept per
+//!   `(link, method)` so p50/p99 can be compared across methods.
+//! * [`Ewma`] — an atomically updated exponentially weighted moving
+//!   average. The runtime maintains one per method for the *measured* cost
+//!   of a probe in the unified polling function, giving a live counterpart
+//!   to the §3.3 probe-cost constants (mpc_status ≈ 15 µs, `select()`
+//!   > 100 µs), and one per `(link, method)` for transport send cost.
+//! * [`Trace`] — the per-context registry of the above plus a
+//!   fixed-capacity event ring ([`TraceEvent`]) recording sends, receives,
+//!   failovers, method switches, skip_poll changes, and poll errors, with
+//!   a plain-text exporter ([`Trace::render`]).
+//!
+//! Recording on the hot paths touches only atomics (histograms, EWMAs,
+//! counters); the event ring takes one short mutex per event, comparable
+//! to the queue transports' own locking.
+
+use crate::context::ContextId;
+use crate::descriptor::MethodId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: one for zero, one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free histogram with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i` (1 ≤ i ≤ 64) holds
+/// values in `[2^(i-1), 2^i - 1]`. Quantiles are reported as the upper
+/// bound of the bucket containing the requested rank, so they never
+/// under-report — the right bias for latency monitoring.
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values (wrapping; used for the mean).
+    total: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[low, high]` range of values in bucket `index`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        match self.count() {
+            0 => None,
+            n => Some(self.sum() as f64 / n as f64),
+        }
+    }
+
+    /// Adds `other`'s counts into `self` (e.g. aggregating across links).
+    pub fn merge(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`), reported as the
+    /// upper bound of its bucket. `None` if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_range(i).1);
+            }
+        }
+        unreachable!("rank is bounded by the total count");
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// A plain-integer summary of the distribution.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count,
+            p50: self.quantile(0.50).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            mean: self.sum() as f64 / count as f64,
+        })
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+/// Snapshot of a [`LogHistogram`]'s shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Median, as the upper bound of its bucket.
+    pub p50: u64,
+    /// 99th percentile, as the upper bound of its bucket.
+    pub p99: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+}
+
+/// Default smoothing factor for runtime-maintained EWMAs.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.1;
+
+/// An exponentially weighted moving average updated with atomics only.
+///
+/// The current value is stored as `f64` bits in an `AtomicU64` and updated
+/// with a CAS loop; the first sample initializes the average directly.
+pub struct Ewma {
+    bits: AtomicU64,
+    samples: AtomicU64,
+    alpha: f64,
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Self::new(DEFAULT_EWMA_ALPHA)
+    }
+}
+
+impl Ewma {
+    /// Creates an empty EWMA with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            bits: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            alpha,
+        }
+    }
+
+    /// Folds one sample into the average.
+    pub fn record(&self, sample: f64) {
+        if self.samples.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.bits.store(sample.to_bits(), Ordering::Relaxed);
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = (self.alpha * sample + (1.0 - self.alpha) * old).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        if self.samples.load(Ordering::Relaxed) == 0 {
+            None
+        } else {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Number of samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Ewma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ewma")
+            .field("value", &self.value())
+            .field("samples", &self.samples())
+            .finish()
+    }
+}
+
+/// What happened, for one entry of the event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An RSR left over a link.
+    Send {
+        /// The link's destination context.
+        target: ContextId,
+        /// Method that carried it.
+        method: MethodId,
+        /// Encoded frame size.
+        wire_bytes: u64,
+    },
+    /// An RSR arrived and was queued for dispatch.
+    Recv {
+        /// Method that carried it.
+        method: MethodId,
+        /// Encoded frame size.
+        wire_bytes: u64,
+    },
+    /// A send failed and the link is abandoning the method.
+    Failover {
+        /// The link's destination context.
+        target: ContextId,
+        /// The method that failed.
+        from: MethodId,
+    },
+    /// A link (re)selected its communication method. `from: None` marks
+    /// the initial selection.
+    MethodSwitch {
+        /// The link's destination context.
+        target: ContextId,
+        /// Previously selected method, if any.
+        from: Option<MethodId>,
+        /// Newly selected method.
+        to: MethodId,
+    },
+    /// A method's skip_poll value changed (manual set or adaptive
+    /// controller).
+    SkipPollChange {
+        /// The affected method.
+        method: MethodId,
+        /// Previous skip value (0 when previously unset).
+        from: u64,
+        /// New skip value.
+        to: u64,
+    },
+    /// A receive source returned a transport error.
+    PollError {
+        /// The affected method.
+        method: MethodId,
+        /// Consecutive errors at the time of recording.
+        consecutive: u64,
+    },
+}
+
+/// One entry of the event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (counts all events ever recorded, including
+    /// ones the ring has since dropped).
+    pub seq: u64,
+    /// Time since the trace was created.
+    pub at: Duration,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[#{} +{:.6}s] ", self.seq, self.at.as_secs_f64())?;
+        match self.kind {
+            TraceEventKind::Send {
+                target,
+                method,
+                wire_bytes,
+            } => write!(f, "send to {target} via {method}, {wire_bytes} B"),
+            TraceEventKind::Recv { method, wire_bytes } => {
+                write!(f, "recv via {method}, {wire_bytes} B")
+            }
+            TraceEventKind::Failover { target, from } => {
+                write!(f, "failover on link to {target}: abandoning {from}")
+            }
+            TraceEventKind::MethodSwitch { target, from, to } => match from {
+                Some(m) => write!(f, "link to {target} switched {m} -> {to}"),
+                None => write!(f, "link to {target} selected {to}"),
+            },
+            TraceEventKind::SkipPollChange { method, from, to } => {
+                write!(f, "skip_poll({method}) {from} -> {to}")
+            }
+            TraceEventKind::PollError {
+                method,
+                consecutive,
+            } => write!(f, "poll error on {method} ({consecutive} consecutive)"),
+        }
+    }
+}
+
+/// Default event-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Fixed-capacity ring of recent [`TraceEvent`]s; old entries are dropped.
+struct EventRing {
+    capacity: usize,
+    next_seq: AtomicU64,
+    slots: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            slots: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, at: Duration, kind: TraceEventKind) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock();
+        if slots.len() == self.capacity {
+            slots.pop_front();
+        }
+        slots.push_back(TraceEvent { seq, at, kind });
+    }
+}
+
+/// Per-`(link, method)` send-path measurements.
+#[derive(Debug, Default)]
+pub struct LinkMethodTrace {
+    /// Time spent in the transport's `send`, in nanoseconds.
+    pub send_latency_ns: LogHistogram,
+    /// Encoded frame sizes sent, in bytes.
+    pub send_bytes: LogHistogram,
+    /// EWMA of send cost in nanoseconds.
+    pub send_cost_ns: Ewma,
+}
+
+/// Per-method receive-path measurements.
+#[derive(Debug, Default)]
+pub struct MethodTrace {
+    /// EWMA of the measured cost of one probe of this method's receiver in
+    /// the unified polling function, in nanoseconds (the live counterpart
+    /// of the paper's §3.3 probe-cost constants).
+    pub poll_cost_ns: Ewma,
+    /// Encoded frame sizes received, in bytes.
+    pub recv_bytes: LogHistogram,
+}
+
+/// The observability registry for one context.
+pub struct Trace {
+    started: Instant,
+    links: RwLock<HashMap<(ContextId, MethodId), Arc<LinkMethodTrace>>>,
+    methods: RwLock<HashMap<MethodId, Arc<MethodTrace>>>,
+    ring: EventRing,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// Creates a trace with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates a trace whose event ring keeps the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            started: Instant::now(),
+            links: RwLock::new(HashMap::new()),
+            methods: RwLock::new(HashMap::new()),
+            ring: EventRing::new(capacity),
+        }
+    }
+
+    /// Time since the trace was created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Send-path measurements for `(target, method)`, created on first use.
+    /// Callers on the hot path cache the returned handle; recording through
+    /// it is lock-free.
+    pub fn link(&self, target: ContextId, method: MethodId) -> Arc<LinkMethodTrace> {
+        if let Some(t) = self.links.read().get(&(target, method)) {
+            return Arc::clone(t);
+        }
+        let mut g = self.links.write();
+        Arc::clone(g.entry((target, method)).or_default())
+    }
+
+    /// Send-path measurements for `(target, method)`, if any were taken.
+    pub fn get_link(&self, target: ContextId, method: MethodId) -> Option<Arc<LinkMethodTrace>> {
+        self.links.read().get(&(target, method)).cloned()
+    }
+
+    /// All `(link, method)` entries, sorted by key.
+    pub fn link_entries(&self) -> Vec<((ContextId, MethodId), Arc<LinkMethodTrace>)> {
+        let mut v: Vec<_> = self
+            .links
+            .read()
+            .iter()
+            .map(|(k, t)| (*k, Arc::clone(t)))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Receive-path measurements for `method`, created on first use.
+    pub fn method(&self, method: MethodId) -> Arc<MethodTrace> {
+        if let Some(t) = self.methods.read().get(&method) {
+            return Arc::clone(t);
+        }
+        let mut g = self.methods.write();
+        Arc::clone(g.entry(method).or_default())
+    }
+
+    /// Receive-path measurements for `method`, if any were taken.
+    pub fn get_method(&self, method: MethodId) -> Option<Arc<MethodTrace>> {
+        self.methods.read().get(&method).cloned()
+    }
+
+    /// All per-method entries, sorted by method.
+    pub fn method_entries(&self) -> Vec<(MethodId, Arc<MethodTrace>)> {
+        let mut v: Vec<_> = self
+            .methods
+            .read()
+            .iter()
+            .map(|(k, t)| (*k, Arc::clone(t)))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Appends an event to the ring, stamped with the current uptime.
+    pub fn record_event(&self, kind: TraceEventKind) {
+        self.ring.push(self.started.elapsed(), kind);
+    }
+
+    /// Appends an event stamped from an [`Instant`] the caller already
+    /// took — hot paths that just timed an operation reuse that reading
+    /// instead of paying another clock read.
+    pub fn record_event_at(&self, at: Instant, kind: TraceEventKind) {
+        let at = at.checked_duration_since(self.started).unwrap_or_default();
+        self.ring.push(at, kind);
+    }
+
+    /// The events currently held by the ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.slots.lock().iter().copied().collect()
+    }
+
+    /// Total events ever recorded (including ones the ring has dropped).
+    pub fn events_recorded(&self) -> u64 {
+        self.ring.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// The event ring's capacity.
+    pub fn event_capacity(&self) -> usize {
+        self.ring.capacity
+    }
+
+    /// Renders the whole trace as plain text: per-link send latency/size
+    /// distributions, per-method poll-cost EWMAs, and recent events.
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== nexus trace (uptime {:.3}s) ===",
+            self.uptime().as_secs_f64()
+        );
+
+        let links = self.link_entries();
+        let _ = writeln!(out, "send path, per (link, method):");
+        if links.is_empty() {
+            let _ = writeln!(out, "  (no sends recorded)");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "link", "method", "sends", "p50-ns", "p99-ns", "mean-ns", "ewma-ns", "p50-bytes"
+            );
+            for ((target, method), t) in links {
+                let lat = t.send_latency_ns.summary();
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<8} {:>8} {:>10} {:>10} {:>10.0} {:>10.0} {:>10}",
+                    format!("ctx {}", target.0),
+                    method.to_string(),
+                    lat.map_or(0, |s| s.count),
+                    lat.map_or(0, |s| s.p50),
+                    lat.map_or(0, |s| s.p99),
+                    lat.map_or(0.0, |s| s.mean),
+                    t.send_cost_ns.value().unwrap_or(0.0),
+                    t.send_bytes.p50().unwrap_or(0),
+                );
+            }
+        }
+
+        let methods = self.method_entries();
+        let _ = writeln!(out, "receive path, per method:");
+        if methods.is_empty() {
+            let _ = writeln!(out, "  (no probes recorded)");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>14} {:>14} {:>8} {:>10}",
+                "method", "poll-ewma-ns", "poll-samples", "recvs", "p50-bytes"
+            );
+            for (method, t) in methods {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>14.0} {:>14} {:>8} {:>10}",
+                    method.to_string(),
+                    t.poll_cost_ns.value().unwrap_or(0.0),
+                    t.poll_cost_ns.samples(),
+                    t.recv_bytes.count(),
+                    t.recv_bytes.p50().unwrap_or(0),
+                );
+            }
+        }
+
+        let events = self.events();
+        let _ = writeln!(
+            out,
+            "events (holding {} of {} recorded, capacity {}):",
+            events.len(),
+            self.events_recorded(),
+            self.event_capacity()
+        );
+        for e in events {
+            let _ = writeln!(out, "  {e}");
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("links", &self.links.read().len())
+            .field("methods", &self.methods.read().len())
+            .field("events_recorded", &self.events_recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(1023), 10);
+        assert_eq!(LogHistogram::bucket_index(1024), 11);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert!(lo <= hi);
+            assert_eq!(LogHistogram::bucket_index(lo), i);
+            assert_eq!(LogHistogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = LogHistogram::new();
+        assert_eq!(h.p50(), None);
+        // 98 cheap values in [4,7], 2 expensive in [1024,2047].
+        for _ in 0..98 {
+            h.record(5);
+        }
+        h.record(1500);
+        h.record(1600);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(7));
+        assert_eq!(h.p99(), Some(2047), "rank 99 of 100 is an expensive value");
+        assert_eq!(h.quantile(0.98), Some(7), "rank 98 is still cheap");
+        assert_eq!(h.quantile(1.0), Some(2047));
+        let mean = h.mean().unwrap();
+        assert!(mean > 5.0 && mean < 100.0, "mean {mean}");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 100_020);
+        assert_eq!(b.count(), 2, "source histogram untouched");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LogHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1000 + i % 7);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shifts() {
+        let e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.record(100.0);
+        assert_eq!(e.value(), Some(100.0), "first sample initializes");
+        e.record(200.0);
+        assert_eq!(e.value(), Some(150.0));
+        for _ in 0..50 {
+            e.record(1000.0);
+        }
+        let v = e.value().unwrap();
+        assert!(v > 990.0, "converges to the new level, got {v}");
+        assert_eq!(e.samples(), 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn event_ring_caps_and_sequences() {
+        let t = Trace::with_capacity(3);
+        for i in 0..5u64 {
+            t.record_event(TraceEventKind::SkipPollChange {
+                method: MethodId::TCP,
+                from: i,
+                to: i + 1,
+            });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3, "ring holds only the last 3");
+        assert_eq!(t.events_recorded(), 5);
+        assert_eq!(events[0].seq, 2, "oldest surviving event");
+        assert_eq!(events[2].seq, 4);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn trace_handles_are_shared() {
+        let t = Trace::new();
+        let a = t.link(ContextId(2), MethodId::TCP);
+        a.send_latency_ns.record(500);
+        let b = t.link(ContextId(2), MethodId::TCP);
+        assert_eq!(b.send_latency_ns.count(), 1, "same underlying histogram");
+        assert!(t.get_link(ContextId(9), MethodId::TCP).is_none());
+        let m = t.method(MethodId::MPL);
+        m.poll_cost_ns.record(42.0);
+        assert_eq!(
+            t.get_method(MethodId::MPL).unwrap().poll_cost_ns.samples(),
+            1
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let t = Trace::new();
+        t.link(ContextId(2), MethodId::TCP)
+            .send_latency_ns
+            .record(800);
+        t.link(ContextId(2), MethodId::TCP).send_bytes.record(64);
+        t.method(MethodId::TCP).poll_cost_ns.record(15_000.0);
+        t.record_event(TraceEventKind::Recv {
+            method: MethodId::TCP,
+            wire_bytes: 64,
+        });
+        let text = t.render();
+        assert!(text.contains("nexus trace"));
+        assert!(text.contains("send path"));
+        assert!(text.contains("receive path"));
+        assert!(text.contains("events"));
+        assert!(text.contains("tcp"));
+        assert!(text.contains("recv via tcp, 64 B"));
+    }
+
+    #[test]
+    fn event_display_is_informative() {
+        let e = TraceEvent {
+            seq: 7,
+            at: Duration::from_micros(1500),
+            kind: TraceEventKind::MethodSwitch {
+                target: ContextId(3),
+                from: Some(MethodId::MPL),
+                to: MethodId::TCP,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("#7"), "{s}");
+        assert!(s.contains("mpl -> tcp"), "{s}");
+        let first = TraceEvent {
+            seq: 0,
+            at: Duration::ZERO,
+            kind: TraceEventKind::MethodSwitch {
+                target: ContextId(3),
+                from: None,
+                to: MethodId::TCP,
+            },
+        };
+        assert!(first.to_string().contains("selected tcp"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the trace layer's primitives: the log-bucketed
+//! histogram and the poll/send-cost EWMA.
+//!
+//! The histogram's contract is that it never misplaces a value (every
+//! value falls inside its bucket's range), that counts/sums are exact,
+//! that quantiles agree with a sorted reference at bucket resolution, and
+//! that merging two histograms is indistinguishable from recording both
+//! streams into one. The EWMA's contract is that it stays inside the
+//! observed sample range and degenerates to last-sample at `alpha = 1`.
+
+use nexus_rt::trace::{Ewma, LogHistogram};
+use proptest::prelude::*;
+
+/// The reference quantile: the upper bucket bound of the rank-th smallest
+/// recorded value, with `rank = clamp(ceil(q * n), 1, n)` — the same
+/// definition `LogHistogram::quantile` documents.
+fn reference_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let v = sorted[(rank - 1) as usize];
+    LogHistogram::bucket_range(LogHistogram::bucket_index(v)).1
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+        let i = LogHistogram::bucket_index(v);
+        let (lo, hi) = LogHistogram::bucket_range(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(LogHistogram::bucket_index(lo) <= LogHistogram::bucket_index(hi));
+    }
+
+    #[test]
+    fn count_sum_and_mean_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        match h.mean() {
+            None => prop_assert!(values.is_empty()),
+            Some(m) => {
+                let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
+                prop_assert!((m - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_match_a_sorted_reference(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        q_pct in 0u64..101,
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let q = q_pct as f64 / 100.0;
+        prop_assert_eq!(h.quantile(q), Some(reference_quantile(&values, q)));
+        prop_assert_eq!(h.p50(), Some(reference_quantile(&values, 0.50)));
+        prop_assert_eq!(h.p99(), Some(reference_quantile(&values, 0.99)));
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams_into_one(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let merged = LogHistogram::new();
+        let other = LogHistogram::new();
+        let combined = LogHistogram::new();
+        for &v in &a {
+            merged.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            other.record(v);
+            combined.record(v);
+        }
+        merged.merge(&other);
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.sum(), combined.sum());
+        for q_pct in [0, 25, 50, 75, 90, 99, 100] {
+            let q = q_pct as f64 / 100.0;
+            prop_assert_eq!(merged.quantile(q), combined.quantile(q), "q = {}", q);
+        }
+    }
+
+    #[test]
+    fn ewma_stays_inside_the_observed_sample_range(
+        raw in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+        alpha_pct in 1u64..101,
+    ) {
+        let e = Ewma::new(alpha_pct as f64 / 100.0);
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        for &s in &samples {
+            e.record(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = e.value().expect("recorded at least one sample");
+        prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6, "{v} outside [{lo}, {hi}]");
+        prop_assert_eq!(e.samples(), samples.len() as u64);
+    }
+
+    #[test]
+    fn ewma_with_alpha_one_is_the_last_sample(
+        raw in proptest::collection::vec(0u64..1_000_000_000, 1..50),
+    ) {
+        let e = Ewma::new(1.0);
+        for &v in &raw {
+            e.record(v as f64);
+        }
+        let last = *raw.last().unwrap() as f64;
+        prop_assert!((e.value().unwrap() - last).abs() < 1e-9);
+    }
+}

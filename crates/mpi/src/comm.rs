@@ -515,8 +515,7 @@ impl RecvRequest {
 
     /// Blocks (progressing the runtime) until the request completes.
     pub fn wait(self) -> Result<(usize, u32, Vec<u8>)> {
-        self.comm
-            .recv(self.m.src.map(|s| s as usize), self.m.tag)
+        self.comm.recv(self.m.src.map(|s| s as usize), self.m.tag)
     }
 }
 

@@ -276,9 +276,8 @@ mod tests {
     fn scatter_distributes_parts() {
         run_world(&WorldLayout::uniform(4), |p| {
             let c = p.world();
-            let parts = (p.rank() == 2).then(|| {
-                (0..4).map(|i| vec![i as u8; i + 1]).collect::<Vec<_>>()
-            });
+            let parts =
+                (p.rank() == 2).then(|| (0..4).map(|i| vec![i as u8; i + 1]).collect::<Vec<_>>());
             let mine = c.scatter(2, parts).unwrap();
             assert_eq!(mine, vec![p.rank() as u8; p.rank() + 1]);
         })

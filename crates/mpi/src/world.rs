@@ -197,9 +197,9 @@ impl MpiWorld {
         self.procs
             .get_mut(rank)
             .and_then(Option::take)
-            .ok_or(NexusError::UnknownContext(
-                nexus_rt::context::ContextId(rank as u32),
-            ))
+            .ok_or(NexusError::UnknownContext(nexus_rt::context::ContextId(
+                rank as u32,
+            )))
     }
 }
 

@@ -20,9 +20,7 @@
 pub mod model;
 pub mod ring;
 
-pub use model::{
-    colliding_clusters, leapfrog_step, serial_run, total_energy, Body, NbodyParams,
-};
+pub use model::{colliding_clusters, leapfrog_step, serial_run, total_energy, Body, NbodyParams};
 pub use ring::{block_range, distributed_run, ring_accel};
 
 use nexus_mpi::{run_world, WorldLayout};
@@ -60,8 +58,7 @@ pub fn run_distributed(cfg: RunConfig, params: NbodyParams) -> Result<Vec<Body>>
         let all = colliding_clusters(cfg.n);
         let (off, len) = block_range(cfg.n, cfg.ranks, comm.rank());
         let my_block = all[off..off + len].to_vec();
-        let final_block =
-            distributed_run(&comm, &params, my_block, cfg.steps).expect("ring run");
+        let final_block = distributed_run(&comm, &params, my_block, cfg.steps).expect("ring run");
         // Gather blocks at rank 0 in rank (= block) order.
         let mut bytes = Vec::with_capacity(final_block.len() * 56);
         for b in &final_block {

@@ -146,11 +146,7 @@ pub fn colliding_clusters(n: usize) -> Vec<Body> {
         let drift = if cluster == 0 { 0.3 } else { -0.3 };
         bodies.push(Body {
             m: 1.0 / n as f64,
-            pos: [
-                center + 0.4 * (u - 0.5),
-                0.4 * (v - 0.5),
-                0.4 * (w - 0.5),
-            ],
+            pos: [center + 0.4 * (u - 0.5), 0.4 * (v - 0.5), 0.4 * (w - 0.5)],
             vel: [drift, 0.05 * (w - 0.5), 0.05 * (u - 0.5)],
         });
     }

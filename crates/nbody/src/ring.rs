@@ -44,7 +44,9 @@ fn encode_bodies(bodies: &[Body]) -> Vec<u8> {
 
 fn decode_bodies(bytes: &[u8]) -> Result<Vec<Body>> {
     if !bytes.len().is_multiple_of(56) {
-        return Err(NexusError::Decode("body stream length not a multiple of 56"));
+        return Err(NexusError::Decode(
+            "body stream length not a multiple of 56",
+        ));
     }
     let f = |c: &[u8]| f64::from_le_bytes(c.try_into().unwrap());
     Ok(bytes
@@ -61,11 +63,7 @@ fn decode_bodies(bytes: &[u8]) -> Result<Vec<Body>> {
 /// *all* blocks, using the ring pipeline over `comm`. Returns one
 /// acceleration per owned body, identical in bits to the serial per-block
 /// accumulation.
-pub fn ring_accel(
-    comm: &Comm,
-    params: &NbodyParams,
-    my_block: &[Body],
-) -> Result<Vec<[f64; 3]>> {
+pub fn ring_accel(comm: &Comm, params: &NbodyParams, my_block: &[Body]) -> Result<Vec<[f64; 3]>> {
     let p = comm.size();
     let r = comm.rank();
     if p == 1 {

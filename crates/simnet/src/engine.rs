@@ -227,10 +227,16 @@ struct Node {
 #[derive(Debug)]
 enum EventKind {
     Arrival(SimMsg),
-    Wake { node: usize, epoch: u64 },
+    Wake {
+        node: usize,
+        epoch: u64,
+    },
     /// A forwarding node's poll loop has noticed foreign traffic and
     /// re-sends it.
-    Forward { fwd: usize, msg: SimMsg },
+    Forward {
+        fwd: usize,
+        msg: SimMsg,
+    },
 }
 
 struct Event {
@@ -443,13 +449,7 @@ impl Sim {
             // Forwarding-node path: the runtime's poll loop services
             // foreign traffic after the forwarder's service delay.
             let t = self.time + self.forwarder_service_ns;
-            self.push_event(
-                t,
-                EventKind::Forward {
-                    fwd: node_idx,
-                    msg,
-                },
-            );
+            self.push_event(t, EventKind::Forward { fwd: node_idx, msg });
             return;
         }
         let Some(midx) = self.method_idx(msg.method) else {
@@ -630,7 +630,13 @@ impl Sim {
             node.stats.msgs_recv += 1;
             node.stats.bytes_recv += msg.size;
         }
-        self.trace_event(t_done, TraceEvent::Dispatch { node: node_idx, tag: msg.tag });
+        self.trace_event(
+            t_done,
+            TraceEvent::Dispatch {
+                node: node_idx,
+                tag: msg.tag,
+            },
+        );
         self.run_callback(node_idx, t_done, Some(&msg));
     }
 
@@ -943,7 +949,10 @@ mod tests {
         let c = one_way(1_000_000, true);
         assert!(a < b && b < c, "{a} {b} {c}");
         // 1 MB over ~36 MB/s ≈ 28 ms.
-        assert!(c > SimTime::from_ms(20) && c < SimTime::from_ms(45), "got {c}");
+        assert!(
+            c > SimTime::from_ms(20) && c < SimTime::from_ms(45),
+            "got {c}"
+        );
     }
 
     #[test]

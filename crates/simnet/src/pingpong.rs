@@ -338,7 +338,6 @@ mod tests {
                 "TCP should slow down at skip 5000: {t5000} vs {t20}"
             );
         } // None = so extreme that no roundtrip completed: also "worse"
-
     }
 
     #[test]

@@ -189,7 +189,10 @@ mod tests {
                 arrival: SimTime::from_us(40),
             },
         );
-        t.record(SimTime::from_us(60), TraceEvent::Dispatch { node: 2, tag: 7 });
+        t.record(
+            SimTime::from_us(60),
+            TraceEvent::Dispatch { node: 2, tag: 7 },
+        );
         t.record(SimTime::from_us(80), TraceEvent::Forward { node: 3, to: 4 });
         let d = t.dump();
         assert!(d.contains("send    1 -> 2 via mpl"));

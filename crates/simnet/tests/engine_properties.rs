@@ -252,7 +252,7 @@ fn trace_records_forwarding() {
     sim.set_forwarder(1, fwd);
     sim.run(SimTime::from_secs(10));
     let trace = sim.trace().unwrap();
-    assert!(trace
-        .records()
-        .any(|r| matches!(r.event, TraceEvent::Forward { node, to } if node == fwd && to == worker)));
+    assert!(trace.records().any(
+        |r| matches!(r.event, TraceEvent::Forward { node, to } if node == fwd && to == worker)
+    ));
 }

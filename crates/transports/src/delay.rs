@@ -9,12 +9,12 @@
 //! path on one machine, usable in examples and tests.
 
 use crate::util::XorShift;
+use nexus_rt::buffer::Buffer;
 use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
 use nexus_rt::rsr::Rsr;
-use nexus_rt::buffer::Buffer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,7 +66,9 @@ impl DelayModule {
 
     fn unwrap_descriptor(&self, desc: &CommDescriptor) -> Result<CommDescriptor> {
         if desc.method != self.method {
-            return Err(NexusError::Decode("descriptor is not for this delay method"));
+            return Err(NexusError::Decode(
+                "descriptor is not for this delay method",
+            ));
         }
         let mut b = Buffer::new();
         b.put_raw(&desc.data);
@@ -322,7 +324,10 @@ mod tests {
         let t0 = Instant::now();
         obj.send(&msg()).unwrap();
         rx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
-        assert!(t0.elapsed() < Duration::from_millis(40), "new latency applies");
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "new latency applies"
+        );
     }
 
     #[test]
@@ -368,7 +373,10 @@ mod tests {
             Duration::from_secs(5)
         ));
         let dt = hit_at.lock().unwrap() - t0;
-        assert!(dt >= Duration::from_millis(10), "WAN latency observed: {dt:?}");
+        assert!(
+            dt >= Duration::from_millis(10),
+            "WAN latency observed: {dt:?}"
+        );
         fabric.shutdown();
     }
 }

@@ -246,7 +246,10 @@ impl CommObject for RudpObject {
         if frame.len() > MAX_FRAME {
             return Err(NexusError::BadParam {
                 key: "payload".to_owned(),
-                reason: format!("RSR frame of {} bytes exceeds rudp limit {MAX_FRAME}", frame.len()),
+                reason: format!(
+                    "RSR frame of {} bytes exceeds rudp limit {MAX_FRAME}",
+                    frame.len()
+                ),
             });
         }
         // Backpressure: wait for window space (the pump thread drains acks).

@@ -75,8 +75,8 @@ impl ConnState {
             if self.buf.len() < 4 {
                 return Ok(());
             }
-            let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                as usize;
+            let len =
+                u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
             if len > MAX_FRAME {
                 return Err(NexusError::Decode("TCP frame exceeds maximum size"));
             }

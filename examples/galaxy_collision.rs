@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example galaxy_collision`
 
-use nexus_nbody::{
-    colliding_clusters, run_distributed, total_energy, NbodyParams, RunConfig,
-};
+use nexus_nbody::{colliding_clusters, run_distributed, total_energy, NbodyParams, RunConfig};
 use std::time::Instant;
 
 fn main() {

@@ -60,9 +60,8 @@ fn main() -> Result<()> {
         sp.links()[0].table().methods()
     );
 
-    let wait_hit = |n: u32| {
-        n2.progress_until(|| hits.load(Ordering::Relaxed) >= n, Duration::from_secs(5))
-    };
+    let wait_hit =
+        |n: u32| n2.progress_until(|| hits.load(Ordering::Relaxed) >= n, Duration::from_secs(5));
 
     // --- use from node 0: only TCP applies -------------------------------
     println!(
@@ -122,6 +121,21 @@ fn main() -> Result<()> {
             );
         }
     }
+
+    // --- enquiry: measured costs from the trace layer ---------------------
+    // Every probe and every transport send was timed; the EWMAs and the
+    // per-(link, method) latency histograms are what a QoS policy (or a
+    // curious programmer, §2.1) reads instead of a-priori constants.
+    for method in [MethodId::MPL, MethodId::TCP] {
+        let est = n2.method_cost_estimate(method);
+        if let Some(ns) = est.poll_cost_ns {
+            println!(
+                "[node 2] measured {} poll cost: {:.0} ns over {} probes",
+                method, ns, est.poll_samples
+            );
+        }
+    }
+    println!("\n[node 1] trace report:\n{}", n1.trace().render());
     fabric.shutdown();
     Ok(())
 }

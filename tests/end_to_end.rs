@@ -189,7 +189,11 @@ fn multicast_over_heterogeneous_links() {
     }
     src.rsr(&sp, "fan", Buffer::new()).unwrap();
     let refs: Vec<&Arc<Context>> = ctxs.iter().collect();
-    assert!(drive_until(&refs, || count.load(Ordering::Relaxed) == 3, 10));
+    assert!(drive_until(
+        &refs,
+        || count.load(Ordering::Relaxed) == 3,
+        10
+    ));
     let used: Vec<_> = sp
         .current_methods()
         .into_iter()

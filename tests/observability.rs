@@ -1,0 +1,110 @@
+//! End-to-end tests of the trace/enquiry layer: measured poll costs must
+//! reproduce the paper's §3.3 differential (probing a socket-backed
+//! method costs far more than probing an in-process queue), and the
+//! per-(link, method) latency histograms must be visible through the
+//! enquiry API after real RSR traffic.
+
+use nexus::rt::buffer::Buffer;
+use nexus::rt::context::Fabric;
+use nexus::rt::descriptor::MethodId;
+use nexus::rt::trace::TraceEventKind;
+use nexus::transports::register_defaults;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Drives `msgs` RSRs over each of shmem and TCP between two contexts,
+/// then `quiet` empty progress passes, and returns the two contexts.
+fn drive(
+    msgs: u32,
+    quiet: u32,
+) -> (
+    std::sync::Arc<nexus::rt::context::Context>,
+    std::sync::Arc<nexus::rt::context::Context>,
+    Fabric,
+) {
+    let fabric = Fabric::new();
+    register_defaults(&fabric);
+    let a = fabric.create_context().unwrap();
+    let b = fabric.create_context().unwrap();
+    let got = Arc::new(AtomicU64::new(0));
+    {
+        let g = Arc::clone(&got);
+        b.register_handler("m", move |_| {
+            g.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    for method in [MethodId::SHMEM, MethodId::TCP] {
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        sp.set_method(method);
+        for _ in 0..msgs {
+            let mut buf = Buffer::new();
+            buf.put_u32(7);
+            a.rsr(&sp, "m", buf).unwrap();
+            let _ = b.progress();
+        }
+    }
+    // Both methods are reliable: drain everything that is still in flight.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while got.load(Ordering::Relaxed) < 2 * msgs as u64 {
+        b.progress().unwrap();
+        assert!(std::time::Instant::now() < deadline, "messages must drain");
+    }
+    for _ in 0..quiet {
+        let _ = b.progress();
+    }
+    (a, b, fabric)
+}
+
+#[test]
+fn tcp_measured_poll_cost_exceeds_shmem_poll_cost() {
+    let (_a, b, fabric) = drive(50, 2_000);
+
+    let shmem = b.method_cost_estimate(MethodId::SHMEM);
+    let tcp = b.method_cost_estimate(MethodId::TCP);
+    assert!(shmem.poll_samples > 0, "shmem receiver was never probed");
+    assert!(tcp.poll_samples > 0, "tcp receiver was never probed");
+    let shmem_ns = shmem.poll_cost_ns.unwrap();
+    let tcp_ns = tcp.poll_cost_ns.unwrap();
+    assert!(
+        tcp_ns > shmem_ns,
+        "the §3.3 differential must be visible in measured EWMAs: \
+         tcp {tcp_ns:.0} ns vs shmem {shmem_ns:.0} ns"
+    );
+    fabric.shutdown();
+}
+
+#[test]
+fn enquiry_exposes_per_link_latency_and_events_after_traffic() {
+    let (a, b, fabric) = drive(30, 100);
+
+    // Sender-side: per-(link, method) send latency histograms.
+    for method in [MethodId::SHMEM, MethodId::TCP] {
+        let lat = a
+            .link_latency(b.id(), method)
+            .unwrap_or_else(|| panic!("no latency summary for {method}"));
+        assert_eq!(lat.count, 30);
+        assert!(lat.p50 >= 1 && lat.p50 <= lat.p99, "{method}: {lat:?}");
+        let est = a.method_cost_estimate(method);
+        assert_eq!(est.send_samples, 30);
+        assert!(est.send_cost_ns.unwrap() > 0.0);
+    }
+
+    // Receiver-side: the event ring saw deliveries, and the renderer
+    // mentions both traffic-bearing methods.
+    let events = b.trace().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Recv { .. })),
+        "no Recv events recorded"
+    );
+    let sender_report = a.trace().render();
+    for needle in ["send path", "shmem", "tcp"] {
+        assert!(
+            sender_report.contains(needle),
+            "render missing {needle:?}:\n{sender_report}"
+        );
+    }
+    fabric.shutdown();
+}

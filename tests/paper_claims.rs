@@ -52,7 +52,6 @@ fn claim_skip_poll_20_sweet_spot() {
     if let Some(t) = r2000.tcp_one_way {
         assert!(t.as_us_f64() > t1 * 2.0);
     } // None = no roundtrip completed at all: also a collapse
-
 }
 
 /// Table 1's ordering: selective-TCP best; a tuned skip_poll within 1 %;

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!`) over
+//! a plain timing loop that prints mean ns/iter and estimated throughput.
+//! No statistics, plots, or baselines. When invoked with `--test` (as
+//! `cargo test` does for `harness = false` bench targets) each benchmark
+//! body runs exactly once as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark in bench mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warm-up wall-clock per benchmark in bench mode.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Per-iteration throughput labelling.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in treats all variants
+/// identically (setup always runs per batch of one).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup must run for every single iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up and pick an iteration batch that lasts ≥ ~1µs so timer
+        // granularity doesn't dominate.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            if t.elapsed() >= Duration::from_micros(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+            if warm_start.elapsed() > WARMUP_BUDGET {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / mean_ns * 1e9 / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} {mean_ns:>12.1} ns/iter{rate}");
+}
+
+/// Top-level benchmark registry; one per `criterion_group!` function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Defines a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into().id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test-mode ok: {name}");
+        } else {
+            report(name, b.mean_ns, throughput);
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput labelling.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput label for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's sampling is
+    /// time-budgeted, not sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Defines a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run(&name, self.throughput, f);
+        self
+    }
+
+    /// Defines a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so `criterion::black_box` callers work; prefer
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(1024).id, "1024");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn group_runs_benchmarks_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(128));
+            g.sample_size(10);
+            g.bench_function(BenchmarkId::from_parameter(1), |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+        c.bench_function("standalone", |b| {
+            b.iter_batched(|| 2, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,625 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, `prop_oneof!`,
+//! `any::<T>()` for the primitive types, integer-range strategies,
+//! mini-regex string strategies (`".{0,40}"`, `"[a-z_]{0,24}"` shapes),
+//! `collection::vec`, `sample::Index`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking: a failing case panics with its generated inputs instead
+//!   of a minimized counterexample;
+//! - generation is a seeded SplitMix64 stream keyed by the test name, so
+//!   runs are deterministic (the real crate defaults to fresh entropy);
+//! - the default case count is 64 rather than 256, to keep the offline
+//!   test suite fast.
+
+#![warn(missing_docs)]
+
+/// Test-runner types: config, errors, and the deterministic RNG.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-`proptest!` block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold for this input.
+        Fail(String),
+        /// The input should not count toward the case budget.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected (skipped) input with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from `name` (FNV-1a), so each test function
+        /// gets its own reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Rejection sampling to avoid modulo bias.
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object safe: the combinators carry `where Self: Sized`, so
+    /// `dyn Strategy<Value = V>` backs [`BoxedStrategy`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Send + Sync + 'static,
+        {
+            BoxedStrategy {
+                inner: std::sync::Arc::new(self),
+            }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        inner: std::sync::Arc<dyn Strategy<Value = V> + Send + Sync>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::sync::Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased arms (backs `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`, each picked with equal probability.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    // Half-open integer ranges are strategies, as in the real crate.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Mini-regex string strategy: `&str` patterns of the shape
+    /// `<class>{m,n}` where `<class>` is `.` (printable ASCII) or a
+    /// `[...]` set with literal chars and `a-z` style ranges.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let alphabet: Vec<char> = if chars.get(i) == Some(&'.') {
+            i += 1;
+            (0x20u8..0x7f).map(|b| b as char).collect()
+        } else if chars.get(i) == Some(&'[') {
+            i += 1;
+            let mut set = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                    assert!(lo <= hi, "bad range in pattern {pat:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(chars.get(i) == Some(&']'), "unclosed [ in pattern {pat:?}");
+            i += 1;
+            set
+        } else {
+            panic!(
+                "unsupported string strategy pattern {pat:?} (stand-in supports '<class>{{m,n}}')"
+            );
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let body: String = chars[i + 1..].iter().take_while(|&&c| c != '}').collect();
+            let (m, n) = body
+                .split_once(',')
+                .unwrap_or((body.as_str(), body.as_str()));
+            (
+                m.trim().parse().expect("bad min in pattern"),
+                n.trim().parse().expect("bad max in pattern"),
+            )
+        } else {
+            assert!(i == chars.len(), "unsupported trailing syntax in {pat:?}");
+            (1, 1)
+        };
+        assert!(min <= max, "min > max in pattern {pat:?}");
+        assert!(!alphabet.is_empty(), "empty class in pattern {pat:?}");
+        (alphabet, min, max)
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// That canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `any::<T>()`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Canonical full-domain strategy for a primitive type.
+    #[derive(Debug, Clone)]
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    macro_rules! impl_any {
+        ($($t:ty => |$rng:ident| $gen:expr),* $(,)?) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_any! {
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| rng.next_u64() as u32,
+        u64 => |rng| rng.next_u64(),
+        i32 => |rng| rng.next_u64() as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        // Raw bits: NaNs and infinities are legitimate wire-format inputs.
+        f32 => |rng| f32::from_bits(rng.next_u64() as u32),
+        f64 => |rng| f64::from_bits(rng.next_u64()),
+        bool => |rng| rng.next_u64() & 1 == 1,
+        crate::sample::Index => |rng| crate::sample::Index::from_raw(rng.next_u64()),
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    /// An index into a collection whose length is unknown at generation
+    /// time; resolve with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Wraps raw entropy (used by `any::<Index>()`).
+        pub fn from_raw(raw: u64) -> Self {
+            Index { raw }
+        }
+
+        /// Resolves to a concrete index in `[0, len)`. Panics on `len == 0`,
+        /// matching the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+/// The usual glob import for tests.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each case runs in a closure returning `Result<(), TestCaseError>`, so
+/// test bodies may use `?` and the `prop_assert*` macros. A failing case
+/// panics with the case number and generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            reason,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// `prop_assert!` for inequality, printing the common value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides are {:?}", a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides are {:?}: {}", a, format!($($fmt)*));
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::deterministic("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z_]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+            let t = Strategy::generate(&".{0,40}", &mut rng);
+            assert!(t.len() <= 40);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges_and_vecs");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let xs = Strategy::generate(&crate::collection::vec(any::<u8>(), 1..5), &mut rng);
+            assert!((1..5).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(
+            x in any::<u16>(),
+            (a, b) in (0u8..4, 1usize..9),
+        ) {
+            prop_assert!(u32::from(x) < 65536);
+            prop_assert!(a < 4);
+            prop_assert!((1..9).contains(&b));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in crate::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), Just(2u8)],
+            64..65,
+        )) {
+            for p in &picks {
+                prop_assert!(*p <= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in any::<u8>()) {
+                prop_assert_eq!(x, x.wrapping_add(1));
+            }
+        }
+        always_fails();
+    }
+}
