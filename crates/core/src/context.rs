@@ -696,15 +696,14 @@ impl Context {
             .lock()
             .remove_source(method)
             .ok_or(NexusError::UnknownMethod(method))?;
-        self.blocking
-            .lock()
-            .push(BlockingPoller::spawn_instrumented(
-                method,
-                receiver,
-                Duration::from_millis(10),
-                Some(self.stats.method(method)),
-                Some(Arc::clone(&self.trace)),
-            ));
+        let poller = BlockingPoller::spawn_instrumented(
+            method,
+            receiver,
+            Duration::from_millis(10),
+            Some(self.stats.method(method)),
+            Some(Arc::clone(&self.trace)),
+        )?;
+        self.blocking.lock().push(poller);
         Ok(())
     }
 

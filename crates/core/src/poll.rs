@@ -340,7 +340,12 @@ const BLOCKING_BACKOFF_CAP: Duration = Duration::from_millis(256);
 impl BlockingPoller {
     /// Spawns a thread that blocks on `receiver` (with `timeout` as the
     /// shutdown-check granularity) and enqueues everything it receives.
-    pub fn spawn(method: MethodId, receiver: Box<dyn CommReceiver>, timeout: Duration) -> Self {
+    /// Fails with [`NexusError::Io`] if the OS refuses the thread.
+    pub fn spawn(
+        method: MethodId,
+        receiver: Box<dyn CommReceiver>,
+        timeout: Duration,
+    ) -> crate::error::Result<Self> {
         Self::spawn_instrumented(method, receiver, timeout, None, None)
     }
 
@@ -357,7 +362,7 @@ impl BlockingPoller {
         timeout: Duration,
         counters: Option<Arc<MethodCounters>>,
         trace: Option<Arc<Trace>>,
-    ) -> Self {
+    ) -> crate::error::Result<Self> {
         let queue = Arc::new(SegQueue::new());
         let stop = Arc::new(AtomicBool::new(false));
         let errors = Arc::new(AtomicU64::new(0));
@@ -411,14 +416,14 @@ impl BlockingPoller {
                 }
                 receiver.close();
             })
-            .expect("spawn blocking poller");
-        BlockingPoller {
+            .map_err(NexusError::Io)?;
+        Ok(BlockingPoller {
             method,
             queue,
             stop,
             errors,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Total transport errors the thread has seen.
@@ -668,7 +673,8 @@ mod tests {
     #[test]
     fn blocking_poller_delivers_and_stops() {
         let (r, inbox, _) = scripted();
-        let poller = BlockingPoller::spawn(MethodId::TCP, Box::new(r), Duration::from_millis(5));
+        let poller = BlockingPoller::spawn(MethodId::TCP, Box::new(r), Duration::from_millis(5))
+            .expect("spawn poller");
         inbox.lock().push(msg("x"));
         let mut got = None;
         for _ in 0..200 {
@@ -815,7 +821,8 @@ mod tests {
             Duration::from_millis(1),
             Some(stats.method(MethodId::TCP)),
             Some(Arc::clone(&trace)),
-        );
+        )
+        .expect("spawn poller");
         std::thread::sleep(Duration::from_millis(60));
         let seen = poller.error_count();
         assert!(seen >= 2, "errors keep being counted, saw {seen}");

@@ -4,6 +4,28 @@
 //! effectiveness of automatic selection and tune manual selections (§2.1).
 //! Every context keeps a [`Stats`] block with per-method counters that the
 //! enquiry API and the benchmark harnesses read.
+//!
+//! # Memory model
+//!
+//! All counters are updated and read with `Relaxed` ordering, uniformly.
+//! That is sufficient — and anything stronger would buy nothing — because:
+//!
+//! * every counter is a monotone event count; no thread reads one to
+//!   decide whether *other, non-atomic* memory is safe to touch, so there
+//!   is no acquire/release publication edge to establish;
+//! * each counter is individually exact (`fetch_add` is atomic at every
+//!   ordering), so totals are never lost, only observed slightly late;
+//! * snapshots taken while senders are active are *per-counter* exact but
+//!   only *cross-counter* approximate (e.g. `sends` may already include a
+//!   send whose `send_bytes` increment is still in flight). Enquiry
+//!   readers tolerate that; tests that need exact cross-counter totals
+//!   join the worker threads first, and the join itself provides the
+//!   happens-before edge that makes every prior `Relaxed` write visible.
+//!
+//! The `xtask lint` atomic-pairing rule machine-checks the uniformity
+//! (a lone Release store or Acquire load here would be a smell), and
+//! `xtask model` hammers the same single-writer-many-reader patterns on
+//! the trace side.
 
 use crate::descriptor::MethodId;
 use parking_lot::RwLock;

@@ -21,6 +21,20 @@
 //! Recording on the hot paths touches only atomics (histograms, EWMAs,
 //! counters); the event ring takes one short mutex per event, comparable
 //! to the queue transports' own locking.
+//!
+//! # Memory model
+//!
+//! Every atomic in this module uses `Relaxed` ordering, deliberately:
+//! all values are *monotone accumulators* (bucket counts, sums, sample
+//! counts, sequence numbers) read for reporting, so no load here is used
+//! to justify reading non-atomic data written by another thread — the
+//! only situation that would require Acquire/Release pairing. Readers may
+//! observe momentarily inconsistent cross-field snapshots (e.g. a bucket
+//! incremented before the matching `total`), which reporting tolerates;
+//! per-field monotonicity is exactly what the `xtask model` checks
+//! (histogram-monotone, ring-seq-order, ewma-first-sample) pin down. The
+//! event ring's cross-field invariant — seq order matching insertion
+//! order — is protected by its mutex, not by atomic ordering.
 
 use crate::context::ContextId;
 use crate::descriptor::MethodId;
@@ -193,12 +207,22 @@ pub const DEFAULT_EWMA_ALPHA: f64 = 0.1;
 /// An exponentially weighted moving average updated with atomics only.
 ///
 /// The current value is stored as `f64` bits in an `AtomicU64` and updated
-/// with a CAS loop; the first sample initializes the average directly.
+/// with a CAS loop. An unused quiet-NaN bit pattern marks "no samples
+/// yet", so the first sample initializes the average inside the same CAS
+/// loop as every other update — a separate samples==0 fast path would
+/// race: two first samples could both see zero, and one would fold into
+/// an average that was never initialized (found by `xtask model`, check
+/// ewma-first-sample).
 pub struct Ewma {
     bits: AtomicU64,
     samples: AtomicU64,
     alpha: f64,
 }
+
+/// Sentinel bit pattern for "uninitialized": a quiet NaN that `record`
+/// can never store (NaN samples are rejected, and no finite fold yields
+/// this exact payload).
+const EWMA_UNINIT: u64 = 0x7FF8_DEAD_BEEF_0000;
 
 impl Default for Ewma {
     fn default() -> Self {
@@ -211,22 +235,28 @@ impl Ewma {
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         Ewma {
-            bits: AtomicU64::new(0),
+            bits: AtomicU64::new(EWMA_UNINIT),
             samples: AtomicU64::new(0),
             alpha,
         }
     }
 
-    /// Folds one sample into the average.
+    /// Folds one sample into the average. NaN samples are ignored — they
+    /// would poison the average and could forge the uninitialized
+    /// sentinel.
     pub fn record(&self, sample: f64) {
-        if self.samples.fetch_add(1, Ordering::Relaxed) == 0 {
-            self.bits.store(sample.to_bits(), Ordering::Relaxed);
+        if sample.is_nan() {
             return;
         }
+        self.samples.fetch_add(1, Ordering::Relaxed);
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
-            let old = f64::from_bits(cur);
-            let new = (self.alpha * sample + (1.0 - self.alpha) * old).to_bits();
+            let new = if cur == EWMA_UNINIT {
+                sample
+            } else {
+                self.alpha * sample + (1.0 - self.alpha) * f64::from_bits(cur)
+            }
+            .to_bits();
             match self
                 .bits
                 .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
@@ -238,11 +268,14 @@ impl Ewma {
     }
 
     /// The current average, or `None` before the first sample.
+    ///
+    /// Emptiness is judged from the value word itself, not the samples
+    /// counter: a counter-based check could observe the increment of an
+    /// in-flight `record` and return the uninitialized bit pattern.
     pub fn value(&self) -> Option<f64> {
-        if self.samples.load(Ordering::Relaxed) == 0 {
-            None
-        } else {
-            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        match self.bits.load(Ordering::Relaxed) {
+            EWMA_UNINIT => None,
+            bits => Some(f64::from_bits(bits)),
         }
     }
 
@@ -378,8 +411,11 @@ impl EventRing {
     }
 
     fn push(&self, at: Duration, kind: TraceEventKind) {
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let mut slots = self.slots.lock();
+        // The seq must be drawn while holding the lock: claiming it first
+        // lets a later claimant insert before an earlier one, breaking the
+        // ring's seq order (found by `xtask model`, check ring-seq-order).
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         if slots.len() == self.capacity {
             slots.pop_front();
         }

@@ -350,7 +350,7 @@ impl CommModule for RudpModule {
                     std::thread::sleep(Duration::from_millis(2));
                 }
             })
-            .expect("spawn rudp pump");
+            .map_err(NexusError::Io)?;
         Ok(Arc::new(RudpObject {
             shared,
             conn: self.next_conn.fetch_add(1, Ordering::Relaxed),

@@ -143,7 +143,11 @@ impl PayloadTransform for Checksum {
             return Err(NexusError::Decode("checksum trailer missing"));
         }
         let (body, trailer) = payload.split_at(payload.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let stored = u64::from_le_bytes(
+            trailer
+                .try_into()
+                .map_err(|_| NexusError::Decode("checksum trailer truncated"))?,
+        );
         if fnv1a(body) != stored {
             return Err(NexusError::Decode("payload checksum mismatch"));
         }

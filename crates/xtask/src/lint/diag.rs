@@ -1,0 +1,126 @@
+//! rustc-style diagnostic rendering.
+
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Fails the lint run.
+    Error,
+    /// Reported but does not fail the run (allow-site inventory).
+    Note,
+}
+
+/// One lint finding, anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Rule that produced the finding.
+    pub rule: &'static str,
+    /// One-line description of the violation.
+    pub message: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// The raw source line, for the snippet.
+    pub snippet: String,
+    /// Length of the span to underline.
+    pub span_len: usize,
+    /// Optional help text.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(
+        rule: &'static str,
+        message: impl Into<String>,
+        file: &str,
+        line0: usize,
+        col0: usize,
+        snippet: &str,
+        span_len: usize,
+    ) -> Diagnostic {
+        Diagnostic {
+            level: Level::Error,
+            rule,
+            message: message.into(),
+            file: file.to_owned(),
+            line: line0 + 1,
+            col: col0 + 1,
+            snippet: snippet.to_owned(),
+            span_len: span_len.max(1),
+            help: None,
+        }
+    }
+
+    /// Attaches a `= help:` line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.level {
+            Level::Error => "error",
+            Level::Note => "note",
+        };
+        writeln!(f, "{tag}[{}]: {}", self.rule, self.message)?;
+        let gutter = self.line.to_string().len();
+        writeln!(
+            f,
+            "{:>gutter$}--> {}:{}:{}",
+            "",
+            self.file,
+            self.line,
+            self.col,
+            gutter = gutter + 1
+        )?;
+        writeln!(f, "{:>gutter$} |", "", gutter = gutter)?;
+        writeln!(f, "{} | {}", self.line, self.snippet)?;
+        writeln!(
+            f,
+            "{:>gutter$} | {:>pad$}{}",
+            "",
+            "",
+            "^".repeat(self.span_len),
+            gutter = gutter,
+            pad = self.col - 1
+        )?;
+        if let Some(h) = &self.help {
+            writeln!(f, "{:>gutter$} = help: {h}", "", gutter = gutter)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_matches_rustc_shape() {
+        let d = Diagnostic::error(
+            "hot-path-panic",
+            "`.unwrap()` in hot-path non-test code",
+            "crates/core/src/poll.rs",
+            41,
+            8,
+            "        x.unwrap();",
+            9,
+        )
+        .with_help("propagate a NexusError instead");
+        let s = d.to_string();
+        assert!(s.starts_with("error[hot-path-panic]:"), "{s}");
+        assert!(s.contains("--> crates/core/src/poll.rs:42:9"), "{s}");
+        assert!(s.contains("42 |         x.unwrap();"), "{s}");
+        assert!(s.contains("^^^^^^^^^"), "{s}");
+        assert!(s.contains("= help:"), "{s}");
+    }
+}

@@ -1,0 +1,250 @@
+//! The lint driver: file discovery, rule dispatch, allow handling.
+//!
+//! Findings can be suppressed at a site with
+//! `// lint:allow(<rule>) <reason>` on the offending line or the line
+//! above. The reason is mandatory — an allow without one is itself an
+//! error — and every used allow is reported in the run's inventory so
+//! escapes stay visible in CI logs.
+
+pub mod callgraph;
+pub mod diag;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Level};
+pub use rules::{ClassifiedFile, Rule, Workspace, RULES};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of one lint run.
+pub struct LintOutcome {
+    /// Violations that fail the run.
+    pub errors: Vec<Diagnostic>,
+    /// Inventory of suppressed findings (allow sites that fired).
+    pub suppressed: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// Process exit code for this outcome.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.errors.is_empty())
+    }
+}
+
+/// Files on the paper's send/poll hot path — the `hot-path-panic` set.
+const HOT_PATH_CORE: &[&str] = &[
+    "crates/core/src/rsr.rs",
+    "crates/core/src/poll.rs",
+    "crates/core/src/startpoint.rs",
+    "crates/core/src/selection.rs",
+];
+
+/// Classifies a workspace-relative path for the rules.
+fn classify(rel: &str) -> (String, bool, bool, bool) {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("workspace")
+        .to_owned();
+    let core = rel.starts_with("crates/core/src/");
+    let transports = rel.starts_with("crates/transports/src/");
+    let hot_path = HOT_PATH_CORE.contains(&rel) || transports;
+    let graph = core || transports;
+    (crate_name, hot_path, core, graph)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace rooted at `root` into a [`Workspace`].
+///
+/// Scope: `crates/*/src/**/*.rs`. The vendored dependency stubs under
+/// `vendor/` and test/bench/example trees are outside it by construction.
+pub fn scan_workspace(root: &Path) -> io::Result<Workspace> {
+    let crates_dir = root.join("crates");
+    let mut paths = Vec::new();
+    let mut crates: Vec<_> = std::fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+    crates.sort_by_key(|e| e.path());
+    for entry in crates {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut paths)?;
+        }
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        let src = SourceFile::load(&path, root)?;
+        let (crate_name, hot_path, core, graph) = classify(&src.rel);
+        files.push(ClassifiedFile {
+            src,
+            crate_name,
+            hot_path,
+            core,
+            graph,
+        });
+    }
+    Ok(Workspace { files })
+}
+
+/// Runs rules over an already-scanned workspace, applying allows.
+pub fn lint_workspace(ws: &Workspace, rule_filter: Option<&str>) -> LintOutcome {
+    let mut errors = Vec::new();
+    let mut suppressed = Vec::new();
+    for rule in RULES {
+        if rule_filter.is_some_and(|f| f != rule.name) {
+            continue;
+        }
+        for d in (rule.run)(ws) {
+            let file = ws.files.iter().find(|cf| cf.src.rel == d.file);
+            let allow = file.and_then(|cf| cf.src.allow_for(d.rule, d.line - 1));
+            match allow {
+                Some(a) if !a.reason.is_empty() => {
+                    let mut note = d.clone();
+                    note.level = Level::Note;
+                    note.message = format!("{} [allowed: {}]", d.message, a.reason);
+                    suppressed.push(note);
+                }
+                Some(_) => {
+                    errors.push(d.with_help(
+                        "`lint:allow` requires a reason: \
+                         `// lint:allow(rule) <why this site is sound>`",
+                    ));
+                }
+                None => errors.push(d),
+            }
+        }
+    }
+    // Allows must name a real rule — a typo would silently suppress
+    // nothing while looking like an exemption.
+    for cf in &ws.files {
+        for a in &cf.src.allows {
+            if rules::find_rule(&a.rule).is_none() {
+                errors.push(Diagnostic::error(
+                    "unknown-rule",
+                    format!("`lint:allow({})` names no known rule", a.rule),
+                    &cf.src.rel,
+                    a.line,
+                    0,
+                    &cf.src.raw[a.line],
+                    cf.src.raw[a.line].trim_end().len().max(1),
+                ));
+            }
+        }
+    }
+    LintOutcome {
+        errors,
+        suppressed,
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Scans and lints the workspace at `root`.
+pub fn run(root: &Path, rule_filter: Option<&str>) -> io::Result<LintOutcome> {
+    let ws = scan_workspace(root)?;
+    Ok(lint_workspace(&ws, rule_filter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_issue_rule_sets() {
+        let (c, hot, core, graph) = classify("crates/core/src/poll.rs");
+        assert_eq!(c, "core");
+        assert!(hot && core && graph);
+        let (_, hot, core, graph) = classify("crates/core/src/trace.rs");
+        assert!(!hot && core && graph);
+        let (c, hot, core, graph) = classify("crates/transports/src/tcp.rs");
+        assert_eq!(c, "transports");
+        assert!(hot && !core && graph);
+        let (c, hot, core, graph) = classify("crates/xtask/src/main.rs");
+        assert_eq!(c, "xtask");
+        assert!(!hot && !core && !graph);
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let src = SourceFile::parse(
+            std::path::PathBuf::from("hot.rs"),
+            "hot.rs".into(),
+            "// lint:allow(hot-path-panic)\nfn f() { x.unwrap(); }\n",
+        );
+        let ws = Workspace {
+            files: vec![ClassifiedFile {
+                src,
+                crate_name: "core".into(),
+                hot_path: true,
+                core: false,
+                graph: false,
+            }],
+        };
+        let out = lint_workspace(&ws, Some("hot-path-panic"));
+        assert_eq!(out.errors.len(), 1);
+        assert!(out.suppressed.is_empty());
+        assert!(out.errors[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("requires a reason"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_inventories() {
+        let src = SourceFile::parse(
+            std::path::PathBuf::from("hot.rs"),
+            "hot.rs".into(),
+            "// lint:allow(hot-path-panic) invariant: queue is non-empty here\nfn f() { x.unwrap(); }\n",
+        );
+        let ws = Workspace {
+            files: vec![ClassifiedFile {
+                src,
+                crate_name: "core".into(),
+                hot_path: true,
+                core: false,
+                graph: false,
+            }],
+        };
+        let out = lint_workspace(&ws, Some("hot-path-panic"));
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.suppressed.len(), 1);
+        assert!(out.suppressed[0].message.contains("invariant"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = SourceFile::parse(
+            std::path::PathBuf::from("a.rs"),
+            "a.rs".into(),
+            "// lint:allow(no-such-rule) whatever\n",
+        );
+        let ws = Workspace {
+            files: vec![ClassifiedFile {
+                src,
+                crate_name: "core".into(),
+                hot_path: false,
+                core: false,
+                graph: false,
+            }],
+        };
+        let out = lint_workspace(&ws, None);
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(out.errors[0].rule, "unknown-rule");
+    }
+}

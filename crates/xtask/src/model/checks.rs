@@ -1,0 +1,394 @@
+//! The invariant checks the model checker drives.
+//!
+//! Each check hammers one of the lock-free trace structures from
+//! `nexus-rt` and asserts an invariant that must hold under *every*
+//! schedule. Randomized checks take a seed that fully determines each
+//! thread's op program, so a failing seed replays the same programs.
+
+use super::rng::XorShift64;
+use nexus_rt::descriptor::MethodId;
+use nexus_rt::trace::{Ewma, LogHistogram, Trace, TraceEventKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// How a check explores schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Enumerates every interleaving of two scripted threads; runs once.
+    Exhaustive,
+    /// Real threads with seeded op programs; runs once per schedule.
+    Randomized,
+}
+
+/// Inputs to one check execution.
+pub struct CheckCtx {
+    /// Schedule seed (randomized checks).
+    pub seed: u64,
+    /// Worker thread count (randomized checks).
+    pub threads: usize,
+}
+
+/// One registered check.
+pub struct Check {
+    /// Stable name used by `--check` and failure reports.
+    pub name: &'static str,
+    /// One-line description for `--list-checks`.
+    pub description: &'static str,
+    /// Exploration strategy.
+    pub kind: Kind,
+    /// Runs one execution; `Err` describes the violated invariant.
+    pub run: fn(&CheckCtx) -> Result<(), String>,
+}
+
+/// All checks, in run order.
+pub const CHECKS: &[Check] = &[
+    Check {
+        name: "ring-exhaustive",
+        description: "event-ring eviction invariants under every 2-thread op interleaving",
+        kind: Kind::Exhaustive,
+        run: ring_exhaustive,
+    },
+    Check {
+        name: "ring-seq-order",
+        description: "event-ring seq numbers stay ordered and dense under contention",
+        kind: Kind::Randomized,
+        run: ring_seq_order,
+    },
+    Check {
+        name: "ewma-first-sample",
+        description: "EWMA of one constant is exactly that constant (init race)",
+        kind: Kind::Randomized,
+        run: ewma_first_sample,
+    },
+    Check {
+        name: "ewma-bounds",
+        description: "EWMA stays within the recorded sample range",
+        kind: Kind::Randomized,
+        run: ewma_bounds,
+    },
+    Check {
+        name: "histogram-exact",
+        description: "histogram count/sum/extremes match the recorded program exactly",
+        kind: Kind::Randomized,
+        run: histogram_exact,
+    },
+    Check {
+        name: "histogram-monotone",
+        description: "histogram count() is non-decreasing for a concurrent reader",
+        kind: Kind::Randomized,
+        run: histogram_monotone,
+    },
+];
+
+/// Looks up a check by name.
+pub fn find_check(name: &str) -> Option<&'static Check> {
+    CHECKS.iter().find(|c| c.name == name)
+}
+
+/// Seeded spin between ops. Deliberately never yields: on a single-core
+/// host a cooperative yield switches threads at the op *boundary*, which
+/// is outside every race window — the involuntary timeslice preemptions
+/// that land mid-operation are what expose races, and those need the
+/// threads to stay CPU-bound.
+fn pause(rng: &mut XorShift64) {
+    for _ in 0..rng.next_below(24) {
+        std::hint::spin_loop();
+    }
+}
+
+fn push_marker(trace: &Trace, thread: u64, op: u64) {
+    trace.record_event(TraceEventKind::SkipPollChange {
+        method: MethodId::TCP,
+        from: thread,
+        to: op,
+    });
+}
+
+/// Shared post-conditions for a ring that received `total` pushes.
+fn check_ring(trace: &Trace, capacity: usize, total: u64) -> Result<(), String> {
+    if trace.events_recorded() != total {
+        return Err(format!(
+            "events_recorded = {}, expected {total}",
+            trace.events_recorded()
+        ));
+    }
+    let events = trace.events();
+    let want_len = capacity.min(total as usize);
+    if events.len() != want_len {
+        return Err(format!(
+            "ring holds {} events, expected {want_len} (capacity {capacity}, total {total})",
+            events.len()
+        ));
+    }
+    for w in events.windows(2) {
+        if w[0].seq >= w[1].seq {
+            return Err(format!(
+                "ring order broken: seq {} precedes seq {} (lost update or \
+                 out-of-order insert)",
+                w[0].seq, w[1].seq
+            ));
+        }
+    }
+    // Eviction must drop the *oldest* events: the survivors are exactly
+    // the top `want_len` sequence numbers.
+    if let Some(first) = events.first() {
+        let want_first = total - want_len as u64;
+        if first.seq != want_first {
+            return Err(format!(
+                "oldest surviving seq is {}, expected {want_first}: eviction \
+                 dropped the wrong events",
+                first.seq
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// ring checks
+// ---------------------------------------------------------------------------
+
+/// Enumerates every merge order of two scripted push programs (sequential
+/// execution — this validates the eviction/seq logic itself, not data
+/// races) and checks the ring post-conditions after each.
+fn ring_exhaustive(_cx: &CheckCtx) -> Result<(), String> {
+    const A: u32 = 5;
+    const B: u32 = 5;
+    const CAPACITY: usize = 3;
+    let width = A + B;
+    for mask in 0u32..(1 << width) {
+        if mask.count_ones() != A {
+            continue;
+        }
+        let trace = Trace::with_capacity(CAPACITY);
+        let (mut a_done, mut b_done) = (0u64, 0u64);
+        for slot in 0..width {
+            if mask & (1 << slot) != 0 {
+                push_marker(&trace, 0, a_done);
+                a_done += 1;
+            } else {
+                push_marker(&trace, 1, b_done);
+                b_done += 1;
+            }
+        }
+        check_ring(&trace, CAPACITY, u64::from(A + B))
+            .map_err(|e| format!("interleaving mask {mask:#012b}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Real-thread hammer: every thread pushes a seeded number of events with
+/// seeded pauses; afterwards the ring must be ordered and dense.
+fn ring_seq_order(cx: &CheckCtx) -> Result<(), String> {
+    let mut rng = XorShift64::new(cx.seed);
+    let capacity = 4 + rng.next_below(60) as usize;
+    // Short programs win: schedules/second is what finds races here, and
+    // the spawn/exit churn around each schedule is itself a rich source of
+    // involuntary preemption points.
+    let per_thread: Vec<u64> = (0..cx.threads).map(|_| 8 + rng.next_below(25)).collect();
+    let total: u64 = per_thread.iter().sum();
+    let trace = Trace::with_capacity(capacity);
+    let barrier = Barrier::new(cx.threads);
+    std::thread::scope(|s| {
+        for (t, &ops) in per_thread.iter().enumerate() {
+            let trace = &trace;
+            let barrier = &barrier;
+            let mut trng = XorShift64::new(cx.seed.wrapping_add(1 + t as u64));
+            s.spawn(move || {
+                barrier.wait();
+                for op in 0..ops {
+                    push_marker(trace, t as u64, op);
+                    pause(&mut trng);
+                }
+            });
+        }
+    });
+    check_ring(&trace, capacity, total)
+}
+
+// ---------------------------------------------------------------------------
+// EWMA checks
+// ---------------------------------------------------------------------------
+
+/// Every thread records the same constant; the average of a constant is
+/// that constant, bit-exactly, no matter how the first-sample
+/// initialization interleaves.
+fn ewma_first_sample(cx: &CheckCtx) -> Result<(), String> {
+    const LEVEL: f64 = 250.0;
+    let mut rng = XorShift64::new(cx.seed);
+    let per_thread: Vec<u64> = (0..cx.threads).map(|_| 1 + rng.next_below(8)).collect();
+    let total: u64 = per_thread.iter().sum();
+    let ewma = Ewma::new(0.25);
+    let barrier = Barrier::new(cx.threads);
+    std::thread::scope(|s| {
+        for &ops in &per_thread {
+            let ewma = &ewma;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    ewma.record(LEVEL);
+                }
+            });
+        }
+    });
+    if ewma.samples() != total {
+        return Err(format!("samples = {}, expected {total}", ewma.samples()));
+    }
+    match ewma.value() {
+        Some(v) if v == LEVEL => Ok(()),
+        Some(v) => Err(format!(
+            "EWMA of a constant {LEVEL} is {v}: a sample folded against an \
+             uninitialized average"
+        )),
+        None => Err(format!("EWMA reports no value after {total} samples")),
+    }
+}
+
+/// Seeded samples in `[LO, HI]`; a weighted average can never leave the
+/// sample range.
+fn ewma_bounds(cx: &CheckCtx) -> Result<(), String> {
+    const LO: f64 = 100.0;
+    const HI: f64 = 1000.0;
+    let mut rng = XorShift64::new(cx.seed);
+    let per_thread: Vec<u64> = (0..cx.threads).map(|_| 4 + rng.next_below(16)).collect();
+    let total: u64 = per_thread.iter().sum();
+    let ewma = Ewma::new(0.1);
+    let barrier = Barrier::new(cx.threads);
+    std::thread::scope(|s| {
+        for (t, &ops) in per_thread.iter().enumerate() {
+            let ewma = &ewma;
+            let barrier = &barrier;
+            let mut trng = XorShift64::new(cx.seed.wrapping_add(101 + t as u64));
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    let sample = LO + trng.next_below((HI - LO) as u64 + 1) as f64;
+                    ewma.record(sample);
+                    pause(&mut trng);
+                }
+            });
+        }
+    });
+    if ewma.samples() != total {
+        return Err(format!("samples = {}, expected {total}", ewma.samples()));
+    }
+    match ewma.value() {
+        Some(v) if (LO..=HI).contains(&v) => Ok(()),
+        Some(v) => Err(format!(
+            "EWMA {v} escaped the sample range [{LO}, {HI}]: an update folded \
+             against a torn or uninitialized average"
+        )),
+        None => Err(format!("EWMA reports no value after {total} samples")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// histogram checks
+// ---------------------------------------------------------------------------
+
+/// Seeded values; afterwards count, sum, and both distribution extremes
+/// must match the programs exactly — the histogram loses nothing.
+fn histogram_exact(cx: &CheckCtx) -> Result<(), String> {
+    let mut rng = XorShift64::new(cx.seed);
+    // Programs are derived up front so the expectation is computable
+    // without touching the shared structure.
+    let programs: Vec<Vec<u64>> = (0..cx.threads)
+        .map(|t| {
+            let mut trng = XorShift64::new(cx.seed.wrapping_add(201 + t as u64));
+            let ops = 8 + rng.next_below(24) as usize;
+            (0..ops).map(|_| trng.next_below(1 << 20)).collect()
+        })
+        .collect();
+    let total: u64 = programs.iter().map(|p| p.len() as u64).sum();
+    let sum: u64 = programs
+        .iter()
+        .flatten()
+        .fold(0u64, |acc, v| acc.wrapping_add(*v));
+    let max = programs.iter().flatten().copied().max().unwrap_or(0);
+    let min = programs.iter().flatten().copied().min().unwrap_or(0);
+    let hist = LogHistogram::new();
+    let barrier = Barrier::new(cx.threads);
+    std::thread::scope(|s| {
+        for program in &programs {
+            let hist = &hist;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for &v in program {
+                    hist.record(v);
+                }
+            });
+        }
+    });
+    if hist.count() != total {
+        return Err(format!(
+            "count = {}, expected {total}: recorded values were lost",
+            hist.count()
+        ));
+    }
+    if hist.sum() != sum {
+        return Err(format!("sum = {}, expected {sum}", hist.sum()));
+    }
+    let want_top = LogHistogram::bucket_range(LogHistogram::bucket_index(max)).1;
+    if hist.quantile(1.0) != Some(want_top) {
+        return Err(format!(
+            "q(1.0) = {:?}, expected {want_top} (max recorded {max})",
+            hist.quantile(1.0)
+        ));
+    }
+    let want_bottom = LogHistogram::bucket_range(LogHistogram::bucket_index(min)).1;
+    if hist.quantile(0.0) != Some(want_bottom) {
+        return Err(format!(
+            "q(0.0) = {:?}, expected {want_bottom} (min recorded {min})",
+            hist.quantile(0.0)
+        ));
+    }
+    Ok(())
+}
+
+/// A reader polling `count()` while writers hammer the histogram must
+/// never observe the count go backwards (each bucket is monotone).
+fn histogram_monotone(cx: &CheckCtx) -> Result<(), String> {
+    let mut rng = XorShift64::new(cx.seed);
+    let per_thread: Vec<u64> = (0..cx.threads).map(|_| 64 + rng.next_below(64)).collect();
+    let total: u64 = per_thread.iter().sum();
+    let hist = LogHistogram::new();
+    let barrier = Barrier::new(cx.threads + 1);
+    let regressed = AtomicU64::new(u64::MAX); // sentinel: no regression seen
+    std::thread::scope(|s| {
+        for (t, &ops) in per_thread.iter().enumerate() {
+            let hist = &hist;
+            let barrier = &barrier;
+            let mut trng = XorShift64::new(cx.seed.wrapping_add(301 + t as u64));
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    hist.record(trng.next_below(1 << 12));
+                }
+            });
+        }
+        barrier.wait();
+        let mut last = 0u64;
+        loop {
+            let now = hist.count();
+            if now < last {
+                regressed.store(now, Ordering::Relaxed);
+                break;
+            }
+            last = now;
+            if now == total {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+    });
+    let r = regressed.load(Ordering::Relaxed);
+    if r != u64::MAX {
+        return Err(format!("count() went backwards to {r}"));
+    }
+    if hist.count() != total {
+        return Err(format!("final count = {}, expected {total}", hist.count()));
+    }
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Fixture: a Release store whose readers are all Relaxed
+//! (rule atomic-pairing).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

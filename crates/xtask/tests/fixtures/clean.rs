@@ -1,0 +1,26 @@
+//! Fixture: violates no rule, even when classified as hot-path core code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Saturating add without panicking combinators.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.checked_add(b).unwrap_or(u64::MAX)
+}
+
+/// A justified unsafe block.
+pub fn read_first(xs: &[u8; 4]) -> u8 {
+    let p = xs.as_ptr();
+    // SAFETY: `p` points at the 4 live bytes borrowed by `xs`.
+    unsafe { *p }
+}
+
+/// A relaxed monotone counter: both sides Relaxed is compatible.
+pub fn bump(n: &AtomicU64) -> u64 {
+    n.fetch_add(1, Ordering::Relaxed);
+    n.load(Ordering::Relaxed)
+}
+
+/// The poll entry point; calls nothing blocking.
+pub fn poll_once(n: &AtomicU64) -> u64 {
+    bump(n)
+}

@@ -1,0 +1,22 @@
+//! Fixture: panicking calls in hot-path code (rule hot-path-panic).
+//! Test code at the bottom must NOT be flagged.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("value")
+}
+
+pub fn boom() {
+    panic!("no");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::take(Some(1)).to_string().parse::<u32>().unwrap();
+    }
+}

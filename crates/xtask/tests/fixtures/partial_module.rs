@@ -1,0 +1,28 @@
+//! Fixture: a CommModule impl with holes in its function table
+//! (rule module-contract).
+
+pub struct HalfModule;
+pub struct HalfReceiver;
+pub struct HalfObject;
+
+impl CommReceiver for HalfReceiver {
+    fn poll(&mut self) -> Option<u8> {
+        None
+    }
+}
+
+impl CommObject for HalfObject {
+    fn send(&mut self, _b: &[u8]) {}
+}
+
+impl CommModule for HalfModule {
+    fn method(&self) -> u8 {
+        0
+    }
+
+    fn open(&self) {}
+
+    fn connect(&self) {
+        let _ = (HalfReceiver, HalfObject);
+    }
+}

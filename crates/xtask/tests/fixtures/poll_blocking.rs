@@ -1,0 +1,16 @@
+//! Fixture: a sleep two call-edges below poll_once (rule poll-blocking).
+//! The identical sleep in `unrelated` must NOT be flagged.
+
+use std::time::Duration;
+
+pub fn poll_once() {
+    drain_inbound();
+}
+
+fn drain_inbound() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn unrelated() {
+    std::thread::sleep(Duration::from_millis(1));
+}

@@ -1,0 +1,12 @@
+//! Fixture: one bare SeqCst, one justified (rule seqcst-justify).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) {
+    x.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn bump_justified(x: &AtomicU64) {
+    // SeqCst: fixture demonstrates a justified total-order site.
+    x.fetch_add(1, Ordering::SeqCst);
+}

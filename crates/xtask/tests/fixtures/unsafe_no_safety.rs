@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no SAFETY comment (rule unsafe-safety).
+
+pub fn read_first(xs: &[u8; 4]) -> u8 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

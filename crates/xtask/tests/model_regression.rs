@@ -1,0 +1,44 @@
+//! Regression tests replaying schedule seeds that found real races.
+//!
+//! Before `EventRing::push` drew its sequence number under the slot
+//! lock (crates/core/src/trace.rs), two threads could claim seqs in one
+//! order and insert into the ring in the other, so the `ring-seq-order`
+//! model check failed with out-of-order sequences (e.g. "seq 85 stored
+//! after seq 38"). The seeds below are the exact failing seeds captured
+//! from those pre-fix runs:
+//!
+//! * `2217750873614213955` — derived under master seed 1
+//! * `15921625141799859312` — derived under master seed 3
+//!
+//! A randomized seed is a *program* (op counts, values, pause lengths),
+//! not a single interleaving — the OS still schedules the threads — so
+//! each replay reruns the seed's program many times. Schedule 0 of a run
+//! uses the master seed directly (that is the replay contract printed in
+//! every failure message), and the remaining schedules hunt neighboring
+//! programs derived from it.
+
+use xtask::model::{run, ModelConfig};
+
+/// Replays a captured seed as the master seed of a `ring-seq-order` run.
+fn replay(seed: u64, schedules: u64) {
+    let cfg = ModelConfig {
+        schedules,
+        seed,
+        threads: 4,
+        check: Some("ring-seq-order".into()),
+    };
+    match run(&cfg) {
+        Ok(report) => assert_eq!(report.checks, vec![("ring-seq-order", schedules)]),
+        Err(failure) => panic!("regressed: {failure}"),
+    }
+}
+
+#[test]
+fn ring_seq_order_seed_from_master_1_stays_fixed() {
+    replay(2217750873614213955, 300);
+}
+
+#[test]
+fn ring_seq_order_seed_from_master_3_stays_fixed() {
+    replay(15921625141799859312, 300);
+}
