@@ -148,6 +148,7 @@ pub fn skip_poll_ablation(bursts: u32, burst_len: u32, quiet_polls: u32) -> Vec<
                 min: 1,
                 max: 256,
                 grow_after: 8,
+                ..Default::default()
             })),
             bursts,
             burst_len,

@@ -1,10 +1,69 @@
 //! Ablations of individual design choices: startpoint weight, connection
 //! sharing, adaptive skip_poll — plus the runtime-measured cost EWMAs the
 //! QoS/selection machinery can consult instead of a-priori constants.
+//!
+//! `--adaptive` runs a reduced smoke version of the adaptive ablation
+//! only (suitable for CI): the bursty-TCP skip_poll comparison at small
+//! scale plus one adaptive simnet ping-pong, failing loudly if the
+//! controller loses messages or never backs off.
 
 use nexus_bench::{ablation, pollcost};
+use nexus_simnet::pingpong::dual_pingpong_adaptive;
+use nexus_simnet::SimAdaptive;
+
+fn adaptive_smoke() {
+    println!("=== Adaptive skip_poll smoke ===\n");
+    let rows = ablation::skip_poll_ablation(2, 10, 500);
+    print!(
+        "{}",
+        nexus_bench::report::table(
+            &["configuration", "TCP probes", "delivered", "final skip"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.to_owned(),
+                        r.tcp_polls.to_string(),
+                        r.delivered.to_string(),
+                        r.final_skip.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    );
+    let fixed1 = &rows[0];
+    let adaptive = rows
+        .iter()
+        .find(|r| r.label.starts_with("adaptive"))
+        .unwrap();
+    assert_eq!(
+        adaptive.delivered, fixed1.delivered,
+        "adaptive controller must not lose messages"
+    );
+    assert!(
+        adaptive.final_skip > 1,
+        "controller should back off during quiet periods (final skip {})",
+        adaptive.final_skip
+    );
+
+    let sim = dual_pingpong_adaptive(0, 50, SimAdaptive::default());
+    println!("\nsimnet adaptive dual ping-pong (0 B, 50 MPL rounds):");
+    println!("  MPL one-way: {}", sim.mpl_one_way);
+    if let Some(tcp) = sim.tcp_one_way {
+        println!(
+            "  TCP one-way: {} over {} roundtrips (final TCP skip {})",
+            tcp, sim.tcp_roundtrips, sim.final_tcp_skip
+        );
+    }
+    assert!(sim.tcp_roundtrips > 0, "TCP leg must complete roundtrips");
+    println!("\nadaptive smoke OK");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--adaptive") {
+        adaptive_smoke();
+        return;
+    }
     println!("=== Design-choice ablations ===\n");
     let sizes = ablation::startpoint_sizes();
     let conns = ablation::connection_sharing(10);

@@ -11,6 +11,8 @@
 //! modules mpl shmem tcp          # enabled modules, also the priority order
 //! param tcp.sockbuf 65536        # module parameter
 //! skip_poll tcp 20               # poll every 20th pass
+//! adaptive_skip_poll tcp 1 4096  # adaptive controller, bounded [min,max]
+//! reselect 1.25 3                # live re-selection: margin, K checks
 //! policy first-applicable        # selection policy name
 //! ```
 
@@ -20,7 +22,7 @@ use crate::error::{NexusError, Result};
 use crate::module::ModuleRegistry;
 
 /// Parsed runtime configuration.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RtConfig {
     /// Enabled module names in priority order (empty = registry default).
     pub modules: Vec<String>,
@@ -28,6 +30,12 @@ pub struct RtConfig {
     pub params: Vec<(String, String, String)>,
     /// skip_poll settings as (module, value).
     pub skip_poll: Vec<(String, u64)>,
+    /// Adaptive skip_poll settings as (module, min, max): the controller
+    /// owns the skip value within those bounds.
+    pub adaptive_skip_poll: Vec<(String, u64, u64)>,
+    /// Live re-selection settings as (margin, consecutive checks), if
+    /// enabled.
+    pub reselect: Option<(f64, u32)>,
     /// Selection policy name, if specified.
     pub policy: Option<String>,
 }
@@ -106,6 +114,63 @@ impl RtConfig {
                             })?;
                     cfg.skip_poll.push((module.to_owned(), v));
                 }
+                "adaptive_skip_poll" => {
+                    let module = words.next().ok_or(NexusError::Config {
+                        line: lineno,
+                        reason: "adaptive_skip_poll needs a module name".into(),
+                    })?;
+                    let min: u64 =
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(NexusError::Config {
+                                line: lineno,
+                                reason: "adaptive_skip_poll needs integer min and max".into(),
+                            })?;
+                    let max: u64 =
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(NexusError::Config {
+                                line: lineno,
+                                reason: "adaptive_skip_poll needs integer min and max".into(),
+                            })?;
+                    if min == 0 || max < min {
+                        return Err(NexusError::Config {
+                            line: lineno,
+                            reason: "adaptive_skip_poll needs 1 <= min <= max".into(),
+                        });
+                    }
+                    cfg.adaptive_skip_poll.push((module.to_owned(), min, max));
+                }
+                "reselect" => {
+                    let margin: f64 =
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(NexusError::Config {
+                                line: lineno,
+                                reason: "reselect needs a margin and a check count".into(),
+                            })?;
+                    let k: u32 =
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(NexusError::Config {
+                                line: lineno,
+                                reason: "reselect needs a margin and a check count".into(),
+                            })?;
+                    // `margin >= 1.0` is false for NaN, so the positive check
+                    // simultaneously rejects NaN and sub-unity margins.
+                    let margin_ok = margin >= 1.0;
+                    if !margin_ok || k == 0 {
+                        return Err(NexusError::Config {
+                            line: lineno,
+                            reason: "reselect needs margin >= 1.0 and checks >= 1".into(),
+                        });
+                    }
+                    cfg.reselect = Some((margin, k));
+                }
                 "policy" => {
                     cfg.policy = Some(
                         words
@@ -136,8 +201,9 @@ impl RtConfig {
 
     /// Applies command-line-style overrides of the form
     /// `-nexus-modules=a,b,c`, `-nexus-param=mod.key=value`,
-    /// `-nexus-skip-poll=mod:N`. Unknown arguments are ignored (they belong
-    /// to the application).
+    /// `-nexus-skip-poll=mod:N`, `-nexus-adaptive-skip-poll=mod:min:max`,
+    /// `-nexus-reselect=margin:K`. Unknown arguments are ignored (they
+    /// belong to the application).
     pub fn apply_args<'a>(&mut self, args: impl IntoIterator<Item = &'a str>) -> Result<()> {
         for a in args {
             if let Some(v) = a.strip_prefix("-nexus-modules=") {
@@ -163,6 +229,49 @@ impl RtConfig {
                     reason: format!("bad -nexus-skip-poll value {v:?}"),
                 })?;
                 self.skip_poll.push((module.to_owned(), n));
+            } else if let Some(v) = a.strip_prefix("-nexus-adaptive-skip-poll=") {
+                let mut parts = v.split(':');
+                let module = parts.next().unwrap_or("");
+                let min = parts.next().and_then(|w| w.parse::<u64>().ok());
+                let max = parts.next().and_then(|w| w.parse::<u64>().ok());
+                match (min, max) {
+                    (Some(min), Some(max))
+                        if !module.is_empty()
+                            && min >= 1
+                            && max >= min
+                            && parts.next().is_none() =>
+                    {
+                        self.adaptive_skip_poll.push((module.to_owned(), min, max));
+                    }
+                    _ => {
+                        return Err(NexusError::Config {
+                            line: 0,
+                            reason: format!("bad -nexus-adaptive-skip-poll {v:?}"),
+                        });
+                    }
+                }
+            } else if let Some(v) = a.strip_prefix("-nexus-reselect=") {
+                let (margin, k) = v.split_once(':').ok_or(NexusError::Config {
+                    line: 0,
+                    reason: format!("bad -nexus-reselect {v:?}"),
+                })?;
+                let margin: f64 = margin.parse().map_err(|_| NexusError::Config {
+                    line: 0,
+                    reason: format!("bad -nexus-reselect margin {v:?}"),
+                })?;
+                let k: u32 = k.parse().map_err(|_| NexusError::Config {
+                    line: 0,
+                    reason: format!("bad -nexus-reselect checks {v:?}"),
+                })?;
+                // As in `parse`: `>= 1.0` is false for NaN, rejecting both.
+                let margin_ok = margin >= 1.0;
+                if !margin_ok || k == 0 {
+                    return Err(NexusError::Config {
+                        line: 0,
+                        reason: format!("bad -nexus-reselect bounds {v:?}"),
+                    });
+                }
+                self.reselect = Some((margin, k));
             }
         }
         Ok(())
@@ -214,7 +323,8 @@ impl RtConfig {
         Ok(Some(out))
     }
 
-    /// Applies per-context settings (skip_poll values) to a context.
+    /// Applies per-context settings (skip_poll values, adaptive skip_poll
+    /// bounds, live re-selection) to a context.
     pub fn apply_context(&self, ctx: &Context) -> Result<()> {
         let registry = ctx.registry()?;
         for (module, n) in &self.skip_poll {
@@ -225,6 +335,29 @@ impl RtConfig {
                     reason: format!("unknown module {module:?} in skip_poll"),
                 })?;
             ctx.set_skip_poll(m.method(), *n);
+        }
+        for (module, min, max) in &self.adaptive_skip_poll {
+            let m = registry
+                .get_by_name(module)
+                .ok_or_else(|| NexusError::Config {
+                    line: 0,
+                    reason: format!("unknown module {module:?} in adaptive_skip_poll"),
+                })?;
+            ctx.set_adaptive_skip_poll(
+                m.method(),
+                crate::poll::AdaptiveSkipPoll {
+                    min: *min,
+                    max: *max,
+                    ..Default::default()
+                },
+            );
+        }
+        if let Some((margin, k)) = self.reselect {
+            ctx.set_reselection(Some(crate::selection::ReselectConfig {
+                margin,
+                consecutive: k,
+                ..Default::default()
+            }));
         }
         Ok(())
     }
@@ -267,6 +400,44 @@ policy first-applicable
         assert!(RtConfig::parse("skip_poll tcp many").is_err());
         assert!(RtConfig::parse("policy").is_err());
         assert!(RtConfig::parse("skip_poll tcp 3 extra").is_err());
+    }
+
+    #[test]
+    fn parse_adaptive_and_reselect_directives() {
+        let cfg = RtConfig::parse("adaptive_skip_poll tcp 1 4096\nreselect 1.5 4\n").unwrap();
+        assert_eq!(cfg.adaptive_skip_poll, vec![("tcp".into(), 1, 4096)]);
+        assert_eq!(cfg.reselect, Some((1.5, 4)));
+    }
+
+    #[test]
+    fn parse_rejects_bad_adaptive_and_reselect() {
+        assert!(RtConfig::parse("adaptive_skip_poll tcp").is_err());
+        assert!(RtConfig::parse("adaptive_skip_poll tcp 1").is_err());
+        assert!(RtConfig::parse("adaptive_skip_poll tcp 0 16").is_err());
+        assert!(RtConfig::parse("adaptive_skip_poll tcp 16 4").is_err());
+        assert!(RtConfig::parse("adaptive_skip_poll tcp 1 16 extra").is_err());
+        assert!(RtConfig::parse("reselect 1.5").is_err());
+        assert!(RtConfig::parse("reselect 0.5 3").is_err());
+        assert!(RtConfig::parse("reselect 1.5 0").is_err());
+        assert!(RtConfig::parse("reselect 1.5 3 extra").is_err());
+    }
+
+    #[test]
+    fn args_set_adaptive_and_reselect() {
+        let mut cfg = RtConfig::default();
+        cfg.apply_args([
+            "-nexus-adaptive-skip-poll=mpl:2:512",
+            "-nexus-reselect=1.25:3",
+        ])
+        .unwrap();
+        assert_eq!(cfg.adaptive_skip_poll, vec![("mpl".into(), 2, 512)]);
+        assert_eq!(cfg.reselect, Some((1.25, 3)));
+        assert!(cfg.apply_args(["-nexus-adaptive-skip-poll=mpl:2"]).is_err());
+        assert!(cfg
+            .apply_args(["-nexus-adaptive-skip-poll=mpl:0:512"])
+            .is_err());
+        assert!(cfg.apply_args(["-nexus-reselect=0.9:3"]).is_err());
+        assert!(cfg.apply_args(["-nexus-reselect=1.25:0"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::module::{CommObject, ModuleRegistry};
 use crate::poll::{BlockingPoller, PollEngine};
 use crate::rsr::Rsr;
 use crate::selection::{
-    self, ExcludeMethods, FirstApplicable, MethodCostEstimate, SelectionPolicy,
+    self, ExcludeMethods, FirstApplicable, MethodCostEstimate, ReselectConfig, SelectionPolicy,
 };
 use crate::startpoint::{Link, SelectedMethod, Startpoint, Target};
 use crate::stats::Stats;
@@ -222,6 +222,7 @@ impl Fabric {
             blocking: Mutex::new(Vec::new()),
             comm_cache: Mutex::new(HashMap::new()),
             policy: RwLock::new(Arc::new(FirstApplicable)),
+            reselect: RwLock::new(None),
             stats,
             trace,
             shutdown: AtomicBool::new(false),
@@ -279,6 +280,7 @@ pub struct Context {
     blocking: Mutex<Vec<BlockingPoller>>,
     comm_cache: Mutex<HashMap<(ContextId, MethodId), Arc<dyn CommObject>>>,
     policy: RwLock<Arc<dyn SelectionPolicy>>,
+    reselect: RwLock<Option<ReselectConfig>>,
     stats: Stats,
     trace: Arc<Trace>,
     shutdown: AtomicBool,
@@ -419,6 +421,22 @@ impl Context {
     /// Name of the active selection policy (enquiry).
     pub fn policy_name(&self) -> &'static str {
         self.policy.read().name()
+    }
+
+    /// Enables cost-driven live link re-selection (the paper's §6
+    /// "adaptive method selection"): every `check_every` successful sends
+    /// on a link, the measured send cost of the current method is compared
+    /// against the measured costs of the other applicable methods; after
+    /// `consecutive` agreeing checks on the same cheaper method, the link
+    /// migrates its communication object in place. `None` disables the
+    /// mechanism (the default).
+    pub fn set_reselection(&self, cfg: Option<ReselectConfig>) {
+        *self.reselect.write() = cfg;
+    }
+
+    /// Current re-selection configuration (enquiry).
+    pub fn reselection(&self) -> Option<ReselectConfig> {
+        *self.reselect.read()
     }
 
     /// Enquiry: methods of `sp`'s first link applicable from this context,
@@ -582,7 +600,10 @@ impl Context {
                 self.reselect_excluding(link, &failed)?
             };
             let start = Instant::now();
-            match sel.obj.send(msg) {
+            link.send_begin();
+            let sent = sel.obj.send(msg);
+            link.send_end();
+            match sent {
                 Ok(()) => {
                     // Steady-state recording: atomics only, through the
                     // handles cached on the link's selection; the event
@@ -601,6 +622,7 @@ impl Context {
                             wire_bytes: wire as u64,
                         },
                     );
+                    self.consider_reselect(link, sel.method);
                     return Ok(());
                 }
                 Err(e) => {
@@ -622,6 +644,82 @@ impl Context {
                 }
             }
         }
+    }
+
+    /// Cost-driven live re-selection (§6's proposed adaptive method
+    /// selection, implemented): every `check_every` successful sends,
+    /// compare the link's measured send cost against the measured costs
+    /// of the other applicable methods; once `consecutive` checks agree
+    /// on the same cheaper method, migrate the link's communication
+    /// object in place. Unlike failover, the previous object is healthy
+    /// and stays cached — this is a policy move, so concurrent sends are
+    /// drained before the switch and no connection is torn down.
+    fn consider_reselect(&self, link: &Link, current: MethodId) {
+        let Some(cfg) = *self.reselect.read() else {
+            return;
+        };
+        // Manual selection means the application took responsibility.
+        if link.pinned.lock().is_some() {
+            return;
+        }
+        {
+            let mut st = link.reselect.lock();
+            st.sends_since_check += 1;
+            if st.sends_since_check < cfg.check_every.max(1) {
+                return;
+            }
+            st.sends_since_check = 0;
+        }
+        let Ok(reg) = self.registry() else {
+            return;
+        };
+        let table = link.table();
+        let cand = selection::reselect_candidate(
+            &self.info,
+            link.target.context,
+            &table,
+            &reg,
+            &self.trace,
+            current,
+            &cfg,
+        );
+        let migrate_to = {
+            let mut st = link.reselect.lock();
+            match cand {
+                Some(c) => {
+                    if st.candidate == Some(c.method) {
+                        st.streak += 1;
+                    } else {
+                        st.candidate = Some(c.method);
+                        st.streak = 1;
+                    }
+                    if st.streak >= cfg.consecutive.max(1) {
+                        st.candidate = None;
+                        st.streak = 0;
+                        Some(c.method)
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    st.candidate = None;
+                    st.streak = 0;
+                    None
+                }
+            }
+        };
+        let Some(to) = migrate_to else {
+            return;
+        };
+        // Drain: give concurrent sends over the old object a bounded
+        // window to finish, so the switch lands between messages rather
+        // than alongside one.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        while link.sends_in_flight() > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        // select_into_link records the MethodSwitch trace event.
+        let _ = self.select_into_link(link, to, &table);
     }
 
     /// Re-runs selection for a link with `excluded` methods removed, and

@@ -25,11 +25,23 @@ use std::time::{Duration, Instant};
 /// Parameters of the adaptive skip_poll controller (the paper's "future
 /// work": *adaptive adjustment of skip_poll values*).
 ///
-/// The controller is multiplicative-decrease / multiplicative-increase on
-/// evidence: finding a message halves the skip (the method is active —
-/// look often), while `grow_after` consecutive empty probes double it
-/// (the method is quiet — stop paying for it), clamped to `[min, max]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The controller is two-layered:
+///
+/// * A **reactive** layer — multiplicative-decrease / multiplicative-
+///   increase on evidence: finding a message halves the skip (the method
+///   is active — look often), while `grow_after` consecutive empty probes
+///   double it (the method is quiet — stop paying for it), clamped to
+///   `[min, max]`. This layer reacts within one probe to bursts starting
+///   or traffic evaporating.
+/// * A **cost-driven** layer — every `update_every` probes the controller
+///   recomputes the skip from the *measured* probe-cost EWMAs
+///   (`core::trace`) and the per-probe hit-rate EWMA, steering toward the
+///   per-pass-objective minimum (see [`adaptive_target_skip`]) instead of
+///   a hand-tuned constant. While the hit rate shows live traffic, this
+///   layer owns the skip and the reactive layer stands down, so a steady
+///   load cannot oscillate between halving and doubling; when traffic
+///   stops, ownership falls back to the reactive layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveSkipPoll {
     /// Lower bound on the skip value (1 = may poll every pass).
     pub min: u64,
@@ -37,6 +49,17 @@ pub struct AdaptiveSkipPoll {
     pub max: u64,
     /// Consecutive empty probes before the skip doubles.
     pub grow_after: u64,
+    /// Weight `w` of detection latency against probe cost in the
+    /// cost-driven layer's objective: larger values favor smaller skips
+    /// (lower latency at higher polling cost).
+    pub latency_weight: f64,
+    /// Probes between cost-driven recomputations (0 disables the
+    /// cost-driven layer, leaving the reactive layer alone).
+    pub update_every: u64,
+    /// Dead band of the cost-driven layer: the computed target must
+    /// differ from the current skip by more than this fraction before the
+    /// skip moves. Prevents oscillation under steady load.
+    pub hysteresis: f64,
 }
 
 impl Default for AdaptiveSkipPoll {
@@ -45,8 +68,68 @@ impl Default for AdaptiveSkipPoll {
             min: 1,
             max: 4096,
             grow_after: 8,
+            latency_weight: 1.0,
+            update_every: 32,
+            hysteresis: 0.5,
         }
     }
+}
+
+/// Smoothing factor of the per-probe hit-rate EWMA.
+const HIT_EWMA_ALPHA: f64 = 1.0 / 16.0;
+/// Smoothing factor of the per-source local probe-cost EWMA (used when the
+/// engine is not bound to a [`Trace`]).
+const COST_EWMA_ALPHA: f64 = 0.25;
+/// Below this per-probe hit rate the cost-driven layer considers the
+/// method idle and hands control back to the reactive layer.
+const COST_MODE_HIT_FLOOR: f64 = 0.01;
+/// Floor on the estimated cost of one pass of the polling loop, so the
+/// controller law stays finite before any probe has been timed.
+const PASS_COST_FLOOR_NS: f64 = 100.0;
+
+/// The cost-driven controller law: the skip value minimizing the per-pass
+/// objective
+///
+/// ```text
+/// J(k) = probe_cost / k  +  latency_weight · msgs_per_pass · (k/2) · pass_cost
+/// ```
+///
+/// — amortized probing cost plus the expected detection-latency penalty
+/// (a message waits on average `k/2` passes for the next probe). Setting
+/// `dJ/dk = 0` gives
+///
+/// ```text
+/// k* = sqrt(2 · probe_cost / (latency_weight · msgs_per_pass · pass_cost))
+/// ```
+///
+/// which is the joint operating point of the paper's Fig. 6 trade-off:
+/// monotone *increasing* in the measured probe cost (expensive methods
+/// are polled less) and monotone *decreasing* in traffic rate and latency
+/// weight. The result is rounded and clamped to `[min, max]`.
+///
+/// Inputs that make the law degenerate (no cost measured yet, zero
+/// traffic, or a non-positive pass cost) return `max`: with nothing to
+/// detect, backing off as far as allowed is the cost-optimal choice.
+pub fn adaptive_target_skip(
+    cfg: &AdaptiveSkipPoll,
+    probe_cost_ns: f64,
+    msgs_per_pass: f64,
+    pass_cost_ns: f64,
+) -> u64 {
+    let lo = cfg.min.max(1);
+    let hi = cfg.max.max(lo);
+    let w = cfg.latency_weight;
+    // `x > 0.0` is false for NaN too, so one positive check rejects every
+    // degenerate input (zero, negative, NaN).
+    let usable = [probe_cost_ns, msgs_per_pass, pass_cost_ns, w]
+        .iter()
+        .all(|&x| x > 0.0);
+    if !usable {
+        return hi;
+    }
+    let k = (2.0 * probe_cost_ns / (w * msgs_per_pass * pass_cost_ns)).sqrt();
+    // `as` saturates on overflow/NaN, and the clamp bounds the result.
+    (k.round() as u64).clamp(lo, hi)
 }
 
 /// One method's receive source within the poll rotation.
@@ -61,6 +144,18 @@ struct PollSource {
     adaptive: Option<AdaptiveSkipPoll>,
     /// Consecutive empty probes (drives adaptive growth).
     empty_streak: u64,
+    /// Local probe-cost EWMA in ns (fallback when the engine is unbound).
+    cost_ewma: f64,
+    /// Timed probes folded into `cost_ewma`.
+    cost_samples: u64,
+    /// Per-probe hit-rate EWMA (messages found per probe).
+    hit_ewma: f64,
+    /// Probes since the cost-driven layer last recomputed.
+    probes_since_update: u64,
+    /// Whether the cost-driven layer currently owns the skip value (live
+    /// traffic with a measured probe cost). While set, the reactive
+    /// halve/double layer stands down.
+    cost_mode: bool,
     /// Cached per-method counters (set by [`PollEngine::bind`]); recording
     /// through them is lock-free.
     counters: Option<Arc<MethodCounters>>,
@@ -77,6 +172,45 @@ struct PollSource {
 /// at a fraction of a clock read while the EWMA still converges on the
 /// true probe cost (empty-probe cost is stable per method).
 pub const PROBE_SAMPLE_EVERY: u64 = 16;
+
+impl PollSource {
+    /// Best available measured probe-cost estimate: the shared trace EWMA
+    /// when the engine is bound (so the controller is literally driven by
+    /// `core::trace`'s measurements), else the local fallback EWMA.
+    fn probe_cost_estimate(&self) -> Option<f64> {
+        if let Some(v) = self.mtrace.as_ref().and_then(|mt| mt.poll_cost_ns.value()) {
+            return Some(v);
+        }
+        (self.cost_samples > 0).then_some(self.cost_ewma)
+    }
+
+    /// The cost-driven layer's periodic recomputation: decide whether the
+    /// layer owns the skip (measured cost + live traffic) and, if so, move
+    /// the skip to the objective minimum when it falls outside the
+    /// hysteresis dead band.
+    fn recompute_cost_skip(&mut self, cfg: &AdaptiveSkipPoll, pass_cost_ns: f64) {
+        let Some(cost) = self.probe_cost_estimate() else {
+            self.cost_mode = false;
+            return;
+        };
+        if self.hit_ewma < COST_MODE_HIT_FLOOR {
+            // Traffic evaporated: the reactive layer's growth rule takes
+            // the skip back toward max on its own cadence.
+            self.cost_mode = false;
+            return;
+        }
+        self.cost_mode = true;
+        // Hits arrive per probe; a probe happens every `skip` passes, so
+        // the per-pass message rate is the per-probe rate divided by skip.
+        let msgs_per_pass = self.hit_ewma / self.skip.max(1) as f64;
+        let target = adaptive_target_skip(cfg, cost, msgs_per_pass, pass_cost_ns);
+        let cur = self.skip.max(1) as f64;
+        if (target as f64 - cur).abs() > cfg.hysteresis * cur {
+            self.skip = target;
+            self.empty_streak = 0;
+        }
+    }
+}
 
 /// The unified poll engine for one context.
 ///
@@ -146,6 +280,11 @@ impl PollEngine {
             since_last: 0,
             adaptive: None,
             empty_streak: 0,
+            cost_ewma: 0.0,
+            cost_samples: 0,
+            hit_ewma: 0.0,
+            probes_since_update: 0,
+            cost_mode: false,
             counters: None,
             mtrace: None,
             probe_tick: 0,
@@ -183,6 +322,8 @@ impl PollEngine {
                 s.since_last = 0;
                 s.adaptive = None;
                 s.empty_streak = 0;
+                s.probes_since_update = 0;
+                s.cost_mode = false;
                 true
             }
             None => false,
@@ -198,6 +339,8 @@ impl PollEngine {
                 s.skip = s.skip.clamp(cfg.min.max(1), cfg.max.max(1));
                 s.adaptive = Some(cfg);
                 s.empty_streak = 0;
+                s.probes_since_update = 0;
+                s.cost_mode = false;
                 true
             }
             None => false,
@@ -225,6 +368,23 @@ impl PollEngine {
     pub fn poll_once(&mut self) -> PollOutcome {
         self.calls += 1;
         let mut out = PollOutcome::default();
+        // Estimated cost of one pass of this loop: every source's measured
+        // probe cost amortized over its skip. Computed once per pass (from
+        // last pass's values) for the cost-driven controller layer; skipped
+        // entirely when no source uses that layer.
+        let pass_cost_ns = if self
+            .sources
+            .iter()
+            .any(|s| s.adaptive.is_some_and(|cfg| cfg.update_every > 0))
+        {
+            self.sources
+                .iter()
+                .map(|s| s.probe_cost_estimate().unwrap_or(0.0) / s.skip.max(1) as f64)
+                .sum::<f64>()
+                .max(PASS_COST_FLOOR_NS)
+        } else {
+            0.0
+        };
         for s in &mut self.sources {
             s.since_last += 1;
             if s.since_last < s.skip {
@@ -245,9 +405,19 @@ impl PollEngine {
             let polled = s.receiver.poll();
             let cost_ns = start.map(|t| t.elapsed().as_nanos() as u64);
             let found = matches!(polled, Ok(Some(_)));
-            if let (Some(ns), Some(mt)) = (cost_ns, &s.mtrace) {
-                mt.poll_cost_ns.record(ns as f64);
+            if let Some(ns) = cost_ns {
+                if let Some(mt) = &s.mtrace {
+                    mt.poll_cost_ns.record(ns as f64);
+                }
+                let x = ns as f64;
+                s.cost_ewma = if s.cost_samples == 0 {
+                    x
+                } else {
+                    s.cost_ewma + COST_EWMA_ALPHA * (x - s.cost_ewma)
+                };
+                s.cost_samples += 1;
             }
+            s.hit_ewma += HIT_EWMA_ALPHA * (f64::from(u8::from(found)) - s.hit_ewma);
             if let Some(c) = &s.counters {
                 c.note_poll(found);
             }
@@ -270,15 +440,20 @@ impl PollEngine {
                     }
                     out.messages.push((s.method, msg));
                     if let Some(cfg) = s.adaptive {
-                        // Activity: look more often.
                         s.empty_streak = 0;
-                        s.skip = (s.skip / 2).max(cfg.min.max(1));
+                        if !s.cost_mode {
+                            // Activity: look more often. (With the
+                            // cost-driven layer in charge, reactive halving
+                            // would fight the computed operating point and
+                            // oscillate under steady load.)
+                            s.skip = (s.skip / 2).max(cfg.min.max(1));
+                        }
                     }
                 }
                 Ok(None) => {
                     if let Some(cfg) = s.adaptive {
                         s.empty_streak += 1;
-                        if s.empty_streak >= cfg.grow_after {
+                        if !s.cost_mode && s.empty_streak >= cfg.grow_after {
                             // Sustained silence: back off.
                             s.empty_streak = 0;
                             s.skip = (s.skip * 2).clamp(cfg.min.max(1), cfg.max.max(1));
@@ -290,6 +465,15 @@ impl PollEngine {
                         c.note_poll_error();
                     }
                     out.errors.push((s.method, e));
+                }
+            }
+            if let Some(cfg) = s.adaptive {
+                if cfg.update_every > 0 {
+                    s.probes_since_update += 1;
+                    if s.probes_since_update >= cfg.update_every {
+                        s.probes_since_update = 0;
+                        s.recompute_cost_skip(&cfg, pass_cost_ns);
+                    }
                 }
             }
             if s.skip != skip_before {
@@ -599,6 +783,7 @@ mod tests {
                 min: 1,
                 max: 64,
                 grow_after: 4,
+                ..Default::default()
             },
         );
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(1));
@@ -621,6 +806,7 @@ mod tests {
                 min: 1,
                 max: 64,
                 grow_after: 1_000_000,
+                ..Default::default()
             },
         );
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(32));
@@ -648,6 +834,7 @@ mod tests {
                 min: 4,
                 max: 64,
                 grow_after: 2,
+                ..Default::default()
             },
         );
         assert_eq!(eng.skip_poll(MethodId::TCP), Some(4), "clamped up to min");
@@ -788,6 +975,7 @@ mod tests {
                 min: 1,
                 max: 8,
                 grow_after: 2,
+                ..Default::default()
             },
         );
         let mut changes = Vec::new();
@@ -809,6 +997,44 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn cost_layer_owns_skip_under_steady_load_without_oscillation() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 1,
+                max: 64,
+                grow_after: 4,
+                update_every: 16,
+                ..Default::default()
+            },
+        );
+        // Steady saturating load: every probe finds a message. The
+        // reactive layer alone would pin the skip at min while the streak
+        // never grows — but after `update_every` probes the cost layer
+        // takes over and must then hold the skip still (dead band), not
+        // bounce it between halve and double.
+        let mut changes_after_warmup = Vec::new();
+        for i in 0..400 {
+            inbox.lock().push(msg("steady"));
+            let out = eng.poll_once();
+            if i >= 64 {
+                changes_after_warmup.extend(out.skip_changes);
+            }
+        }
+        assert!(
+            changes_after_warmup.is_empty(),
+            "skip oscillated under steady load: {changes_after_warmup:?}"
+        );
+        // With every probe hitting, k* = sqrt(2·c / (1/k · c/k)) ≈ k·√2
+        // per single-source pass cost — the law keeps the skip at the low
+        // end rather than backing off a live method.
+        assert!(eng.skip_poll(MethodId::TCP).unwrap() <= 2);
     }
 
     #[test]

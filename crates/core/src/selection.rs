@@ -10,7 +10,7 @@
 //! a startpoint can be pinned to a method, and users can reorder or edit
 //! the descriptor table itself.
 
-use crate::context::ContextInfo;
+use crate::context::{ContextId, ContextInfo};
 use crate::descriptor::{DescriptorTable, MethodId};
 use crate::module::ModuleRegistry;
 use crate::trace::Trace;
@@ -183,6 +183,109 @@ pub fn method_cost_estimate(trace: &Trace, method: MethodId) -> MethodCostEstima
         send_cost_ns: (links > 0).then(|| sum / links as f64),
         send_samples,
     }
+}
+
+/// Configuration of cost-driven live link re-selection.
+///
+/// The paper's selection rule runs once, when a startpoint is bound; the
+/// adaptive extension sketched in §6 re-runs it continuously against
+/// *measured* costs. A link watches the per-link send-cost EWMAs
+/// (`core::trace`) and, when another applicable method has measured
+/// cheaper than the link's current method by `margin` for `consecutive`
+/// qualifying checks in a row, migrates the link's communication object
+/// in place. The margin plus the consecutive-observation streak is the
+/// hysteresis that keeps two methods with similar costs from flapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReselectConfig {
+    /// A candidate must beat the current method's measured cost by this
+    /// factor (current / candidate > margin) to count as one observation.
+    /// Must be > 1; e.g. 1.25 = "at least 25% cheaper".
+    pub margin: f64,
+    /// Consecutive qualifying checks before the link migrates.
+    pub consecutive: u32,
+    /// Minimum send samples behind both estimates before they are
+    /// trusted for a migration decision.
+    pub min_samples: u64,
+    /// Run the check every Nth successful send on a link (sampling keeps
+    /// the send hot path at a counter increment in the common case).
+    pub check_every: u64,
+}
+
+impl Default for ReselectConfig {
+    fn default() -> Self {
+        ReselectConfig {
+            margin: 1.25,
+            consecutive: 3,
+            min_samples: 8,
+            check_every: 16,
+        }
+    }
+}
+
+/// One qualifying re-selection observation: a lower-ranked-but-cheaper
+/// method beating the link's current method by the configured margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReselectCandidate {
+    /// The cheaper applicable method.
+    pub method: MethodId,
+    /// Measured cost of the link's current method (ns per send).
+    pub current_cost_ns: f64,
+    /// Measured cost of the candidate (ns per send).
+    pub candidate_cost_ns: f64,
+}
+
+/// Scans the applicable methods of `table` for one whose *measured* send
+/// cost beats the link's current method by `cfg.margin`, returning the
+/// cheapest such candidate.
+///
+/// The current method's cost is the per-link send EWMA for
+/// `(target, current)` when present (that is what this link actually
+/// pays), falling back to the method-wide mean; candidates are judged by
+/// the method-wide mean, since the link has no history on them yet.
+/// Returns `None` while either side lacks `cfg.min_samples` measurements
+/// — re-selection never acts on guesses, only on evidence.
+pub fn reselect_candidate(
+    local: &ContextInfo,
+    target: ContextId,
+    table: &DescriptorTable,
+    registry: &ModuleRegistry,
+    trace: &Trace,
+    current: MethodId,
+    cfg: &ReselectConfig,
+) -> Option<ReselectCandidate> {
+    let current_est = method_cost_estimate(trace, current);
+    let (current_cost, current_samples) = match trace.get_link(target, current) {
+        Some(lt) => (lt.send_cost_ns.value(), lt.send_cost_ns.samples()),
+        None => (current_est.send_cost_ns, current_est.send_samples),
+    };
+    let current_cost = current_cost?;
+    if current_samples < cfg.min_samples {
+        return None;
+    }
+    let mut best: Option<ReselectCandidate> = None;
+    for m in applicable_methods(local, table, registry) {
+        if m == current {
+            continue;
+        }
+        let est = method_cost_estimate(trace, m);
+        let Some(cost) = est.send_cost_ns else {
+            continue;
+        };
+        if est.send_samples < cfg.min_samples {
+            continue;
+        }
+        if current_cost <= cost * cfg.margin.max(1.0) {
+            continue;
+        }
+        if best.is_none_or(|b| cost < b.candidate_cost_ns) {
+            best = Some(ReselectCandidate {
+                method: m,
+                current_cost_ns: current_cost,
+                candidate_cost_ns: cost,
+            });
+        }
+    }
+    best
 }
 
 /// Estimator of currently available bandwidth for a method, in bytes/sec.
@@ -387,6 +490,86 @@ mod tests {
         assert_eq!(est.poll_samples, 1);
         assert_eq!(est.send_cost_ns, Some(2_000.0), "mean across TCP links");
         assert_eq!(est.send_samples, 2);
+    }
+
+    /// Primes `n` send-cost samples of `cost` ns on a link EWMA.
+    fn prime_link(trace: &Trace, target: ContextId, m: MethodId, cost: f64, n: u64) {
+        let lt = trace.link(target, m);
+        for _ in 0..n {
+            lt.send_cost_ns.record(cost);
+        }
+    }
+
+    #[test]
+    fn reselect_candidate_requires_margin_and_samples() {
+        let (reg, table) = setup();
+        let trace = Trace::new();
+        let local = info(1, 1);
+        let target = ContextId(9);
+        let cfg = ReselectConfig {
+            margin: 1.25,
+            consecutive: 3,
+            min_samples: 8,
+            check_every: 16,
+        };
+        // No measurements at all: no candidate.
+        assert_eq!(
+            reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg),
+            None
+        );
+        // Current method measured, candidate not: still no candidate.
+        prime_link(&trace, target, MethodId::TCP, 10_000.0, 8);
+        assert_eq!(
+            reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg),
+            None
+        );
+        // Candidate measured but with too few samples: rejected.
+        prime_link(&trace, target, MethodId::MPL, 1_000.0, 4);
+        assert_eq!(
+            reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg),
+            None
+        );
+        // Enough samples and a 10x advantage: qualifies.
+        prime_link(&trace, target, MethodId::MPL, 1_000.0, 4);
+        let got = reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg)
+            .expect("cheaper measured method qualifies");
+        assert_eq!(got.method, MethodId::MPL);
+        assert_eq!(got.current_cost_ns, 10_000.0);
+        assert_eq!(got.candidate_cost_ns, 1_000.0);
+    }
+
+    #[test]
+    fn reselect_candidate_respects_hysteresis_margin() {
+        let (reg, table) = setup();
+        let trace = Trace::new();
+        let local = info(1, 1);
+        let target = ContextId(9);
+        let cfg = ReselectConfig::default();
+        // MPL is cheaper, but only by 20% — inside the 1.25x margin.
+        prime_link(&trace, target, MethodId::TCP, 1_200.0, 8);
+        prime_link(&trace, target, MethodId::MPL, 1_000.0, 8);
+        assert_eq!(
+            reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg),
+            None,
+            "a marginal advantage must not trigger migration"
+        );
+    }
+
+    #[test]
+    fn reselect_candidate_ignores_inapplicable_methods() {
+        let (reg, table) = setup();
+        let trace = Trace::new();
+        // From partition 2 the partition-scoped MPL is inapplicable, no
+        // matter how cheap it has measured elsewhere.
+        let local = info(1, 2);
+        let target = ContextId(9);
+        let cfg = ReselectConfig::default();
+        prime_link(&trace, target, MethodId::TCP, 100_000.0, 8);
+        prime_link(&trace, target, MethodId::MPL, 100.0, 8);
+        assert_eq!(
+            reselect_candidate(&local, target, &table, &reg, &trace, MethodId::TCP, &cfg),
+            None
+        );
     }
 
     #[test]

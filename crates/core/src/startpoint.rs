@@ -30,6 +30,7 @@ use crate::stats::MethodCounters;
 use crate::trace::LinkMethodTrace;
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The destination of one communication link.
@@ -57,6 +58,19 @@ pub(crate) struct SelectedMethod {
     pub(crate) ltrace: Arc<LinkMethodTrace>,
 }
 
+/// Cost-driven re-selection scratch for one link: the sampling countdown
+/// plus the consecutive-candidate streak that implements the hysteresis
+/// (see `selection::ReselectConfig`).
+#[derive(Debug, Default)]
+pub(crate) struct ReselectState {
+    /// Successful sends since the last cost check.
+    pub(crate) sends_since_check: u64,
+    /// The cheaper method observed on recent consecutive checks.
+    pub(crate) candidate: Option<MethodId>,
+    /// How many consecutive checks agreed on `candidate`.
+    pub(crate) streak: u32,
+}
+
 /// One communication link within a startpoint.
 pub struct Link {
     /// Where this link points.
@@ -68,6 +82,11 @@ pub struct Link {
     pub(crate) pinned: Mutex<Option<MethodId>>,
     /// The selection currently in force for this link.
     pub(crate) chosen: Mutex<Option<SelectedMethod>>,
+    /// Cost-driven re-selection streak state.
+    pub(crate) reselect: Mutex<ReselectState>,
+    /// Sends currently in flight on the link's selected object; migration
+    /// drains this to zero before retiring the old object.
+    pub(crate) inflight: AtomicU64,
     /// Pack without the descriptor table (receiver reconstructs it).
     pub(crate) lightweight: bool,
 }
@@ -79,6 +98,8 @@ impl Link {
             table: Mutex::new(table),
             pinned: Mutex::new(None),
             chosen: Mutex::new(None),
+            reselect: Mutex::new(ReselectState::default()),
+            inflight: AtomicU64::new(0),
             lightweight,
         }
     }
@@ -96,6 +117,23 @@ impl Link {
     /// Invalidate the current selection (forces re-selection on next use).
     pub(crate) fn invalidate(&self) {
         *self.chosen.lock() = None;
+        *self.reselect.lock() = ReselectState::default();
+    }
+
+    /// Marks one send as in flight on the current selection.
+    pub(crate) fn send_begin(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks an in-flight send as finished. Release-ordered so a drainer
+    /// that acquires `inflight == 0` observes the completed send.
+    pub(crate) fn send_end(&self) {
+        self.inflight.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Sends currently in flight on this link.
+    pub(crate) fn sends_in_flight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
     }
 }
 
@@ -108,6 +146,8 @@ impl Clone for Link {
             table: Mutex::new(self.table.lock().clone()),
             pinned: Mutex::new(*self.pinned.lock()),
             chosen: Mutex::new(None),
+            reselect: Mutex::new(ReselectState::default()),
+            inflight: AtomicU64::new(0),
             lightweight: self.lightweight,
         }
     }

@@ -1,0 +1,133 @@
+//! Property tests for the adaptive skip_poll controller's placement law.
+//!
+//! `adaptive_target_skip` computes the cost-optimal skip interval
+//! `k* = sqrt(2 * probe_cost / (w * msgs_per_pass * pass_cost))` — the
+//! minimum of the per-pass objective `J(k) = probe/k + w*m*(k/2)*pass`.
+//! Its contract: the result always lies inside the configured `[min, max]`
+//! band, responds monotonically to poll-cost changes (costlier probes push
+//! the skip up, never down), and — combined with the hysteresis dead band
+//! the controller applies — settles without oscillating when the measured
+//! inputs hold steady.
+
+use nexus_rt::poll::{adaptive_target_skip, AdaptiveSkipPoll};
+use proptest::prelude::*;
+
+fn cfg(min: u64, max: u64, hysteresis_pct: u64) -> AdaptiveSkipPoll {
+    AdaptiveSkipPoll {
+        min,
+        max,
+        latency_weight: 1.0,
+        hysteresis: hysteresis_pct as f64 / 100.0,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn target_always_respects_the_configured_bounds(
+        min in 0u64..512,
+        span in 0u64..4096,
+        probe_ns in 0u64..100_000_000,
+        msgs_milli in 0u64..5_000,
+        pass_ns in 0u64..10_000_000,
+    ) {
+        let c = cfg(min, min + span, 50);
+        let k = adaptive_target_skip(
+            &c,
+            probe_ns as f64,
+            msgs_milli as f64 / 1000.0,
+            pass_ns as f64,
+        );
+        let lo = c.min.max(1);
+        let hi = c.max.max(lo);
+        prop_assert!((lo..=hi).contains(&k), "{k} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn target_is_monotone_in_poll_cost(
+        a in 1u64..50_000_000,
+        b in 1u64..50_000_000,
+        msgs_milli in 1u64..5_000,
+        pass_ns in 100u64..10_000_000,
+    ) {
+        let c = cfg(1, 1 << 20, 50);
+        let (cheap, costly) = if a <= b { (a, b) } else { (b, a) };
+        let m = msgs_milli as f64 / 1000.0;
+        let k_cheap = adaptive_target_skip(&c, cheap as f64, m, pass_ns as f64);
+        let k_costly = adaptive_target_skip(&c, costly as f64, m, pass_ns as f64);
+        prop_assert!(
+            k_cheap <= k_costly,
+            "probe {cheap} -> skip {k_cheap}, probe {costly} -> skip {k_costly}"
+        );
+    }
+
+    #[test]
+    fn target_is_antitone_in_message_rate(
+        probe_ns in 1u64..50_000_000,
+        a in 1u64..5_000,
+        b in 1u64..5_000,
+        pass_ns in 100u64..10_000_000,
+    ) {
+        let c = cfg(1, 1 << 20, 50);
+        let (quiet, busy) = if a <= b { (a, b) } else { (b, a) };
+        let k_quiet =
+            adaptive_target_skip(&c, probe_ns as f64, quiet as f64 / 1000.0, pass_ns as f64);
+        let k_busy =
+            adaptive_target_skip(&c, probe_ns as f64, busy as f64 / 1000.0, pass_ns as f64);
+        prop_assert!(
+            k_busy <= k_quiet,
+            "rate {quiet} -> skip {k_quiet}, rate {busy} -> skip {k_busy}"
+        );
+    }
+
+    #[test]
+    fn degenerate_measurements_fall_back_to_the_upper_bound(
+        min in 1u64..100,
+        span in 0u64..1000,
+        probe_ns in 0u64..1_000_000,
+        pass_ns in 0u64..1_000_000,
+    ) {
+        let c = cfg(min, min + span, 50);
+        // Zero message rate (and any other non-positive input) means the
+        // latency term vanishes: poll as rarely as allowed.
+        let k = adaptive_target_skip(&c, probe_ns as f64, 0.0, pass_ns as f64);
+        prop_assert_eq!(k, c.max.max(c.min.max(1)));
+    }
+
+    /// Under steady measured load the controller's update rule — move to
+    /// the recomputed target only when it falls outside the hysteresis
+    /// dead band — reaches a fixed point and stays there: no oscillation.
+    /// The pass cost is re-derived from the current skip each round
+    /// (`probe/k`, floored), exactly the feedback loop the poll engine
+    /// closes, so this exercises convergence of the closed loop rather
+    /// than mere purity of the formula.
+    #[test]
+    fn steady_load_settles_without_oscillation(
+        start in 1u64..4096,
+        probe_ns in 100u64..50_000_000,
+        msgs_milli in 1u64..2_000,
+        hysteresis_pct in 10u64..100,
+    ) {
+        let c = cfg(1, 4096, hysteresis_pct);
+        let m = msgs_milli as f64 / 1000.0;
+        let mut skip = start.clamp(c.min, c.max);
+        let mut settled_at: Option<usize> = None;
+        for round in 0..64 {
+            let pass_cost = (probe_ns as f64 / skip as f64).max(100.0);
+            let target = adaptive_target_skip(&c, probe_ns as f64, m, pass_cost);
+            let moved = (target as f64 - skip as f64).abs() > c.hysteresis * skip as f64;
+            if moved {
+                prop_assert!(
+                    settled_at.is_none(),
+                    "skip moved to {target} on round {round} after settling at \
+                     {skip} on round {:?}: oscillation",
+                    settled_at
+                );
+                skip = target;
+            } else if settled_at.is_none() {
+                settled_at = Some(round);
+            }
+        }
+        prop_assert!(settled_at.is_some(), "controller never settled in 64 rounds");
+    }
+}

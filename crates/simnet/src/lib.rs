@@ -32,6 +32,6 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use engine::{NodeApi, NodeConfig, NodeProgram, NodeStats, Sim, SimMsg};
+pub use engine::{NodeApi, NodeConfig, NodeProgram, NodeStats, Sim, SimAdaptive, SimMsg};
 pub use model::{MethodModel, NetworkModel};
 pub use time::SimTime;

@@ -10,7 +10,7 @@
 //!   regenerates Fig. 6 (and the skip_poll trade-off at its heart).
 
 use crate::calib;
-use crate::engine::{NodeApi, NodeConfig, NodeProgram, Sim, SimMsg};
+use crate::engine::{NodeApi, NodeConfig, NodeProgram, Sim, SimAdaptive, SimMsg};
 use crate::time::SimTime;
 use nexus_rt::descriptor::MethodId;
 use std::any::Any;
@@ -246,6 +246,54 @@ pub fn dual_pingpong(size: u64, mpl_rounds: u64, skip_poll: u64) -> DualResult {
     }
 }
 
+/// Result of an adaptive dual ping-pong run: both one-way times plus where
+/// the contended node's TCP skip converged.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveDualResult {
+    /// Mean MPL one-way time.
+    pub mpl_one_way: SimTime,
+    /// Mean TCP one-way time (None if no TCP roundtrip completed).
+    pub tcp_one_way: Option<SimTime>,
+    /// TCP roundtrips completed while MPL ran its fixed count.
+    pub tcp_roundtrips: u64,
+    /// Final TCP skip_poll on the contended (dual) node.
+    pub final_tcp_skip: u64,
+}
+
+/// Runs the dual ping-pong with the adaptive skip_poll controller owning
+/// TCP's skip value on every node (no hand-tuned constant): the paper's
+/// §6 adaptive refinement applied to the Fig. 6 workload.
+pub fn dual_pingpong_adaptive(size: u64, mpl_rounds: u64, cfg: SimAdaptive) -> AdaptiveDualResult {
+    let mut sim = Sim::new(calib::sp2_network());
+    let p1 = NodeConfig {
+        partition: 1,
+        raw_mode: false,
+    };
+    let p2 = NodeConfig {
+        partition: 2,
+        raw_mode: false,
+    };
+    let mpl_echo = sim.add_node(p1, Box::new(Echo));
+    let tcp_echo = sim.add_node(p2, Box::new(Echo));
+    let dual = sim.add_node(
+        p1,
+        Box::new(DualPinger::new(mpl_echo, tcp_echo, size, mpl_rounds)),
+    );
+    sim.set_adaptive_all(MethodId::TCP, cfg);
+    sim.run(SimTime::from_secs(24 * 3_600));
+    let prog = sim
+        .program(dual)
+        .as_any()
+        .downcast_ref::<DualPinger>()
+        .expect("dual pinger");
+    AdaptiveDualResult {
+        mpl_one_way: prog.mpl_one_way().expect("MPL side completed"),
+        tcp_one_way: prog.tcp_one_way(),
+        tcp_roundtrips: prog.tcp_completed,
+        final_tcp_skip: sim.skip_poll_of(dual, MethodId::TCP).unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +414,117 @@ mod tests {
         let b = dual_pingpong(0, 100, 10);
         assert_eq!(a.mpl_one_way, b.mpl_one_way);
         assert_eq!(a.tcp_roundtrips, b.tcp_roundtrips);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    /// The Fig. 6 trend, driven by the controller instead of a hand-set
+    /// constant: the effective TCP skip grows from 1, the cheap method's
+    /// (MPL's) latency falls versus the untuned skip-1 baseline, and the
+    /// expensive method's (TCP's) latency rises — the joint operating
+    /// point the paper's §6 proposes to find automatically.
+    #[test]
+    fn fig6_adaptive_reproduces_the_skip_poll_trend() {
+        let base = dual_pingpong(0, 400, 1);
+        let adapt = dual_pingpong_adaptive(0, 400, SimAdaptive::default());
+        assert!(
+            adapt.final_tcp_skip > 1,
+            "the controller should grow TCP's skip, got {}",
+            adapt.final_tcp_skip
+        );
+        assert!(
+            adapt.mpl_one_way < base.mpl_one_way,
+            "cheap-method latency should fall: {} vs {}",
+            adapt.mpl_one_way,
+            base.mpl_one_way
+        );
+        let base_tcp = base.tcp_one_way.expect("tcp completed at skip 1");
+        let adapt_tcp = adapt.tcp_one_way.expect("tcp completed under adaptivity");
+        assert!(
+            adapt_tcp > base_tcp,
+            "expensive-method latency should rise as the skip grows: {adapt_tcp} vs {base_tcp}"
+        );
+    }
+
+    /// Acceptance: without manual tuning, the adaptive run lands within
+    /// 10% of the best hand-tuned static skip_poll on *both* one-way
+    /// latencies. "Best hand-tuned" = the grid point minimizing the sum
+    /// of per-method latencies normalized by each method's own optimum —
+    /// the operating point a person sweeping Fig. 6 would pick.
+    #[test]
+    fn fig6_adaptive_converges_within_10pct_of_best_static() {
+        let grid: Vec<DualResult> = [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+            .iter()
+            .map(|&k| dual_pingpong(0, 400, k))
+            .collect();
+        let completed: Vec<&DualResult> = grid.iter().filter(|r| r.tcp_one_way.is_some()).collect();
+        let mpl_best = completed
+            .iter()
+            .map(|r| r.mpl_one_way.as_ns())
+            .min()
+            .unwrap() as f64;
+        let tcp_best = completed
+            .iter()
+            .map(|r| r.tcp_one_way.unwrap().as_ns())
+            .min()
+            .unwrap() as f64;
+        let best = completed
+            .iter()
+            .min_by(|a, b| {
+                let score = |r: &DualResult| {
+                    r.mpl_one_way.as_ns() as f64 / mpl_best
+                        + r.tcp_one_way.unwrap().as_ns() as f64 / tcp_best
+                };
+                score(a).total_cmp(&score(b))
+            })
+            .unwrap();
+
+        let adapt = dual_pingpong_adaptive(0, 400, SimAdaptive::default());
+        let adapt_tcp = adapt.tcp_one_way.expect("tcp completed under adaptivity");
+        let mpl_ratio = adapt.mpl_one_way.as_ns() as f64 / best.mpl_one_way.as_ns() as f64;
+        let tcp_ratio = adapt_tcp.as_ns() as f64 / best.tcp_one_way.unwrap().as_ns() as f64;
+        assert!(
+            mpl_ratio <= 1.10,
+            "adaptive MPL {} should be within 10% of best static (k={}) {}: ratio {mpl_ratio:.3}",
+            adapt.mpl_one_way,
+            best.skip_poll,
+            best.mpl_one_way
+        );
+        assert!(
+            tcp_ratio <= 1.10,
+            "adaptive TCP {} should be within 10% of best static (k={}) {}: ratio {tcp_ratio:.3}",
+            adapt_tcp,
+            best.skip_poll,
+            best.tcp_one_way.unwrap()
+        );
+    }
+
+    #[test]
+    fn adaptive_dual_pingpong_is_deterministic() {
+        let a = dual_pingpong_adaptive(0, 100, SimAdaptive::default());
+        let b = dual_pingpong_adaptive(0, 100, SimAdaptive::default());
+        assert_eq!(a.mpl_one_way, b.mpl_one_way);
+        assert_eq!(a.final_tcp_skip, b.final_tcp_skip);
+    }
+
+    #[test]
+    fn adaptive_respects_configured_bounds() {
+        let adapt = dual_pingpong_adaptive(
+            0,
+            200,
+            SimAdaptive {
+                min: 2,
+                max: 8,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (2..=8).contains(&adapt.final_tcp_skip),
+            "skip {} escaped [2, 8]",
+            adapt.final_tcp_skip
+        );
     }
 }

@@ -8,10 +8,23 @@
 //! * every DATA packet carries a connection id and sequence number;
 //! * the receiver acks every DATA it sees and releases messages in order,
 //!   holding out-of-order arrivals in a reorder buffer;
-//! * the sender keeps unacked packets and retransmits them after `rto_ms`,
-//!   driven by a per-connection pump thread;
+//! * the sender keeps unacked packets and retransmits them with
+//!   exponentially backed-off timeouts starting at `rto_ms`, driven by a
+//!   per-connection pump thread; a packet retransmitted more than
+//!   `max_retries` times marks the connection dead and every later `send`
+//!   fails with [`NexusError::ConnectionClosed`], which feeds the
+//!   runtime's failover / re-selection path instead of looping forever;
 //! * deterministic loss injection (`loss`, `seed` parameters) applies to
 //!   DATA transmissions, so reliability is actually exercised on loopback.
+//!
+//! Reliability invariants (each one regression-tested below):
+//!
+//! * a DATA packet is acked only after its RSR frame decodes — a corrupt
+//!   frame is dropped *unacked* so the sender retransmits it;
+//! * acks are matched on `(conn, seq)`, so a stale ack from another or an
+//!   old connection can never clear the wrong unacked packet;
+//! * retransmission is bounded: backoff doubles per attempt and the
+//!   `max_retries` cap turns a black-holed peer into a dead connection.
 
 use crate::util::XorShift;
 use nexus_rt::context::ContextInfo;
@@ -37,6 +50,10 @@ pub const MAX_FRAME: usize = 59_000;
 /// backpressure.
 const WINDOW: usize = 512;
 
+/// Cap on the exponential backoff shift so the RTO cannot overflow
+/// (effective ceiling: `rto_ms << 8` = 256x the base RTO).
+const RTO_BACKOFF_SHIFT_CAP: u32 = 8;
+
 fn encode_packet(ptype: u8, conn: u64, seq: u64, frame: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(17 + frame.len());
     v.push(ptype);
@@ -61,11 +78,18 @@ pub struct RudpModule {
     loss_bits: Arc<AtomicU64>,
     rng: Arc<XorShift>,
     rto_ms: Arc<AtomicU64>,
+    max_retries: Arc<AtomicU64>,
     next_conn: AtomicU64,
     /// DATA transmissions suppressed by injection.
     injected_drops: Arc<AtomicU64>,
     /// Retransmissions performed (observability).
     retransmits: Arc<AtomicU64>,
+    /// DATA packets dropped because their RSR frame failed to decode.
+    corrupt_drops: Arc<AtomicU64>,
+    /// Acks ignored because their connection id did not match.
+    stale_acks: Arc<AtomicU64>,
+    /// Connections declared dead after exhausting `max_retries`.
+    dead_connections: Arc<AtomicU64>,
 }
 
 impl Default for RudpModule {
@@ -75,15 +99,19 @@ impl Default for RudpModule {
 }
 
 impl RudpModule {
-    /// Creates the module (no loss, 20 ms RTO).
+    /// Creates the module (no loss, 20 ms base RTO, 10 retransmits max).
     pub fn new() -> Self {
         RudpModule {
             loss_bits: Arc::new(AtomicU64::new(0f64.to_bits())),
             rng: Arc::new(XorShift::new(1)),
             rto_ms: Arc::new(AtomicU64::new(20)),
+            max_retries: Arc::new(AtomicU64::new(10)),
             next_conn: AtomicU64::new(1),
             injected_drops: Arc::new(AtomicU64::new(0)),
             retransmits: Arc::new(AtomicU64::new(0)),
+            corrupt_drops: Arc::new(AtomicU64::new(0)),
+            stale_acks: Arc::new(AtomicU64::new(0)),
+            dead_connections: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -95,6 +123,21 @@ impl RudpModule {
     /// Retransmissions performed so far.
     pub fn retransmits(&self) -> u64 {
         self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// DATA packets dropped (unacked) because their frame was corrupt.
+    pub fn corrupt_drops(&self) -> u64 {
+        self.corrupt_drops.load(Ordering::Relaxed)
+    }
+
+    /// Acks ignored because they named a different connection.
+    pub fn stale_acks(&self) -> u64 {
+        self.stale_acks.load(Ordering::Relaxed)
+    }
+
+    /// Connections declared dead after exhausting `max_retries`.
+    pub fn dead_connections(&self) -> u64 {
+        self.dead_connections.load(Ordering::Relaxed)
     }
 }
 
@@ -110,6 +153,7 @@ struct RudpReceiver {
     buf: Vec<u8>,
     conns: HashMap<u64, ConnRecvState>,
     ready: VecDeque<Rsr>,
+    corrupt_drops: Arc<AtomicU64>,
 }
 
 impl RudpReceiver {
@@ -123,15 +167,28 @@ impl RudpReceiver {
                     if ptype != TYPE_DATA {
                         continue; // receivers only consume DATA
                     }
-                    // Ack everything we see, including duplicates (the
-                    // original ack may have raced the retransmit).
-                    let ack = encode_packet(TYPE_ACK, conn, seq, &[]);
-                    let _ = self.socket.send_to(&ack, src);
                     let st = self.conns.entry(conn).or_default();
                     if seq < st.next_expected || st.reorder.contains_key(&seq) {
-                        continue; // duplicate
+                        // Duplicate of a frame already validated: re-ack it
+                        // (the original ack may have raced the retransmit).
+                        let ack = encode_packet(TYPE_ACK, conn, seq, &[]);
+                        let _ = self.socket.send_to(&ack, src);
+                        continue;
                     }
-                    st.reorder.insert(seq, Rsr::decode(frame)?);
+                    // Decode BEFORE acking: an ack promises delivery, so a
+                    // frame that does not decode must go unacked (the
+                    // sender retransmits it) and must not abort the drain —
+                    // later packets in the socket are still good.
+                    let msg = match Rsr::decode(frame) {
+                        Ok(m) => m,
+                        Err(_) => {
+                            self.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let ack = encode_packet(TYPE_ACK, conn, seq, &[]);
+                    let _ = self.socket.send_to(&ack, src);
+                    st.reorder.insert(seq, msg);
                     while let Some(m) = st.reorder.remove(&st.next_expected) {
                         st.next_expected += 1;
                         self.ready.push_back(m);
@@ -171,16 +228,28 @@ impl CommReceiver for RudpReceiver {
 struct Unacked {
     packet: Vec<u8>,
     last_sent: Instant,
+    /// Retransmissions of this packet so far (drives backoff and the
+    /// dead-connection cap).
+    attempts: u32,
 }
 
 struct SenderShared {
     socket: UdpSocket,
-    unacked: Mutex<BTreeMap<u64, Unacked>>,
+    /// The connection id this sender opened; acks for any other id are
+    /// stale and must be ignored.
+    conn: u64,
+    unacked: Mutex<BTreeMap<(u64, u64), Unacked>>,
     loss_bits: Arc<AtomicU64>,
     rng: Arc<XorShift>,
     rto_ms: Arc<AtomicU64>,
+    max_retries: Arc<AtomicU64>,
     injected_drops: Arc<AtomicU64>,
     retransmits: Arc<AtomicU64>,
+    stale_acks: Arc<AtomicU64>,
+    dead_connections: Arc<AtomicU64>,
+    /// Set once a packet exhausts `max_retries`; the connection is dead
+    /// and every later `send` fails with `ConnectionClosed`.
+    dead: AtomicBool,
     stop: AtomicBool,
 }
 
@@ -195,14 +264,22 @@ impl SenderShared {
         let _ = self.socket.send(packet);
     }
 
-    /// Processes incoming ACKs and retransmits overdue packets.
+    /// Processes incoming ACKs and retransmits overdue packets with
+    /// exponential backoff; exhausting the retransmit cap marks the
+    /// connection dead instead of retrying forever.
     fn pump_once(&self) {
         let mut buf = [0u8; 64];
         loop {
             match self.socket.recv(&mut buf) {
                 Ok(n) => {
-                    if let Some((TYPE_ACK, _conn, seq, _)) = decode_header(&buf[..n]) {
-                        self.unacked.lock().remove(&seq);
+                    if let Some((TYPE_ACK, conn, seq, _)) = decode_header(&buf[..n]) {
+                        if conn == self.conn {
+                            self.unacked.lock().remove(&(conn, seq));
+                        } else {
+                            // A stale ack (old/other connection) must not
+                            // clear this connection's unacked packets.
+                            self.stale_acks.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -210,16 +287,36 @@ impl SenderShared {
                 Err(_) => break,
             }
         }
-        let rto = Duration::from_millis(self.rto_ms.load(Ordering::Relaxed));
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let base_rto = self.rto_ms.load(Ordering::Relaxed).max(1);
+        let max_retries = self.max_retries.load(Ordering::Relaxed);
         let now = Instant::now();
         let mut to_retransmit = Vec::new();
+        let mut died = false;
         {
             let mut g = self.unacked.lock();
             for u in g.values_mut() {
-                if now.duration_since(u.last_sent) >= rto {
-                    u.last_sent = now;
-                    to_retransmit.push(u.packet.clone());
+                let shift = u.attempts.min(RTO_BACKOFF_SHIFT_CAP);
+                let rto = Duration::from_millis(base_rto << shift);
+                if now.duration_since(u.last_sent) < rto {
+                    continue;
                 }
+                if u64::from(u.attempts) >= max_retries {
+                    died = true;
+                    break;
+                }
+                u.attempts += 1;
+                u.last_sent = now;
+                to_retransmit.push(u.packet.clone());
+            }
+            if died {
+                // The peer is unreachable: drop the queue so nothing keeps
+                // retransmitting, and let `send` surface ConnectionClosed.
+                g.clear();
+                self.dead.store(true, Ordering::Relaxed);
+                self.dead_connections.fetch_add(1, Ordering::Relaxed);
             }
         }
         for p in to_retransmit {
@@ -231,7 +328,6 @@ impl SenderShared {
 
 struct RudpObject {
     shared: Arc<SenderShared>,
-    conn: u64,
     next_seq: AtomicU64,
     pump: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -252,21 +348,25 @@ impl CommObject for RudpObject {
                 ),
             });
         }
+        if self.shared.dead.load(Ordering::Relaxed) {
+            return Err(NexusError::ConnectionClosed);
+        }
         // Backpressure: wait for window space (the pump thread drains acks).
         let deadline = Instant::now() + Duration::from_secs(10);
         while self.shared.unacked.lock().len() >= WINDOW {
-            if Instant::now() >= deadline {
+            if self.shared.dead.load(Ordering::Relaxed) || Instant::now() >= deadline {
                 return Err(NexusError::ConnectionClosed);
             }
             std::thread::sleep(Duration::from_micros(200));
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let packet = encode_packet(TYPE_DATA, self.conn, seq, &frame);
+        let packet = encode_packet(TYPE_DATA, self.shared.conn, seq, &frame);
         self.shared.unacked.lock().insert(
-            seq,
+            (self.shared.conn, seq),
             Unacked {
                 packet: packet.clone(),
                 last_sent: Instant::now(),
+                attempts: 0,
             },
         );
         self.shared.transmit(&packet);
@@ -311,6 +411,7 @@ impl CommModule for RudpModule {
                 buf: vec![0; 65_536],
                 conns: HashMap::new(),
                 ready: VecDeque::new(),
+                corrupt_drops: Arc::clone(&self.corrupt_drops),
             }),
         ))
     }
@@ -333,12 +434,17 @@ impl CommModule for RudpModule {
         socket.set_nonblocking(true)?;
         let shared = Arc::new(SenderShared {
             socket,
+            conn: self.next_conn.fetch_add(1, Ordering::Relaxed),
             unacked: Mutex::new(BTreeMap::new()),
             loss_bits: Arc::clone(&self.loss_bits),
             rng: Arc::clone(&self.rng),
             rto_ms: Arc::clone(&self.rto_ms),
+            max_retries: Arc::clone(&self.max_retries),
             injected_drops: Arc::clone(&self.injected_drops),
             retransmits: Arc::clone(&self.retransmits),
+            stale_acks: Arc::clone(&self.stale_acks),
+            dead_connections: Arc::clone(&self.dead_connections),
+            dead: AtomicBool::new(false),
             stop: AtomicBool::new(false),
         });
         let pump_shared = Arc::clone(&shared);
@@ -353,7 +459,6 @@ impl CommModule for RudpModule {
             .map_err(NexusError::Io)?;
         Ok(Arc::new(RudpObject {
             shared,
-            conn: self.next_conn.fetch_add(1, Ordering::Relaxed),
             next_seq: AtomicU64::new(0),
             pump: Mutex::new(Some(pump)),
         }))
@@ -399,9 +504,17 @@ impl CommModule for RudpModule {
                 self.rto_ms.store(v.max(1), Ordering::Relaxed);
                 Ok(())
             }
+            "max_retries" => {
+                let v: u64 = value.parse().map_err(|_| NexusError::BadParam {
+                    key: key.to_owned(),
+                    reason: format!("not an integer: {value:?}"),
+                })?;
+                self.max_retries.store(v.max(1), Ordering::Relaxed);
+                Ok(())
+            }
             _ => Err(NexusError::BadParam {
                 key: key.to_owned(),
-                reason: "rudp supports loss, seed, rto_ms".to_owned(),
+                reason: "rudp supports loss, seed, rto_ms, max_retries".to_owned(),
             }),
         }
     }
@@ -519,6 +632,144 @@ mod tests {
         assert!(m.set_param("rto_ms", "10").is_ok());
         assert!(m.set_param("rto_ms", "x").is_err());
         assert!(m.set_param("seed", "3").is_ok());
+        assert!(m.set_param("max_retries", "4").is_ok());
+        assert!(m.set_param("max_retries", "x").is_err());
         assert!(m.set_param("nope", "1").is_err());
+    }
+
+    /// Regression: a corrupt DATA frame must be dropped *unacked* (so the
+    /// sender retransmits it) and must not abort the socket drain — later
+    /// packets still get delivered. The old code acked first and then
+    /// propagated the decode error, losing the message forever.
+    #[test]
+    fn corrupt_frame_is_not_acked_and_drain_continues() {
+        let m = RudpModule::new();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let recv_addr: SocketAddr = std::str::from_utf8(&desc.data).unwrap().parse().unwrap();
+
+        // A raw "sender" injecting a DATA packet whose frame is garbage.
+        let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let corrupt = encode_packet(TYPE_DATA, 99, 0, &[0xFF; 8]);
+        raw.send_to(&corrupt, recv_addr).unwrap();
+
+        // A genuine message behind it in the same socket queue.
+        let obj = m.connect(&info(2), &desc).unwrap();
+        obj.send(&msg(7)).unwrap();
+
+        let got = collect(rx.as_mut(), 1, 10);
+        assert_eq!(
+            got.len(),
+            1,
+            "valid message delivered past the corrupt frame"
+        );
+        let v = u32::from_le_bytes(got[0].payload[..4].try_into().unwrap());
+        assert_eq!(v, 7);
+        assert_eq!(
+            m.corrupt_drops(),
+            1,
+            "corrupt frame was counted and dropped"
+        );
+
+        // The corrupt frame must never have been acked.
+        raw.set_nonblocking(true).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(
+            raw.recv_from(&mut buf).is_err(),
+            "receiver acked a frame it could not decode"
+        );
+    }
+
+    /// Regression: an ack naming another connection id must not clear this
+    /// connection's unacked packet. The old code matched acks on `seq`
+    /// alone, so a stale ack silently cancelled retransmission.
+    #[test]
+    fn stale_ack_for_other_connection_is_ignored() {
+        let m = RudpModule::new();
+        m.set_param("rto_ms", "5").unwrap();
+        let peer = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let desc = CommDescriptor::new(
+            MethodId::RUDP,
+            peer.local_addr().unwrap().to_string().into_bytes(),
+        );
+        let obj = m.connect(&info(2), &desc).unwrap();
+        obj.send(&msg(1)).unwrap();
+
+        // Capture the DATA packet and ack it with the WRONG conn id.
+        let mut buf = [0u8; 65_536];
+        let (n, src) = peer.recv_from(&mut buf).unwrap();
+        let (ptype, conn, seq, _) = decode_header(&buf[..n]).unwrap();
+        assert_eq!(ptype, TYPE_DATA);
+        peer.send_to(&encode_packet(TYPE_ACK, conn + 1, seq, &[]), src)
+            .unwrap();
+
+        // The packet must stay unacked: retransmissions keep coming.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while m.retransmits() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "stale ack cancelled retransmission of the unacked packet"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(m.stale_acks() >= 1, "stale ack was detected and counted");
+
+        // A correctly-addressed ack stops the retransmissions.
+        peer.send_to(&encode_packet(TYPE_ACK, conn, seq, &[]), src)
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let before = m.retransmits();
+            std::thread::sleep(Duration::from_millis(60));
+            if m.retransmits() == before {
+                break;
+            }
+            assert!(Instant::now() < deadline, "retransmissions never stopped");
+        }
+    }
+
+    /// Regression: a black-holed peer must produce a dead connection
+    /// (bounded retransmits, `ConnectionClosed` from `send`), not an
+    /// infinite fixed-RTO retransmit loop.
+    #[test]
+    fn black_holed_peer_marks_connection_dead() {
+        let m = RudpModule::new();
+        m.set_param("rto_ms", "1").unwrap();
+        m.set_param("max_retries", "4").unwrap();
+
+        // A bound socket that is never read and never acks.
+        let hole = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let desc = CommDescriptor::new(
+            MethodId::RUDP,
+            hole.local_addr().unwrap().to_string().into_bytes(),
+        );
+        let obj = m.connect(&info(2), &desc).unwrap();
+        obj.send(&msg(0)).unwrap();
+
+        // Backoff runs 1,2,4,8 ms and then the cap kills the connection.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match obj.send(&msg(1)) {
+                Err(NexusError::ConnectionClosed) => break,
+                Err(e) => panic!("unexpected error: {e:?}"),
+                Ok(()) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "connection never died despite a black-holed peer"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        assert!(m.dead_connections() >= 1);
+
+        // Retransmission actually stopped (no infinite loop).
+        let before = m.retransmits();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            m.retransmits(),
+            before,
+            "dead connection kept retransmitting"
+        );
     }
 }

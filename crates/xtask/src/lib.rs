@@ -6,7 +6,8 @@
 //!   invariants `clippy` cannot see: `// SAFETY:` comments on `unsafe`,
 //!   no panics on the send/poll hot paths, justified `SeqCst` orderings,
 //!   compatible load/store ordering pairs, no blocking calls reachable
-//!   from `PollEngine::poll_once`, and complete communication-module
+//!   from `PollEngine::poll_once` or the adaptive re-selection cost
+//!   comparison, and complete communication-module
 //!   function tables (the paper's §3.1 contract).
 //! * [`model`] — a bounded-interleaving model checker (a mini `loom`)
 //!   that hammers the lock-free trace structures (`LogHistogram`,

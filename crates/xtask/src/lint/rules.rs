@@ -64,7 +64,8 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "poll-blocking",
-        description: "no blocking calls in functions reachable from PollEngine::poll_once",
+        description: "no blocking calls in functions reachable from PollEngine::poll_once \
+                      or the adaptive re-selection driver",
         run: rule_poll_blocking,
     },
     Rule {
@@ -499,7 +500,14 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
         return Vec::new();
     }
     let graph = CallGraph::build(&graph_files);
-    let reach = graph.reachable_from("poll_once");
+    let mut reach = graph.reachable_from("poll_once");
+    // The adaptive re-selection decision logic runs inline on the send path
+    // every `check_every` messages; its cost comparison must stay as
+    // non-blocking as the poll loop. (The migration it may trigger opens a
+    // new communication object and is allowed to block, like any connect.)
+    for (name, path) in graph.reachable_from("reselect_candidate") {
+        reach.entry(name).or_insert(path);
+    }
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for def in &graph.fns {
@@ -945,6 +953,24 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("poll_once -> helper"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_reselection_is_flagged() {
+        let ws = ws_one(
+            "c.rs",
+            "fn reselect_candidate() {\n    measure();\n}\nfn measure() {\n    handle.join();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("reselect_candidate -> measure"));
     }
 
     #[test]
