@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use nexus_rt::context::{ContextId, ContextInfo, NodeId, PartitionId};
 use nexus_rt::endpoint::EndpointId;
 use nexus_rt::module::CommModule;
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use nexus_transports::{MplModule, ShmemModule, TcpModule};
 use std::hint::black_box;
 
@@ -37,7 +37,7 @@ fn bench_queue_transports(c: &mut Criterion) {
         let m = msg(1024);
         g.bench_function(BenchmarkId::new(name, 1024), |b| {
             b.iter(|| {
-                obj.send(&m).unwrap();
+                obj.send(&m, &WireFrame::new()).unwrap();
                 loop {
                     if let Some(got) = rx.poll().unwrap() {
                         break black_box(got);
@@ -60,7 +60,7 @@ fn bench_tcp_roundtrip(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(m.wire_len() as u64));
         g.bench_function(BenchmarkId::from_parameter(size), |b| {
             b.iter(|| {
-                obj.send(&m).unwrap();
+                obj.send(&m, &WireFrame::new()).unwrap();
                 loop {
                     if let Some(got) = rx.poll().unwrap() {
                         break black_box(got);

@@ -25,4 +25,5 @@ pub mod fig6;
 pub mod overhead;
 pub mod pollcost;
 pub mod report;
+pub mod rsrpath;
 pub mod table1;

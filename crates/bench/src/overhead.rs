@@ -19,7 +19,7 @@ use nexus_mpi::{run_world, WorldLayout};
 use nexus_rt::buffer::Buffer;
 use nexus_rt::context::{ContextId, Fabric};
 use nexus_rt::endpoint::EndpointId;
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use nexus_transports::queue::{QueueMedium, QueueObject, QueueReceiver};
 use nexus_transports::register_queue_modules;
 use parking_lot::Mutex;
@@ -71,12 +71,12 @@ fn bare_pingpong(rounds: u64, size: usize) -> f64 {
                 }
                 std::thread::yield_now();
             }
-            to_a.send(&msg_a).unwrap();
+            to_a.send(&msg_a, &WireFrame::new()).unwrap();
         }
     });
     let start = Instant::now();
     for _ in 0..rounds {
-        to_b.send(&msg_b).unwrap();
+        to_b.send(&msg_b, &WireFrame::new()).unwrap();
         loop {
             if rx_a.poll().unwrap().is_some() {
                 break;

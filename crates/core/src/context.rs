@@ -17,10 +17,11 @@ use crate::buffer::Buffer;
 use crate::descriptor::{DescriptorTable, MethodId};
 use crate::endpoint::{Attached, EndpointId, EndpointRef, EndpointState};
 use crate::error::{NexusError, Result};
+use crate::fxhash::FxBuildHasher;
 use crate::handler::{HandlerArgs, HandlerRegistry};
 use crate::module::{CommObject, ModuleRegistry};
-use crate::poll::{BlockingPoller, PollEngine};
-use crate::rsr::Rsr;
+use crate::poll::{BlockingPoller, PollEngine, PollOutcome};
+use crate::rsr::{Rsr, WireFrame};
 use crate::selection::{
     self, ExcludeMethods, FirstApplicable, MethodCostEstimate, ReselectConfig, SelectionPolicy,
 };
@@ -30,7 +31,7 @@ use crate::trace::{HistogramSummary, Trace, TraceEventKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -215,11 +216,12 @@ impl Fabric {
             info,
             fabric: Arc::downgrade(&self.inner),
             handlers: HandlerRegistry::new(),
-            endpoints: RwLock::new(HashMap::new()),
+            endpoints: RwLock::new(HashMap::default()),
             next_endpoint: AtomicU64::new(1),
             table,
             poll: Mutex::new(engine),
             blocking: Mutex::new(Vec::new()),
+            blocking_count: AtomicUsize::new(0),
             comm_cache: Mutex::new(HashMap::new()),
             policy: RwLock::new(Arc::new(FirstApplicable)),
             reselect: RwLock::new(None),
@@ -273,11 +275,14 @@ pub struct Context {
     info: ContextInfo,
     fabric: Weak<FabricInner>,
     handlers: HandlerRegistry,
-    endpoints: RwLock<HashMap<EndpointId, EndpointState>>,
+    endpoints: RwLock<HashMap<EndpointId, EndpointState, FxBuildHasher>>,
     next_endpoint: AtomicU64,
     table: DescriptorTable,
     poll: Mutex<PollEngine>,
     blocking: Mutex<Vec<BlockingPoller>>,
+    // Mirror of `blocking.len()`, maintained under that lock; lets the
+    // progress pass skip the lock entirely in the common no-blocking case.
+    blocking_count: AtomicUsize,
     comm_cache: Mutex<HashMap<(ContextId, MethodId), Arc<dyn CommObject>>>,
     policy: RwLock<Arc<dyn SelectionPolicy>>,
     reselect: RwLock<Option<ReselectConfig>>,
@@ -459,13 +464,12 @@ impl Context {
     /// Selects (if necessary) and returns the communication object for a
     /// link. This is where automatic vs manual selection and the
     /// communication-object cache come together.
-    fn resolve_link(&self, link: &Link) -> Result<SelectedMethod> {
-        let pinned = *link.pinned.lock();
+    fn resolve_link(&self, link: &Link, pinned: Option<MethodId>) -> Result<Arc<SelectedMethod>> {
         {
             let chosen = link.chosen.lock();
             if let Some(sel) = chosen.as_ref() {
                 if pinned.is_none_or(|p| p == sel.method) {
-                    return Ok(sel.clone());
+                    return Ok(Arc::clone(sel));
                 }
             }
         }
@@ -502,18 +506,18 @@ impl Context {
         link: &Link,
         method: MethodId,
         table: &DescriptorTable,
-    ) -> Result<SelectedMethod> {
+    ) -> Result<Arc<SelectedMethod>> {
         let obj = self.connect_cached(link.target.context, method, table)?;
-        let sel = SelectedMethod {
+        let sel = Arc::new(SelectedMethod {
             method,
             obj,
             counters: self.stats.method(method),
             ltrace: self.trace.link(link.target.context, method),
-        };
+        });
         let prev = {
             let mut chosen = link.chosen.lock();
             let prev = chosen.as_ref().map(|s| s.method);
-            *chosen = Some(sel.clone());
+            *chosen = Some(Arc::clone(&sel));
             prev
         };
         if prev != Some(method) {
@@ -570,15 +574,21 @@ impl Context {
             return Err(NexusError::UnboundStartpoint);
         }
         let bytes = payload.into_bytes();
+        // One Rsr and one WireFrame serve every link: only the (Copy)
+        // destination fields differ per link, and the frame body — which
+        // depends solely on handler and payload — is encoded at most once
+        // no matter how many links, methods, or failover retries are
+        // involved. The handler name is interned here, once.
+        let mut msg = Rsr::new(ContextId(0), EndpointId(0), handler, bytes);
+        let frame = WireFrame::new();
         for link in sp.links() {
-            let msg = Rsr::new(
-                link.target.context,
-                link.target.endpoint,
-                handler,
-                bytes.clone(),
-            );
-            self.send_with_failover(link, &msg)?;
+            msg.dest = link.target.context;
+            msg.endpoint = link.target.endpoint;
+            self.send_with_failover(link, &msg, &frame)?;
         }
+        // Hand the frame's storage back to the thread-local pool when no
+        // transport kept a reference (the common case).
+        frame.reclaim();
         Ok(())
     }
 
@@ -589,19 +599,23 @@ impl Context {
     /// application took responsibility. Each failed method is excluded
     /// from re-selection and its cached connection is evicted; the chosen
     /// replacement sticks for subsequent sends.
-    fn send_with_failover(&self, link: &Link, msg: &Rsr) -> Result<()> {
+    fn send_with_failover(&self, link: &Link, msg: &Rsr, frame: &WireFrame) -> Result<()> {
         let wire = msg.wire_len();
-        let pinned = link.pinned.lock().is_some();
+        // One pinned read serves the send loop, selection, and the
+        // re-selection check below.
+        let pinned_method = *link.pinned.lock();
+        let pinned = pinned_method.is_some();
+        // lint:allow(hot-path-alloc) empty Vec never allocates; it only grows after a send error
         let mut failed: Vec<MethodId> = Vec::new();
         loop {
             let sel = if failed.is_empty() {
-                self.resolve_link(link)?
+                self.resolve_link(link, pinned_method)?
             } else {
                 self.reselect_excluding(link, &failed)?
             };
             let start = Instant::now();
             link.send_begin();
-            let sent = sel.obj.send(msg);
+            let sent = sel.obj.send(msg, frame);
             link.send_end();
             match sent {
                 Ok(()) => {
@@ -622,7 +636,9 @@ impl Context {
                             wire_bytes: wire as u64,
                         },
                     );
-                    self.consider_reselect(link, sel.method);
+                    if !pinned {
+                        self.consider_reselect(link, sel.method);
+                    }
                     return Ok(());
                 }
                 Err(e) => {
@@ -658,10 +674,6 @@ impl Context {
         let Some(cfg) = *self.reselect.read() else {
             return;
         };
-        // Manual selection means the application took responsibility.
-        if link.pinned.lock().is_some() {
-            return;
-        }
         {
             let mut st = link.reselect.lock();
             st.sends_since_check += 1;
@@ -724,7 +736,11 @@ impl Context {
 
     /// Re-runs selection for a link with `excluded` methods removed, and
     /// stores the new choice on the link.
-    fn reselect_excluding(&self, link: &Link, excluded: &[MethodId]) -> Result<SelectedMethod> {
+    fn reselect_excluding(
+        &self,
+        link: &Link,
+        excluded: &[MethodId],
+    ) -> Result<Arc<SelectedMethod>> {
         let reg = self.registry()?;
         let table = link.table();
         let policy = self.policy.read().clone();
@@ -801,7 +817,11 @@ impl Context {
             Some(self.stats.method(method)),
             Some(Arc::clone(&self.trace)),
         )?;
-        self.blocking.lock().push(poller);
+        {
+            let mut blocking = self.blocking.lock();
+            blocking.push(poller);
+            self.blocking_count.store(blocking.len(), Ordering::Release);
+        }
         Ok(())
     }
 
@@ -810,26 +830,43 @@ impl Context {
     /// messages handled. Handlers run *without* internal locks held, so
     /// they may freely issue RSRs or even call `progress` again.
     pub fn progress(&self) -> Result<usize> {
+        thread_local! {
+            /// Reused pass outcome: a steady-state progress pass performs
+            /// no allocation. Reentrant passes (a handler calling
+            /// `progress` while the outer pass still borrows the scratch)
+            /// fall back to a fresh outcome.
+            static SCRATCH: std::cell::RefCell<PollOutcome> =
+                std::cell::RefCell::new(PollOutcome::default());
+        }
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut out) => self.progress_with(&mut out),
+            Err(_) => self.progress_with(&mut PollOutcome::default()),
+        })
+    }
+
+    fn progress_with(&self, out: &mut PollOutcome) -> Result<usize> {
         if self.shutdown.load(Ordering::Relaxed) {
             return Err(NexusError::ShutDown);
         }
-        let mut msgs: Vec<(MethodId, Rsr)> = Vec::new();
-        // Drain blocking pollers first: their thread already paid the wait.
-        {
+        out.clear();
+        // Drain blocking pollers first: their thread already paid the
+        // wait. The atomic count keeps the (typical) no-poller case free
+        // of the lock round trip.
+        if self.blocking_count.load(Ordering::Acquire) > 0 {
             let blocking = self.blocking.lock();
             for p in blocking.iter() {
                 while let Some(m) = p.try_pop() {
-                    msgs.push((p.method(), m));
+                    out.messages.push((p.method(), m));
                 }
             }
         }
-        let outcome = {
+        {
             let mut eng = self.poll.lock();
-            eng.poll_once()
-        };
+            eng.poll_once_into(out);
+        }
         // Per-probe counters and poll-cost EWMAs were recorded lock-free
         // inside the engine, through the handles bound at construction.
-        for sc in &outcome.skip_changes {
+        for sc in &out.skip_changes {
             self.trace.record_event(TraceEventKind::SkipPollChange {
                 method: sc.method,
                 from: sc.from,
@@ -839,16 +876,15 @@ impl Context {
         // A transport error from one source must not swallow traffic the
         // pass retrieved: dispatch everything first, then report the
         // earliest error (poll errors before dispatch errors).
-        let mut first_err = outcome.errors.into_iter().next().map(|(_, e)| e);
-        msgs.extend(outcome.messages);
-        let n = msgs.len();
+        let mut first_err = out.errors.drain(..).next().map(|(_, e)| e);
+        let n = out.messages.len();
         // Recv counters/histograms were already recorded where the
         // message was retrieved (poll engine source or blocking-poller
         // thread), through handles cached there. Here we only stamp the
         // pass's Recv events — with a single clock reading — and run the
         // handlers.
         let pass_at = if n > 0 { Some(Instant::now()) } else { None };
-        for (method, msg) in msgs {
+        for (method, msg) in out.messages.drain(..) {
             let wire = msg.wire_len();
             self.trace.record_event_at(
                 pass_at.expect("set when any message exists"),
@@ -933,7 +969,7 @@ impl Context {
         let handler = self
             .handlers
             .get(&msg.handler)
-            .ok_or_else(|| NexusError::UnknownHandler(msg.handler.clone()))?;
+            .ok_or_else(|| NexusError::UnknownHandler(msg.handler.to_string()))?;
         let mut buf = Buffer::from_bytes(msg.payload);
         self.stats
             .handler_invocations
@@ -961,7 +997,12 @@ impl Context {
             .select(&self.info, &table, &reg)
             .ok_or(NexusError::NoApplicableMethod { target: msg.dest })?;
         let obj = self.connect_cached(msg.dest, method, &table)?;
-        obj.send(&msg)?;
+        // A fresh frame per forwarded message: the decremented ttl lives
+        // in the per-send header, so this still encodes the body at most
+        // once even if the message hops onward over a wire transport.
+        let frame = WireFrame::new();
+        obj.send(&msg, &frame)?;
+        frame.reclaim();
         self.stats.record_forward(arrival);
         self.stats.record_send(method, msg.wire_len());
         Ok(())
@@ -1026,6 +1067,7 @@ impl Context {
         }
         self.poll.lock().close_all();
         self.blocking.lock().clear(); // Drop impl stops the threads.
+        self.blocking_count.store(0, Ordering::Release);
         let cache = std::mem::take(&mut *self.comm_cache.lock());
         for obj in cache.values() {
             obj.close();

@@ -108,7 +108,7 @@ pub fn ensure_handlers(ctx: &Arc<Context>) {
         let token = args.buffer.get_u64().expect("read carries token");
         let mut out = Buffer::new();
         out.put_u64(token);
-        out.put_bytes(&storage.get());
+        out.put_blob(&storage.get());
         let _ = args.context.rsr(&reply_sp, H_REPLY, out);
     });
     // write: [reply_sp, token, bytes] -> reply(token, []) (ack)
@@ -120,11 +120,11 @@ pub fn ensure_handlers(ctx: &Arc<Context>) {
         let reply_sp =
             Startpoint::unpack(args.buffer, args.context).expect("write carries reply sp");
         let token = args.buffer.get_u64().expect("write carries token");
-        let bytes = args.buffer.get_bytes().expect("write carries payload");
-        storage.set(bytes);
+        let bytes = args.buffer.get_blob().expect("write carries payload");
+        storage.set(bytes.to_vec());
         let mut out = Buffer::new();
         out.put_u64(token);
-        out.put_bytes(&[]);
+        out.put_blob(&[]);
         let _ = args.context.rsr(&reply_sp, H_REPLY, out);
     });
     // fadd: [reply_sp, token, x] -> reply(token, old_value)
@@ -140,8 +140,8 @@ pub fn ensure_handlers(ctx: &Arc<Context>) {
         let mut out = Buffer::new();
         out.put_u64(token);
         match storage.fetch_add_f64(x) {
-            Ok(old) => out.put_bytes(&old.to_le_bytes()),
-            Err(_) => out.put_bytes(&[]),
+            Ok(old) => out.put_blob(&old.to_le_bytes()),
+            Err(_) => out.put_blob(&[]),
         }
         let _ = args.context.rsr(&reply_sp, H_REPLY, out);
     });
@@ -152,8 +152,8 @@ pub fn ensure_handlers(ctx: &Arc<Context>) {
             .attached_as::<ReplyTable>()
             .expect("reply endpoint has table");
         let token = args.buffer.get_u64().expect("reply carries token");
-        let bytes = args.buffer.get_bytes().expect("reply carries payload");
-        table.complete(token, bytes);
+        let bytes = args.buffer.get_blob().expect("reply carries payload");
+        table.complete(token, bytes.to_vec());
     });
 }
 
@@ -250,7 +250,7 @@ impl GlobalPointer {
 
     /// Overwrites the remote cell (acknowledged).
     pub fn write(&self, ctx: &Arc<Context>, bytes: &[u8]) -> Result<()> {
-        self.roundtrip(ctx, H_WRITE, |buf| buf.put_bytes(bytes))
+        self.roundtrip(ctx, H_WRITE, |buf| buf.put_blob(bytes))
             .map(|_| ())
     }
 

@@ -8,6 +8,7 @@
 use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::endpoint::EndpointRef;
+use crate::fxhash::FxBuildHasher;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,7 +31,9 @@ pub type HandlerFn = Arc<dyn Fn(HandlerArgs<'_>) + Send + Sync>;
 /// Name → handler table for one context.
 #[derive(Default)]
 pub struct HandlerRegistry {
-    handlers: RwLock<HashMap<String, HandlerFn>>,
+    // Looked up once per delivered RSR; keyed by in-process names, so the
+    // unkeyed fast hasher is safe (see `crate::fxhash`).
+    handlers: RwLock<HashMap<String, HandlerFn, FxBuildHasher>>,
 }
 
 impl HandlerRegistry {

@@ -62,7 +62,8 @@
 //! | [`module`] | the `CommModule` function-table trait + registry/loaders |
 //! | [`selection`] | automatic/manual/QoS selection policies + enquiry |
 //! | [`poll`] | unified polling, `skip_poll`, blocking pollers |
-//! | [`rsr`] | RSR wire format |
+//! | [`pool`] | thread-local frame-buffer reuse for the send path |
+//! | [`rsr`] | RSR wire format: encode-once frames, zero-copy decode |
 //! | [`handler`] | handler registration and dispatch |
 //! | [`gp`] | global pointers: remote read/write/fetch-add through startpoints |
 //! | [`stats`] | per-method counters for the enquiry functions |
@@ -78,10 +79,12 @@ pub mod context;
 pub mod descriptor;
 pub mod endpoint;
 pub mod error;
+pub mod fxhash;
 pub mod gp;
 pub mod handler;
 pub mod module;
 pub mod poll;
+pub mod pool;
 pub mod rsr;
 pub mod selection;
 pub mod startpoint;

@@ -21,7 +21,7 @@
 use crate::context::ContextInfo;
 use crate::descriptor::{CommDescriptor, MethodId};
 use crate::error::{NexusError, Result};
-use crate::rsr::Rsr;
+use crate::rsr::{Rsr, WireFrame};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -55,7 +55,16 @@ pub trait CommObject: Send + Sync {
     fn method(&self) -> MethodId;
 
     /// Transfers one RSR to the remote context.
-    fn send(&self, rsr: &Rsr) -> Result<()>;
+    ///
+    /// `frame` is the message's shared encode-once wire body: the same
+    /// `WireFrame` is passed for every link of a multicast and every
+    /// failover retry, so a transport that needs wire bytes calls
+    /// [`WireFrame::body`] (serialized at most once per message) and
+    /// assembles the small per-destination header on the stack. In-process
+    /// transports that move the [`Rsr`] directly ignore `frame` entirely —
+    /// with an interned handler and a refcounted payload, `rsr.clone()` is
+    /// allocation-free.
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()>;
 
     /// Sets a connection parameter (e.g. `"sockbuf"` for TCP). Modules
     /// reject unknown keys.
@@ -324,7 +333,7 @@ pub mod test_support {
         fn method(&self) -> MethodId {
             self.id
         }
-        fn send(&self, rsr: &Rsr) -> Result<()> {
+        fn send(&self, rsr: &Rsr, _frame: &WireFrame) -> Result<()> {
             self.queue.push(rsr.clone());
             Ok(())
         }
@@ -437,12 +446,16 @@ pub mod fault_support {
         fn method(&self) -> MethodId {
             self.inner.method()
         }
-        fn send(&self, rsr: &Rsr) -> Result<()> {
+        fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
             if self.broken.load(Ordering::Relaxed) {
                 self.failed_sends.fetch_add(1, Ordering::Relaxed);
+                // Touch the shared body like a real wire transport would
+                // before hitting the error, so failover tests observe that
+                // retries reuse the already-encoded frame.
+                let _ = frame.body(rsr).len();
                 return Err(NexusError::ConnectionClosed);
             }
-            self.inner.send(rsr)
+            self.inner.send(rsr, frame)
         }
     }
 

@@ -265,6 +265,16 @@ pub struct PollOutcome {
     pub skip_changes: Vec<SkipChange>,
 }
 
+impl PollOutcome {
+    /// Empties every field, keeping the vectors' storage for reuse.
+    pub fn clear(&mut self) {
+        self.messages.clear();
+        self.probed.clear();
+        self.errors.clear();
+        self.skip_changes.clear();
+    }
+}
+
 impl PollEngine {
     /// Creates an engine with no sources.
     pub fn new() -> Self {
@@ -366,8 +376,18 @@ impl PollEngine {
     /// and never discard messages already retrieved this pass — errors are
     /// reported in [`PollOutcome::errors`] alongside the messages.
     pub fn poll_once(&mut self) -> PollOutcome {
-        self.calls += 1;
         let mut out = PollOutcome::default();
+        self.poll_once_into(&mut out);
+        out
+    }
+
+    /// Like [`PollEngine::poll_once`], but *appends* this pass's results
+    /// to a caller-owned outcome. Hot loops keep one [`PollOutcome`] and
+    /// reuse its vectors across passes, so a steady-state pass allocates
+    /// nothing; the caller clears the outcome between passes (see
+    /// [`PollOutcome::clear`]).
+    pub fn poll_once_into(&mut self, out: &mut PollOutcome) {
+        self.calls += 1;
         // Estimated cost of one pass of this loop: every source's measured
         // probe cost amortized over its skip. Computed once per pass (from
         // last pass's values) for the cost-driven controller layer; skipped
@@ -417,7 +437,11 @@ impl PollEngine {
                 };
                 s.cost_samples += 1;
             }
-            s.hit_ewma += HIT_EWMA_ALPHA * (f64::from(u8::from(found)) - s.hit_ewma);
+            if s.adaptive.is_some() {
+                // Only the adaptive controller consumes the hit-rate EWMA;
+                // skip the float update for plain sources.
+                s.hit_ewma += HIT_EWMA_ALPHA * (f64::from(u8::from(found)) - s.hit_ewma);
+            }
             if let Some(c) = &s.counters {
                 c.note_poll(found);
             }
@@ -484,7 +508,6 @@ impl PollEngine {
                 });
             }
         }
-        out
     }
 
     /// Total calls to [`PollEngine::poll_once`] so far.

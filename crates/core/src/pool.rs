@@ -1,0 +1,112 @@
+//! Thread-local frame-buffer pool for the RSR send path.
+//!
+//! Encoding a frame body needs one heap buffer; at millions of RSRs per
+//! second that buffer is the dominant allocation. Senders [`take`] a
+//! [`BytesMut`], freeze it into the shared frame body, and — once every
+//! transport send has dropped its reference — [`reclaim`] the storage
+//! back for the next message. The pool is thread-local, so there is no
+//! cross-thread contention and no locking on the hot path; a buffer
+//! frozen on one thread and reclaimed on another simply joins the other
+//! thread's pool.
+
+use bytes::{Bytes, BytesMut};
+use std::cell::RefCell;
+
+/// Buffers bigger than this are not retained: a single bulk transfer
+/// should not pin megabytes of idle capacity to every sending thread.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// Retained buffers per thread. Sends are synchronous, so steady state
+/// needs one or two; the slack covers nested sends (forwarding, wrapped
+/// transports that re-frame a transformed payload).
+const MAX_POOLED_BUFFERS: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<BytesMut>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a cleared buffer with at least `min_capacity` bytes of capacity,
+/// reusing pooled storage when available.
+pub fn take(min_capacity: usize) -> BytesMut {
+    let mut buf = POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    if buf.capacity() < min_capacity {
+        buf.reserve(min_capacity - buf.len().min(min_capacity));
+    }
+    buf
+}
+
+/// Returns a buffer to this thread's pool (or drops it if the pool is
+/// full or the buffer is oversized).
+pub fn give(mut buf: BytesMut) {
+    if buf.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    buf.clear();
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFFERS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Attempts to recover frozen frame storage for reuse. Succeeds only when
+/// `bytes` is the unique, whole view of its storage — i.e. every transport
+/// send has released its clone — and is a no-op otherwise (a transport
+/// that queued the frame keeps it alive; the storage is simply freed
+/// later by the last owner).
+pub fn reclaim(bytes: Bytes) {
+    if let Ok(buf) = bytes.try_into_mut() {
+        give(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reserves_requested_capacity() {
+        let buf = take(1024);
+        assert!(buf.capacity() >= 1024);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reclaim_reuses_unique_storage() {
+        let mut buf = take(64);
+        buf.extend_from_slice(b"hello");
+        let frozen = buf.freeze();
+        let ptr = frozen.as_ref().as_ptr();
+        reclaim(frozen);
+        let again = take(1);
+        assert_eq!(again.capacity().min(64), 64, "pooled capacity came back");
+        assert_eq!(
+            again.as_ref().as_ptr(),
+            ptr,
+            "the same storage was handed back"
+        );
+    }
+
+    #[test]
+    fn reclaim_is_a_noop_for_shared_storage() {
+        let mut buf = take(64);
+        buf.extend_from_slice(b"shared");
+        let frozen = buf.freeze();
+        let held = frozen.clone();
+        reclaim(frozen); // refused: `held` still references the storage
+        assert_eq!(held, b"shared"[..]);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let big = BytesMut::with_capacity(MAX_POOLED_CAPACITY + 1);
+        give(big);
+        // The pool never hands back more capacity than it retains, so a
+        // fresh take gets a normal buffer.
+        let buf = take(16);
+        assert!(buf.capacity() <= MAX_POOLED_CAPACITY || buf.capacity() >= 16);
+    }
+}

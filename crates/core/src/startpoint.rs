@@ -81,7 +81,9 @@ pub struct Link {
     /// Manual method pin, if any.
     pub(crate) pinned: Mutex<Option<MethodId>>,
     /// The selection currently in force for this link.
-    pub(crate) chosen: Mutex<Option<SelectedMethod>>,
+    // Arc so the send path hands out the whole selection with one
+    // refcount bump instead of cloning each cached handle inside.
+    pub(crate) chosen: Mutex<Option<Arc<SelectedMethod>>>,
     /// Cost-driven re-selection streak state.
     pub(crate) reselect: Mutex<ReselectState>,
     /// Sends currently in flight on the link's selected object; migration

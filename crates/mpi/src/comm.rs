@@ -412,7 +412,7 @@ impl Comm {
                 let mut b = nexus_rt::buffer::Buffer::new();
                 b.put_u32(parts.len() as u32);
                 for p in &parts {
-                    b.put_bytes(p);
+                    b.put_blob(p);
                 }
                 b.into_bytes().to_vec()
             }
@@ -424,7 +424,7 @@ impl Comm {
         let count = b.get_u32()? as usize;
         let mut parts = Vec::with_capacity(count);
         for _ in 0..count {
-            parts.push(b.get_bytes()?);
+            parts.push(b.get_blob()?.to_vec());
         }
         Ok(parts)
     }

@@ -31,7 +31,7 @@ impl MpiMsg {
         b.put_u32(self.comm);
         b.put_u32(self.src);
         b.put_u32(self.tag);
-        b.put_bytes(&self.data);
+        b.put_blob(&self.data);
         b
     }
 
@@ -41,7 +41,7 @@ impl MpiMsg {
             comm: b.get_u32()?,
             src: b.get_u32()?,
             tag: b.get_u32()?,
-            data: b.get_bytes()?,
+            data: b.get_blob()?.to_vec(),
         })
     }
 }

@@ -14,7 +14,7 @@ use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -150,8 +150,9 @@ impl CommObject for DelayObject {
     fn method(&self) -> MethodId {
         self.method
     }
-    fn send(&self, rsr: &Rsr) -> Result<()> {
-        self.inner.send(rsr)
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
+        // Delay is receive-side: pass the shared frame straight through.
+        self.inner.send(rsr, frame)
     }
     fn set_param(&self, key: &str, value: &str) -> Result<()> {
         self.inner.set_param(key, value)
@@ -279,7 +280,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         let t0 = Instant::now();
-        obj.send(&msg()).unwrap();
+        obj.send(&msg(), &WireFrame::new()).unwrap();
         // Immediately: held, not delivered.
         assert!(rx.poll().unwrap().is_none());
         let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -298,8 +299,8 @@ mod tests {
         let obj = m.connect(&info(2), &desc).unwrap();
         for i in 0..10u32 {
             let mut r = msg();
-            r.handler = format!("h{i}");
-            obj.send(&r).unwrap();
+            r.handler = format!("h{i}").as_str().into();
+            obj.send(&r, &WireFrame::new()).unwrap();
         }
         let mut got = Vec::new();
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -322,7 +323,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         let t0 = Instant::now();
-        obj.send(&msg()).unwrap();
+        obj.send(&msg(), &WireFrame::new()).unwrap();
         rx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
         assert!(
             t0.elapsed() < Duration::from_millis(40),

@@ -11,7 +11,7 @@ use nexus_rt::context::{ContextId, ContextInfo};
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,6 +66,7 @@ impl QueueDescriptor {
         b.put_u32(info.id.0);
         b.put_u32(info.node.0);
         b.put_u32(info.partition.0);
+        // lint:allow(hot-path-alloc) descriptor construction runs once at module open
         CommDescriptor::new(method, b.into_bytes().to_vec())
     }
 
@@ -144,7 +145,10 @@ impl CommObject for QueueObject {
         self.method
     }
 
-    fn send(&self, rsr: &Rsr) -> Result<()> {
+    fn send(&self, rsr: &Rsr, _frame: &WireFrame) -> Result<()> {
+        // In-process move: no wire bytes, so the shared frame is unused
+        // (and thus never encoded when every link is queue-based). The
+        // clone is refcount bumps only — interned handler, shared payload.
         self.queue.push(rsr.clone());
         Ok(())
     }
@@ -181,8 +185,11 @@ mod tests {
         let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
         let obj = QueueObject::connect(MethodId::SHMEM, &medium, ContextId(1)).unwrap();
         assert!(rx.poll().unwrap().is_none());
-        obj.send(&Rsr::new(ContextId(1), EndpointId(9), "h", Bytes::new()))
-            .unwrap();
+        obj.send(
+            &Rsr::new(ContextId(1), EndpointId(9), "h", Bytes::new()),
+            &WireFrame::new(),
+        )
+        .unwrap();
         let m = rx.poll().unwrap().unwrap();
         assert_eq!(m.endpoint, EndpointId(9));
     }
@@ -208,8 +215,11 @@ mod tests {
         let obj = QueueObject::connect(MethodId::SHMEM, &medium, ContextId(1)).unwrap();
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(5));
-            obj.send(&Rsr::new(ContextId(1), EndpointId(1), "x", Bytes::new()))
-                .unwrap();
+            obj.send(
+                &Rsr::new(ContextId(1), EndpointId(1), "x", Bytes::new()),
+                &WireFrame::new(),
+            )
+            .unwrap();
         });
         let m = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert!(m.is_some());

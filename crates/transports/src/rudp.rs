@@ -31,7 +31,7 @@ use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::ErrorKind;
@@ -60,6 +60,20 @@ fn encode_packet(ptype: u8, conn: u64, seq: u64, frame: &[u8]) -> Vec<u8> {
     v.extend_from_slice(&conn.to_le_bytes());
     v.extend_from_slice(&seq.to_le_bytes());
     v.extend_from_slice(frame);
+    v
+}
+
+/// Builds a DATA packet around an RSR's stack header + shared body
+/// without an intermediate contiguous frame. The returned `Vec` is
+/// retained in the unacked queue until the peer acks it, so it owns its
+/// storage rather than borrowing pooled scratch.
+fn encode_data_packet(conn: u64, seq: u64, head: &[u8], body: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(17 + head.len() + body.len());
+    v.push(TYPE_DATA);
+    v.extend_from_slice(&conn.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(head);
+    v.extend_from_slice(body);
     v
 }
 
@@ -293,6 +307,7 @@ impl SenderShared {
         let base_rto = self.rto_ms.load(Ordering::Relaxed).max(1);
         let max_retries = self.max_retries.load(Ordering::Relaxed);
         let now = Instant::now();
+        // lint:allow(hot-path-alloc) empty Vec never allocates; it only fills on packet loss
         let mut to_retransmit = Vec::new();
         let mut died = false;
         {
@@ -337,15 +352,12 @@ impl CommObject for RudpObject {
         MethodId::RUDP
     }
 
-    fn send(&self, rsr: &Rsr) -> Result<()> {
-        let frame = rsr.encode();
-        if frame.len() > MAX_FRAME {
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
+        let wire = rsr.wire_len();
+        if wire > MAX_FRAME {
             return Err(NexusError::BadParam {
                 key: "payload".to_owned(),
-                reason: format!(
-                    "RSR frame of {} bytes exceeds rudp limit {MAX_FRAME}",
-                    frame.len()
-                ),
+                reason: format!("RSR frame of {wire} bytes exceeds rudp limit {MAX_FRAME}"),
             });
         }
         if self.shared.dead.load(Ordering::Relaxed) {
@@ -360,7 +372,7 @@ impl CommObject for RudpObject {
             std::thread::sleep(Duration::from_micros(200));
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let packet = encode_packet(TYPE_DATA, self.shared.conn, seq, &frame);
+        let packet = encode_data_packet(self.shared.conn, seq, &rsr.header(), frame.body(rsr));
         self.shared.unacked.lock().insert(
             (self.shared.conn, seq),
             Unacked {
@@ -559,7 +571,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         for i in 0..100u32 {
-            obj.send(&msg(i)).unwrap();
+            obj.send(&msg(i), &WireFrame::new()).unwrap();
         }
         let got = collect(rx.as_mut(), 100, 10);
         assert_eq!(got.len(), 100);
@@ -578,7 +590,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         for i in 0..200u32 {
-            obj.send(&msg(i)).unwrap();
+            obj.send(&msg(i), &WireFrame::new()).unwrap();
         }
         let got = collect(rx.as_mut(), 200, 30);
         assert_eq!(got.len(), 200, "all messages delivered despite 30% loss");
@@ -597,8 +609,8 @@ mod tests {
         let o1 = m.connect(&info(2), &desc).unwrap();
         let o2 = m.connect(&info(3), &desc).unwrap();
         for i in 0..50u32 {
-            o1.send(&msg(i)).unwrap();
-            o2.send(&msg(1000 + i)).unwrap();
+            o1.send(&msg(i), &WireFrame::new()).unwrap();
+            o2.send(&msg(1000 + i), &WireFrame::new()).unwrap();
         }
         let got = collect(rx.as_mut(), 100, 10);
         assert_eq!(got.len(), 100);
@@ -621,7 +633,7 @@ mod tests {
             "big",
             Bytes::from(vec![0u8; MAX_FRAME + 1]),
         );
-        assert!(obj.send(&big).is_err());
+        assert!(obj.send(&big, &WireFrame::new()).is_err());
     }
 
     #[test]
@@ -654,7 +666,7 @@ mod tests {
 
         // A genuine message behind it in the same socket queue.
         let obj = m.connect(&info(2), &desc).unwrap();
-        obj.send(&msg(7)).unwrap();
+        obj.send(&msg(7), &WireFrame::new()).unwrap();
 
         let got = collect(rx.as_mut(), 1, 10);
         assert_eq!(
@@ -693,7 +705,7 @@ mod tests {
             peer.local_addr().unwrap().to_string().into_bytes(),
         );
         let obj = m.connect(&info(2), &desc).unwrap();
-        obj.send(&msg(1)).unwrap();
+        obj.send(&msg(1), &WireFrame::new()).unwrap();
 
         // Capture the DATA packet and ack it with the WRONG conn id.
         let mut buf = [0u8; 65_536];
@@ -744,12 +756,12 @@ mod tests {
             hole.local_addr().unwrap().to_string().into_bytes(),
         );
         let obj = m.connect(&info(2), &desc).unwrap();
-        obj.send(&msg(0)).unwrap();
+        obj.send(&msg(0), &WireFrame::new()).unwrap();
 
         // Backoff runs 1,2,4,8 ms and then the cap kills the connection.
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
-            match obj.send(&msg(1)) {
+            match obj.send(&msg(1), &WireFrame::new()) {
                 Err(NexusError::ConnectionClosed) => break,
                 Err(e) => panic!("unexpected error: {e:?}"),
                 Ok(()) => {

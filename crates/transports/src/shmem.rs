@@ -102,12 +102,10 @@ mod tests {
         let m = ShmemModule::new();
         let (desc, mut rx) = m.open(&info(1, 0)).unwrap();
         let obj = m.connect(&info(2, 0), &desc).unwrap();
-        obj.send(&Rsr::new(
-            ContextId(1),
-            EndpointId(5),
-            "h",
-            bytes::Bytes::new(),
-        ))
+        obj.send(
+            &Rsr::new(ContextId(1), EndpointId(5), "h", bytes::Bytes::new()),
+            &nexus_rt::rsr::WireFrame::new(),
+        )
         .unwrap();
         assert_eq!(rx.poll().unwrap().unwrap().endpoint, EndpointId(5));
     }

@@ -15,10 +15,10 @@ use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -110,6 +110,7 @@ impl TcpReceiver {
                     stream.set_nonblocking(true)?;
                     self.conns.push(ConnState {
                         stream,
+                        // lint:allow(hot-path-alloc) per-connection accept-time state, not per message
                         buf: Vec::new(),
                     });
                 }
@@ -160,17 +161,45 @@ pub struct TcpObject {
     stream: Mutex<TcpStream>,
 }
 
+/// Writes `head` then `body` as one gathered stream, restarting the
+/// vectored write after partial writes and `EINTR`.
+fn write_all_vectored(s: &mut TcpStream, head: &[u8], body: &[u8]) -> Result<()> {
+    let mut head_off = 0;
+    let mut body_off = 0;
+    while head_off < head.len() || body_off < body.len() {
+        let iov = [
+            IoSlice::new(&head[head_off..]),
+            IoSlice::new(&body[body_off..]),
+        ];
+        match s.write_vectored(&iov) {
+            Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero).into()),
+            Ok(mut n) => {
+                let in_head = n.min(head.len() - head_off);
+                head_off += in_head;
+                n -= in_head;
+                body_off += n;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
 impl CommObject for TcpObject {
     fn method(&self) -> MethodId {
         MethodId::TCP
     }
 
-    fn send(&self, rsr: &Rsr) -> Result<()> {
-        let frame = rsr.encode();
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
+        // One vectored write per RSR: the 18-byte length prefix + header
+        // live on the stack and the shared body is the message's
+        // encode-once storage — no per-send serialization or copy, and no
+        // second syscall for the body.
+        let body = frame.body(rsr);
+        let head = WireFrame::prefixed_header(rsr, body.len());
         let mut s = self.stream.lock();
-        s.write_all(&(frame.len() as u32).to_le_bytes())?;
-        s.write_all(&frame)?;
-        Ok(())
+        write_all_vectored(&mut s, &head, body)
     }
 
     fn set_param(&self, key: &str, value: &str) -> Result<()> {
@@ -311,7 +340,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         assert!(m.applicable(&info(2), &desc));
         let obj = m.connect(&info(2), &desc).unwrap();
-        obj.send(&msg("hello", b"abc")).unwrap();
+        obj.send(&msg("hello", b"abc"), &WireFrame::new()).unwrap();
         let got = rx
             .recv_timeout(Duration::from_secs(5))
             .unwrap()
@@ -326,7 +355,8 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         for i in 0..50u32 {
-            obj.send(&msg(&format!("h{i}"), &i.to_le_bytes())).unwrap();
+            obj.send(&msg(&format!("h{i}"), &i.to_le_bytes()), &WireFrame::new())
+                .unwrap();
         }
         let mut got = Vec::new();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -347,8 +377,8 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let o1 = m.connect(&info(2), &desc).unwrap();
         let o2 = m.connect(&info(3), &desc).unwrap();
-        o1.send(&msg("a", b"")).unwrap();
-        o2.send(&msg("b", b"")).unwrap();
+        o1.send(&msg("a", b""), &WireFrame::new()).unwrap();
+        o2.send(&msg("b", b""), &WireFrame::new()).unwrap();
         let mut names = Vec::new();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while names.len() < 2 && std::time::Instant::now() < deadline {
@@ -366,7 +396,7 @@ mod tests {
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         let big = vec![0x5Au8; 1 << 20];
-        obj.send(&msg("big", &big)).unwrap();
+        obj.send(&msg("big", &big), &WireFrame::new()).unwrap();
         let got = rx
             .recv_timeout(Duration::from_secs(10))
             .unwrap()

@@ -17,7 +17,8 @@ use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::pool;
+use nexus_rt::rsr::{Rsr, WireFrame, HEADER_LEN};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,25 +104,35 @@ impl CommObject for UdpObject {
         MethodId::UDP
     }
 
-    fn send(&self, rsr: &Rsr) -> Result<()> {
-        let frame = rsr.encode();
-        if frame.len() > MAX_DATAGRAM {
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
+        let wire = rsr.wire_len();
+        if wire > MAX_DATAGRAM {
             return Err(NexusError::BadParam {
                 key: "payload".to_owned(),
                 reason: format!(
-                    "RSR frame of {} bytes exceeds UDP datagram limit {MAX_DATAGRAM}",
-                    frame.len()
+                    "RSR frame of {wire} bytes exceeds UDP datagram limit {MAX_DATAGRAM}"
                 ),
             });
         }
         let loss = f64::from_bits(self.loss_bits.load(Ordering::Relaxed));
         if loss > 0.0 && self.rng.next_f64() < loss {
             // Injected loss: the datagram silently vanishes, exactly like a
-            // congested router would make it.
+            // congested router would make it. The shared body is still
+            // materialized (a real send would need it), keeping the
+            // encode-once accounting independent of loss injection.
+            let _ = frame.body(rsr);
             self.injected_drops.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
-        self.socket.send(&frame)?;
+        // Datagrams need one contiguous buffer; assemble header + shared
+        // body in pooled scratch so steady-state sends do not allocate.
+        let body = frame.body(rsr);
+        let mut dgram = pool::take(HEADER_LEN + body.len());
+        dgram.extend_from_slice(&rsr.header());
+        dgram.extend_from_slice(body);
+        let sent = self.socket.send(&dgram);
+        pool::give(dgram);
+        sent?;
         Ok(())
     }
 }
@@ -239,7 +250,7 @@ mod tests {
         let m = UdpModule::new();
         let (desc, mut rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
-        obj.send(&msg("dgram")).unwrap();
+        obj.send(&msg("dgram"), &WireFrame::new()).unwrap();
         let got = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
         assert_eq!(got.handler, "dgram");
     }
@@ -255,7 +266,7 @@ mod tests {
             "big",
             Bytes::from(vec![0u8; MAX_DATAGRAM + 1]),
         );
-        assert!(obj.send(&big).is_err());
+        assert!(obj.send(&big, &WireFrame::new()).is_err());
     }
 
     #[test]
@@ -266,7 +277,7 @@ mod tests {
         let (desc, _rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         for _ in 0..200 {
-            obj.send(&msg("x")).unwrap();
+            obj.send(&msg("x"), &WireFrame::new()).unwrap();
         }
         let drops = m.injected_drops();
         assert!(

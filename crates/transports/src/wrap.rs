@@ -19,7 +19,7 @@ use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::Rsr;
+use nexus_rt::rsr::{Rsr, WireFrame};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -119,12 +119,19 @@ impl CommObject for WrapObject {
         self.method
     }
 
-    fn send(&self, rsr: &Rsr) -> Result<()> {
+    fn send(&self, rsr: &Rsr, _frame: &WireFrame) -> Result<()> {
+        // The transform rewrites the payload, so the outer message's
+        // shared frame cannot be reused: the wrapped RSR gets a frame of
+        // its own (encoded once, reclaimed after the inner send).
         let wrapped = Rsr {
+            // lint:allow(hot-path-alloc) payload-rewriting transport: producing new bytes is the point
             payload: self.transform.encode(&rsr.payload).into(),
             ..rsr.clone()
         };
-        self.inner.send(&wrapped)
+        let inner_frame = WireFrame::new();
+        let sent = self.inner.send(&wrapped, &inner_frame);
+        inner_frame.reclaim();
+        sent
     }
 
     fn set_param(&self, key: &str, value: &str) -> Result<()> {
@@ -228,12 +235,10 @@ mod tests {
         assert!(m.applicable(&info(2), &desc));
         let obj = m.connect(&info(2), &desc).unwrap();
         let payload = vec![5u8; 4096];
-        obj.send(&Rsr::new(
-            ContextId(1),
-            EndpointId(3),
-            "h",
-            payload.clone().into(),
-        ))
+        obj.send(
+            &Rsr::new(ContextId(1), EndpointId(3), "h", payload.clone().into()),
+            &WireFrame::new(),
+        )
         .unwrap();
         let got = rx.poll().unwrap().unwrap();
         assert_eq!(&got.payload[..], &payload[..], "transform is transparent");
@@ -266,12 +271,10 @@ mod tests {
         };
         let obj = m.connect(&info(2), &wrapped_desc).unwrap();
         let secret = b"confidential coupling fields".to_vec();
-        obj.send(&Rsr::new(
-            ContextId(1),
-            EndpointId(1),
-            "h",
-            secret.clone().into(),
-        ))
+        obj.send(
+            &Rsr::new(ContextId(1), EndpointId(1), "h", secret.clone().into()),
+            &WireFrame::new(),
+        )
         .unwrap();
         let on_wire = raw_rx.poll().unwrap().unwrap();
         assert_ne!(
@@ -302,7 +305,10 @@ mod tests {
         let mut bad = Checksum.encode(b"data");
         bad[0] ^= 1;
         tamper
-            .send(&Rsr::new(ContextId(1), EndpointId(1), "h", bad.into()))
+            .send(
+                &Rsr::new(ContextId(1), EndpointId(1), "h", bad.into()),
+                &WireFrame::new(),
+            )
             .unwrap();
         assert!(matches!(rx.poll(), Err(NexusError::Decode(_))));
     }

@@ -69,6 +69,12 @@ pub const RULES: &[Rule] = &[
         run: rule_poll_blocking,
     },
     Rule {
+        name: "hot-path-alloc",
+        description: "no per-message allocation (to_vec/encode/Vec::new) in functions \
+                      reachable from Context::rsr or PollEngine::poll_once",
+        run: rule_hot_path_alloc,
+    },
+    Rule {
         name: "module-contract",
         description: "communication modules must implement the full function-table contract",
         run: rule_module_contract,
@@ -556,6 +562,90 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Allocation tokens on the RSR data path. The zero-copy contract is that
+/// a steady-state send/poll/dispatch cycle performs **no** allocator calls:
+/// frames are encoded once into pooled storage, decode borrows, and the
+/// progress pass reuses a thread-local outcome. These tokens are the ways
+/// that contract has regressed before.
+const ALLOC_TOKENS: &[(&str, &str)] = &[
+    (".to_vec()", "`.to_vec()` copies into a fresh allocation"),
+    (
+        ".encode(",
+        "eager `.encode()` builds a new frame instead of reusing the shared one",
+    ),
+    ("Vec::new", "`Vec::new` grows into a per-message allocation"),
+];
+
+fn rule_hot_path_alloc(ws: &Workspace) -> Vec<Diagnostic> {
+    let graph_files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|cf| cf.graph)
+        .map(|cf| &cf.src)
+        .collect();
+    if graph_files.is_empty() {
+        return Vec::new();
+    }
+    let graph = CallGraph::build(&graph_files);
+    // Both halves of the data path: `Context::rsr` (send) and
+    // `PollEngine::poll_once` (receive; `progress` reaches the same set
+    // through `poll_once_into`).
+    let mut reach = graph.reachable_from("rsr");
+    for (name, path) in graph.reachable_from("poll_once") {
+        reach.entry(name).or_insert(path);
+    }
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for def in &graph.fns {
+        if def.in_test || !reach.contains_key(&def.name) {
+            continue;
+        }
+        let Some((start, end)) = def.span else {
+            continue;
+        };
+        let f = graph_files[def.file];
+        for line in start..=end.min(f.code.len() - 1) {
+            if f.is_test_line(line) {
+                continue;
+            }
+            for (token, label) in ALLOC_TOKENS {
+                let mut from = 0;
+                while let Some(pos) = f.code[line][from..].find(token) {
+                    let col = from + pos;
+                    from = col + token.len();
+                    if !seen.insert((f.rel.clone(), line, col)) {
+                        continue;
+                    }
+                    let path = reach[&def.name].join(" -> ");
+                    out.push(
+                        Diagnostic::error(
+                            "hot-path-alloc",
+                            format!("{label} on the RSR data path"),
+                            &f.rel,
+                            line,
+                            col,
+                            &f.raw[line],
+                            token.len(),
+                        )
+                        .with_help(format!(
+                            "fn `{}` is reachable from the zero-copy data path \
+                             ({path}); borrow from the shared frame or reuse \
+                             pooled storage instead of allocating per message",
+                            def.name
+                        )),
+                    );
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // module-contract
 // ---------------------------------------------------------------------------
 
@@ -971,6 +1061,38 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("reselect_candidate -> measure"));
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_reachable_allocations_only() {
+        let ws = ws_one(
+            "c.rs",
+            "fn rsr() {\n    build();\n}\nfn build() {\n    let v = data.to_vec();\n}\nfn cold() {\n    let v = data.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("rsr -> build"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_poll_root_too() {
+        let ws = ws_one(
+            "p.rs",
+            "fn poll_once() {\n    probe();\n}\nfn probe() {\n    let out = Vec::new();\n    let f = msg.encode(x);\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 2, "{diags:?}");
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Allocation-count regression pin for the RSR hot path.
+//!
+//! The zero-copy data path makes a steady-state local-queue round trip
+//! (send → poll → dispatch) allocation-free: frames are pooled, decode
+//! borrows, and the progress pass reuses a thread-local outcome. This test
+//! pins that property with a counting global allocator, so any change that
+//! reintroduces a per-RSR allocation fails loudly instead of quietly
+//! regressing latency.
+//!
+//! This file must stay a single-test binary: the counter is process-wide,
+//! and a sibling test allocating concurrently would break the budget.
+
+use bytes::Bytes;
+use nexus_rt::buffer::Buffer;
+use nexus_rt::context::Fabric;
+use nexus_rt::descriptor::MethodId;
+use nexus_transports::register_queue_modules;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every method delegates to `System` with unchanged arguments, so
+// the GlobalAlloc contract is upheld; the counter update has no effect on
+// the memory returned.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout, delegated to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same pointer and layout, delegated to the system allocator.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same arguments, delegated to the system allocator.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Iterations measured after warm-up.
+const ITERS: u64 = 1_000;
+/// Total allocator calls allowed across all measured iterations. The
+/// steady-state path performs zero; the slack absorbs incidental lazy
+/// initialization (thread-local storage, histogram buckets) that the
+/// warm-up might not have touched, while still failing if even one
+/// allocation per RSR sneaks back in (which would cost ≥ `ITERS` calls).
+const BUDGET: u64 = 100;
+
+#[test]
+fn local_queue_round_trip_stays_within_the_allocation_budget() {
+    let fabric = Fabric::new();
+    register_queue_modules(&fabric);
+    let ctx = fabric.create_context().unwrap();
+    let received = Arc::new(AtomicU64::new(0));
+    let r = Arc::clone(&received);
+    ctx.register_handler("pin", move |_| {
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    let sp = ctx.startpoint_to(ctx.create_endpoint()).unwrap();
+    sp.set_method(MethodId::LOCAL);
+
+    let payload = Bytes::from(vec![0x5a_u8; 64]);
+    let pump = |n: u64| {
+        for _ in 0..n {
+            ctx.rsr(&sp, "pin", Buffer::from_bytes(payload.clone()))
+                .unwrap();
+            while ctx.progress().unwrap() == 0 {}
+        }
+    };
+
+    pump(200); // warm: queues, pools, rings, thread-locals
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    pump(ITERS);
+    let spent = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert!(
+        spent <= BUDGET,
+        "RSR hot path allocated {spent} times over {ITERS} round trips \
+         (budget {BUDGET}); a per-RSR allocation crept back in"
+    );
+    fabric.shutdown();
+}

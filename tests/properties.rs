@@ -58,7 +58,7 @@ fn put(buf: &mut Buffer, item: &Item) {
         Item::F64(v) => buf.put_f64(*v),
         Item::Bool(v) => buf.put_bool(*v),
         Item::Str(v) => buf.put_str(v),
-        Item::Bytes(v) => buf.put_bytes(v),
+        Item::Bytes(v) => buf.put_blob(v),
         Item::F64s(v) => buf.put_f64_slice(v),
         Item::U32s(v) => buf.put_u32_slice(v),
     }
@@ -76,7 +76,7 @@ fn get(buf: &mut Buffer, template: &Item) -> Item {
         Item::F64(_) => Item::F64(buf.get_f64().unwrap()),
         Item::Bool(_) => Item::Bool(buf.get_bool().unwrap()),
         Item::Str(_) => Item::Str(buf.get_str().unwrap()),
-        Item::Bytes(_) => Item::Bytes(buf.get_bytes().unwrap()),
+        Item::Bytes(_) => Item::Bytes(buf.get_blob().unwrap().to_vec()),
         Item::F64s(_) => Item::F64s(buf.get_f64_slice().unwrap()),
         Item::U32s(_) => Item::U32s(buf.get_u32_slice().unwrap()),
     }

@@ -3,65 +3,111 @@
 //! This workspace builds in environments with no crates.io access, so the
 //! external `bytes` dependency is satisfied by this vendored subset. It
 //! implements exactly the API surface the workspace uses: [`Bytes`] (cheap
-//! clones of immutable byte storage), [`BytesMut`] (an append buffer), and
-//! the little-endian accessors of [`Buf`]/[`BufMut`]. Semantics match the
-//! real crate for that subset; nothing else is provided.
+//! clones and O(1) subslice views of refcounted immutable storage),
+//! [`BytesMut`] (an append buffer whose `freeze` is O(1)), and the
+//! little-endian accessors of [`Buf`]/[`BufMut`]. Semantics match the real
+//! crate for that subset; nothing else is provided.
+//!
+//! Like the real crate, `Bytes` is a *view* — `(storage, start, end)` —
+//! so `clone` is a refcount bump, `slice` shares storage, and
+//! `BytesMut::freeze` transfers the buffer without copying. This is what
+//! makes the runtime's zero-copy receive path (payloads as views of the
+//! arrived frame) actually copy-free rather than copy-behind-the-API.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Cheaply cloneable immutable byte storage (`Arc<[u8]>` under the hood;
-/// the real crate's refcounted slices behave the same for this subset).
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// The process-wide empty storage, so `Bytes::new()` never allocates.
+fn empty_storage() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// Cheaply cloneable immutable byte storage: a `[start, end)` view of a
+/// refcounted buffer. `clone` and `slice` are O(1) and allocation-free.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Creates an empty `Bytes` (no allocation).
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: empty_storage(),
+            start: 0,
+            end: 0,
         }
     }
 
-    /// Wraps a static byte slice (copied; the real crate borrows, but no
-    /// caller relies on the distinction).
+    /// Wraps a static byte slice (copied once; the real crate borrows, but
+    /// no caller relies on the distinction).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Self::copy_from_slice(bytes)
     }
 
     /// Copies `data` into new storage.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            end: data.len(),
+            data: Arc::new(data.to_vec()),
+            start: 0,
         }
     }
 
-    /// Number of bytes.
+    /// Number of bytes in the view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
-    /// True if there are no bytes.
+    /// True if the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
     }
 
-    /// Returns a new `Bytes` holding `self[begin..end]` (copied).
+    /// Returns a new `Bytes` viewing `self[begin..end]`. O(1): the storage
+    /// is shared, not copied.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds of Bytes of length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
         Bytes {
-            data: Arc::from(&self.data[range]),
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Recovers the mutable buffer if this is the only handle to the
+    /// storage and the view covers all of it; otherwise returns `self`
+    /// back. Buffer pools use this to reclaim frame storage without a
+    /// copy once the last in-flight reference has dropped.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        match Arc::try_unwrap(self.data) {
+            Ok(vec) => Ok(BytesMut { data: vec }),
+            Err(data) => Err(Bytes {
+                start: 0,
+                end: data.len(),
+                data,
+            }),
         }
     }
 }
@@ -75,20 +121,20 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -99,7 +145,11 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes {
+            end: v.len(),
+            data: Arc::new(v),
+            start: 0,
+        }
     }
 }
 
@@ -115,15 +165,33 @@ impl From<BytesMut> for Bytes {
     }
 }
 
+// Equality and hashing are over the viewed contents, never the (storage,
+// offset) representation — two views of different buffers with the same
+// bytes are equal and hash identically.
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self[..] == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self[..] == other[..]
     }
 }
 
@@ -156,6 +224,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Reserves capacity for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
@@ -166,15 +239,24 @@ impl BytesMut {
         self.data.extend_from_slice(extend);
     }
 
-    /// Clears the buffer.
+    /// Clears the buffer, keeping its allocation.
     pub fn clear(&mut self) {
         self.data.clear();
     }
 
-    /// Converts into immutable [`Bytes`].
+    /// Converts into immutable [`Bytes`] without copying the contents:
+    /// the buffer becomes the shared storage.
     pub fn freeze(self) -> Bytes {
+        if self.data.is_empty() {
+            // Preserve the (possibly pooled) allocation? No — an empty
+            // freeze is a fresh logical value; route it to the shared
+            // empty storage so it costs nothing.
+            return Bytes::new();
+        }
         Bytes {
-            data: Arc::from(self.data),
+            end: self.data.len(),
+            data: Arc::new(self.data),
+            start: 0,
         }
     }
 }
@@ -356,5 +438,75 @@ mod tests {
     fn debug_escapes_binary() {
         let b = Bytes::from(vec![0u8, b'a', 0xff]);
         assert_eq!(format!("{b:?}"), "b\"\\x00a\\xff\"");
+    }
+
+    #[test]
+    fn slice_shares_storage_and_nests() {
+        let b = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let s = b.slice(10..50);
+        assert_eq!(s.len(), 40);
+        assert_eq!(s[0], 10);
+        let s2 = s.slice(5..10);
+        assert_eq!(&s2[..], &[15, 16, 17, 18, 19]);
+        // Views of the same storage: no copy happened.
+        assert!(Arc::ptr_eq(&b.data, &s2.data));
+        // Empty slice at either edge is fine.
+        assert!(b.slice(0..0).is_empty());
+        assert!(b.slice(100..100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn freeze_transfers_storage_without_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32_le(7);
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy");
+    }
+
+    #[test]
+    fn equality_and_hash_are_by_contents() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from(vec![9u8, 8, 7]);
+        let b = Bytes::from(vec![0u8, 9, 8, 7, 0]).slice(1..4);
+        assert_eq!(a, b);
+        let h = |x: &Bytes| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn try_into_mut_recovers_unique_full_views_only() {
+        // Unique full view: recovered, same storage.
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let ptr = b.as_ref().as_ptr();
+        let m = b.try_into_mut().unwrap();
+        assert_eq!(m.as_ref().as_ptr(), ptr);
+        // Shared: refused.
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let keep = b.clone();
+        assert!(b.try_into_mut().is_err());
+        drop(keep);
+        // Partial view: refused even when unique.
+        let b = Bytes::from(vec![1u8, 2, 3]).slice(0..2);
+        assert!(b.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn empty_bytes_share_static_storage() {
+        let a = Bytes::new();
+        let b = Bytes::new();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert_eq!(BytesMut::new().freeze(), Bytes::new());
     }
 }

@@ -2,20 +2,29 @@
 //!
 //! Provides the one type this workspace uses: `queue::SegQueue`, an
 //! unbounded MPMC FIFO. The real crate's queue is lock-free; this stand-in
-//! uses a mutexed `VecDeque`, which preserves the semantics (and the
-//! `&self` push/pop API) at some cost in scalability.
+//! uses a mutexed `VecDeque` plus an atomic length, which preserves the
+//! semantics (and the `&self` push/pop API) while keeping the common
+//! empty-poll — the unified polling function probing a quiet method —
+//! a single atomic load instead of a lock round trip.
 
 #![warn(missing_docs)]
 
 /// Concurrent queues.
 pub mod queue {
     use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     /// An unbounded MPMC FIFO queue with interior mutability.
     #[derive(Debug)]
     pub struct SegQueue<T> {
         inner: Mutex<VecDeque<T>>,
+        /// Element count, updated while holding `inner`. Read lock-free as
+        /// a hint: a poll that observes 0 may miss an element currently
+        /// being pushed, which polling semantics already allow (the next
+        /// poll finds it); it can never fabricate one, because the count
+        /// is incremented only after the element is in the deque.
+        len: AtomicUsize,
     }
 
     impl<T> SegQueue<T> {
@@ -23,27 +32,36 @@ pub mod queue {
         pub const fn new() -> Self {
             SegQueue {
                 inner: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
             }
         }
 
         /// Appends `value` at the tail.
         pub fn push(&self, value: T) {
-            self.lock().push_back(value);
+            let mut g = self.lock();
+            g.push_back(value);
+            self.len.store(g.len(), Ordering::Release);
         }
 
         /// Removes and returns the head element, if any.
         pub fn pop(&self) -> Option<T> {
-            self.lock().pop_front()
+            if self.len.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let mut g = self.lock();
+            let v = g.pop_front();
+            self.len.store(g.len(), Ordering::Release);
+            v
         }
 
         /// Number of queued elements.
         pub fn len(&self) -> usize {
-            self.lock().len()
+            self.len.load(Ordering::Acquire)
         }
 
         /// True if no elements are queued.
         pub fn is_empty(&self) -> bool {
-            self.lock().is_empty()
+            self.len() == 0
         }
 
         fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
@@ -69,9 +87,11 @@ pub mod queue {
             let q = SegQueue::new();
             q.push(1);
             q.push(2);
+            assert_eq!(q.len(), 2);
             assert_eq!(q.pop(), Some(1));
             assert_eq!(q.pop(), Some(2));
             assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
         }
 
         #[test]
@@ -94,6 +114,25 @@ pub mod queue {
                 n += 1;
             }
             assert_eq!(n, 4000);
+        }
+
+        #[test]
+        fn push_is_visible_to_a_subsequent_pop_on_another_thread() {
+            // The atomic-length fast path must never hide an element that
+            // was pushed before the pop began (happens-before via the
+            // channel below).
+            let q = Arc::new(SegQueue::new());
+            for _ in 0..200 {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let qp = Arc::clone(&q);
+                let producer = std::thread::spawn(move || {
+                    qp.push(7u32);
+                    tx.send(()).unwrap();
+                });
+                rx.recv().unwrap();
+                assert_eq!(q.pop(), Some(7));
+                producer.join().unwrap();
+            }
         }
     }
 }

@@ -1,100 +1,347 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Wraps `std::sync` primitives behind `parking_lot`'s poison-free API
-//! (the subset this workspace uses): `lock()`/`read()`/`write()` return
-//! guards directly, and a lock held across a panic is recovered rather
-//! than poisoning every later access.
+//! Implements the subset of `parking_lot`'s poison-free API this
+//! workspace uses (`lock()`/`read()`/`write()` return guards directly;
+//! a panicking holder releases the lock on unwind instead of poisoning
+//! it) on top of spin-then-yield atomics rather than `std::sync`.
+//!
+//! The workspace's critical sections are short — queue pushes, table
+//! lookups, counter updates — so an uncontended acquire/release should
+//! cost two atomic operations, not a futex round trip. Contended
+//! acquires spin briefly with [`std::hint::spin_loop`] and then yield
+//! the thread, which bounds the cost of the rare long waits (a poll
+//! pass holding the engine, a connect filling the comm cache) without
+//! parking machinery.
 
 #![warn(missing_docs)]
 
-use std::sync::PoisonError;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
-/// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-/// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// Spins on `ready` with escalating patience: a handful of pause-hinted
+/// spins for locks released within a few cycles, then thread yields so a
+/// descheduled holder can run.
+fn spin_until(mut ready: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    loop {
+        if ready() {
+            return;
+        }
+        if spins < 64 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
-#[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
-    inner: std::sync::Mutex<T>,
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
 }
+
+// SAFETY: the lock protocol hands out at most one guard at a time, so the
+// value is only reachable from one thread between acquire and release;
+// sharing the mutex therefore only requires the value to be Send.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex` only exposes `T` through mutual exclusion.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
-            inner: std::sync::Mutex::new(value),
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
         }
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until available.
+    /// Acquires the lock, blocking (spin, then yield) until available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
+        }
+        MutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        spin_until(|| {
+            // Read-before-CAS keeps the cache line shared while waiting.
+            !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+        });
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+            .then_some(MutexGuard {
+                lock: self,
+                _not_send: PhantomData,
+            })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.value.get_mut()
     }
 }
 
-/// A readers-writer lock whose accessors never return poison errors.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized> {
-    inner: std::sync::RwLock<T>,
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
 }
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop (also
+/// during unwind, which is what makes a panicking holder non-poisoning).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// Guards move with their acquiring thread's critical section.
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: a guard is only a view of `T`; sharing `&Guard` shares `&T`.
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means holding the lock, so no other
+        // reference to the value exists.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard holds exclusive access.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Writer-held bit of the [`RwLock`] state; the low bits count readers.
+const WRITER: u32 = 1 << 31;
+
+/// A readers-writer lock whose accessors never return poison errors.
+pub struct RwLock<T: ?Sized> {
+    /// `WRITER` while a writer holds the lock, else the reader count.
+    state: AtomicU32,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: readers share `&T` (requires Sync) and the writer gets `&mut T`
+// from any thread (requires Send); the protocol enforces exclusion.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: as above.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
     /// Creates a lock protecting `value`.
     pub const fn new(value: T) -> Self {
         RwLock {
-            inner: std::sync::RwLock::new(value),
+            state: AtomicU32::new(0),
+            value: UnsafeCell::new(value),
         }
     }
 
     /// Consumes the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
+    #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let s = self.state.load(Ordering::Relaxed);
+        if s & WRITER != 0
+            || self
+                .state
+                .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.read_slow();
+        }
+        RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn read_slow(&self) {
+        spin_until(|| {
+            let s = self.state.load(Ordering::Relaxed);
+            s & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+        });
     }
 
     /// Acquires exclusive write access.
+    #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        if self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.write_slow();
+        }
+        RwLockWriteGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn write_slow(&self) {
+        spin_until(|| {
+            self.state.load(Ordering::Relaxed) == 0
+                && self
+                    .state
+                    .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+        });
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.value.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Non-blocking read attempt, so Debug never waits on a writer.
+        let s = self.state.load(Ordering::Relaxed);
+        if s & WRITER == 0
+            && self
+                .state
+                .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            let g = RwLockReadGuard {
+                lock: self,
+                _not_send: PhantomData,
+            };
+            f.debug_tuple("RwLock").field(&&*g).finish()
+        } else {
+            f.write_str("RwLock(<locked>)")
+        }
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// Guards move with their acquiring thread's critical section.
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: a read guard only exposes `&T`.
+unsafe impl<T: ?Sized + Sync> Sync for RwLockReadGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: a nonzero reader count excludes writers, so shared
+        // reads are the only live accesses.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// Guards move with their acquiring thread's critical section.
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: sharing `&Guard` only shares `&T`.
+unsafe impl<T: ?Sized + Sync> Sync for RwLockWriteGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the WRITER bit grants exclusive access.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive access is held.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.store(0, Ordering::Release);
     }
 }
 
@@ -122,5 +369,70 @@ mod tests {
         let a = l.read();
         let b = l.read();
         assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after() {
+        let m = Mutex::new(0);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_counts_correctly_under_contention() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers_under_contention() {
+        let l = Arc::new(RwLock::new((0u64, 0u64)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        let mut g = l.write();
+                        g.0 += 1;
+                        g.1 += 1;
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        let g = l.read();
+                        // A torn pair would mean a reader saw a half-applied
+                        // write.
+                        assert_eq!(g.0, g.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.read().0, 20_000);
+    }
+
+    #[test]
+    fn get_mut_and_into_inner_bypass_locking() {
+        let mut m = Mutex::new(3);
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 4);
+        let mut l = RwLock::new(7);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 8);
     }
 }
