@@ -7,10 +7,13 @@
 //!    (context, method); the ablation counts how many connections N
 //!    startpoints to one context actually open.
 //! 3. **Adaptive vs fixed skip_poll** (§6 future work, implemented):
-//!    drives a bursty TCP traffic pattern and reports the expensive-probe
+//!    drives a bursty mpl traffic pattern and reports the expensive-probe
 //!    count and delivery outcome for fixed skip 1, fixed skip 64, and the
 //!    adaptive controller — the adaptive one should approach the low poll
 //!    count of the large skip while staying responsive inside bursts.
+//!    mpl is the probe-only fallback tier (the paper's `mpc_status`
+//!    example): socket methods now ride the readiness doorbell and are
+//!    visited per-arrival, so skip_poll no longer applies to them.
 
 use nexus_rt::buffer::Buffer;
 use nexus_rt::context::Fabric;
@@ -70,17 +73,18 @@ pub fn connection_sharing(n: usize) -> usize {
 pub struct SkipAblationRow {
     /// Configuration label.
     pub label: &'static str,
-    /// Expensive (TCP) probes performed.
-    pub tcp_polls: u64,
+    /// Expensive (mpl, probe-only) polls performed.
+    pub probes: u64,
     /// Messages delivered (must equal the sent count).
     pub delivered: u64,
     /// Final skip value (enquiry).
     pub final_skip: u64,
 }
 
-/// Drives a bursty TCP workload under one polling configuration:
+/// Drives a bursty mpl workload under one polling configuration:
 /// `bursts` bursts of `burst_len` messages, each followed by a long quiet
-/// period of `quiet_polls` empty progress calls.
+/// period of `quiet_polls` empty progress calls. mpl is the method that
+/// still lives in the polled rotation, so skip_poll governs its probes.
 fn run_skip_config(
     label: &'static str,
     cfg: Option<Option<AdaptiveSkipPoll>>, // None = skip 1; Some(None) = fixed 64; Some(Some(c)) = adaptive
@@ -95,10 +99,10 @@ fn run_skip_config(
     match cfg {
         None => {}
         Some(None) => {
-            b.set_skip_poll(MethodId::TCP, 64);
+            b.set_skip_poll(MethodId::MPL, 64);
         }
         Some(Some(c)) => {
-            b.set_adaptive_skip_poll(MethodId::TCP, c);
+            b.set_adaptive_skip_poll(MethodId::MPL, c);
         }
     }
     let delivered = Arc::new(AtomicU64::new(0));
@@ -110,7 +114,7 @@ fn run_skip_config(
     }
     let ep = b.create_endpoint();
     let sp = b.startpoint_to(ep).unwrap();
-    sp.set_method(MethodId::TCP);
+    sp.set_method(MethodId::MPL);
     for _ in 0..bursts {
         let target = delivered.load(Ordering::Relaxed) + burst_len as u64;
         for _ in 0..burst_len {
@@ -129,9 +133,9 @@ fn run_skip_config(
     }
     let row = SkipAblationRow {
         label,
-        tcp_polls: b.stats().snapshot_method(MethodId::TCP).polls,
+        probes: b.stats().snapshot_method(MethodId::MPL).polls,
         delivered: delivered.load(Ordering::Relaxed),
-        final_skip: b.skip_poll(MethodId::TCP).unwrap_or(0),
+        final_skip: b.skip_poll(MethodId::MPL).unwrap_or(0),
     };
     fabric.shutdown();
     row
@@ -175,15 +179,15 @@ pub fn format_report(
         "connection sharing: {} startpoints to one context -> {} connection(s)\n\n",
         conns_for.0, conns_for.1
     ));
-    s.push_str("adaptive skip_poll ablation (bursty TCP traffic):\n");
+    s.push_str("adaptive skip_poll ablation (bursty mpl traffic, polled tier):\n");
     s.push_str(&crate::report::table(
-        &["configuration", "TCP probes", "delivered", "final skip"],
+        &["configuration", "mpl probes", "delivered", "final skip"],
         &skip_rows
             .iter()
             .map(|r| {
                 vec![
                     r.label.to_owned(),
-                    r.tcp_polls.to_string(),
+                    r.probes.to_string(),
                     r.delivered.to_string(),
                     r.final_skip.to_string(),
                 ]
@@ -222,10 +226,10 @@ mod tests {
         let adaptive = by("adaptive");
         assert_eq!(fixed1.delivered, adaptive.delivered, "no message lost");
         assert!(
-            adaptive.tcp_polls * 4 < fixed1.tcp_polls,
+            adaptive.probes * 4 < fixed1.probes,
             "adaptive cuts expensive probes: {} vs {}",
-            adaptive.tcp_polls,
-            fixed1.tcp_polls
+            adaptive.probes,
+            fixed1.probes
         );
         assert!(
             adaptive.final_skip > 1,

@@ -3,9 +3,10 @@
 //! QoS/selection machinery can consult instead of a-priori constants.
 //!
 //! `--adaptive` runs a reduced smoke version of the adaptive ablation
-//! only (suitable for CI): the bursty-TCP skip_poll comparison at small
+//! only (suitable for CI): the bursty-mpl skip_poll comparison at small
 //! scale plus one adaptive simnet ping-pong, failing loudly if the
-//! controller loses messages or never backs off.
+//! controller loses messages or never backs off. (mpl is the probe-only
+//! fallback tier; socket methods ride the readiness doorbell instead.)
 
 use nexus_bench::{ablation, pollcost};
 use nexus_simnet::pingpong::dual_pingpong_adaptive;
@@ -17,13 +18,13 @@ fn adaptive_smoke() {
     print!(
         "{}",
         nexus_bench::report::table(
-            &["configuration", "TCP probes", "delivered", "final skip"],
+            &["configuration", "mpl probes", "delivered", "final skip"],
             &rows
                 .iter()
                 .map(|r| {
                     vec![
                         r.label.to_owned(),
-                        r.tcp_polls.to_string(),
+                        r.probes.to_string(),
                         r.delivered.to_string(),
                         r.final_skip.to_string(),
                     ]

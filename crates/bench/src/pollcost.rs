@@ -138,6 +138,10 @@ pub struct MeasuredCost {
     pub send_ewma_ns: Option<f64>,
     /// Send samples behind the send EWMA.
     pub send_samples: u64,
+    /// Doorbell wakeups on the receiving context. Readiness-tier methods
+    /// deliver through these instead of timed probes, so for them
+    /// `poll_samples` is legitimately 0 and this is the activity signal.
+    pub ready_wakeups: u64,
     /// The module's own a-priori poll-cost hint.
     pub hint_ns: u64,
 }
@@ -156,6 +160,10 @@ fn hint_ns(m: MethodId) -> u64 {
 /// Drives real RSR traffic over each reliable method, lets the receive
 /// loop spin over the quiet sources, then reads the measured EWMAs back
 /// through the enquiry API ([`nexus_rt::context::Context::method_cost_estimate`]).
+///
+/// Only the polled fallback tier (mpl) accumulates poll-cost samples:
+/// shmem and tcp ride the readiness doorbell, are never probed while
+/// idle, and surface their activity as `ready_wakeups` instead.
 pub fn measured(msgs_per_method: u32, quiet_polls: u32) -> Vec<MeasuredCost> {
     let fabric = Fabric::new();
     register_defaults(&fabric);
@@ -195,6 +203,7 @@ pub fn measured(msgs_per_method: u32, quiet_polls: u32) -> Vec<MeasuredCost> {
                 poll_samples: rx.poll_samples,
                 send_ewma_ns: tx.send_cost_ns,
                 send_samples: tx.send_samples,
+                ready_wakeups: b.stats().snapshot_method(m).ready_wakeups,
                 hint_ns: hint_ns(m),
             }
         })
@@ -218,12 +227,14 @@ pub fn format_measured(rows: &[MeasuredCost]) -> String {
                 r.poll_samples.to_string(),
                 opt(r.send_ewma_ns),
                 r.send_samples.to_string(),
+                r.ready_wakeups.to_string(),
                 r.hint_ns.to_string(),
             ]
         })
         .collect();
     format!(
-        "runtime-measured cost EWMAs (trace layer) vs a-priori hints\n{}",
+        "runtime-measured cost EWMAs (trace layer) vs a-priori hints\n\
+         (readiness-tier methods show wakeups instead of probe samples)\n{}",
         report::table(
             &[
                 "method",
@@ -231,6 +242,7 @@ pub fn format_measured(rows: &[MeasuredCost]) -> String {
                 "probes",
                 "send EWMA ns",
                 "sends",
+                "wakeups",
                 "hint ns",
             ],
             &body
@@ -269,11 +281,23 @@ mod tests {
         let rows = measured(20, 500);
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(
-                r.poll_samples > 0 && r.poll_ewma_ns.is_some(),
-                "{} poll EWMA never fed",
-                r.name
-            );
+            if r.name == "mpl" {
+                // Polled fallback tier: every probe is timed.
+                assert!(
+                    r.poll_samples > 0 && r.poll_ewma_ns.is_some(),
+                    "{} poll EWMA never fed",
+                    r.name
+                );
+            } else {
+                // Readiness tier: no timed probes, but the doorbell must
+                // have fired for every delivered batch.
+                assert_eq!(
+                    r.poll_samples, 0,
+                    "{} rides the doorbell; its visits must be untimed",
+                    r.name
+                );
+                assert!(r.ready_wakeups > 0, "{} doorbell never rang", r.name);
+            }
             assert!(
                 r.send_samples >= 20 && r.send_ewma_ns.is_some(),
                 "{} send EWMA never fed",

@@ -30,6 +30,11 @@ pub struct Config {
     pub payloads: Vec<usize>,
     /// Multicast widths (links per startpoint).
     pub link_counts: Vec<usize>,
+    /// Source-count sweep: extra scenarios at links=1, payload=16 with
+    /// this many *idle* readiness-armed sources registered alongside the
+    /// hot local link. The readiness tier's O(ready) claim is exactly
+    /// that these rows stay flat as the count grows.
+    pub idle_sweep: Vec<usize>,
 }
 
 impl Config {
@@ -40,6 +45,7 @@ impl Config {
             warmup: 2_000,
             payloads: vec![16, 4096, 262_144],
             link_counts: vec![1, 8],
+            idle_sweep: vec![1, 64, 4096],
         }
     }
 
@@ -50,6 +56,7 @@ impl Config {
             warmup: 200,
             payloads: vec![16, 4096, 262_144],
             link_counts: vec![1, 8],
+            idle_sweep: vec![1, 64, 4096],
         }
     }
 
@@ -75,6 +82,9 @@ pub struct Scenario {
     pub links: usize,
     /// Payload size in bytes.
     pub payload: usize,
+    /// Idle readiness-armed sources registered alongside the hot link
+    /// (0 for the base matrix).
+    pub idle_sources: usize,
     /// Nanoseconds per `Context::rsr` call, including delivery+dispatch of
     /// every link's copy on the local queue.
     pub ns_per_rsr: f64,
@@ -83,18 +93,22 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    fn key(&self) -> (usize, usize) {
-        (self.links, self.payload)
+    fn key(&self) -> (usize, usize, usize) {
+        (self.links, self.payload, self.idle_sources)
     }
 }
 
 /// Runs one scenario: a single context multicasting to `links` of its own
 /// endpoints over the `local` queue method, draining each call before the
-/// next so the queue never grows. `alloc_count` reads the process-wide
-/// allocation counter (the binary's counting global allocator).
+/// next so the queue never grows. `idle_sources` extra readiness-armed
+/// in-process sources are registered but never sent to — their doorbells
+/// stay silent, so the O(ready) engine must not spend time on them.
+/// `alloc_count` reads the process-wide allocation counter (the binary's
+/// counting global allocator).
 fn run_scenario(
     links: usize,
     payload: usize,
+    idle_sources: usize,
     iters: u32,
     warmup: u32,
     alloc_count: &dyn Fn() -> u64,
@@ -103,6 +117,17 @@ fn run_scenario(
     // Queue modules only: sockets would put µs of readiness-scan syscalls
     // in every poll pass and drown the data-path signal being measured.
     register_queue_modules(&fabric);
+    for i in 0..idle_sources {
+        fabric.registry().register(Arc::new(
+            nexus_rt::module::test_support::TestModule::new(
+                MethodId(0x100 + i as u16),
+                "idle-ready",
+                1_000,
+                false,
+            )
+            .with_readiness(),
+        ));
+    }
     let ctx = fabric.create_context().expect("create bench context");
     let received = Arc::new(AtomicU64::new(0));
     let r = Arc::clone(&received);
@@ -153,12 +178,14 @@ fn run_scenario(
     Scenario {
         links,
         payload,
+        idle_sources,
         ns_per_rsr: best_ns,
         allocs_per_rsr: allocs as f64 / f64::from(batches * per_batch),
     }
 }
 
-/// Runs the whole scenario matrix.
+/// Runs the whole scenario matrix, then the idle-source sweep (links=1,
+/// payload=16, growing counts of silent readiness-armed sources).
 pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
     let mut out = Vec::new();
     for &links in &cfg.link_counts {
@@ -166,11 +193,22 @@ pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
             out.push(run_scenario(
                 links,
                 payload,
+                0,
                 cfg.iters_for(payload),
                 cfg.warmup,
                 alloc_count,
             ));
         }
+    }
+    for &idle in &cfg.idle_sweep {
+        out.push(run_scenario(
+            1,
+            16,
+            idle,
+            cfg.iters_for(16),
+            cfg.warmup,
+            alloc_count,
+        ));
     }
     out
 }
@@ -183,6 +221,7 @@ pub fn format(rows: &[Scenario]) -> String {
             vec![
                 s.links.to_string(),
                 s.payload.to_string(),
+                s.idle_sources.to_string(),
                 format!("{:.0}", s.ns_per_rsr),
                 format!("{:.1}", s.allocs_per_rsr),
             ]
@@ -190,7 +229,10 @@ pub fn format(rows: &[Scenario]) -> String {
         .collect();
     format!(
         "local-queue RSR round trip (send + poll + dispatch), per rsr() call\n{}",
-        report::table(&["links", "payload B", "ns/RSR", "allocs/RSR"], &body)
+        report::table(
+            &["links", "payload B", "idle srcs", "ns/RSR", "allocs/RSR"],
+            &body
+        )
     )
 }
 
@@ -200,8 +242,8 @@ pub fn results_json(rows: &[Scenario]) -> String {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"links\": {}, \"payload\": {}, \"ns_per_rsr\": {:.1}, \"allocs_per_rsr\": {:.1}}}",
-                s.links, s.payload, s.ns_per_rsr, s.allocs_per_rsr
+                "    {{\"links\": {}, \"payload\": {}, \"idle_sources\": {}, \"ns_per_rsr\": {:.1}, \"allocs_per_rsr\": {:.1}}}",
+                s.links, s.payload, s.idle_sources, s.ns_per_rsr, s.allocs_per_rsr
             )
         })
         .collect();
@@ -393,6 +435,8 @@ pub fn scenarios_from(doc: &Json, key: &str) -> Option<Vec<Scenario>> {
         out.push(Scenario {
             links: item.get("links")?.num()? as usize,
             payload: item.get("payload")?.num()? as usize,
+            // Absent in documents written before the idle-source sweep.
+            idle_sources: item.get("idle_sources").and_then(Json::num).unwrap_or(0.0) as usize,
             ns_per_rsr: item.get("ns_per_rsr")?.num()?,
             allocs_per_rsr: item.get("allocs_per_rsr")?.num()?,
         });
@@ -414,10 +458,11 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
         let ns_limit = base.ns_per_rsr * (1.0 + ns_tolerance);
         if cur.ns_per_rsr > ns_limit {
             failures.push(format!(
-                "links={} payload={}: ns/RSR {:.0} exceeds baseline {:.0} by more than {:.0} % \
-                 (limit {:.0})",
+                "links={} payload={} idle={}: ns/RSR {:.0} exceeds baseline {:.0} by more than \
+                 {:.0} % (limit {:.0})",
                 cur.links,
                 cur.payload,
+                cur.idle_sources,
                 cur.ns_per_rsr,
                 base.ns_per_rsr,
                 ns_tolerance * 100.0,
@@ -429,8 +474,13 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
         let alloc_limit = base.allocs_per_rsr * 1.25 + 2.0;
         if cur.allocs_per_rsr > alloc_limit {
             failures.push(format!(
-                "links={} payload={}: allocs/RSR {:.1} exceeds baseline {:.1} (limit {:.1})",
-                cur.links, cur.payload, cur.allocs_per_rsr, base.allocs_per_rsr, alloc_limit
+                "links={} payload={} idle={}: allocs/RSR {:.1} exceeds baseline {:.1} (limit {:.1})",
+                cur.links,
+                cur.payload,
+                cur.idle_sources,
+                cur.allocs_per_rsr,
+                base.allocs_per_rsr,
+                alloc_limit
             ));
         }
     }
@@ -445,6 +495,7 @@ mod tests {
         Scenario {
             links,
             payload,
+            idle_sources: 0,
             ns_per_rsr: ns,
             allocs_per_rsr: allocs,
         }
@@ -457,12 +508,25 @@ mod tests {
             warmup: 10,
             payloads: vec![16, 4096],
             link_counts: vec![1, 4],
+            idle_sweep: vec![8],
         };
         let rows = run(&cfg, &|| 0);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5, "2x2 matrix + one idle-sweep row");
         assert!(rows.iter().all(|r| r.ns_per_rsr > 0.0));
+        let sweep = rows.last().unwrap();
+        assert_eq!((sweep.links, sweep.payload, sweep.idle_sources), (1, 16, 8));
         let t = format(&rows);
         assert!(t.contains("ns/RSR"));
+        assert!(t.contains("idle srcs"));
+    }
+
+    #[test]
+    fn old_documents_without_idle_sources_parse_as_zero() {
+        let doc = "{\"results\": [\n    {\"links\": 1, \"payload\": 16, \
+                   \"ns_per_rsr\": 900.0, \"allocs_per_rsr\": 2.0}\n  ]}";
+        let parsed = parse_json(doc).unwrap();
+        let rows = scenarios_from(&parsed, "results").unwrap();
+        assert_eq!(rows[0].idle_sources, 0);
     }
 
     #[test]

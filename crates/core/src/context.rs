@@ -176,6 +176,7 @@ impl Fabric {
 
         let mut table = DescriptorTable::new();
         let mut engine = PollEngine::new();
+        let mut ready_methods = Vec::new();
 
         // Walk modules in registry (priority) order so the context's own
         // descriptor table comes out fastest-first.
@@ -189,6 +190,9 @@ impl Fabric {
                 let (desc, receiver) = module.open(&info)?;
                 table.push(desc);
                 engine.add_source(mid, receiver);
+                if module.supports_readiness() {
+                    ready_methods.push(mid);
+                }
             } else if forwarded {
                 // Advertise the forwarder's descriptor for this method:
                 // senders reach the forwarder, which re-sends to us.
@@ -211,6 +215,12 @@ impl Fabric {
         let stats = Stats::new();
         let trace = Arc::new(Trace::new());
         engine.bind(&stats, &trace);
+        // Move readiness-capable sources out of the polled rotation: their
+        // transports ring the engine doorbell on enqueue, so the unified
+        // polling function only ever visits them when they have traffic.
+        for mid in ready_methods {
+            engine.arm_ready(mid);
+        }
 
         let ctx = Arc::new(Context {
             info,
@@ -873,10 +883,27 @@ impl Context {
                 to: sc.to,
             });
         }
+        for &(method, drained) in &out.ready_wakeups {
+            self.trace
+                .record_event(TraceEventKind::ReadyWakeup { method, drained });
+        }
         // A transport error from one source must not swallow traffic the
         // pass retrieved: dispatch everything first, then report the
-        // earliest error (poll errors before dispatch errors).
-        let mut first_err = out.errors.drain(..).next().map(|(_, e)| e);
+        // earliest error (poll errors before dispatch errors). Errors that
+        // lose the race for the return value are still observable: they go
+        // into the event ring as `PollError` events, so a pass where two
+        // sources fail at once does not hide the second failure.
+        let mut first_err: Option<NexusError> = None;
+        for (method, e) in out.errors.drain(..) {
+            if first_err.is_none() {
+                first_err = Some(e);
+            } else {
+                self.trace.record_event(TraceEventKind::PollError {
+                    method,
+                    consecutive: 1,
+                });
+            }
+        }
         let n = out.messages.len();
         // Recv counters/histograms were already recorded where the
         // message was retrieved (poll engine source or blocking-poller
@@ -896,6 +923,11 @@ impl Context {
             if let Err(e) = self.dispatch(method, msg) {
                 if first_err.is_none() {
                     first_err = Some(e);
+                } else {
+                    self.trace.record_event(TraceEventKind::PollError {
+                        method,
+                        consecutive: 1,
+                    });
                 }
             }
         }
@@ -916,9 +948,16 @@ impl Context {
             if Instant::now() >= deadline {
                 return false;
             }
-            if !matches!(self.progress(), Ok(n) if n > 0) {
-                // Idle pass: let other runtime threads make progress.
-                std::thread::yield_now();
+            match self.progress() {
+                Ok(n) if n > 0 => {}
+                // A shut-down context can never make progress again;
+                // spinning out the rest of the timeout would only burn a
+                // core. One last predicate check covers a racing waker.
+                Err(NexusError::ShutDown) => return pred(),
+                // Any other error may be a single failing source among
+                // several; keep waiting — another method can still
+                // satisfy the predicate before the deadline.
+                _ => std::thread::yield_now(),
             }
         }
     }
@@ -938,6 +977,9 @@ impl Context {
                 while !flag.load(Ordering::Relaxed) {
                     match ctx.progress() {
                         Ok(n) if n > 0 => {}
+                        // Shutdown is terminal: exit instead of spinning
+                        // until the guard is dropped.
+                        Err(NexusError::ShutDown) => break,
                         _ => std::thread::yield_now(),
                     }
                 }
@@ -1604,5 +1646,134 @@ mod tests {
         assert_eq!(c.skip_poll(MethodId::TCP), Some(20));
         assert_eq!(c.skip_poll(MethodId::MPL), Some(1));
         assert!(!c.set_skip_poll(MethodId::UDP, 5));
+    }
+
+    /// A receive-only module whose source fails every poll. Send-side it
+    /// is never applicable, so it contributes nothing but poll errors.
+    struct DeadSourceModule {
+        id: MethodId,
+        name: &'static str,
+        rank: u32,
+    }
+
+    struct DeadReceiver;
+
+    impl crate::module::CommReceiver for DeadReceiver {
+        fn poll(&mut self) -> Result<Option<Rsr>> {
+            Err(NexusError::ConnectionClosed)
+        }
+    }
+
+    impl crate::module::CommModule for DeadSourceModule {
+        fn method(&self) -> MethodId {
+            self.id
+        }
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn cost_rank(&self) -> u32 {
+            self.rank
+        }
+        fn open(
+            &self,
+            _ctx: &ContextInfo,
+        ) -> Result<(
+            crate::descriptor::CommDescriptor,
+            Box<dyn crate::module::CommReceiver>,
+        )> {
+            Ok((
+                crate::descriptor::CommDescriptor::new(self.id, Vec::new()),
+                Box::new(DeadReceiver),
+            ))
+        }
+        fn applicable(
+            &self,
+            _local: &ContextInfo,
+            _desc: &crate::descriptor::CommDescriptor,
+        ) -> bool {
+            false
+        }
+        fn connect(
+            &self,
+            _local: &ContextInfo,
+            _desc: &crate::descriptor::CommDescriptor,
+        ) -> Result<Arc<dyn CommObject>> {
+            Err(NexusError::ConnectionClosed)
+        }
+        fn poll_cost_ns(&self) -> u64 {
+            100
+        }
+    }
+
+    #[test]
+    fn progress_until_returns_promptly_after_shutdown() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        f.shutdown();
+        let t0 = Instant::now();
+        assert!(!a.progress_until(|| false, Duration::from_secs(30)));
+        // Pre-fix, an `Err` pass counted as "idle" and the wait busy-spun
+        // `yield_now` for the full 30 s timeout.
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn simultaneous_source_failures_are_all_observable() {
+        let f = Fabric::new();
+        f.registry().register(Arc::new(DeadSourceModule {
+            id: MethodId::MPL,
+            name: "dead-mpl",
+            rank: 10,
+        }));
+        f.registry().register(Arc::new(DeadSourceModule {
+            id: MethodId::TCP,
+            name: "dead-tcp",
+            rank: 30,
+        }));
+        let c = f.create_context().unwrap();
+        // Both sources fail in the same pass. The first (rotation order)
+        // is returned to the caller...
+        assert!(matches!(c.progress(), Err(NexusError::ConnectionClosed)));
+        assert_eq!(c.stats().snapshot_method(MethodId::MPL).poll_errors, 1);
+        assert_eq!(c.stats().snapshot_method(MethodId::TCP).poll_errors, 1);
+        // ...and the one that lost the race lands in the event ring
+        // instead of vanishing (pre-fix it was silently dropped).
+        assert!(c.trace().events().iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::PollError { method, .. } if method == MethodId::TCP
+        )));
+    }
+
+    #[test]
+    fn readiness_tier_delivers_without_idle_probes() {
+        let f = Fabric::new();
+        f.registry().register(Arc::new(
+            TestModule::new(MethodId::LOCAL, "local", 0, false).with_readiness(),
+        ));
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("hit", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
+        let snap = b.stats().snapshot_method(MethodId::LOCAL);
+        assert_eq!(snap.recvs, 1);
+        assert!(snap.ready_wakeups >= 1);
+        assert!(b.trace().events().iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::ReadyWakeup { method, .. } if method == MethodId::LOCAL
+        )));
+        // An armed source leaves the polled rotation entirely: idle passes
+        // must not probe it even once.
+        let polls = b.stats().snapshot_method(MethodId::LOCAL).polls;
+        for _ in 0..100 {
+            let _ = b.progress();
+        }
+        assert_eq!(b.stats().snapshot_method(MethodId::LOCAL).polls, polls);
     }
 }

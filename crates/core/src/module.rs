@@ -21,6 +21,7 @@
 use crate::context::ContextInfo;
 use crate::descriptor::{CommDescriptor, MethodId};
 use crate::error::{NexusError, Result};
+use crate::poll::ReadySignal;
 use crate::rsr::{Rsr, WireFrame};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -43,6 +44,16 @@ pub trait CommReceiver: Send {
     /// advertise blocking support override this.
     fn recv_timeout(&mut self, _timeout: Duration) -> Result<Option<Rsr>> {
         self.poll()
+    }
+
+    /// Installs a doorbell the transport rings whenever a message becomes
+    /// retrievable (ring *after* the enqueue — see [`ReadySignal`] for the
+    /// ordering contract). Returning `true` moves this source to the poll
+    /// engine's readiness tier; the default declines, keeping the source
+    /// in the skip_poll rotation. Modules that accept report it via
+    /// [`CommModule::supports_readiness`].
+    fn set_ready_signal(&mut self, _signal: ReadySignal) -> bool {
+        false
     }
 
     /// Releases receive-side resources. Called at context shutdown.
@@ -113,6 +124,15 @@ pub trait CommModule: Send + Sync {
 
     /// Whether receivers support genuine blocking via `recv_timeout`.
     fn supports_blocking(&self) -> bool {
+        false
+    }
+
+    /// Whether receivers accept a readiness doorbell via
+    /// [`CommReceiver::set_ready_signal`]. Contexts arm such methods into
+    /// the poll engine's readiness tier at creation, taking them out of
+    /// the skip_poll rotation; methods that stay `false` (the MPL probe,
+    /// the delay queue) remain in the polled fallback tier.
+    fn supports_readiness(&self) -> bool {
         false
     }
 
@@ -286,7 +306,15 @@ pub mod test_support {
     use crossbeam::queue::SegQueue;
     use parking_lot::Mutex;
 
-    type Medium = Mutex<HashMap<ContextId, Arc<SegQueue<Rsr>>>>;
+    /// One context's receive inbox: the message queue plus the doorbell
+    /// installed when the poll engine arms the source (write-once; the
+    /// send path reads it lock-free).
+    struct TestInbox {
+        queue: SegQueue<Rsr>,
+        bell: std::sync::OnceLock<ReadySignal>,
+    }
+
+    type Medium = Mutex<HashMap<ContextId, Arc<TestInbox>>>;
 
     /// An in-process queue transport with a configurable method id, rank,
     /// and applicability predicate (used to emulate partition scoping).
@@ -299,6 +327,9 @@ pub mod test_support {
         /// Partition restriction: if true, applicable only when descriptor
         /// partition matches the local partition.
         partition_scoped: bool,
+        /// Whether receivers accept a readiness doorbell. Off by default
+        /// so existing tests keep exercising the polled tier.
+        ready: bool,
     }
 
     impl TestModule {
@@ -310,23 +341,35 @@ pub mod test_support {
                 poll_cost: 100,
                 medium: Arc::new(Mutex::new(HashMap::new())),
                 partition_scoped,
+                ready: false,
             }
+        }
+
+        /// Opts this module into the readiness tier: its receivers accept
+        /// a doorbell and its senders ring it after every enqueue.
+        pub fn with_readiness(mut self) -> Self {
+            self.ready = true;
+            self
         }
     }
 
     struct TestReceiver {
-        queue: Arc<SegQueue<Rsr>>,
+        inbox: Arc<TestInbox>,
+        ready: bool,
     }
 
     impl CommReceiver for TestReceiver {
         fn poll(&mut self) -> Result<Option<Rsr>> {
-            Ok(self.queue.pop())
+            Ok(self.inbox.queue.pop())
+        }
+        fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
+            self.ready && self.inbox.bell.set(signal).is_ok()
         }
     }
 
     struct TestObject {
         id: MethodId,
-        queue: Arc<SegQueue<Rsr>>,
+        inbox: Arc<TestInbox>,
     }
 
     impl CommObject for TestObject {
@@ -334,7 +377,10 @@ pub mod test_support {
             self.id
         }
         fn send(&self, rsr: &Rsr, _frame: &WireFrame) -> Result<()> {
-            self.queue.push(rsr.clone());
+            self.inbox.queue.push(rsr.clone());
+            if let Some(bell) = self.inbox.bell.get() {
+                bell.ring();
+            }
             Ok(())
         }
     }
@@ -350,14 +396,20 @@ pub mod test_support {
             self.rank
         }
         fn open(&self, ctx: &ContextInfo) -> Result<(CommDescriptor, Box<dyn CommReceiver>)> {
-            let queue = Arc::new(SegQueue::new());
-            self.medium.lock().insert(ctx.id, Arc::clone(&queue));
+            let inbox = Arc::new(TestInbox {
+                queue: SegQueue::new(),
+                bell: std::sync::OnceLock::new(),
+            });
+            self.medium.lock().insert(ctx.id, Arc::clone(&inbox));
             let mut b = Buffer::new();
             b.put_u32(ctx.id.0);
             b.put_u32(ctx.partition.0);
             Ok((
                 CommDescriptor::new(self.id, b.into_bytes().to_vec()),
-                Box::new(TestReceiver { queue }),
+                Box::new(TestReceiver {
+                    inbox,
+                    ready: self.ready,
+                }),
             ))
         }
         fn applicable(&self, local: &ContextInfo, desc: &CommDescriptor) -> bool {
@@ -381,16 +433,19 @@ pub mod test_support {
             let mut b = Buffer::new();
             b.put_raw(&desc.data);
             let ctx = ContextId(b.get_u32()?);
-            let queue = self
+            let inbox = self
                 .medium
                 .lock()
                 .get(&ctx)
                 .cloned()
                 .ok_or(NexusError::UnknownContext(ctx))?;
-            Ok(Arc::new(TestObject { id: self.id, queue }))
+            Ok(Arc::new(TestObject { id: self.id, inbox }))
         }
         fn poll_cost_ns(&self) -> u64 {
             self.poll_cost
+        }
+        fn supports_readiness(&self) -> bool {
+            self.ready
         }
     }
 }

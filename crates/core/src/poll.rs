@@ -4,11 +4,22 @@
 //! enabled (§3.3). The straightforward design — iterate every method's
 //! receiver on each poll — makes an infrequently used, expensive method
 //! (TCP `select`, >100 µs) tax a frequently used, cheap one (MPL probe,
-//! ~15 µs). The paper's remedy is the **`skip_poll`** parameter: a method
-//! with `skip_poll = k` is checked only every `k`-th invocation of the
-//! unified polling function. A second remedy, for systems that allow a
-//! thread to block awaiting communication, is a dedicated blocking thread
-//! per method ([`BlockingPoller`]).
+//! ~15 µs), and makes every pass cost O(sources) even when nothing is
+//! arriving. The engine therefore runs two tiers:
+//!
+//! * **Readiness tier** — a transport that can tell when data arrives
+//!   (in-process queues ring on enqueue; fd transports ring from a pump
+//!   thread) is *armed* with a [`ReadySignal`] doorbell and leaves the
+//!   rotation entirely. A pass then visits only rung sources, so idle
+//!   sources cost nothing (see [`ReadySignal`] for the no-missed-wakeup
+//!   protocol).
+//! * **Polled tier** — genuinely unpollable methods (the MPL probe, the
+//!   delay queue) stay in the rotation under the paper's **`skip_poll`**
+//!   parameter: a method with `skip_poll = k` is checked only every
+//!   `k`-th invocation of the unified polling function, adaptively tuned
+//!   by [`AdaptiveSkipPoll`]. A second remedy, for systems that allow a
+//!   thread to block awaiting communication, is a dedicated blocking
+//!   thread per method ([`BlockingPoller`]).
 
 use crate::descriptor::MethodId;
 use crate::error::NexusError;
@@ -86,6 +97,71 @@ const COST_MODE_HIT_FLOOR: f64 = 0.01;
 /// Floor on the estimated cost of one pass of the polling loop, so the
 /// controller law stays finite before any probe has been timed.
 const PASS_COST_FLOOR_NS: f64 = 100.0;
+/// Upper bound on messages drained from one armed source per ready visit.
+/// On hitting the bound the engine re-rings the source's own doorbell, so
+/// the remainder is picked up next pass instead of starving other sources.
+const READY_BATCH: u64 = 32;
+
+/// A doorbell for one receive source: producers ring it after enqueuing a
+/// message, and the poll engine then visits only rung sources instead of
+/// scanning the whole rotation.
+///
+/// The no-missed-wakeup protocol is a flag + MPSC ready-list pair:
+///
+/// * **ring** (producer): `ready.swap(true, Release)`; only the observer
+///   of the `false → true` transition pushes the source's token onto the
+///   shared ready-list, so a burst of sends queues the token once.
+/// * **visit** (consumer): pop a token, `ready.swap(false, Acquire)`,
+///   *then* poll the receiver to empty.
+///
+/// If the producer's Release-swap is ordered before the consumer's
+/// Acquire-swap in the flag's modification order, the producer's enqueue
+/// happens-before the consumer's drain and the message is retrieved this
+/// visit. Otherwise the producer observed `false`, which means it pushed
+/// the token back onto the (internally synchronized) ready-list and the
+/// source is revisited. Either way no enqueue is lost — the invariant the
+/// xtask `doorbell` model check pins.
+#[derive(Clone)]
+pub struct ReadySignal {
+    inner: Arc<SignalShared>,
+}
+
+struct SignalShared {
+    /// Whether the source is currently marked ready (token queued).
+    ready: AtomicBool,
+    /// The source's slot in the engine's token table.
+    token: usize,
+    /// The engine's shared ready-list.
+    list: Arc<SegQueue<usize>>,
+}
+
+impl ReadySignal {
+    /// Creates a signal that queues `token` onto `list` when rung.
+    pub fn new(token: usize, list: Arc<SegQueue<usize>>) -> Self {
+        ReadySignal {
+            inner: Arc::new(SignalShared {
+                ready: AtomicBool::new(false),
+                token,
+                list,
+            }),
+        }
+    }
+
+    /// Marks the source ready. The producer calls this *after* the message
+    /// is enqueued on the transport; the Release-swap publishes that
+    /// enqueue to the consumer's Acquire-swap in [`ReadySignal::clear`].
+    pub fn ring(&self) {
+        if !self.inner.ready.swap(true, Ordering::Release) {
+            self.inner.list.push(self.inner.token);
+        }
+    }
+
+    /// Clears the flag before the consumer polls, so rings racing the
+    /// drain re-queue the token rather than vanish.
+    fn clear(&self) {
+        self.inner.ready.swap(false, Ordering::Acquire);
+    }
+}
 
 /// The cost-driven controller law: the skip value minimizing the per-pass
 /// objective
@@ -165,6 +241,15 @@ struct PollSource {
     /// Probes performed on this source; every
     /// [`PROBE_SAMPLE_EVERY`]-th one (starting with the first) is timed.
     probe_tick: u64,
+    /// Stable identity of this source in the engine's token table (never
+    /// reused, so stale ready-list entries are detectable after removal).
+    token: usize,
+    /// Whether the source is served by the readiness tier (out of the
+    /// skip_poll rotation; visited only when its doorbell rings).
+    armed: bool,
+    /// The doorbell handed to the transport, kept for self-re-rings when a
+    /// drain is cut short (batch limit, transport error).
+    signal: Option<ReadySignal>,
 }
 
 /// One out of this many probes per source is wall-clock timed for the
@@ -218,6 +303,15 @@ impl PollSource {
 #[derive(Default)]
 pub struct PollEngine {
     sources: Vec<PollSource>,
+    /// MPSC list of tokens whose doorbells rang since the last drain.
+    ready_list: Arc<SegQueue<usize>>,
+    /// Token → current index in `sources` (`None` once removed). Tokens
+    /// are never reused, so a stale token popped from the ready-list after
+    /// its source was removed resolves to `None` and is skipped.
+    token_slots: Vec<Option<usize>>,
+    /// Indices of the sources still in the skip_poll rotation (unarmed),
+    /// so a pass costs O(rung + polled) instead of O(sources).
+    polled: Vec<usize>,
     /// Total invocations of [`PollEngine::poll_once`].
     calls: u64,
 }
@@ -263,6 +357,9 @@ pub struct PollOutcome {
     pub errors: Vec<(MethodId, NexusError)>,
     /// Adaptive skip_poll adjustments made during this pass.
     pub skip_changes: Vec<SkipChange>,
+    /// Doorbell visits serviced this pass: `(method, messages drained)`
+    /// per armed source whose ring was consumed.
+    pub ready_wakeups: Vec<(MethodId, u64)>,
 }
 
 impl PollOutcome {
@@ -272,6 +369,7 @@ impl PollOutcome {
         self.probed.clear();
         self.errors.clear();
         self.skip_changes.clear();
+        self.ready_wakeups.clear();
     }
 }
 
@@ -281,8 +379,13 @@ impl PollEngine {
         Self::default()
     }
 
-    /// Adds a receive source for `method` (at skip_poll = 1).
+    /// Adds a receive source for `method` (at skip_poll = 1, in the polled
+    /// tier until [`PollEngine::arm_ready`] moves it to the readiness
+    /// tier).
     pub fn add_source(&mut self, method: MethodId, receiver: Box<dyn CommReceiver>) {
+        let token = self.token_slots.len();
+        self.token_slots.push(Some(self.sources.len()));
+        self.polled.push(self.sources.len());
         self.sources.push(PollSource {
             method,
             receiver,
@@ -298,7 +401,53 @@ impl PollEngine {
             counters: None,
             mtrace: None,
             probe_tick: 0,
+            token,
+            armed: false,
+            signal: None,
         });
+    }
+
+    /// Rebuilds the polled-tier index list after a topology change
+    /// (arming, removal). Never called from the per-pass hot path.
+    fn rebuild_polled(&mut self) {
+        self.polled.clear();
+        self.polled.extend(
+            self.sources
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| (!s.armed).then_some(i)),
+        );
+    }
+
+    /// Moves `method`'s source to the readiness tier: hands the receiver a
+    /// [`ReadySignal`] doorbell and, if the transport accepts it, removes
+    /// the source from the skip_poll rotation. The doorbell is rung once
+    /// immediately ("priming"), covering messages enqueued between `open`
+    /// and arming. Returns whether the source is now armed.
+    pub fn arm_ready(&mut self, method: MethodId) -> bool {
+        let Some(idx) = self.sources.iter().position(|s| s.method == method) else {
+            return false;
+        };
+        let s = &mut self.sources[idx];
+        if s.armed {
+            return true;
+        }
+        let signal = ReadySignal::new(s.token, Arc::clone(&self.ready_list));
+        if !s.receiver.set_ready_signal(signal.clone()) {
+            return false;
+        }
+        s.armed = true;
+        // Prime: anything already queued predates the doorbell and would
+        // otherwise wait for the next send to ring.
+        signal.ring();
+        s.signal = Some(signal);
+        self.rebuild_polled();
+        true
+    }
+
+    /// Whether `method`'s source is served by the readiness tier.
+    pub fn is_armed(&self, method: MethodId) -> bool {
+        self.sources.iter().any(|s| s.method == method && s.armed)
     }
 
     /// Attaches per-method counters and trace handles (poll-cost EWMAs) to
@@ -317,7 +466,14 @@ impl PollEngine {
     /// method to a blocking poller thread).
     pub fn remove_source(&mut self, method: MethodId) -> Option<Box<dyn CommReceiver>> {
         let idx = self.sources.iter().position(|s| s.method == method)?;
-        Some(self.sources.remove(idx).receiver)
+        let removed = self.sources.remove(idx);
+        self.token_slots[removed.token] = None;
+        // Indices after the removal point shifted down by one.
+        for (i, s) in self.sources.iter().enumerate().skip(idx) {
+            self.token_slots[s.token] = Some(i);
+        }
+        self.rebuild_polled();
+        Some(removed.receiver)
     }
 
     /// Sets the skip_poll value for `method`. A value of `k` means the
@@ -388,24 +544,30 @@ impl PollEngine {
     /// [`PollOutcome::clear`]).
     pub fn poll_once_into(&mut self, out: &mut PollOutcome) {
         self.calls += 1;
-        // Estimated cost of one pass of this loop: every source's measured
-        // probe cost amortized over its skip. Computed once per pass (from
-        // last pass's values) for the cost-driven controller layer; skipped
-        // entirely when no source uses that layer.
-        let pass_cost_ns = if self
-            .sources
-            .iter()
-            .any(|s| s.adaptive.is_some_and(|cfg| cfg.update_every > 0))
-        {
-            self.sources
+        self.drain_ready(out);
+        // Estimated cost of one pass of the fallback rotation: every
+        // polled-tier source's measured probe cost amortized over its skip.
+        // Computed once per pass (from last pass's values) for the
+        // cost-driven controller layer; skipped entirely when no source
+        // uses that layer.
+        let pass_cost_ns = if self.polled.iter().any(|&i| {
+            self.sources[i]
+                .adaptive
+                .is_some_and(|cfg| cfg.update_every > 0)
+        }) {
+            self.polled
                 .iter()
-                .map(|s| s.probe_cost_estimate().unwrap_or(0.0) / s.skip.max(1) as f64)
+                .map(|&i| {
+                    let s = &self.sources[i];
+                    s.probe_cost_estimate().unwrap_or(0.0) / s.skip.max(1) as f64
+                })
                 .sum::<f64>()
                 .max(PASS_COST_FLOOR_NS)
         } else {
             0.0
         };
-        for s in &mut self.sources {
+        for pi in 0..self.polled.len() {
+            let s = &mut self.sources[self.polled[pi]];
             s.since_last += 1;
             if s.since_last < s.skip {
                 continue;
@@ -419,7 +581,7 @@ impl PollEngine {
             // immediately. Empty-probe cost is stable, so the sampled
             // EWMA converges to the same value at a fraction of the
             // overhead.
-            let timed = s.probe_tick % PROBE_SAMPLE_EVERY == 0;
+            let timed = s.probe_tick.is_multiple_of(PROBE_SAMPLE_EVERY);
             s.probe_tick += 1;
             let start = timed.then(Instant::now);
             let polled = s.receiver.poll();
@@ -485,6 +647,17 @@ impl PollEngine {
                     }
                 }
                 Err(e) => {
+                    if let Some(cfg) = s.adaptive {
+                        // An error is as empty-handed as Ok(None): without
+                        // feeding the grow path, an adaptive source whose
+                        // transport has died would be probed at its minimum
+                        // skip forever.
+                        s.empty_streak += 1;
+                        if !s.cost_mode && s.empty_streak >= cfg.grow_after {
+                            s.empty_streak = 0;
+                            s.skip = (s.skip * 2).clamp(cfg.min.max(1), cfg.max.max(1));
+                        }
+                    }
                     if let Some(c) = &s.counters {
                         c.note_poll_error();
                     }
@@ -510,6 +683,84 @@ impl PollEngine {
         }
     }
 
+    /// Visits every armed source whose doorbell rang since the last pass,
+    /// polling each to empty (bounded by [`READY_BATCH`] per visit). The
+    /// flag is cleared with an Acquire-swap *before* polling, so a ring
+    /// racing the drain re-queues the token instead of vanishing — the
+    /// no-missed-wakeup protocol documented on [`ReadySignal`]. Cost is
+    /// O(rung sources), independent of how many idle sources are armed.
+    fn drain_ready(&mut self, out: &mut PollOutcome) {
+        // Only service tokens that were already queued when the pass
+        // began: tokens re-rung mid-drain (batch limit, erroring source,
+        // racing producers) land in the *next* pass. This both bounds the
+        // pass and keeps one hot source from monopolizing it.
+        let max_visits = self.ready_list.len();
+        for _ in 0..max_visits {
+            let Some(token) = self.ready_list.pop() else {
+                break;
+            };
+            // Stale tokens (source removed after ringing) resolve to None.
+            let Some(idx) = self.token_slots.get(token).copied().flatten() else {
+                continue;
+            };
+            let s = &mut self.sources[idx];
+            let Some(signal) = s.signal.clone() else {
+                continue;
+            };
+            signal.clear();
+            let mut drained = 0u64;
+            loop {
+                if drained >= READY_BATCH {
+                    // Leave the remainder for the next pass without losing
+                    // the wakeup: ring our own doorbell.
+                    signal.ring();
+                    break;
+                }
+                let polled = s.receiver.poll();
+                let found = matches!(polled, Ok(Some(_)));
+                if let Some(c) = &s.counters {
+                    c.note_poll(found);
+                }
+                // Ready-path probes are untimed: the poll-cost EWMA steers
+                // the skip_poll rotation, which armed sources have left.
+                out.probed.push(Probe {
+                    method: s.method,
+                    found,
+                    cost_ns: None,
+                });
+                match polled {
+                    Ok(Some(msg)) => {
+                        let wire = msg.wire_len() as u64;
+                        if let Some(c) = &s.counters {
+                            c.note_recv(wire as usize);
+                        }
+                        if let Some(mt) = &s.mtrace {
+                            mt.recv_bytes.record(wire);
+                        }
+                        out.messages.push((s.method, msg));
+                        drained += 1;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        if let Some(c) = &s.counters {
+                            c.note_poll_error();
+                        }
+                        out.errors.push((s.method, e));
+                        // Messages may still be queued behind a transient
+                        // error; re-ring so the source is revisited next
+                        // pass instead of parked on a cleared flag.
+                        signal.ring();
+                        break;
+                    }
+                }
+            }
+            if let Some(c) = &s.counters {
+                c.note_ready_wakeup();
+            }
+            out.ready_wakeups.push((s.method, drained));
+        }
+    }
+
     /// Total calls to [`PollEngine::poll_once`] so far.
     pub fn calls(&self) -> u64 {
         self.calls
@@ -521,6 +772,9 @@ impl PollEngine {
             s.receiver.close();
         }
         self.sources.clear();
+        self.token_slots.clear();
+        self.polled.clear();
+        while self.ready_list.pop().is_some() {}
     }
 }
 
@@ -1058,6 +1312,203 @@ mod tests {
         // per single-source pass cost — the law keeps the skip at the low
         // end rather than backing off a live method.
         assert!(eng.skip_poll(MethodId::TCP).unwrap() <= 2);
+    }
+
+    /// A doorbell-capable receiver: lock-free inbox plus a write-once
+    /// bell, mirroring how real transports install the signal.
+    struct BellInbox {
+        queue: SegQueue<Rsr>,
+        bell: std::sync::OnceLock<ReadySignal>,
+    }
+
+    impl BellInbox {
+        fn send(&self, m: Rsr) {
+            self.queue.push(m);
+            if let Some(b) = self.bell.get() {
+                b.ring();
+            }
+        }
+    }
+
+    struct Belled {
+        inbox: Arc<BellInbox>,
+        polls: PollCount,
+    }
+
+    impl CommReceiver for Belled {
+        fn poll(&mut self) -> Result<Option<Rsr>> {
+            *self.polls.lock() += 1;
+            Ok(self.inbox.queue.pop())
+        }
+        fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
+            self.inbox.bell.set(signal).is_ok()
+        }
+    }
+
+    fn belled() -> (Belled, Arc<BellInbox>, PollCount) {
+        let inbox = Arc::new(BellInbox {
+            queue: SegQueue::new(),
+            bell: std::sync::OnceLock::new(),
+        });
+        let polls = Arc::new(Mutex::new(0));
+        (
+            Belled {
+                inbox: Arc::clone(&inbox),
+                polls: Arc::clone(&polls),
+            },
+            inbox,
+            polls,
+        )
+    }
+
+    #[test]
+    fn armed_source_is_drained_via_the_ready_path() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = belled();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        assert!(!eng.is_armed(MethodId::TCP));
+        assert!(eng.arm_ready(MethodId::TCP));
+        assert!(eng.is_armed(MethodId::TCP));
+        // Drain the priming ring so the next pass starts parked.
+        eng.poll_once();
+        inbox.send(msg("rung"));
+        let out = eng.poll_once();
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].1.handler, "rung");
+        assert_eq!(out.ready_wakeups, vec![(MethodId::TCP, 1)]);
+    }
+
+    #[test]
+    fn idle_armed_source_is_never_probed() {
+        let mut eng = PollEngine::new();
+        let (r, _, polls) = belled();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        assert!(eng.arm_ready(MethodId::TCP));
+        eng.poll_once(); // service the priming ring
+        let after_prime = *polls.lock();
+        for _ in 0..50 {
+            eng.poll_once();
+        }
+        assert_eq!(
+            *polls.lock(),
+            after_prime,
+            "an idle armed source must cost zero probes per pass"
+        );
+    }
+
+    #[test]
+    fn arming_is_rejected_by_non_supporting_receivers() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = scripted();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        assert!(!eng.arm_ready(MethodId::TCP), "scripted has no doorbell");
+        assert!(!eng.is_armed(MethodId::TCP));
+        assert!(!eng.arm_ready(MethodId::UDP), "unknown method");
+        // The source stays in the polled rotation and still delivers.
+        inbox.lock().push(msg("polled"));
+        assert_eq!(eng.poll_once().messages.len(), 1);
+    }
+
+    #[test]
+    fn messages_sent_before_arming_are_recovered_by_the_priming_ring() {
+        // A transport can enqueue between open() and arm_ready(); the bell
+        // was not installed yet, so nobody rang. The priming ring makes
+        // the first pass after arming visit the source anyway.
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = belled();
+        inbox.queue.push(msg("early"));
+        eng.add_source(MethodId::TCP, Box::new(r));
+        assert!(eng.arm_ready(MethodId::TCP));
+        let out = eng.poll_once();
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].1.handler, "early");
+    }
+
+    #[test]
+    fn ready_visit_is_bounded_by_batch_and_rerings_itself() {
+        let mut eng = PollEngine::new();
+        let (r, inbox, _) = belled();
+        eng.add_source(MethodId::TCP, Box::new(r));
+        assert!(eng.arm_ready(MethodId::TCP));
+        for i in 0..40 {
+            inbox.send(msg(if i % 2 == 0 { "a" } else { "b" }));
+        }
+        // One visit drains at most READY_BATCH, then re-rings its own
+        // bell so the remainder lands in the next pass instead of
+        // starving every other source.
+        let first = eng.poll_once();
+        assert_eq!(first.messages.len(), READY_BATCH as usize);
+        let second = eng.poll_once();
+        assert_eq!(second.messages.len(), 40 - READY_BATCH as usize);
+        assert!(eng.poll_once().messages.is_empty());
+    }
+
+    #[test]
+    fn stale_tokens_from_removed_sources_are_skipped() {
+        let mut eng = PollEngine::new();
+        let (r1, inbox1, _) = belled();
+        let (r2, inbox2, _) = belled();
+        eng.add_source(MethodId::TCP, Box::new(r1));
+        eng.add_source(MethodId::UDP, Box::new(r2));
+        assert!(eng.arm_ready(MethodId::TCP));
+        assert!(eng.arm_ready(MethodId::UDP));
+        // TCP's priming token (and a real ring) are still queued when the
+        // source goes away; the engine must drop them on the floor.
+        inbox1.send(msg("orphan"));
+        assert!(eng.remove_source(MethodId::TCP).is_some());
+        inbox2.send(msg("survivor"));
+        let out = eng.poll_once();
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].0, MethodId::UDP);
+    }
+
+    #[test]
+    fn erroring_adaptive_source_backs_off_to_max() {
+        // Regression: an `Err` probe fed neither the empty streak nor the
+        // hit EWMA, so a dead transport under adaptive control was probed
+        // at minimum skip forever.
+        let mut eng = PollEngine::new();
+        eng.add_source(MethodId::TCP, Box::new(Failing));
+        eng.set_adaptive(
+            MethodId::TCP,
+            AdaptiveSkipPoll {
+                min: 1,
+                max: 8,
+                grow_after: 2,
+                ..Default::default()
+            },
+        );
+        for _ in 0..100 {
+            eng.poll_once();
+        }
+        assert_eq!(
+            eng.skip_poll(MethodId::TCP),
+            Some(8),
+            "persistent errors must drive the skip to cfg.max"
+        );
+    }
+
+    #[test]
+    fn ready_error_is_reported_and_visit_rerings() {
+        // An armed source whose transport dies: the error surfaces once
+        // per pass (re-ring keeps it visible) without wedging the engine.
+        struct BelledFailing;
+        impl CommReceiver for BelledFailing {
+            fn poll(&mut self) -> Result<Option<Rsr>> {
+                Err(NexusError::ConnectionClosed)
+            }
+            fn set_ready_signal(&mut self, _signal: ReadySignal) -> bool {
+                true
+            }
+        }
+        let mut eng = PollEngine::new();
+        eng.add_source(MethodId::TCP, Box::new(BelledFailing));
+        assert!(eng.arm_ready(MethodId::TCP));
+        for _ in 0..3 {
+            let out = eng.poll_once();
+            assert_eq!(out.errors.len(), 1);
+            assert!(matches!(out.errors[0].1, NexusError::ConnectionClosed));
+        }
     }
 
     #[test]

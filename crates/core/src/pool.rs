@@ -28,9 +28,7 @@ thread_local! {
 /// Takes a cleared buffer with at least `min_capacity` bytes of capacity,
 /// reusing pooled storage when available.
 pub fn take(min_capacity: usize) -> BytesMut {
-    let mut buf = POOL
-        .with(|p| p.borrow_mut().pop())
-        .unwrap_or_default();
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
     if buf.capacity() < min_capacity {
         buf.reserve(min_capacity - buf.len().min(min_capacity));
     }

@@ -54,6 +54,8 @@ pub struct MethodCounters {
     pub failovers: AtomicU64,
     /// Transport errors returned by this method's receive source.
     pub poll_errors: AtomicU64,
+    /// Readiness-tier doorbell visits serviced for this method.
+    pub ready_wakeups: AtomicU64,
 }
 
 /// A snapshot of [`MethodCounters`] (plain integers).
@@ -77,6 +79,8 @@ pub struct MethodSnapshot {
     pub failovers: u64,
     /// Transport errors returned by this method's receive source.
     pub poll_errors: u64,
+    /// Readiness-tier doorbell visits serviced for this method.
+    pub ready_wakeups: u64,
 }
 
 impl MethodCounters {
@@ -91,6 +95,7 @@ impl MethodCounters {
             forwards: self.forwards.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             poll_errors: self.poll_errors.load(Ordering::Relaxed),
+            ready_wakeups: self.ready_wakeups.load(Ordering::Relaxed),
         }
     }
 
@@ -130,6 +135,11 @@ impl MethodCounters {
     /// Records a transport error from this method's receive source.
     pub fn note_poll_error(&self) {
         self.poll_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one serviced doorbell visit on the readiness tier.
+    pub fn note_ready_wakeup(&self) {
+        self.ready_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -347,6 +347,14 @@ pub enum TraceEventKind {
         /// Consecutive errors at the time of recording.
         consecutive: u64,
     },
+    /// An armed source's doorbell ring was serviced by the poll engine's
+    /// readiness tier.
+    ReadyWakeup {
+        /// The affected method.
+        method: MethodId,
+        /// Messages drained during the visit.
+        drained: u64,
+    },
 }
 
 /// One entry of the event ring.
@@ -387,6 +395,9 @@ impl fmt::Display for TraceEvent {
                 method,
                 consecutive,
             } => write!(f, "poll error on {method} ({consecutive} consecutive)"),
+            TraceEventKind::ReadyWakeup { method, drained } => {
+                write!(f, "ready wakeup on {method}, drained {drained}")
+            }
         }
     }
 }

@@ -105,6 +105,11 @@ impl DelayReceiver {
 }
 
 impl CommReceiver for DelayReceiver {
+    // Deliberately no `set_ready_signal` forward: a doorbell rung at
+    // enqueue time would trigger one visit *before* the emulated latency
+    // elapses — the visit finds nothing, the source parks, and the held
+    // message would never be delivered. Time-release semantics need the
+    // polled tier.
     fn poll(&mut self) -> Result<Option<Rsr>> {
         let cost = self.probe_cost_ns.load(Ordering::Relaxed);
         if cost > 0 {

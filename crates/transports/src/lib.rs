@@ -25,6 +25,7 @@ pub mod delay;
 pub mod local;
 pub mod mpl;
 pub mod queue;
+pub mod ready;
 pub mod rudp;
 pub mod shmem;
 pub mod tcp;
@@ -39,6 +40,7 @@ use std::sync::Arc;
 pub use delay::DelayModule;
 pub use local::LocalModule;
 pub use mpl::MplModule;
+pub use ready::ReadyPumpReceiver;
 pub use rudp::RudpModule;
 pub use shmem::ShmemModule;
 pub use tcp::TcpModule;

@@ -68,6 +68,12 @@ impl CommModule for LocalModule {
     fn supports_blocking(&self) -> bool {
         true
     }
+
+    fn supports_readiness(&self) -> bool {
+        // Senders push straight into the receiver's mailbox, which rings
+        // the doorbell after every enqueue.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,10 @@ fn busy_wait(ns: u64) {
 }
 
 impl CommReceiver for MplReceiver {
+    // Deliberately no `set_ready_signal` forward to the inner queue: MPL
+    // is the paper's fallback-tier example — the only way to learn of an
+    // arrival is to pay the `mpc_status` probe, so this source must stay
+    // in the adaptive skip_poll rotation rather than pretend readiness.
     fn poll(&mut self) -> Result<Option<Rsr>> {
         busy_wait(self.probe_cost_ns.load(Ordering::Relaxed));
         self.inner.poll()

@@ -11,16 +11,51 @@ use nexus_rt::context::{ContextId, ContextInfo};
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommObject, CommReceiver};
+use nexus_rt::poll::ReadySignal;
 use nexus_rt::rsr::{Rsr, WireFrame};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::time::Duration;
 
-/// The shared medium: one inbound queue per registered context.
+/// One context's inbound mailbox: the message queue plus the doorbell the
+/// poll engine installs when it arms the source. The bell is write-once
+/// and read lock-free on every send.
+pub struct QueueInbox {
+    queue: SegQueue<Rsr>,
+    bell: OnceLock<ReadySignal>,
+}
+
+impl QueueInbox {
+    fn new() -> Self {
+        QueueInbox {
+            queue: SegQueue::new(),
+            bell: OnceLock::new(),
+        }
+    }
+
+    /// Enqueues one RSR and rings the doorbell (if armed). The push is
+    /// completed *before* the ring — the ordering the engine's
+    /// no-missed-wakeup protocol relies on.
+    fn push(&self, rsr: Rsr) {
+        self.queue.push(rsr);
+        if let Some(bell) = self.bell.get() {
+            bell.ring();
+        }
+    }
+}
+
+impl Default for QueueInbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared medium: one inbound mailbox per registered context.
 #[derive(Default)]
 pub struct QueueMedium {
-    queues: Mutex<HashMap<ContextId, Arc<SegQueue<Rsr>>>>,
+    queues: Mutex<HashMap<ContextId, Arc<QueueInbox>>>,
 }
 
 impl QueueMedium {
@@ -29,20 +64,20 @@ impl QueueMedium {
         Self::default()
     }
 
-    /// Registers a context and returns its inbound queue.
-    pub fn register(&self, ctx: ContextId) -> Arc<SegQueue<Rsr>> {
-        let q = Arc::new(SegQueue::new());
+    /// Registers a context and returns its inbound mailbox.
+    pub fn register(&self, ctx: ContextId) -> Arc<QueueInbox> {
+        let q = Arc::new(QueueInbox::new());
         self.queues.lock().insert(ctx, Arc::clone(&q));
         q
     }
 
-    /// Removes a context's queue (shutdown).
+    /// Removes a context's mailbox (shutdown).
     pub fn unregister(&self, ctx: ContextId) {
         self.queues.lock().remove(&ctx);
     }
 
-    /// Looks up a context's queue.
-    pub fn queue_for(&self, ctx: ContextId) -> Option<Arc<SegQueue<Rsr>>> {
+    /// Looks up a context's mailbox.
+    pub fn queue_for(&self, ctx: ContextId) -> Option<Arc<QueueInbox>> {
         self.queues.lock().get(&ctx).cloned()
     }
 }
@@ -86,7 +121,7 @@ impl QueueDescriptor {
 pub struct QueueReceiver {
     medium: Arc<QueueMedium>,
     ctx: ContextId,
-    queue: Arc<SegQueue<Rsr>>,
+    queue: Arc<QueueInbox>,
 }
 
 impl QueueReceiver {
@@ -99,13 +134,13 @@ impl QueueReceiver {
 
 impl CommReceiver for QueueReceiver {
     fn poll(&mut self) -> Result<Option<Rsr>> {
-        Ok(self.queue.pop())
+        Ok(self.queue.queue.pop())
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Rsr>> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if let Some(m) = self.queue.pop() {
+            if let Some(m) = self.queue.queue.pop() {
                 return Ok(Some(m));
             }
             if std::time::Instant::now() >= deadline {
@@ -113,6 +148,10 @@ impl CommReceiver for QueueReceiver {
             }
             std::thread::yield_now();
         }
+    }
+
+    fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
+        self.queue.bell.set(signal).is_ok()
     }
 
     fn close(&mut self) {
@@ -123,7 +162,7 @@ impl CommReceiver for QueueReceiver {
 /// Sender side: pushes into the target context's queue.
 pub struct QueueObject {
     method: MethodId,
-    queue: Arc<SegQueue<Rsr>>,
+    queue: Arc<QueueInbox>,
 }
 
 impl QueueObject {
@@ -149,6 +188,7 @@ impl CommObject for QueueObject {
         // In-process move: no wire bytes, so the shared frame is unused
         // (and thus never encoded when every link is queue-based). The
         // clone is refcount bumps only — interned handler, shared payload.
+        // `push` rings the receiver's doorbell after the enqueue.
         self.queue.push(rsr.clone());
         Ok(())
     }

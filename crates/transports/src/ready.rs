@@ -1,0 +1,271 @@
+//! Readiness adaptation for fd-based transports.
+//!
+//! In-process transports ring the poll engine's doorbell directly from
+//! their send path. Socket transports have no such hook — the kernel owns
+//! the wakeup — so [`ReadyPumpReceiver`] bridges the gap: when the engine
+//! arms the source, the adapter moves the real receiver into a pump
+//! thread that blocks on `recv_timeout`, parks retrieved messages in a
+//! lock-free queue, and rings the doorbell after each enqueue. The
+//! engine-facing `poll` then only ever pops the queue, which costs
+//! nanoseconds and never touches a socket.
+//!
+//! Until (or unless) the source is armed, the adapter is a transparent
+//! pass-through to the inner receiver, so unarmed engines and
+//! `BlockingPoller`-driven setups see the transport's native behavior.
+
+use crossbeam::queue::SegQueue;
+use nexus_rt::descriptor::MethodId;
+use nexus_rt::error::{NexusError, Result};
+use nexus_rt::module::CommReceiver;
+use nexus_rt::poll::ReadySignal;
+use nexus_rt::rsr::Rsr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the pump thread blocks per `recv_timeout` before re-checking
+/// the stop flag. Small enough for prompt shutdown, large enough that an
+/// idle transport costs a handful of wakeups per second, not a busy loop.
+const PUMP_GRANULARITY: Duration = Duration::from_millis(2);
+
+/// First backoff after a pump transport error.
+const PUMP_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Ceiling on the pump's error backoff.
+const PUMP_BACKOFF_CAP: Duration = Duration::from_millis(256);
+
+/// Wraps a polled receiver so it can serve the engine's readiness tier.
+pub struct ReadyPumpReceiver {
+    method: MethodId,
+    /// The real receiver; present until the pump thread takes it over at
+    /// arming time.
+    inner: Option<Box<dyn CommReceiver>>,
+    /// Messages the pump has retrieved, drained by `poll`.
+    queue: Arc<SegQueue<Rsr>>,
+    /// Transport errors seen by the pump, surfaced one per `poll`.
+    errors: Arc<SegQueue<NexusError>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReadyPumpReceiver {
+    /// Wraps `inner`, identified as `method` for thread naming.
+    pub fn new(method: MethodId, inner: Box<dyn CommReceiver>) -> Self {
+        ReadyPumpReceiver {
+            method,
+            inner: Some(inner),
+            queue: Arc::new(SegQueue::new()),
+            errors: Arc::new(SegQueue::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            handle: None,
+        }
+    }
+
+    fn stop_pump(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl CommReceiver for ReadyPumpReceiver {
+    fn poll(&mut self) -> Result<Option<Rsr>> {
+        // Pre-arm: transparent pass-through to the socket scan.
+        if let Some(inner) = &mut self.inner {
+            return inner.poll();
+        }
+        if let Some(m) = self.queue.pop() {
+            return Ok(Some(m));
+        }
+        if let Some(e) = self.errors.pop() {
+            return Err(e);
+        }
+        Ok(None)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Rsr>> {
+        if let Some(inner) = &mut self.inner {
+            return inner.recv_timeout(timeout);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.queue.pop() {
+                return Ok(Some(m));
+            }
+            if let Some(e) = self.errors.pop() {
+                return Err(e);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
+        if self.handle.is_some() {
+            // Already armed; the existing pump keeps its signal.
+            return false;
+        }
+        let Some(mut inner) = self.inner.take() else {
+            return false;
+        };
+        let queue = Arc::clone(&self.queue);
+        let errors = Arc::clone(&self.errors);
+        let stop = Arc::clone(&self.stop);
+        let spawned = std::thread::Builder::new()
+            .name(format!("nexus-ready-pump-{}", self.method))
+            .spawn(move || {
+                let mut consecutive: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let started = std::time::Instant::now();
+                    match inner.recv_timeout(PUMP_GRANULARITY) {
+                        Ok(Some(msg)) => {
+                            consecutive = 0;
+                            // Enqueue strictly before ringing: the engine's
+                            // no-missed-wakeup protocol needs the message
+                            // visible by the time the doorbell is observed.
+                            queue.push(msg);
+                            signal.ring();
+                        }
+                        Ok(None) => {
+                            consecutive = 0;
+                            // Guard against inner receivers whose
+                            // `recv_timeout` returns early (the trait
+                            // default polls once): an idle pump must never
+                            // spin faster than its granularity.
+                            let spent = started.elapsed();
+                            if spent < PUMP_GRANULARITY {
+                                std::thread::sleep(PUMP_GRANULARITY - spent);
+                            }
+                        }
+                        Err(e) => {
+                            consecutive += 1;
+                            errors.push(e);
+                            signal.ring();
+                            let exp = consecutive.saturating_sub(1).min(8) as u32;
+                            let backoff = PUMP_BACKOFF_BASE
+                                .saturating_mul(1u32 << exp)
+                                .min(PUMP_BACKOFF_CAP);
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                }
+                inner.close();
+            });
+        match spawned {
+            Ok(handle) => {
+                self.handle = Some(handle);
+                true
+            }
+            Err(_) => {
+                // The OS refused the thread — and `spawn` consumed (and
+                // dropped) the closure holding the receiver, so the
+                // transport is gone. Report failure; the engine keeps the
+                // source in the polled rotation, which now yields nothing,
+                // matching any other died-at-open transport.
+                false
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.stop_pump();
+        if let Some(inner) = &mut self.inner {
+            inner.close();
+        }
+    }
+}
+
+impl Drop for ReadyPumpReceiver {
+    fn drop(&mut self) {
+        self.stop_pump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_rt::context::ContextId;
+    use nexus_rt::endpoint::EndpointId;
+    use nexus_rt::poll::PollEngine;
+    use parking_lot::Mutex;
+
+    struct Scripted {
+        inbox: Arc<Mutex<Vec<Rsr>>>,
+    }
+
+    impl CommReceiver for Scripted {
+        fn poll(&mut self) -> Result<Option<Rsr>> {
+            Ok(self.inbox.lock().pop())
+        }
+    }
+
+    fn msg(h: &str) -> Rsr {
+        Rsr::new(ContextId(0), EndpointId(0), h, bytes::Bytes::new())
+    }
+
+    #[test]
+    fn pass_through_before_arming() {
+        let inbox = Arc::new(Mutex::new(vec![msg("direct")]));
+        let mut rx = ReadyPumpReceiver::new(
+            MethodId::TCP,
+            Box::new(Scripted {
+                inbox: Arc::clone(&inbox),
+            }),
+        );
+        assert_eq!(rx.poll().unwrap().unwrap().handler, "direct");
+        assert!(rx.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn pump_delivers_through_the_engine_after_arming() {
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        let rx = ReadyPumpReceiver::new(
+            MethodId::TCP,
+            Box::new(Scripted {
+                inbox: Arc::clone(&inbox),
+            }),
+        );
+        let mut eng = PollEngine::new();
+        eng.add_source(MethodId::TCP, Box::new(rx));
+        assert!(eng.arm_ready(MethodId::TCP));
+        inbox.lock().push(msg("pumped"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = None;
+        while got.is_none() && std::time::Instant::now() < deadline {
+            let out = eng.poll_once();
+            got = out.messages.first().map(|(_, m)| m.handler.clone());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.as_deref(), Some("pumped"));
+        eng.close_all();
+    }
+
+    #[test]
+    fn pump_surfaces_transport_errors() {
+        struct Failing;
+        impl CommReceiver for Failing {
+            fn poll(&mut self) -> Result<Option<Rsr>> {
+                Err(NexusError::ConnectionClosed)
+            }
+        }
+        let rx = ReadyPumpReceiver::new(MethodId::TCP, Box::new(Failing));
+        let mut eng = PollEngine::new();
+        eng.add_source(MethodId::TCP, Box::new(rx));
+        assert!(eng.arm_ready(MethodId::TCP));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut seen = false;
+        while !seen && std::time::Instant::now() < deadline {
+            let out = eng.poll_once();
+            seen = out
+                .errors
+                .iter()
+                .any(|(m, e)| *m == MethodId::TCP && matches!(e, NexusError::ConnectionClosed));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(seen, "pump errors must reach the engine outcome");
+        eng.close_all();
+    }
+}

@@ -416,8 +416,8 @@ impl CommModule for RudpModule {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_nonblocking(true)?;
         let addr = socket.local_addr()?;
-        Ok((
-            CommDescriptor::new(MethodId::RUDP, addr.to_string().into_bytes()),
+        let rx = crate::ready::ReadyPumpReceiver::new(
+            MethodId::RUDP,
             Box::new(RudpReceiver {
                 socket,
                 buf: vec![0; 65_536],
@@ -425,6 +425,10 @@ impl CommModule for RudpModule {
                 ready: VecDeque::new(),
                 corrupt_drops: Arc::clone(&self.corrupt_drops),
             }),
+        );
+        Ok((
+            CommDescriptor::new(MethodId::RUDP, addr.to_string().into_bytes()),
+            Box::new(rx),
         ))
     }
 
@@ -481,6 +485,11 @@ impl CommModule for RudpModule {
     }
 
     fn supports_blocking(&self) -> bool {
+        true
+    }
+
+    fn supports_readiness(&self) -> bool {
+        // Via the pump thread in the receiver's `ReadyPumpReceiver` shell.
         true
     }
 

@@ -72,6 +72,11 @@ impl CommModule for ShmemModule {
     fn supports_blocking(&self) -> bool {
         true
     }
+
+    fn supports_readiness(&self) -> bool {
+        // Same-node queues ring the receiver's doorbell on enqueue.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -242,14 +242,18 @@ impl CommModule for TcpModule {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let desc = CommDescriptor::new(MethodId::TCP, addr.to_string().into_bytes());
-        Ok((
-            desc,
+        // The pump adapter stays a pass-through until the poll engine arms
+        // the source; from then on a dedicated thread blocks on the socket
+        // and rings the engine's doorbell per retrieved frame.
+        let rx = crate::ready::ReadyPumpReceiver::new(
+            MethodId::TCP,
             Box::new(TcpReceiver {
                 listener,
                 conns: Vec::new(),
                 pending: VecDeque::new(),
             }),
-        ))
+        );
+        Ok((desc, Box::new(rx)))
     }
 
     fn applicable(&self, _local: &ContextInfo, desc: &CommDescriptor) -> bool {
@@ -281,6 +285,11 @@ impl CommModule for TcpModule {
     }
 
     fn supports_blocking(&self) -> bool {
+        true
+    }
+
+    fn supports_readiness(&self) -> bool {
+        // Via the pump thread in the receiver's `ReadyPumpReceiver` shell.
         true
     }
 

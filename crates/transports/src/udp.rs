@@ -154,12 +154,16 @@ impl CommModule for UdpModule {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_nonblocking(true)?;
         let addr = socket.local_addr()?;
-        Ok((
-            CommDescriptor::new(MethodId::UDP, addr.to_string().into_bytes()),
+        let rx = crate::ready::ReadyPumpReceiver::new(
+            MethodId::UDP,
             Box::new(UdpReceiver {
                 socket,
                 buf: vec![0; 65_536],
             }),
+        );
+        Ok((
+            CommDescriptor::new(MethodId::UDP, addr.to_string().into_bytes()),
+            Box::new(rx),
         ))
     }
 
@@ -191,6 +195,11 @@ impl CommModule for UdpModule {
     }
 
     fn supports_blocking(&self) -> bool {
+        true
+    }
+
+    fn supports_readiness(&self) -> bool {
+        // Via the pump thread in the receiver's `ReadyPumpReceiver` shell.
         true
     }
 

@@ -103,6 +103,12 @@ impl CommReceiver for WrapReceiver {
         }
     }
 
+    fn set_ready_signal(&mut self, signal: nexus_rt::poll::ReadySignal) -> bool {
+        // The transform applies on `poll`, so readiness is exactly the
+        // inner transport's: its ring means "a frame is retrievable here".
+        self.inner.set_ready_signal(signal)
+    }
+
     fn close(&mut self) {
         self.inner.close();
     }
@@ -188,6 +194,10 @@ impl CommModule for WrapModule {
 
     fn supports_blocking(&self) -> bool {
         self.inner.supports_blocking()
+    }
+
+    fn supports_readiness(&self) -> bool {
+        self.inner.supports_readiness()
     }
 
     fn set_param(&self, key: &str, value: &str) -> Result<()> {

@@ -64,14 +64,15 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "poll-blocking",
-        description: "no blocking calls in functions reachable from PollEngine::poll_once \
-                      or the adaptive re-selection driver",
+        description: "no blocking calls in functions reachable from PollEngine::poll_once, \
+                      the ready-list drain, or the adaptive re-selection driver",
         run: rule_poll_blocking,
     },
     Rule {
         name: "hot-path-alloc",
         description: "no per-message allocation (to_vec/encode/Vec::new) in functions \
-                      reachable from Context::rsr or PollEngine::poll_once",
+                      reachable from Context::rsr, PollEngine::poll_once, or the \
+                      ready-list drain",
         run: rule_hot_path_alloc,
     },
     Rule {
@@ -507,6 +508,13 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
     }
     let graph = CallGraph::build(&graph_files);
     let mut reach = graph.reachable_from("poll_once");
+    // The readiness-tier drain is reached through `poll_once` today, but
+    // it is the part of the pass a rung doorbell lands in, so it stays a
+    // root in its own right even if it grows another entry point (e.g. a
+    // dedicated wakeup-service call).
+    for (name, path) in graph.reachable_from("drain_ready") {
+        reach.entry(name).or_insert(path);
+    }
     // The adaptive re-selection decision logic runs inline on the send path
     // every `check_every` messages; its cost comparison must stay as
     // non-blocking as the poll loop. (The migration it may trigger opens a
@@ -592,9 +600,15 @@ fn rule_hot_path_alloc(ws: &Workspace) -> Vec<Diagnostic> {
     let graph = CallGraph::build(&graph_files);
     // Both halves of the data path: `Context::rsr` (send) and
     // `PollEngine::poll_once` (receive; `progress` reaches the same set
-    // through `poll_once_into`).
+    // through `poll_once_into`). The ready-list drain is additionally a
+    // root of its own: the doorbell tier's whole point is 0 allocs/RSR
+    // with thousands of armed sources, and that must not silently lapse
+    // if the drain is ever called from outside `poll_once`.
     let mut reach = graph.reachable_from("rsr");
     for (name, path) in graph.reachable_from("poll_once") {
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("drain_ready") {
         reach.entry(name).or_insert(path);
     }
     let mut out = Vec::new();
@@ -672,9 +686,15 @@ struct ImplBlock {
 }
 
 /// Finds `impl <Trait> for <Target>` blocks in a file's code view.
+/// Test-only impls (scripted receivers, dead-source fixtures) are skipped,
+/// matching every other rule's test exemption: the contract binds real
+/// modules, not test doubles.
 fn impl_blocks(f: &SourceFile, file_idx: usize, trait_name: &str, out: &mut Vec<ImplBlock>) {
     let pat = format!("{trait_name} for ");
     for (line, code) in f.code.iter().enumerate() {
+        if f.is_test_line(line) {
+            continue;
+        }
         let Some(pos) = code.find(&pat) else { continue };
         if !code[..pos].contains("impl ") && !code[..pos].trim_end().ends_with("impl") {
             continue;
@@ -1046,6 +1066,26 @@ mod tests {
     }
 
     #[test]
+    fn blocking_call_reachable_from_the_ready_drain_is_flagged() {
+        // `drain_ready` is a root independent of `poll_once`: a blocking
+        // call below it is caught even when nothing links the two.
+        let ws = ws_one(
+            "p.rs",
+            "fn drain_ready() {\n    visit();\n}\nfn visit() {\n    rx.recv();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("drain_ready -> visit"));
+    }
+
+    #[test]
     fn blocking_call_reachable_from_reselection_is_flagged() {
         let ws = ws_one(
             "c.rs",
@@ -1080,6 +1120,27 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("rsr -> build"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_ready_drain_root() {
+        // The doorbell service path must stay allocation-free on its own:
+        // here `drain_ready` is not called from `rsr` or `poll_once`, so
+        // only the dedicated root reaches the allocation.
+        let ws = ws_one(
+            "p.rs",
+            "fn drain_ready() {\n    service();\n}\nfn service() {\n    let v = tok.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("drain_ready -> service"));
     }
 
     #[test]
@@ -1132,6 +1193,28 @@ impl CommModule for M {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].message.contains("missing"));
         assert!(diags[0].message.contains("cost_rank"));
+    }
+
+    #[test]
+    fn test_only_module_impls_are_exempt_from_the_contract() {
+        // Test fixtures (dead-source modules, scripted receivers) are not
+        // real communication modules; the contract must not bind them.
+        let text = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    struct M;
+    impl CommModule for M {
+        fn method(&self) {}
+    }
+}
+";
+        let ws = ws_one("m.rs", text, false, false, true);
+        assert!(
+            rule_module_contract(&ws).is_empty(),
+            "{:?}",
+            rule_module_contract(&ws)
+        );
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! The invariant checks the model checker drives.
 //!
-//! Each check hammers one of the lock-free trace structures from
-//! `nexus-rt` and asserts an invariant that must hold under *every*
+//! Each check hammers one of the lock-free structures from `nexus-rt` —
+//! the trace layer's ring/EWMA/histogram, and the poll engine's doorbell
+//! protocol — and asserts an invariant that must hold under *every*
 //! schedule. Randomized checks take a seed that fully determines each
 //! thread's op program, so a failing seed replays the same programs.
 
 use super::rng::XorShift64;
+use nexus_rt::context::ContextId;
 use nexus_rt::descriptor::MethodId;
+use nexus_rt::endpoint::EndpointId;
+use nexus_rt::error::Result as NexusResult;
+use nexus_rt::module::CommReceiver;
+use nexus_rt::poll::{PollEngine, ReadySignal};
+use nexus_rt::rsr::Rsr;
 use nexus_rt::trace::{Ewma, LogHistogram, Trace, TraceEventKind};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
 /// How a check explores schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +85,12 @@ pub const CHECKS: &[Check] = &[
         description: "histogram count() is non-decreasing for a concurrent reader",
         kind: Kind::Randomized,
         run: histogram_monotone,
+    },
+    Check {
+        name: "doorbell",
+        description: "readiness doorbell loses no wakeups: every enqueue is drained",
+        kind: Kind::Randomized,
+        run: doorbell,
     },
 ];
 
@@ -389,6 +403,130 @@ fn histogram_monotone(cx: &CheckCtx) -> Result<(), String> {
     }
     if hist.count() != total {
         return Err(format!("final count = {}, expected {total}", hist.count()));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// doorbell check
+// ---------------------------------------------------------------------------
+
+/// A doorbell-capable inbox shared by producer threads and the
+/// engine-owned receiver, mirroring how the queue transports install the
+/// [`ReadySignal`]: enqueue first, ring after.
+struct DoorInbox {
+    queue: Mutex<VecDeque<Rsr>>,
+    bell: OnceLock<ReadySignal>,
+}
+
+impl DoorInbox {
+    fn send(&self, m: Rsr) {
+        self.queue.lock().expect("inbox lock poisoned").push_back(m);
+        if let Some(b) = self.bell.get() {
+            b.ring();
+        }
+    }
+}
+
+struct DoorReceiver(Arc<DoorInbox>);
+
+impl CommReceiver for DoorReceiver {
+    fn poll(&mut self) -> NexusResult<Option<Rsr>> {
+        Ok(self
+            .0
+            .queue
+            .lock()
+            .expect("inbox lock poisoned")
+            .pop_front())
+    }
+    fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
+        self.0.bell.set(signal).is_ok()
+    }
+}
+
+/// Hammers the poll engine's no-missed-wakeup protocol with real threads:
+/// seeded producers enqueue-and-ring into a seeded number of armed
+/// sources while the main thread drains concurrently, racing each
+/// producer's Release-swap of the ready flag against the drain's
+/// Acquire-swap clear. After the producers join, the engine is polled
+/// until a pass comes back empty; at that point every sent message must
+/// have been retrieved. A protocol hole (flag cleared after the drain,
+/// a relaxed swap, a lost token) strands messages behind an un-rung
+/// doorbell, which this check reports as a deficit.
+fn doorbell(cx: &CheckCtx) -> Result<(), String> {
+    let mut rng = XorShift64::new(cx.seed);
+    let n_sources = 2 + rng.next_below(6) as usize;
+    let per_thread: Vec<u64> = (0..cx.threads).map(|_| 16 + rng.next_below(48)).collect();
+    let total: u64 = per_thread.iter().sum();
+
+    let mut engine = PollEngine::new();
+    let inboxes: Vec<Arc<DoorInbox>> = (0..n_sources)
+        .map(|_| {
+            Arc::new(DoorInbox {
+                queue: Mutex::new(VecDeque::new()),
+                bell: OnceLock::new(),
+            })
+        })
+        .collect();
+    for (i, inbox) in inboxes.iter().enumerate() {
+        let method = MethodId(0x100 + i as u16);
+        engine.add_source(method, Box::new(DoorReceiver(Arc::clone(inbox))));
+        if !engine.arm_ready(method) {
+            return Err(format!("source {i} refused the doorbell"));
+        }
+    }
+
+    let barrier = Barrier::new(cx.threads + 1);
+    let live_producers = AtomicUsize::new(cx.threads);
+    let mut received = 0u64;
+    std::thread::scope(|s| {
+        for (t, &ops) in per_thread.iter().enumerate() {
+            let inboxes = &inboxes;
+            let barrier = &barrier;
+            let live = &live_producers;
+            let mut trng = XorShift64::new(cx.seed.wrapping_add(401 + t as u64));
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    let which = trng.next_below(inboxes.len() as u64) as usize;
+                    inboxes[which].send(Rsr::new(
+                        ContextId(0),
+                        EndpointId(0),
+                        "doorbell",
+                        Default::default(),
+                    ));
+                    pause(&mut trng);
+                }
+                live.fetch_sub(1, Ordering::Release);
+            });
+        }
+        barrier.wait();
+        // Concurrent phase: drain while producers ring, so clears race
+        // live rings mid-burst rather than only after quiescence.
+        while live_producers.load(Ordering::Acquire) > 0 {
+            received += engine.poll_once().messages.len() as u64;
+        }
+    });
+    // Quiescent phase: no producer is left, so every remaining message
+    // already had its ring. Poll until a pass retrieves nothing (batched
+    // drains re-ring themselves, so a non-empty backlog keeps passes
+    // non-empty); anything still undelivered then is a lost wakeup.
+    loop {
+        let got = engine.poll_once().messages.len() as u64;
+        if got == 0 {
+            break;
+        }
+        received += got;
+    }
+    if received != total {
+        let stranded: usize = inboxes
+            .iter()
+            .map(|i| i.queue.lock().expect("inbox lock poisoned").len())
+            .sum();
+        return Err(format!(
+            "missed wakeup: retrieved {received} of {total} sent \
+             ({stranded} stranded behind un-rung doorbells)"
+        ));
     }
     Ok(())
 }

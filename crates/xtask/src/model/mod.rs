@@ -1,4 +1,5 @@
-//! Bounded-interleaving model checker for the lock-free trace layer.
+//! Bounded-interleaving model checker for the lock-free trace layer and
+//! the poll engine's readiness-doorbell protocol.
 //!
 //! A miniature `loom`: instead of instrumenting every atomic, it runs the
 //! real structures under two exploration strategies —

@@ -1,5 +1,14 @@
 //! Regression tests replaying schedule seeds that found real races.
 //!
+//! A randomized seed is a *program* (op counts, values, pause lengths),
+//! not a single interleaving — the OS still schedules the threads — so
+//! each replay reruns the seed's program many times. Schedule 0 of a run
+//! uses the master seed directly (that is the replay contract printed in
+//! every failure message), and the remaining schedules hunt neighboring
+//! programs derived from it.
+//!
+//! ## ring-seq-order
+//!
 //! Before `EventRing::push` drew its sequence number under the slot
 //! lock (crates/core/src/trace.rs), two threads could claim seqs in one
 //! order and insert into the ring in the other, so the `ring-seq-order`
@@ -10,35 +19,53 @@
 //! * `2217750873614213955` — derived under master seed 1
 //! * `15921625141799859312` — derived under master seed 3
 //!
-//! A randomized seed is a *program* (op counts, values, pause lengths),
-//! not a single interleaving — the OS still schedules the threads — so
-//! each replay reruns the seed's program many times. Schedule 0 of a run
-//! uses the master seed directly (that is the replay contract printed in
-//! every failure message), and the remaining schedules hunt neighboring
-//! programs derived from it.
+//! ## doorbell
+//!
+//! The poll engine's readiness tier must clear a source's ready flag
+//! with an Acquire-swap *before* polling it (crates/core/src/poll.rs,
+//! `PollEngine::drain_ready`): a producer ringing mid-drain then
+//! observes `false` and re-queues the token. Clearing *after* the drain
+//! instead loses that ring — the producer saw `true`, queued nothing,
+//! and the message strands behind an un-rung doorbell. The seeds below
+//! were captured by running the `doorbell` check against exactly that
+//! broken ordering (clear moved below the drain loop), where each failed
+//! within 3000 schedules as "missed wakeup: retrieved N of M sent":
+//!
+//! * `4151209476244410783` — derived under master seed 1
+//! * `11309951222947488521` — derived under master seed 3
 
 use xtask::model::{run, ModelConfig};
 
-/// Replays a captured seed as the master seed of a `ring-seq-order` run.
-fn replay(seed: u64, schedules: u64) {
+/// Replays a captured seed as the master seed of a single-check run.
+fn replay(check: &str, seed: u64, schedules: u64) {
     let cfg = ModelConfig {
         schedules,
         seed,
         threads: 4,
-        check: Some("ring-seq-order".into()),
+        check: Some(check.into()),
     };
     match run(&cfg) {
-        Ok(report) => assert_eq!(report.checks, vec![("ring-seq-order", schedules)]),
+        Ok(report) => assert_eq!(report.checks, vec![(check, schedules)]),
         Err(failure) => panic!("regressed: {failure}"),
     }
 }
 
 #[test]
 fn ring_seq_order_seed_from_master_1_stays_fixed() {
-    replay(2217750873614213955, 300);
+    replay("ring-seq-order", 2217750873614213955, 300);
 }
 
 #[test]
 fn ring_seq_order_seed_from_master_3_stays_fixed() {
-    replay(15921625141799859312, 300);
+    replay("ring-seq-order", 15921625141799859312, 300);
+}
+
+#[test]
+fn doorbell_seed_from_master_1_stays_fixed() {
+    replay("doorbell", 4151209476244410783, 300);
+}
+
+#[test]
+fn doorbell_seed_from_master_3_stays_fixed() {
+    replay("doorbell", 11309951222947488521, 300);
 }

@@ -126,11 +126,15 @@ fn live_method_switch_mid_stream() {
 
 #[test]
 fn skip_poll_still_delivers_and_counts_fewer_polls() {
+    // With the readiness tier, the default module set keeps only `mpl` in
+    // the polled rotation (its emulated mpc_status probe is the sole
+    // arrival signal); manual skip_poll still governs that tier, while an
+    // armed method like TCP is probed only when frames actually arrive.
     let fabric = Fabric::new();
     register_defaults(&fabric);
     let a = fabric.create_context().unwrap();
     let b = fabric.create_context().unwrap();
-    b.set_skip_poll(MethodId::TCP, 50);
+    b.set_skip_poll(MethodId::MPL, 50);
     let got = Arc::new(AtomicU32::new(0));
     {
         let g = Arc::clone(&got);
@@ -143,13 +147,20 @@ fn skip_poll_still_delivers_and_counts_fewer_polls() {
     sp.set_method(MethodId::TCP);
     a.rsr(&sp, "x", Buffer::new()).unwrap();
     assert!(drive_until(&[&b], || got.load(Ordering::Relaxed) == 1, 10));
-    let tcp = b.stats().snapshot_method(MethodId::TCP);
-    let shmem = b.stats().snapshot_method(MethodId::SHMEM);
+    let mpl_before = b.stats().snapshot_method(MethodId::MPL).polls;
+    let tcp_before = b.stats().snapshot_method(MethodId::TCP).polls;
+    for _ in 0..500 {
+        let _ = b.progress();
+    }
+    let mpl_polls = b.stats().snapshot_method(MethodId::MPL).polls - mpl_before;
+    let tcp_polls = b.stats().snapshot_method(MethodId::TCP).polls - tcp_before;
     assert!(
-        tcp.polls * 10 < shmem.polls,
-        "TCP probed far less often: {} vs {}",
-        tcp.polls,
-        shmem.polls
+        mpl_polls <= 500 / 50 + 2,
+        "skip_poll=50 must throttle the polled tier: {mpl_polls} probes in 500 passes"
+    );
+    assert_eq!(
+        tcp_polls, 0,
+        "an idle armed source must not be probed at all"
     );
     fabric.shutdown();
 }
