@@ -770,6 +770,7 @@ impl Context {
     /// every `k`-th invocation of the unified polling function (§3.3).
     pub fn set_skip_poll(&self, method: MethodId, k: u64) -> bool {
         let (ok, before) = {
+            // lint:allow(lock-order) name-link artifact: `eng.skip_poll` is the lock-free PollEngine accessor, not the Context wrapper that re-locks `poll`
             let mut eng = self.poll.lock();
             let before = eng.skip_poll(method);
             (eng.set_skip_poll(method, k), before)
@@ -1107,7 +1108,14 @@ impl Context {
         if self.shutdown.swap(true, Ordering::Relaxed) {
             return;
         }
-        self.poll.lock().close_all();
+        // Drain under the lock, close after releasing it: receiver close()
+        // joins pump threads, and holding the engine lock through that
+        // would wedge any concurrent progress pass for the whole shutdown
+        // (and deadlock outright if a closing thread ever needs the engine).
+        let receivers = self.poll.lock().drain_sources();
+        for mut r in receivers {
+            r.close();
+        }
         self.blocking.lock().clear(); // Drop impl stops the threads.
         self.blocking_count.store(0, Ordering::Release);
         let cache = std::mem::take(&mut *self.comm_cache.lock());

@@ -27,7 +27,10 @@ use crate::module::CommReceiver;
 use crate::rsr::Rsr;
 use crate::stats::{MethodCounters, Stats};
 use crate::trace::{MethodTrace, Trace, TraceEventKind};
-use crossbeam::queue::SegQueue;
+// Re-exported so external drivers of the doorbell protocol (transports,
+// the xtask model checker) can build a ready list without depending on
+// crossbeam directly.
+pub use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -157,9 +160,87 @@ impl ReadySignal {
     }
 
     /// Clears the flag before the consumer polls, so rings racing the
-    /// drain re-queue the token rather than vanish.
-    fn clear(&self) {
+    /// drain re-queue the token rather than vanish. Public because it is
+    /// the consumer half of the doorbell protocol: external drivers (and
+    /// the xtask model checker) that pop tokens from the shared list must
+    /// clear *before* polling the source, exactly as the engine does.
+    pub fn clear(&self) {
         self.inner.ready.swap(false, Ordering::Acquire);
+    }
+}
+
+/// Per-shard ready-lists for the planned sharded poll engine: tokens are
+/// routed to `token % shards()`, each shard is drained by its owning
+/// worker, and a retiring or rebalancing worker hands its whole shard to
+/// another with [`ReadyShards::handoff`].
+///
+/// The handoff protocol's subtlety — the reason the xtask `shard-handoff`
+/// model check exists — is that producers keep pushing to a shard *while*
+/// it is being handed off. `handoff` moves only the tokens it observes;
+/// anything pushed concurrently stays behind on the source shard, so a
+/// consumer that takes over responsibility for a shard must keep draining
+/// it (or use [`ReadyShards::pop_any`], which scans every shard and can
+/// strand nothing).
+pub struct ReadyShards {
+    shards: Box<[SegQueue<usize>]>,
+}
+
+impl ReadyShards {
+    /// Creates `n` empty shards (at least one).
+    pub fn new(n: usize) -> Self {
+        ReadyShards {
+            shards: (0..n.max(1)).map(|_| SegQueue::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queues a ready token onto its home shard (`token % shards()`).
+    pub fn push(&self, token: usize) {
+        self.shards[token % self.shards.len()].push(token);
+    }
+
+    /// Pops from one shard only — the owning worker's fast path.
+    pub fn pop_local(&self, shard: usize) -> Option<usize> {
+        self.shards[shard % self.shards.len()].pop()
+    }
+
+    /// Pops from `home` first, then scans the other shards in order — the
+    /// takeover path after a handoff, and the reason no token can strand:
+    /// every shard is reachable from every consumer.
+    pub fn pop_any(&self, home: usize) -> Option<usize> {
+        let n = self.shards.len();
+        (0..n).find_map(|i| self.shards[(home + i) % n].pop())
+    }
+
+    /// Moves every currently queued token of `from` onto `to`, returning
+    /// how many moved. Tokens pushed concurrently with the handoff may
+    /// remain on `from`.
+    pub fn handoff(&self, from: usize, to: usize) -> usize {
+        let n = self.shards.len();
+        let (from, to) = (from % n, to % n);
+        if from == to {
+            return 0; // self-handoff is a no-op, not an infinite loop
+        }
+        let mut moved = 0;
+        while let Some(t) = self.shards[from].pop() {
+            self.shards[to].push(t);
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Total queued tokens across all shards (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SegQueue::len).sum()
+    }
+
+    /// Whether every shard is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(SegQueue::is_empty)
     }
 }
 
@@ -766,15 +847,25 @@ impl PollEngine {
         self.calls
     }
 
-    /// Closes all receivers.
-    pub fn close_all(&mut self) {
-        for s in &mut self.sources {
-            s.receiver.close();
-        }
-        self.sources.clear();
+    /// Removes every source from the rotation and returns the receivers
+    /// for the caller to close. Closing can block (socket receivers join
+    /// their pump threads), so a caller that keeps the engine behind a
+    /// lock must close the returned receivers *after* releasing it — see
+    /// `Context::shutdown`.
+    pub fn drain_sources(&mut self) -> Vec<Box<dyn CommReceiver>> {
+        let receivers = self.sources.drain(..).map(|s| s.receiver).collect();
         self.token_slots.clear();
         self.polled.clear();
         while self.ready_list.pop().is_some() {}
+        receivers
+    }
+
+    /// Closes all receivers. Only for engines not shared behind a lock —
+    /// this joins pump threads inline (see [`PollEngine::drain_sources`]).
+    pub fn close_all(&mut self) {
+        for mut r in self.drain_sources() {
+            r.close();
+        }
     }
 }
 
@@ -1538,5 +1629,146 @@ mod tests {
             "poll errors surface in the event ring"
         );
         poller.stop();
+    }
+
+    #[test]
+    fn ready_shards_route_tokens_to_their_home_shard() {
+        let shards = ReadyShards::new(3);
+        for t in 0..9 {
+            shards.push(t);
+        }
+        assert_eq!(shards.len(), 9);
+        for home in 0..3 {
+            let mut got = Vec::new();
+            while let Some(t) = shards.pop_local(home) {
+                got.push(t);
+            }
+            assert_eq!(got, vec![home, home + 3, home + 6], "shard {home}");
+        }
+        assert!(shards.is_empty());
+    }
+
+    #[test]
+    fn ready_shards_pop_any_reaches_every_shard() {
+        let shards = ReadyShards::new(4);
+        shards.push(3); // home shard 3, consumer homed on 0
+        assert_eq!(shards.pop_any(0), Some(3));
+        assert_eq!(shards.pop_any(0), None);
+    }
+
+    #[test]
+    fn ready_shards_handoff_moves_the_whole_shard() {
+        let shards = ReadyShards::new(2);
+        for t in [1, 3, 5] {
+            shards.push(t);
+        }
+        shards.push(0);
+        assert_eq!(shards.handoff(1, 0), 3);
+        assert_eq!(shards.pop_local(1), None, "source shard is empty");
+        let mut got = Vec::new();
+        while let Some(t) = shards.pop_local(0) {
+            got.push(t);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3, 5]);
+        assert_eq!(shards.handoff(0, 0), 0, "self-handoff is a no-op");
+    }
+
+    #[test]
+    fn ready_shards_concurrent_push_and_steal_lose_nothing() {
+        use std::sync::atomic::AtomicUsize;
+        const PER_THREAD: usize = 400;
+        const THREADS: usize = 4;
+        let shards = ReadyShards::new(THREADS);
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let shards = &shards;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        shards.push(t + THREADS * i);
+                    }
+                });
+            }
+            // One stealer drains via pop_any while producers push, with a
+            // mid-stream handoff thrown in.
+            let shards = &shards;
+            let popped = &popped;
+            s.spawn(move || {
+                let mut n = 0;
+                while n < THREADS * PER_THREAD {
+                    if n == PER_THREAD {
+                        shards.handoff(1, 0);
+                    }
+                    if shards.pop_any(0).is_some() {
+                        n += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                popped.store(n, std::sync::atomic::Ordering::Release);
+            });
+        });
+        assert_eq!(
+            popped.load(std::sync::atomic::Ordering::Acquire),
+            THREADS * PER_THREAD
+        );
+        assert!(shards.is_empty(), "every token was popped exactly once");
+    }
+
+    #[test]
+    fn stale_token_from_a_removed_source_is_skipped_mid_drain() {
+        let mut eng = PollEngine::new();
+        let (r0, inbox0, _) = belled();
+        let (r1, inbox1, _) = belled();
+        eng.add_source(MethodId::TCP, Box::new(r0));
+        eng.add_source(MethodId::UDP, Box::new(r1));
+        assert!(eng.arm_ready(MethodId::TCP));
+        assert!(eng.arm_ready(MethodId::UDP));
+        eng.poll_once(); // service the priming rings
+                         // Both sources ring, then the first is removed while its token is
+                         // still sitting on the ready list.
+        inbox0.send(msg("stale"));
+        inbox1.send(msg("live"));
+        let removed = eng.remove_source(MethodId::TCP);
+        assert!(removed.is_some());
+        let out = eng.poll_once();
+        assert!(out.errors.is_empty());
+        assert_eq!(out.messages.len(), 1, "only the live source delivers");
+        assert_eq!(out.messages[0].0, MethodId::UDP);
+        assert_eq!(out.messages[0].1.handler, "live");
+        // The stale token is consumed, not re-queued: the next pass does
+        // no ready work at all.
+        let out = eng.poll_once();
+        assert!(out.messages.is_empty());
+        assert!(out.ready_wakeups.is_empty());
+    }
+
+    #[test]
+    fn ring_storm_from_eight_producers_queues_the_token_exactly_once() {
+        const PRODUCERS: usize = 8;
+        const RINGS_EACH: usize = 1000;
+        let list = Arc::new(SegQueue::new());
+        let signal = ReadySignal::new(7, Arc::clone(&list));
+        std::thread::scope(|s| {
+            for _ in 0..PRODUCERS {
+                let signal = &signal;
+                s.spawn(move || {
+                    for _ in 0..RINGS_EACH {
+                        signal.ring();
+                    }
+                });
+            }
+        });
+        // Only the observer of the false->true transition pushes, so the
+        // whole storm queues exactly one entry.
+        assert_eq!(list.pop(), Some(7));
+        assert_eq!(list.pop(), None, "storm queued the token more than once");
+        // After the consumer clears, the next ring re-queues exactly once.
+        signal.clear();
+        signal.ring();
+        signal.ring();
+        assert_eq!(list.pop(), Some(7));
+        assert_eq!(list.pop(), None);
     }
 }

@@ -387,7 +387,11 @@ impl CommObject for RudpObject {
 
     fn close(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.pump.lock().take() {
+        // Take the handle out and release `pump` before joining: an if-let
+        // on the locked take() would hold the guard across the join, and
+        // the pump thread must never find this lock wedged while exiting.
+        let handle = self.pump.lock().take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
     }

@@ -214,6 +214,14 @@ fn match_braces(f: &SourceFile, start_line: usize, start_col: usize) -> usize {
     f.code.len().saturating_sub(1)
 }
 
+/// Called names on one line of code — the same extraction (and stoplists)
+/// the graph edges use, for rules that scan spans line by line.
+pub(crate) fn calls_on(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_calls(code, &mut out);
+    out
+}
+
 /// Extracts called names (`foo(`, `.foo(`, `foo::<T>(`-free form) on a line.
 fn collect_calls(code: &str, out: &mut Vec<String>) {
     let chars: Vec<char> = code.chars().collect();

@@ -63,6 +63,74 @@ impl Diagnostic {
         self.help = Some(help.into());
         self
     }
+
+    /// Renders the finding as one JSON object (no trailing newline).
+    ///
+    /// The shape is pinned by a unit test and consumed by CI tooling:
+    /// `{"level", "rule", "message", "file", "line", "col", "span_len",
+    /// "help"}` with 1-based line/col and `help: null` when absent.
+    pub fn to_json(&self) -> String {
+        let level = match self.level {
+            Level::Error => "error",
+            Level::Note => "note",
+        };
+        let help = match &self.help {
+            Some(h) => format!("\"{}\"", json_escape(h)),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"level\":\"{level}\",\"rule\":\"{}\",\"message\":\"{}\",\
+             \"file\":\"{}\",\"line\":{},\"col\":{},\"span_len\":{},\"help\":{help}}}",
+            json_escape(self.rule),
+            json_escape(&self.message),
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.span_len
+        )
+    }
+
+    /// Renders the finding as a GitHub Actions workflow annotation
+    /// (`::error` / `::notice`), which the runner turns into an inline
+    /// file/line comment on the checked-out commit.
+    pub fn to_github_annotation(&self) -> String {
+        let cmd = match self.level {
+            Level::Error => "error",
+            Level::Note => "notice",
+        };
+        format!(
+            "::{cmd} file={},line={},col={},title=lint {}::{}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            github_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes the data portion of a workflow command (`%`, CR, LF).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 impl fmt::Display for Diagnostic {
@@ -122,5 +190,51 @@ mod tests {
         assert!(s.contains("42 |         x.unwrap();"), "{s}");
         assert!(s.contains("^^^^^^^^^"), "{s}");
         assert!(s.contains("= help:"), "{s}");
+    }
+
+    #[test]
+    fn json_shape_is_pinned() {
+        let d = Diagnostic::error(
+            "lock-order",
+            "inconsistent lock order: `a` \"quoted\"",
+            "crates/core/src/poll.rs",
+            41,
+            8,
+            "        let g = a.lock();",
+            6,
+        )
+        .with_help("pick one\ncanonical order");
+        assert_eq!(
+            d.to_json(),
+            "{\"level\":\"error\",\"rule\":\"lock-order\",\
+             \"message\":\"inconsistent lock order: `a` \\\"quoted\\\"\",\
+             \"file\":\"crates/core/src/poll.rs\",\"line\":42,\"col\":9,\
+             \"span_len\":6,\"help\":\"pick one\\ncanonical order\"}"
+        );
+        let mut plain = d.clone();
+        plain.help = None;
+        assert!(
+            plain.to_json().ends_with("\"help\":null}"),
+            "{}",
+            plain.to_json()
+        );
+    }
+
+    #[test]
+    fn github_annotation_shape_is_pinned() {
+        let d = Diagnostic::error(
+            "hot-path-panic",
+            "`.unwrap()` in hot-path code\n100% bad",
+            "crates/core/src/rsr.rs",
+            9,
+            4,
+            "    x.unwrap();",
+            9,
+        );
+        assert_eq!(
+            d.to_github_annotation(),
+            "::error file=crates/core/src/rsr.rs,line=10,col=5,\
+             title=lint hot-path-panic::`.unwrap()` in hot-path code%0A100%25 bad"
+        );
     }
 }

@@ -1,0 +1,976 @@
+//! Lock-discipline analysis: the `lock-order` and `lock-across-blocking`
+//! rules.
+//!
+//! Both rules share one analysis pass over the call-graph scope
+//! (`crates/core` + `crates/transports`):
+//!
+//! 1. **Lock inventory** — every `field: Mutex<…>` / `field: RwLock<…>`
+//!    declaration in non-test code becomes a lock node labelled
+//!    `<crate>.<field>`. Identity is by *name within a crate*, the same
+//!    approximation the `atomic-pairing` rule uses: two structs sharing a
+//!    field name share a node. The merge over-approximates (it can join
+//!    two unrelated locks into one) but never under-approximates — a real
+//!    inversion is never hidden by it.
+//! 2. **Acquisition sites** — `x.lock()` where `x` names a Mutex field,
+//!    `x.read()` / `x.write()` where `x` names a RwLock field. Restricting
+//!    receivers to declared lock-field names keeps `io::Read`/`io::Write`
+//!    and plain accessor calls out.
+//! 3. **Hold spans** — a guard bound by a single-line
+//!    `let [mut] g = <recv>.lock();` statement is held to the end of its
+//!    enclosing block, cut short by an explicit `drop(g)`; any other
+//!    acquisition (`self.poll.lock().probe()`) is a temporary held for its
+//!    statement. Multi-line `let` chains degrade to the temporary span —
+//!    an accepted under-approximation of a lexer-grade scan.
+//! 4. **Edges** — lock B acquired textually inside lock A's hold span is
+//!    an edge A → B ("B acquired while holding A"); a *call* inside A's
+//!    span to a function whose transitive lock set (over the name-linked
+//!    call graph) contains B adds the same edge with the call path as the
+//!    witness.
+//!
+//! `lock-order` then reports every pair of locks acquired in both orders
+//! (any cycle through the acquired-while-holding graph, including
+//! self-cycles — parking_lot locks are not reentrant), printing the two
+//! conflicting acquisition paths. `lock-across-blocking` reports any hold
+//! span that reaches a blocking call (the `poll-blocking` token set) —
+//! the classic pump-thread/`poll_once` deadlock shape.
+
+use super::callgraph::{calls_on, CallGraph};
+use super::diag::Diagnostic;
+use super::rules::{Workspace, BLOCKING_TOKENS};
+use super::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// What kind of lock a field name was declared as. A name declared as a
+/// Mutex in one struct and a RwLock in another accepts both token sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LockKindSet {
+    mutex: bool,
+    rwlock: bool,
+}
+
+/// One acquisition of a lock, with the span over which the guard is held.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    /// Lock label (`<crate>.<field>`).
+    label: String,
+    /// File index into the analysis file list.
+    file: usize,
+    /// 0-based acquisition position.
+    line: usize,
+    col: usize,
+    /// Length of the `field.lock()` token for diagnostics.
+    span_len: usize,
+    /// 0-based inclusive hold span end line.
+    hold_end: usize,
+    /// Enclosing function name (for witness paths).
+    in_fn: String,
+}
+
+/// One "acquired while holding" edge with a human-readable witness.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    /// Anchor site: the outer acquisition.
+    file: usize,
+    line: usize,
+    col: usize,
+    span_len: usize,
+    /// How the inner lock is reached from the outer hold span.
+    witness: String,
+}
+
+/// Everything both rules need, computed once per rule invocation.
+struct Analysis<'a> {
+    files: Vec<&'a SourceFile>,
+    acquisitions: Vec<Acquisition>,
+    /// fn name → labels it (transitively) acquires, with a sample path.
+    fn_locks: HashMap<String, BTreeMap<String, String>>,
+    /// fn name → sample path to a blocking token, if it can block.
+    fn_blocking: HashMap<String, String>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans the files for lock-field declarations, keyed `(crate, field)`.
+fn lock_fields(
+    files: &[&SourceFile],
+    crate_of: &[String],
+) -> HashMap<(String, String), LockKindSet> {
+    let mut out: HashMap<(String, String), LockKindSet> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (line, code) in f.code.iter().enumerate() {
+            if f.is_test_line(line) {
+                continue;
+            }
+            for (needle, is_mutex) in [("Mutex<", true), ("RwLock<", false)] {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(needle) {
+                    let at = from + pos;
+                    from = at + needle.len();
+                    if at > 0 && is_ident_byte(code.as_bytes()[at - 1]) {
+                        continue; // e.g. `RawMutex<`
+                    }
+                    let Some(name) = field_name_before(code, at) else {
+                        continue;
+                    };
+                    let e = out
+                        .entry((crate_of[fi].clone(), name))
+                        .or_insert(LockKindSet {
+                            mutex: false,
+                            rwlock: false,
+                        });
+                    if is_mutex {
+                        e.mutex = true;
+                    } else {
+                        e.rwlock = true;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walks back from a `Mutex<`/`RwLock<` token over wrapper-type characters
+/// (`Arc<`, `::`, spaces) to a `:` and returns the field identifier before
+/// it. Returns `None` when the token is not in field-declaration position
+/// (fn return types, statics/consts, generic bounds).
+fn field_name_before(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 {
+        let b = bytes[i - 1];
+        if b == b':' {
+            // `::` is a path separator inside the type, keep walking.
+            if i >= 2 && bytes[i - 2] == b':' {
+                i -= 2;
+                continue;
+            }
+            let mut j = i - 1;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
+            }
+            if j == i - 1 {
+                return None;
+            }
+            let name = &code[j..i - 1];
+            // `static NAME:` consts follow the SCREAMING/Upper convention;
+            // struct fields are snake_case. Filtering on case keeps global
+            // tables (accessed through helper fns, not field syntax) out.
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                return None;
+            }
+            return Some(name.to_owned());
+        }
+        if is_ident_byte(b) || b == b'<' || b == b' ' {
+            i -= 1;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// Acquisition tokens per lock kind.
+const MUTEX_ACQ: &str = ".lock()";
+const RW_ACQ: &[&str] = &[".read()", ".write()"];
+
+/// Names excluded from *interprocedural* lock/blocking attribution, on top
+/// of the call graph's own stoplist. These are wire-format methods defined
+/// on many types (`DescriptorTable::encode` vs `Rsr::encode` vs the
+/// transform trait) and std-shadowing names (`TcpStream::shutdown` vs
+/// `Context::shutdown`) — linking them by name attributes one type's lock
+/// footprint to another's call site and fabricates cycles. Trait-dispatch
+/// names the analysis *wants* to over-approximate (`poll`, `send`,
+/// `close`) stay linkable. Direct acquisitions inside these fns are still
+/// seen; only call-site attribution through the bare name is cut.
+const AMBIGUOUS_NAMES: &[&str] = &["encode", "decode", "wire_len", "shutdown"];
+
+/// Computes the 0-based inclusive end line of the hold span for an
+/// acquisition token ending at (`line`, `tok_end`).
+fn hold_span_end(
+    f: &SourceFile,
+    line: usize,
+    recv_col: usize,
+    tok_end: usize,
+    fn_end: usize,
+) -> usize {
+    // Guard-bound iff the statement is a single-line `let g = ….lock();`:
+    // the token is immediately followed by `;` and preceded by `let <g> =`.
+    let code = &f.code[line];
+    if code[tok_end..].trim_start().starts_with(';') {
+        let before = &code[..recv_col];
+        if let (Some(let_pos), Some(eq_pos)) = (before.rfind("let "), before.rfind('=')) {
+            let binding = if let_pos + 4 <= eq_pos {
+                before[let_pos + 4..eq_pos].trim()
+            } else {
+                ""
+            };
+            let name = binding.strip_prefix("mut ").unwrap_or(binding);
+            // The bound value must BE the guard: the right-hand side up to
+            // the receiver is a bare field chain. A deref (`let v =
+            // *x.lock();`) or wrapping call copies the value out and drops
+            // the guard at the statement's end.
+            let rhs_is_chain = before[eq_pos + 1..]
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == ' ');
+            if rhs_is_chain && !name.is_empty() && name.bytes().all(is_ident_byte) {
+                let end = enclosing_block_end(f, line, tok_end, fn_end);
+                let drop_pat = format!("drop({name})");
+                for l in line + 1..=end.min(f.code.len().saturating_sub(1)) {
+                    if f.code[l].contains(&drop_pat) {
+                        return l;
+                    }
+                }
+                return end;
+            }
+        }
+    }
+    // A temporary in a plain `if`/`while` condition drops when the
+    // condition finishes evaluating, before the body runs. NOT so for
+    // `if let`/`while let`: the scrutinee temporary lives through the
+    // whole body (the classic guard-extension footgun), so those fall
+    // through to the statement span below.
+    let cond_head = plain_cond_head(&code[..recv_col]);
+    // Temporary: held to the end of the statement — the `;` at zero
+    // bracket depth relative to the token (a `}` closing the enclosing
+    // block also ends it, e.g. a tail expression).
+    let mut paren = 0i64;
+    let mut brace = 0i64;
+    for l in line..=fn_end.min(f.code.len().saturating_sub(1)) {
+        let start = if l == line { tok_end } else { 0 };
+        for (idx, ch) in f.code[l].char_indices() {
+            if idx < start {
+                continue;
+            }
+            match ch {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' => {
+                    if cond_head && paren <= 0 && brace == 0 {
+                        return l; // the condition's body brace releases it
+                    }
+                    brace += 1;
+                }
+                '}' => {
+                    brace -= 1;
+                    if brace < 0 {
+                        return l;
+                    }
+                }
+                ';' if paren <= 0 && brace == 0 => return l,
+                _ => {}
+            }
+        }
+    }
+    fn_end
+}
+
+/// True when `before` (the code preceding the acquisition on its line)
+/// puts it inside a plain `if `/`while ` condition — not `if let` /
+/// `while let`, whose scrutinee outlives the condition.
+fn plain_cond_head(before: &str) -> bool {
+    for kw in ["if", "while"] {
+        let mut from = 0;
+        while let Some(pos) = before[from..].find(kw) {
+            let at = from + pos;
+            from = at + kw.len();
+            let b = before.as_bytes();
+            let word_start = at == 0 || !is_ident_byte(b[at - 1]);
+            let end = at + kw.len();
+            let word_end = end >= b.len() || !is_ident_byte(b[end]);
+            if word_start && word_end && !before[end..].trim_start().starts_with("let ") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// 0-based line on which the block enclosing (`line`, `col`) closes.
+fn enclosing_block_end(f: &SourceFile, line: usize, col: usize, fn_end: usize) -> usize {
+    let mut depth = 0i64;
+    for l in line..=fn_end.min(f.code.len().saturating_sub(1)) {
+        let start = if l == line { col } else { 0 };
+        for (idx, ch) in f.code[l].char_indices() {
+            if idx < start {
+                continue;
+            }
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return l;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    fn_end
+}
+
+/// Scans every non-test function in the call-graph scope for lock
+/// acquisitions and computes per-function lock/blocking summaries.
+fn analyze(ws: &Workspace) -> Option<Analysis<'_>> {
+    let mut files = Vec::new();
+    let mut crate_of = Vec::new();
+    for cf in &ws.files {
+        if cf.graph {
+            files.push(&cf.src);
+            crate_of.push(cf.crate_name.clone());
+        }
+    }
+    if files.is_empty() {
+        return None;
+    }
+    let fields = lock_fields(&files, &crate_of);
+    let graph = CallGraph::build(&files);
+
+    // Pass 1: every acquisition site, attributed to its enclosing fn.
+    let mut acquisitions = Vec::new();
+    for def in &graph.fns {
+        if def.in_test {
+            continue;
+        }
+        let Some((start, end)) = def.span else {
+            continue;
+        };
+        let f = files[def.file];
+        let krate = &crate_of[def.file];
+        for line in start..=end.min(f.code.len().saturating_sub(1)) {
+            if f.is_test_line(line) {
+                continue;
+            }
+            let code = &f.code[line];
+            let bytes = code.as_bytes();
+            let scan = |tok: &str, want_mutex: bool| {
+                let mut from = 0;
+                let mut found = Vec::new();
+                while let Some(pos) = code[from..].find(tok) {
+                    let at = from + pos;
+                    from = at + tok.len();
+                    let mut j = at;
+                    while j > 0 && is_ident_byte(bytes[j - 1]) {
+                        j -= 1;
+                    }
+                    if j == at {
+                        continue;
+                    }
+                    let recv = &code[j..at];
+                    let Some(kind) = fields.get(&(krate.clone(), recv.to_owned())) else {
+                        continue;
+                    };
+                    if (want_mutex && !kind.mutex) || (!want_mutex && !kind.rwlock) {
+                        continue;
+                    }
+                    found.push((j, at + tok.len(), recv.to_owned()));
+                }
+                found
+            };
+            let mut sites = scan(MUTEX_ACQ, true);
+            for t in RW_ACQ {
+                sites.extend(scan(t, false));
+            }
+            sites.sort_unstable();
+            for (recv_col, tok_end, recv) in sites {
+                let hold_end = hold_span_end(f, line, recv_col, tok_end, end);
+                acquisitions.push(Acquisition {
+                    label: format!("{krate}.{recv}"),
+                    file: def.file,
+                    line,
+                    col: recv_col,
+                    span_len: tok_end - recv_col,
+                    hold_end,
+                    in_fn: def.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Pass 2: per-function direct summaries.
+    let mut direct_locks: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for a in &acquisitions {
+        direct_locks
+            .entry(a.in_fn.clone())
+            .or_default()
+            .insert(a.label.clone());
+    }
+    let mut direct_blocking: HashMap<String, String> = HashMap::new();
+    for def in &graph.fns {
+        if def.in_test {
+            continue;
+        }
+        let Some((start, end)) = def.span else {
+            continue;
+        };
+        let f = files[def.file];
+        for line in start..=end.min(f.code.len().saturating_sub(1)) {
+            if f.is_test_line(line) {
+                continue;
+            }
+            for (token, label) in BLOCKING_TOKENS {
+                if f.code[line].contains(token) {
+                    direct_blocking
+                        .entry(def.name.clone())
+                        .or_insert_with(|| format!("{label} at {}:{}", f.rel, line + 1));
+                }
+            }
+        }
+    }
+
+    // Pass 3: transitive closure over the name-linked call graph, keeping
+    // one (shortest) sample call path per fact for the diagnostics.
+    let mut calls_of: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for def in &graph.fns {
+        if def.in_test {
+            continue;
+        }
+        let entry = calls_of.entry(def.name.clone()).or_default();
+        for c in &def.calls {
+            entry.insert(c.clone());
+        }
+    }
+    let mut fn_locks: HashMap<String, BTreeMap<String, String>> = HashMap::new();
+    let mut fn_blocking: HashMap<String, String> = HashMap::new();
+    for root in calls_of.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<(String, Vec<String>)> = VecDeque::new();
+        seen.insert(root.clone());
+        queue.push_back((root.clone(), vec![root.clone()]));
+        let mut locks: BTreeMap<String, String> = BTreeMap::new();
+        while let Some((name, path)) = queue.pop_front() {
+            if let Some(dl) = direct_locks.get(&name) {
+                for l in dl {
+                    locks.entry(l.clone()).or_insert_with(|| path.join(" -> "));
+                }
+            }
+            if let Some(b) = direct_blocking.get(&name) {
+                fn_blocking
+                    .entry(root.clone())
+                    .or_insert_with(|| format!("{} -> {b}", path.join(" -> ")));
+            }
+            if let Some(cs) = calls_of.get(&name) {
+                for c in cs {
+                    if AMBIGUOUS_NAMES.contains(&c.as_str()) {
+                        continue;
+                    }
+                    if calls_of.contains_key(c) && seen.insert(c.clone()) {
+                        let mut p = path.clone();
+                        p.push(c.clone());
+                        queue.push_back((c.clone(), p));
+                    }
+                }
+            }
+        }
+        if !locks.is_empty() {
+            fn_locks.insert(root.clone(), locks);
+        }
+    }
+
+    Some(Analysis {
+        files,
+        acquisitions,
+        fn_locks,
+        fn_blocking,
+    })
+}
+
+/// Collects the acquired-while-holding edges for `lock-order`.
+fn collect_edges(an: &Analysis) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for a in &an.acquisitions {
+        let f = an.files[a.file];
+        // Direct: another acquisition inside this hold span (same fn).
+        for b in &an.acquisitions {
+            if a.file == b.file
+                && a.in_fn == b.in_fn
+                && (b.line > a.line || (b.line == a.line && b.col > a.col))
+                && b.line <= a.hold_end
+                && a.label != b.label
+            {
+                edges.push(Edge {
+                    from: a.label.clone(),
+                    to: b.label.clone(),
+                    file: a.file,
+                    line: a.line,
+                    col: a.col,
+                    span_len: a.span_len,
+                    witness: format!(
+                        "`{}` taken at {}:{}, then `{}` taken at {}:{} (both in `{}`)",
+                        a.label,
+                        f.rel,
+                        a.line + 1,
+                        b.label,
+                        an.files[b.file].rel,
+                        b.line + 1,
+                        a.in_fn
+                    ),
+                });
+            }
+        }
+        // Interprocedural: a call inside the span to a fn that acquires.
+        for line in a.line..=a.hold_end.min(f.code.len().saturating_sub(1)) {
+            if f.is_test_line(line) {
+                continue;
+            }
+            for callee in calls_on(&f.code[line]) {
+                if callee == a.in_fn || AMBIGUOUS_NAMES.contains(&callee.as_str()) {
+                    continue;
+                }
+                let Some(locks) = an.fn_locks.get(&callee) else {
+                    continue;
+                };
+                // Same-label edges through a callee are kept: re-acquiring
+                // a held, non-reentrant lock in a helper is a one-thread
+                // deadlock (reported as a self-cycle).
+                for (label, path) in locks {
+                    edges.push(Edge {
+                        from: a.label.clone(),
+                        to: label.clone(),
+                        file: a.file,
+                        line: a.line,
+                        col: a.col,
+                        span_len: a.span_len,
+                        witness: format!(
+                            "`{}` taken at {}:{}; call path {} -> {path} \
+                             acquires `{label}`",
+                            a.label,
+                            f.rel,
+                            a.line + 1,
+                            a.in_fn
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// `lock-order`: every pair of locks acquired in both orders is an error,
+/// reported once per pair with both witnessing paths; a self-cycle
+/// (re-acquiring a held lock) is reported per lock.
+pub(crate) fn rule_lock_order(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(an) = analyze(ws) else {
+        return Vec::new();
+    };
+    let edges = collect_edges(&an);
+    // label → label → first-witness edge index.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(i);
+    }
+    // BFS reachability with a sample edge chain per (src, dst).
+    let reach = |src: &str| -> BTreeMap<String, Vec<usize>> {
+        let mut out: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<(String, Vec<usize>)> = VecDeque::new();
+        queue.push_back((src.to_owned(), Vec::new()));
+        while let Some((at, chain)) = queue.pop_front() {
+            let Some(nexts) = adj.get(at.as_str()) else {
+                continue;
+            };
+            for (&to, &ei) in nexts {
+                if out.contains_key(to) {
+                    continue;
+                }
+                let mut c = chain.clone();
+                c.push(ei);
+                out.insert(to.to_owned(), c.clone());
+                queue.push_back((to.to_owned(), c));
+            }
+        }
+        out
+    };
+    let labels: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    let reachability: BTreeMap<&str, BTreeMap<String, Vec<usize>>> =
+        labels.iter().map(|&l| (l, reach(l))).collect();
+
+    let describe = |chain: &[usize]| {
+        chain
+            .iter()
+            .map(|&i| format!("  - {}", edges[i].witness))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let mut out = Vec::new();
+    for &a in &labels {
+        for &b in &labels {
+            if a >= b {
+                continue;
+            }
+            let (Some(ab), Some(ba)) = (
+                reachability.get(a).and_then(|r| r.get(b)),
+                reachability.get(b).and_then(|r| r.get(a)),
+            ) else {
+                continue;
+            };
+            let anchor = &edges[ab[0]];
+            let f = an.files[anchor.file];
+            out.push(
+                Diagnostic::error(
+                    "lock-order",
+                    format!(
+                        "inconsistent lock order: `{a}` and `{b}` are each \
+                         acquired while the other is held"
+                    ),
+                    &f.rel,
+                    anchor.line,
+                    anchor.col,
+                    &f.raw[anchor.line],
+                    anchor.span_len,
+                )
+                .with_help(format!(
+                    "two threads taking these locks in opposite orders \
+                     deadlock; pick one canonical order (see DESIGN.md \
+                     \"Lock ordering discipline\") and restructure one path.\n\
+                     path `{a}` -> `{b}`:\n{}\n\
+                     path `{b}` -> `{a}`:\n{}",
+                    describe(ab),
+                    describe(ba)
+                )),
+            );
+        }
+        // Self-cycle: re-acquiring a non-reentrant lock while it is held.
+        // Only direct `A -> A` edges are reported here — a multi-label
+        // cycle (`A -> B -> A`) already surfaces as a pairwise report.
+        if let Some(&ei) = adj.get(a).and_then(|m| m.get(a)) {
+            let chain = &[ei][..];
+            let anchor = &edges[chain[0]];
+            let f = an.files[anchor.file];
+            out.push(
+                Diagnostic::error(
+                    "lock-order",
+                    format!("`{a}` can be re-acquired while already held"),
+                    &f.rel,
+                    anchor.line,
+                    anchor.col,
+                    &f.raw[anchor.line],
+                    anchor.span_len,
+                )
+                .with_help(format!(
+                    "parking_lot locks are not reentrant — this self-path \
+                     deadlocks a single thread:\n{}",
+                    describe(chain)
+                )),
+            );
+        }
+    }
+    out.sort_by(|x, y| {
+        (&x.file, x.line, x.col, &x.message).cmp(&(&y.file, y.line, y.col, &y.message))
+    });
+    out
+}
+
+/// `lock-across-blocking`: a blocking call (the `poll-blocking` token set)
+/// inside any lock's hold span — directly or through a callee.
+pub(crate) fn rule_lock_across_blocking(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(an) = analyze(ws) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for a in &an.acquisitions {
+        let f = an.files[a.file];
+        let mut finding: Option<String> = None;
+        'span: for line in a.line..=a.hold_end.min(f.code.len().saturating_sub(1)) {
+            if f.is_test_line(line) {
+                continue;
+            }
+            let code = &f.code[line];
+            // On the acquisition line only the text *after* the token is
+            // inside the hold span — this also keeps the std-mutex idiom
+            // `.lock().unwrap()` from matching its own acquisition.
+            let from = if line == a.line {
+                a.col + a.span_len
+            } else {
+                0
+            };
+            for (token, label) in BLOCKING_TOKENS {
+                if code.get(from..).is_some_and(|c| c.contains(token)) {
+                    finding = Some(format!("{label} at {}:{}", f.rel, line + 1));
+                    break 'span;
+                }
+            }
+            for callee in calls_on(code) {
+                if callee == a.in_fn || AMBIGUOUS_NAMES.contains(&callee.as_str()) {
+                    continue;
+                }
+                if let Some(path) = an.fn_blocking.get(&callee) {
+                    finding = Some(format!("call path {path}"));
+                    break 'span;
+                }
+            }
+        }
+        let Some(what) = finding else { continue };
+        if !seen.insert((a.file, a.line, a.col)) {
+            continue;
+        }
+        out.push(
+            Diagnostic::error(
+                "lock-across-blocking",
+                format!("`{}` is held across a blocking call ({what})", a.label),
+                &f.rel,
+                a.line,
+                a.col,
+                &f.raw[a.line],
+                a.span_len,
+            )
+            .with_help(
+                "a progress pass stalled behind this lock while the holder \
+                 blocks is the classic pump-thread deadlock shape: release \
+                 the guard (scope it or drop() it) before blocking, or move \
+                 the blocking work to a dedicated thread",
+            ),
+        );
+    }
+    out.sort_by(|x, y| (&x.file, x.line, x.col).cmp(&(&y.file, y.line, y.col)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::rules::ClassifiedFile;
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(rel, text)| ClassifiedFile {
+                    src: SourceFile::parse(PathBuf::from(rel), (*rel).into(), text),
+                    crate_name: "core".into(),
+                    hot_path: false,
+                    core: true,
+                    graph: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn field_names_are_extracted_from_declarations() {
+        assert_eq!(
+            field_name_before("    poll: Mutex<PollEngine>,", 10),
+            Some("poll".into())
+        );
+        assert_eq!(
+            field_name_before("    inbox: Arc<Mutex<Vec<Rsr>>>,", 15),
+            Some("inbox".into())
+        );
+        // Return types and statics are not fields.
+        assert_eq!(
+            field_name_before("fn t() -> &'static Mutex<u8> {", 19),
+            None
+        );
+        assert_eq!(
+            field_name_before("static TABLE: OnceLock<Mutex<u8>> = x;", 23),
+            None
+        );
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_are_an_error() {
+        let text = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("core.a"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("core.b"), "{}", diags[0].message);
+        let help = diags[0].help.as_deref().unwrap_or("");
+        assert!(help.contains("path `core.a` -> `core.b`"), "{help}");
+        assert!(help.contains("path `core.b` -> `core.a`"), "{help}");
+    }
+
+    #[test]
+    fn consistent_nesting_passes() {
+        let text = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    let ga = s.a.lock();
+    s.b.lock().probe();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn inversion_through_a_callee_is_found() {
+        let text = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.lock();
+    helper(s);
+}
+fn helper(s: &S) {
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let help = diags[0].help.as_deref().unwrap_or("");
+        assert!(help.contains("one -> helper"), "{help}");
+    }
+
+    #[test]
+    fn scoped_guard_release_breaks_the_edge() {
+        // `a` is released (block ends / drop()) before `b` is taken.
+        let text = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    {
+        let ga = s.a.lock();
+    }
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    let gb = s.b.lock();
+    drop(gb);
+    let ga = s.a.lock();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn temporary_acquisition_spans_only_its_statement() {
+        let text = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    s.a.lock().probe();
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    s.b.lock().probe();
+    let ga = s.a.lock();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn rwlock_read_counts_as_acquisition() {
+        let text = "\
+struct S { a: RwLock<u32>, b: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.read();
+    let gb = s.b.lock();
+}
+fn two(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.write();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn self_reacquisition_through_callee_is_an_error() {
+        let text = "\
+struct S { a: Mutex<u32> }
+fn outer(s: &S) {
+    let ga = s.a.lock();
+    inner(s);
+}
+fn inner(s: &S) {
+    let ga = s.a.lock();
+}
+";
+        let diags = rule_lock_order(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("re-acquired while already held"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn blocking_call_under_a_lock_is_flagged() {
+        let text = "\
+struct S { a: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.lock();
+    thread::sleep(d);
+}
+";
+        let diags = rule_lock_across_blocking(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0]
+                .message
+                .contains("`core.a` is held across a blocking call"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn blocking_call_through_a_callee_is_flagged() {
+        let text = "\
+struct S { a: Mutex<u32> }
+fn one(s: &S) {
+    let ga = s.a.lock();
+    waiter();
+}
+fn waiter() {
+    rx.recv();
+}
+";
+        let diags = rule_lock_across_blocking(&ws(&[("l.rs", text)]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("call path waiter"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn blocking_after_guard_release_passes() {
+        let text = "\
+struct S { a: Mutex<u32> }
+fn one(s: &S) {
+    {
+        let ga = s.a.lock();
+    }
+    thread::sleep(d);
+}
+fn two(s: &S) {
+    s.a.lock().probe();
+    thread::sleep(d);
+}
+";
+        let diags = rule_lock_across_blocking(&ws(&[("l.rs", text)]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod callgraph;
 pub mod diag;
+pub mod locks;
 pub mod rules;
 pub mod source;
 
@@ -106,6 +107,10 @@ pub fn scan_workspace(root: &Path) -> io::Result<Workspace> {
 pub fn lint_workspace(ws: &Workspace, rule_filter: Option<&str>) -> LintOutcome {
     let mut errors = Vec::new();
     let mut suppressed = Vec::new();
+    // Allow sites that matched a finding, by (file, 0-based line, rule) —
+    // anything left over on a full run is stale.
+    let mut fired: std::collections::HashSet<(String, usize, String)> =
+        std::collections::HashSet::new();
     for rule in RULES {
         if rule_filter.is_some_and(|f| f != rule.name) {
             continue;
@@ -115,12 +120,14 @@ pub fn lint_workspace(ws: &Workspace, rule_filter: Option<&str>) -> LintOutcome 
             let allow = file.and_then(|cf| cf.src.allow_for(d.rule, d.line - 1));
             match allow {
                 Some(a) if !a.reason.is_empty() => {
+                    fired.insert((d.file.clone(), a.line, a.rule.clone()));
                     let mut note = d.clone();
                     note.level = Level::Note;
                     note.message = format!("{} [allowed: {}]", d.message, a.reason);
                     suppressed.push(note);
                 }
-                Some(_) => {
+                Some(a) => {
+                    fired.insert((d.file.clone(), a.line, a.rule.clone()));
                     errors.push(d.with_help(
                         "`lint:allow` requires a reason: \
                          `// lint:allow(rule) <why this site is sound>`",
@@ -131,7 +138,9 @@ pub fn lint_workspace(ws: &Workspace, rule_filter: Option<&str>) -> LintOutcome 
         }
     }
     // Allows must name a real rule — a typo would silently suppress
-    // nothing while looking like an exemption.
+    // nothing while looking like an exemption — and, on a full run, must
+    // still suppress something: a stale allow is a standing invitation to
+    // reintroduce the violation it once excused.
     for cf in &ws.files {
         for a in &cf.src.allows {
             if rules::find_rule(&a.rule).is_none() {
@@ -144,6 +153,24 @@ pub fn lint_workspace(ws: &Workspace, rule_filter: Option<&str>) -> LintOutcome 
                     &cf.src.raw[a.line],
                     cf.src.raw[a.line].trim_end().len().max(1),
                 ));
+            } else if rule_filter.is_none()
+                && !fired.contains(&(cf.src.rel.clone(), a.line, a.rule.clone()))
+            {
+                errors.push(
+                    Diagnostic::error(
+                        "stale-allow",
+                        format!("`lint:allow({})` no longer suppresses any finding", a.rule),
+                        &cf.src.rel,
+                        a.line,
+                        0,
+                        &cf.src.raw[a.line],
+                        cf.src.raw[a.line].trim_end().len().max(1),
+                    )
+                    .with_help(
+                        "the code this allow excused has changed or moved; \
+                         delete the annotation (or move it to the surviving site)",
+                    ),
+                );
             }
         }
     }
@@ -225,6 +252,58 @@ mod tests {
         assert!(out.errors.is_empty(), "{:?}", out.errors);
         assert_eq!(out.suppressed.len(), 1);
         assert!(out.suppressed[0].message.contains("invariant"));
+    }
+
+    #[test]
+    fn stale_allow_is_an_error_on_full_runs_only() {
+        // A reasoned allow with no finding left under it: the violation
+        // it excused is gone, so the annotation must go too.
+        let src = SourceFile::parse(
+            std::path::PathBuf::from("cold.rs"),
+            "cold.rs".into(),
+            "// lint:allow(hot-path-panic) historical unwrap, since removed\nfn f() {}\n",
+        );
+        let ws = Workspace {
+            files: vec![ClassifiedFile {
+                src,
+                crate_name: "core".into(),
+                hot_path: true,
+                core: false,
+                graph: false,
+            }],
+        };
+        let out = lint_workspace(&ws, None);
+        assert_eq!(out.errors.len(), 1, "{:?}", out.errors);
+        assert_eq!(out.errors[0].rule, "stale-allow");
+        assert_eq!(out.errors[0].line, 1);
+        assert!(out.errors[0]
+            .message
+            .contains("no longer suppresses any finding"));
+        // Single-rule runs skip staleness: most rules did not execute, so
+        // an unfired allow proves nothing there.
+        let out = lint_workspace(&ws, Some("hot-path-panic"));
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+    }
+
+    #[test]
+    fn a_fired_allow_is_not_stale() {
+        let src = SourceFile::parse(
+            std::path::PathBuf::from("hot.rs"),
+            "hot.rs".into(),
+            "// lint:allow(hot-path-panic) invariant: infallible here\nfn f() { x.unwrap(); }\n",
+        );
+        let ws = Workspace {
+            files: vec![ClassifiedFile {
+                src,
+                crate_name: "core".into(),
+                hot_path: true,
+                core: false,
+                graph: false,
+            }],
+        };
+        let out = lint_workspace(&ws, None);
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.suppressed.len(), 1);
     }
 
     #[test]

@@ -80,6 +80,18 @@ pub const RULES: &[Rule] = &[
         description: "communication modules must implement the full function-table contract",
         run: rule_module_contract,
     },
+    Rule {
+        name: "lock-order",
+        description: "Mutex/RwLock acquisition order must be globally consistent \
+                      (no cycles in the acquired-while-holding graph)",
+        run: super::locks::rule_lock_order,
+    },
+    Rule {
+        name: "lock-across-blocking",
+        description: "no lock may be held across a blocking call \
+                      (the poll-blocking token set), directly or via a callee",
+        run: super::locks::rule_lock_across_blocking,
+    },
 ];
 
 /// Looks up a rule by name.
@@ -487,7 +499,7 @@ fn rule_atomic_pairing(ws: &Workspace) -> Vec<Diagnostic> {
 /// accepted policy (the event ring takes one) — but flags the std-mutex
 /// `lock().unwrap()` idiom, condvar waits, channel receives without a
 /// timeout, joins, and sleeps.
-const BLOCKING_TOKENS: &[(&str, &str)] = &[
+pub(crate) const BLOCKING_TOKENS: &[(&str, &str)] = &[
     ("thread::sleep", "`thread::sleep`"),
     (".recv()", "blocking channel `.recv()`"),
     (".wait(", "condvar `.wait()`"),

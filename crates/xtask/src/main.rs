@@ -1,9 +1,10 @@
 //! CLI for the workspace invariant checkers.
 //!
 //! ```text
-//! cargo run -p xtask -- lint  [--root PATH] [--rule NAME] [--list-rules]
+//! cargo run -p xtask -- lint  [--root PATH] [--rule NAME] [--json] [--github]
+//!                             [--list-rules]
 //! cargo run -p xtask -- model [--schedules N] [--seed S] [--threads T]
-//!                             [--check NAME] [--list-checks]
+//!                             [--check NAME] [--schedule DIGITS] [--list-checks]
 //! ```
 
 use std::path::PathBuf;
@@ -30,9 +31,10 @@ const USAGE: &str = "\
 nexus-lint: workspace invariant checker + bounded-interleaving model checker
 
 USAGE:
-    cargo run -p xtask -- lint  [--root PATH] [--rule NAME] [--list-rules]
+    cargo run -p xtask -- lint  [--root PATH] [--rule NAME] [--json] [--github]
+                                [--list-rules]
     cargo run -p xtask -- model [--schedules N] [--seed S] [--threads T]
-                                [--check NAME] [--list-checks]
+                                [--check NAME] [--schedule DIGITS] [--list-checks]
 
 Exit code is non-zero when any invariant is violated.
 ";
@@ -94,8 +96,34 @@ fn run_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let json = args.iter().any(|a| a == "--json");
+    let github = args.iter().any(|a| a == "--github");
+    if json {
+        // One machine-readable document on stdout, nothing else.
+        let render = |ds: &[xtask::lint::Diagnostic]| {
+            ds.iter().map(|d| d.to_json()).collect::<Vec<_>>().join(",")
+        };
+        println!(
+            "{{\"files_scanned\":{},\"errors\":[{}],\"suppressed\":[{}]}}",
+            outcome.files_scanned,
+            render(&outcome.errors),
+            render(&outcome.suppressed)
+        );
+        return if outcome.exit_code() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &outcome.errors {
         println!("{d}");
+    }
+    if github {
+        // Workflow commands alongside the human output: the runner strips
+        // them from the log and pins each finding to its file/line.
+        for d in &outcome.errors {
+            println!("{}", d.to_github_annotation());
+        }
     }
     if !outcome.suppressed.is_empty() {
         println!("allow inventory ({} suppressed):", outcome.suppressed.len());
@@ -120,7 +148,7 @@ fn run_model(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--list-checks") {
         for c in xtask::model::CHECKS {
             let kind = match c.kind {
-                xtask::model::Kind::Exhaustive => "exhaustive",
+                xtask::model::Kind::Systematic => "systematic",
                 xtask::model::Kind::Randomized => "randomized",
             };
             println!("{:<20} [{kind}] {}", c.name, c.description);
@@ -143,6 +171,14 @@ fn run_model(args: &[String]) -> ExitCode {
                 return Err(format!("unknown check `{c}` (try --list-checks)"));
             }
             cfg.check = Some(c);
+        }
+        if let Some(s) = flag_value(args, "--schedule")? {
+            if cfg.check.is_none() {
+                return Err(
+                    "`--schedule` needs `--check` (it replays one systematic check)".into(),
+                );
+            }
+            cfg.schedule = Some(xtask::model::dpor::parse_schedule(&s)?);
         }
         Ok(cfg)
     })();

@@ -6,15 +6,17 @@
 //! schedule. Randomized checks take a seed that fully determines each
 //! thread's op program, so a failing seed replays the same programs.
 
+use super::dpor;
 use super::rng::XorShift64;
 use nexus_rt::context::ContextId;
 use nexus_rt::descriptor::MethodId;
 use nexus_rt::endpoint::EndpointId;
 use nexus_rt::error::Result as NexusResult;
 use nexus_rt::module::CommReceiver;
-use nexus_rt::poll::{PollEngine, ReadySignal};
+use nexus_rt::poll::{PollEngine, ReadyShards, ReadySignal, SegQueue};
 use nexus_rt::rsr::Rsr;
 use nexus_rt::trace::{Ewma, LogHistogram, Trace, TraceEventKind};
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, OnceLock};
@@ -22,8 +24,9 @@ use std::sync::{Arc, Barrier, Mutex, OnceLock};
 /// How a check explores schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
-    /// Enumerates every interleaving of two scripted threads; runs once.
-    Exhaustive,
+    /// Sleep-set exploration of every inequivalent op interleaving
+    /// (see [`super::dpor`]); runs once, deterministically.
+    Systematic,
     /// Real threads with seeded op programs; runs once per schedule.
     Randomized,
 }
@@ -34,6 +37,9 @@ pub struct CheckCtx {
     pub seed: u64,
     /// Worker thread count (randomized checks).
     pub threads: usize,
+    /// Replay exactly this interleaving instead of exploring
+    /// (systematic checks).
+    pub schedule: Option<Vec<usize>>,
 }
 
 /// One registered check.
@@ -44,16 +50,18 @@ pub struct Check {
     pub description: &'static str,
     /// Exploration strategy.
     pub kind: Kind,
-    /// Runs one execution; `Err` describes the violated invariant.
-    pub run: fn(&CheckCtx) -> Result<(), String>,
+    /// Runs one execution, returning the number of schedules it covered;
+    /// `Err` describes the violated invariant (systematic checks embed
+    /// the violating schedule as a `[schedule NNN]` marker).
+    pub run: fn(&CheckCtx) -> Result<u64, String>,
 }
 
 /// All checks, in run order.
 pub const CHECKS: &[Check] = &[
     Check {
         name: "ring-exhaustive",
-        description: "event-ring eviction invariants under every 2-thread op interleaving",
-        kind: Kind::Exhaustive,
+        description: "event-ring eviction invariants under every 3-thread op interleaving",
+        kind: Kind::Systematic,
         run: ring_exhaustive,
     },
     Check {
@@ -92,7 +100,36 @@ pub const CHECKS: &[Check] = &[
         kind: Kind::Randomized,
         run: doorbell,
     },
+    Check {
+        name: "doorbell-dpor",
+        description: "doorbell protocol on real ReadySignals under every op interleaving",
+        kind: Kind::Systematic,
+        run: doorbell_dpor,
+    },
+    Check {
+        name: "shard-handoff",
+        description: "per-shard ready-list handoff strands no token under any interleaving",
+        kind: Kind::Systematic,
+        run: shard_handoff,
+    },
 ];
+
+/// Drives a systematic spec: full exploration by default, single-schedule
+/// replay when the ctx carries `--schedule`.
+fn systematic<S>(
+    cx: &CheckCtx,
+    footprints: &[Vec<u64>],
+    init: &dyn Fn() -> S,
+    step: &dyn Fn(&mut S, usize, usize),
+    check: &dyn Fn(&mut S) -> Result<(), String>,
+) -> Result<u64, String> {
+    match &cx.schedule {
+        Some(s) => dpor::replay(footprints, init, step, check, s).map(|()| 1),
+        None => dpor::explore(footprints, init, step, check)
+            .map(|stats| stats.schedules)
+            .map_err(|v| v.to_string()),
+    }
+}
 
 /// Looks up a check by name.
 pub fn find_check(name: &str) -> Option<&'static Check> {
@@ -162,38 +199,35 @@ fn check_ring(trace: &Trace, capacity: usize, total: u64) -> Result<(), String> 
 // ring checks
 // ---------------------------------------------------------------------------
 
-/// Enumerates every merge order of two scripted push programs (sequential
-/// execution — this validates the eviction/seq logic itself, not data
-/// races) and checks the ring post-conditions after each.
-fn ring_exhaustive(_cx: &CheckCtx) -> Result<(), String> {
-    const A: u32 = 5;
-    const B: u32 = 5;
+/// Systematic sweep of the real ring: three scripted threads push four
+/// markers each, under *every* merge order (sequential execution — this
+/// validates the eviction/seq logic itself; the randomized tier covers
+/// the data races). Ring pushes do not commute (each claims the next
+/// seq), so every op shares one footprint and nothing is pruned.
+fn ring_exhaustive(cx: &CheckCtx) -> Result<u64, String> {
+    const THREADS: usize = 3;
+    const OPS: usize = 4;
     const CAPACITY: usize = 3;
-    let width = A + B;
-    for mask in 0u32..(1 << width) {
-        if mask.count_ones() != A {
-            continue;
-        }
-        let trace = Trace::with_capacity(CAPACITY);
-        let (mut a_done, mut b_done) = (0u64, 0u64);
-        for slot in 0..width {
-            if mask & (1 << slot) != 0 {
-                push_marker(&trace, 0, a_done);
-                a_done += 1;
-            } else {
-                push_marker(&trace, 1, b_done);
-                b_done += 1;
-            }
-        }
-        check_ring(&trace, CAPACITY, u64::from(A + B))
-            .map_err(|e| format!("interleaving mask {mask:#012b}: {e}"))?;
+    let footprints = vec![vec![1u64; OPS]; THREADS];
+    struct RingRun {
+        trace: Trace,
+        done: [u64; THREADS],
     }
-    Ok(())
+    let init = || RingRun {
+        trace: Trace::with_capacity(CAPACITY),
+        done: [0; THREADS],
+    };
+    let step = |st: &mut RingRun, t: usize, _op: usize| {
+        push_marker(&st.trace, t as u64, st.done[t]);
+        st.done[t] += 1;
+    };
+    let check = |st: &mut RingRun| check_ring(&st.trace, CAPACITY, (THREADS * OPS) as u64);
+    systematic(cx, &footprints, &init, &step, &check)
 }
 
 /// Real-thread hammer: every thread pushes a seeded number of events with
 /// seeded pauses; afterwards the ring must be ordered and dense.
-fn ring_seq_order(cx: &CheckCtx) -> Result<(), String> {
+fn ring_seq_order(cx: &CheckCtx) -> Result<u64, String> {
     let mut rng = XorShift64::new(cx.seed);
     let capacity = 4 + rng.next_below(60) as usize;
     // Short programs win: schedules/second is what finds races here, and
@@ -217,7 +251,7 @@ fn ring_seq_order(cx: &CheckCtx) -> Result<(), String> {
             });
         }
     });
-    check_ring(&trace, capacity, total)
+    check_ring(&trace, capacity, total).map(|()| 1)
 }
 
 // ---------------------------------------------------------------------------
@@ -227,7 +261,7 @@ fn ring_seq_order(cx: &CheckCtx) -> Result<(), String> {
 /// Every thread records the same constant; the average of a constant is
 /// that constant, bit-exactly, no matter how the first-sample
 /// initialization interleaves.
-fn ewma_first_sample(cx: &CheckCtx) -> Result<(), String> {
+fn ewma_first_sample(cx: &CheckCtx) -> Result<u64, String> {
     const LEVEL: f64 = 250.0;
     let mut rng = XorShift64::new(cx.seed);
     let per_thread: Vec<u64> = (0..cx.threads).map(|_| 1 + rng.next_below(8)).collect();
@@ -250,7 +284,7 @@ fn ewma_first_sample(cx: &CheckCtx) -> Result<(), String> {
         return Err(format!("samples = {}, expected {total}", ewma.samples()));
     }
     match ewma.value() {
-        Some(v) if v == LEVEL => Ok(()),
+        Some(v) if v == LEVEL => Ok(1),
         Some(v) => Err(format!(
             "EWMA of a constant {LEVEL} is {v}: a sample folded against an \
              uninitialized average"
@@ -261,7 +295,7 @@ fn ewma_first_sample(cx: &CheckCtx) -> Result<(), String> {
 
 /// Seeded samples in `[LO, HI]`; a weighted average can never leave the
 /// sample range.
-fn ewma_bounds(cx: &CheckCtx) -> Result<(), String> {
+fn ewma_bounds(cx: &CheckCtx) -> Result<u64, String> {
     const LO: f64 = 100.0;
     const HI: f64 = 1000.0;
     let mut rng = XorShift64::new(cx.seed);
@@ -288,7 +322,7 @@ fn ewma_bounds(cx: &CheckCtx) -> Result<(), String> {
         return Err(format!("samples = {}, expected {total}", ewma.samples()));
     }
     match ewma.value() {
-        Some(v) if (LO..=HI).contains(&v) => Ok(()),
+        Some(v) if (LO..=HI).contains(&v) => Ok(1),
         Some(v) => Err(format!(
             "EWMA {v} escaped the sample range [{LO}, {HI}]: an update folded \
              against a torn or uninitialized average"
@@ -303,7 +337,7 @@ fn ewma_bounds(cx: &CheckCtx) -> Result<(), String> {
 
 /// Seeded values; afterwards count, sum, and both distribution extremes
 /// must match the programs exactly — the histogram loses nothing.
-fn histogram_exact(cx: &CheckCtx) -> Result<(), String> {
+fn histogram_exact(cx: &CheckCtx) -> Result<u64, String> {
     let mut rng = XorShift64::new(cx.seed);
     // Programs are derived up front so the expectation is computable
     // without touching the shared structure.
@@ -358,12 +392,12 @@ fn histogram_exact(cx: &CheckCtx) -> Result<(), String> {
             hist.quantile(0.0)
         ));
     }
-    Ok(())
+    Ok(1)
 }
 
 /// A reader polling `count()` while writers hammer the histogram must
 /// never observe the count go backwards (each bucket is monotone).
-fn histogram_monotone(cx: &CheckCtx) -> Result<(), String> {
+fn histogram_monotone(cx: &CheckCtx) -> Result<u64, String> {
     let mut rng = XorShift64::new(cx.seed);
     let per_thread: Vec<u64> = (0..cx.threads).map(|_| 64 + rng.next_below(64)).collect();
     let total: u64 = per_thread.iter().sum();
@@ -404,7 +438,7 @@ fn histogram_monotone(cx: &CheckCtx) -> Result<(), String> {
     if hist.count() != total {
         return Err(format!("final count = {}, expected {total}", hist.count()));
     }
-    Ok(())
+    Ok(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -453,7 +487,7 @@ impl CommReceiver for DoorReceiver {
 /// have been retrieved. A protocol hole (flag cleared after the drain,
 /// a relaxed swap, a lost token) strands messages behind an un-rung
 /// doorbell, which this check reports as a deficit.
-fn doorbell(cx: &CheckCtx) -> Result<(), String> {
+fn doorbell(cx: &CheckCtx) -> Result<u64, String> {
     let mut rng = XorShift64::new(cx.seed);
     let n_sources = 2 + rng.next_below(6) as usize;
     let per_thread: Vec<u64> = (0..cx.threads).map(|_| 16 + rng.next_below(48)).collect();
@@ -528,5 +562,152 @@ fn doorbell(cx: &CheckCtx) -> Result<(), String> {
              ({stranded} stranded behind un-rung doorbells)"
         ));
     }
-    Ok(())
+    Ok(1)
+}
+
+// ---------------------------------------------------------------------------
+// systematic doorbell + shard handoff
+// ---------------------------------------------------------------------------
+
+/// One modeled source for the systematic doorbell check: a real
+/// [`ReadySignal`] guarding an inbox, sharing the engine-shaped ready
+/// list. Execution is sequential, so the inbox can be a `RefCell`.
+struct DporSource {
+    bell: ReadySignal,
+    inbox: RefCell<VecDeque<u64>>,
+}
+
+struct DporDoorState {
+    list: Arc<SegQueue<usize>>,
+    sources: Vec<DporSource>,
+    sent: Cell<u64>,
+    received: Cell<u64>,
+}
+
+impl DporDoorState {
+    fn new(n_sources: usize) -> Self {
+        let list = Arc::new(SegQueue::new());
+        let sources = (0..n_sources)
+            .map(|token| DporSource {
+                bell: ReadySignal::new(token, Arc::clone(&list)),
+                inbox: RefCell::new(VecDeque::new()),
+            })
+            .collect();
+        DporDoorState {
+            list,
+            sources,
+            sent: Cell::new(0),
+            received: Cell::new(0),
+        }
+    }
+
+    /// Producer half: enqueue first, ring after.
+    fn send(&self, src: usize, v: u64) {
+        self.sources[src].inbox.borrow_mut().push_back(v);
+        self.sent.set(self.sent.get() + 1);
+        self.sources[src].bell.ring();
+    }
+
+    /// Consumer half: pop a token, clear its flag, then drain the inbox —
+    /// the visit order [`PollEngine`]'s readiness tier uses.
+    fn visit(&self) {
+        if let Some(token) = self.list.pop() {
+            self.sources[token].bell.clear();
+            let drained = self.sources[token].inbox.borrow_mut().drain(..).count();
+            self.received.set(self.received.get() + drained as u64);
+        }
+    }
+}
+
+/// The doorbell no-missed-wakeup protocol on real [`ReadySignal`]s,
+/// under every interleaving of two producers and a visiting consumer.
+/// Every op touches the shared ready list, so all conflict and the sweep
+/// is a full enumeration; the `doorbell` randomized check keeps covering
+/// the memory-ordering side with real threads.
+fn doorbell_dpor(cx: &CheckCtx) -> Result<u64, String> {
+    // Producer 0: two sends to source 0. Producer 1: one send to source
+    // 1. Consumer: three visits.
+    let footprints = vec![vec![1u64; 2], vec![1u64; 1], vec![1u64; 3]];
+    let init = || DporDoorState::new(2);
+    let step = |st: &mut DporDoorState, t: usize, op: usize| match t {
+        0 => st.send(0, op as u64),
+        1 => st.send(1, 100),
+        _ => st.visit(),
+    };
+    let check = |st: &mut DporDoorState| -> Result<(), String> {
+        // Quiescent drain: producers are done, so every undelivered
+        // message must be reachable through a queued token.
+        loop {
+            let before = st.received.get();
+            st.visit();
+            if st.received.get() == before && st.list.is_empty() {
+                break;
+            }
+        }
+        if st.received == st.sent {
+            Ok(())
+        } else {
+            let stranded: usize = st.sources.iter().map(|s| s.inbox.borrow().len()).sum();
+            Err(format!(
+                "missed wakeup: retrieved {} of {} sent ({stranded} stranded \
+                 behind un-rung doorbells)",
+                st.received.get(),
+                st.sent.get()
+            ))
+        }
+    };
+    systematic(cx, &footprints, &init, &step, &check)
+}
+
+/// The per-shard ready-list handoff on a real [`ReadyShards`]: two
+/// producers push tokens to disjoint shards (independent — the sweep
+/// prunes their commuting orders) while a consumer hands shard 1 off to
+/// shard 0 mid-stream and drains via `pop_any`. No interleaving may lose
+/// or duplicate a token.
+fn shard_handoff(cx: &CheckCtx) -> Result<u64, String> {
+    const SHARD0: u64 = 1;
+    const SHARD1: u64 = 2;
+    struct ShardRun {
+        shards: ReadyShards,
+        got: Vec<usize>,
+    }
+    // Producer 0 pushes tokens 0 and 2 (home shard 0); producer 1 pushes
+    // 1 and 3 (home shard 1); the consumer's handoff and steals touch
+    // both shards.
+    let footprints = vec![
+        vec![SHARD0, SHARD0],
+        vec![SHARD1, SHARD1],
+        vec![SHARD0 | SHARD1; 3],
+    ];
+    let init = || ShardRun {
+        shards: ReadyShards::new(2),
+        got: Vec::new(),
+    };
+    let step = |st: &mut ShardRun, t: usize, op: usize| match t {
+        0 => st.shards.push(2 * op),
+        1 => st.shards.push(2 * op + 1),
+        _ => {
+            if op == 0 {
+                st.shards.handoff(1, 0);
+            } else if let Some(tok) = st.shards.pop_any(0) {
+                st.got.push(tok);
+            }
+        }
+    };
+    let check = |st: &mut ShardRun| -> Result<(), String> {
+        while let Some(tok) = st.shards.pop_any(0) {
+            st.got.push(tok);
+        }
+        let mut got = st.got.clone();
+        got.sort_unstable();
+        if got == [0, 1, 2, 3] {
+            Ok(())
+        } else {
+            Err(format!(
+                "handoff lost or duplicated tokens: drained {got:?}, expected \
+                 [0, 1, 2, 3] exactly once each"
+            ))
+        }
+    };
+    systematic(cx, &footprints, &init, &step, &check)
 }

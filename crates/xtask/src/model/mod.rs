@@ -4,19 +4,28 @@
 //! A miniature `loom`: instead of instrumenting every atomic, it runs the
 //! real structures under two exploration strategies —
 //!
-//! * **exhaustive** — every merge order of two scripted op programs,
-//!   executed sequentially (validates eviction/sequencing logic);
+//! * **systematic** — sleep-set partial-order exploration of every
+//!   inequivalent merge order of scripted op programs, executed
+//!   sequentially (see [`dpor`]; validates eviction/sequencing/protocol
+//!   logic deterministically, with no lucky seed);
 //! * **randomized** — real OS threads whose op programs (op counts,
 //!   values, pauses) are derived entirely from a schedule seed, released
 //!   together through a barrier to maximize real contention.
 //!
-//! Every failure carries the schedule seed that produced it; replaying is
+//! Every randomized failure carries the schedule seed that produced it;
+//! replaying is
 //! `cargo run -p xtask -- model --check <name> --seed <seed> --schedules 1`.
 //! Randomized replays rerun the same op programs under OS scheduling, so
 //! a failing seed is a *program*, not a single interleaving — rerun it a
 //! few times (or raise `--schedules`) when hunting flaky interleavings.
+//! Systematic failures instead carry the exact interleaving as a digit
+//! string; `--schedule <digits>` replays that one schedule precisely.
+//! The op-level models of this repo's historical races live in
+//! [`programs`] and are pinned by the regression tests.
 
 pub mod checks;
+pub mod dpor;
+pub mod programs;
 pub mod rng;
 
 pub use checks::{find_check, Check, CheckCtx, Kind, CHECKS};
@@ -34,6 +43,8 @@ pub struct ModelConfig {
     pub threads: usize,
     /// Restrict to one check by name.
     pub check: Option<String>,
+    /// Replay exactly this interleaving (systematic checks only).
+    pub schedule: Option<Vec<usize>>,
 }
 
 impl Default for ModelConfig {
@@ -43,6 +54,7 @@ impl Default for ModelConfig {
             seed: 0x4E58_5553, // "NXUS"
             threads: 4,
             check: None,
+            schedule: None,
         }
     }
 }
@@ -54,6 +66,8 @@ pub struct Failure {
     pub check: &'static str,
     /// The schedule seed that produced the violation.
     pub seed: u64,
+    /// The exact interleaving, for systematic checks.
+    pub schedule: Option<String>,
     /// The violated invariant.
     pub detail: String,
 }
@@ -61,11 +75,18 @@ pub struct Failure {
 impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "model check `{}` failed: {}", self.check, self.detail)?;
-        write!(
-            f,
-            "replay with: cargo run -p xtask -- model --check {} --seed {} --schedules 1",
-            self.check, self.seed
-        )
+        match &self.schedule {
+            Some(s) => write!(
+                f,
+                "replay with: cargo run -p xtask -- model --check {} --schedule {s}",
+                self.check
+            ),
+            None => write!(
+                f,
+                "replay with: cargo run -p xtask -- model --check {} --seed {} --schedules 1",
+                self.check, self.seed
+            ),
+        }
     }
 }
 
@@ -101,17 +122,19 @@ pub fn run(cfg: &ModelConfig) -> Result<Report, Failure> {
             continue;
         }
         match check.kind {
-            Kind::Exhaustive => {
+            Kind::Systematic => {
                 let cx = CheckCtx {
                     seed: cfg.seed,
                     threads: 2,
+                    schedule: cfg.schedule.clone(),
                 };
-                (check.run)(&cx).map_err(|detail| Failure {
+                let n = (check.run)(&cx).map_err(|detail| Failure {
                     check: check.name,
                     seed: cfg.seed,
+                    schedule: dpor::extract_schedule(&detail),
                     detail,
                 })?;
-                report.checks.push((check.name, 1));
+                report.checks.push((check.name, n));
             }
             Kind::Randomized => {
                 for i in 0..cfg.schedules {
@@ -125,10 +148,12 @@ pub fn run(cfg: &ModelConfig) -> Result<Report, Failure> {
                     let cx = CheckCtx {
                         seed,
                         threads: cfg.threads.max(2),
+                        schedule: None,
                     };
                     (check.run)(&cx).map_err(|detail| Failure {
                         check: check.name,
                         seed,
+                        schedule: None,
                         detail,
                     })?;
                 }

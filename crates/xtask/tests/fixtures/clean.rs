@@ -24,3 +24,26 @@ pub fn bump(n: &AtomicU64) -> u64 {
 pub fn poll_once(n: &AtomicU64) -> u64 {
     bump(n)
 }
+
+use parking_lot::Mutex;
+
+/// Consistently ordered locks: `first` is always taken before `second`.
+pub struct Pair {
+    first: Mutex<u64>,
+    second: Mutex<u64>,
+}
+
+/// Takes both in the canonical order, no blocking under either.
+pub fn both(p: &Pair) -> u64 {
+    let a = p.first.lock();
+    let b = p.second.lock();
+    *a + *b
+}
+
+/// Same order through a temporary; releases before any blocking work.
+pub fn sum_then_wait(p: &Pair) -> u64 {
+    let a = p.first.lock();
+    let total = *a + *p.second.lock();
+    drop(a);
+    total
+}

@@ -1,0 +1,35 @@
+//! Fixture: a guard held across a blocking call, directly and through a
+//! callee (rule lock-across-blocking). `releases_first` scopes its guard
+//! before blocking and must NOT be flagged.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+pub struct Inbox {
+    queue: Mutex<Vec<u64>>,
+}
+
+pub fn holds_across_sleep(i: &Inbox) {
+    let q = i.queue.lock();
+    std::thread::sleep(Duration::from_millis(1));
+    drop(q);
+}
+
+pub fn holds_across_callee(i: &Inbox) -> usize {
+    let q = i.queue.lock();
+    settle();
+    q.len()
+}
+
+fn settle() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn releases_first(i: &Inbox) -> usize {
+    let n = {
+        let q = i.queue.lock();
+        q.len()
+    };
+    std::thread::sleep(Duration::from_millis(1));
+    n
+}

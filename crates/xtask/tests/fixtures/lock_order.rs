@@ -1,0 +1,29 @@
+//! Fixture: `a` and `b` are acquired in opposite orders by two functions
+//! (rule lock-order). `consistent` takes them in one order only and must
+//! NOT be part of the report.
+
+use parking_lot::Mutex;
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+pub fn forward(s: &Shared) -> u64 {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    *ga + *gb
+}
+
+pub fn backward(s: &Shared) -> u64 {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    *ga + *gb
+}
+
+pub fn consistent(s: &Shared) -> u64 {
+    let ga = s.a.lock();
+    let gc = s.c.lock();
+    *ga + *gc
+}

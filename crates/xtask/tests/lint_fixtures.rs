@@ -148,6 +148,58 @@ fn blocking_call_reachable_from_poll_once_is_flagged() {
 }
 
 #[test]
+fn opposite_lock_orders_are_flagged_with_both_witness_paths() {
+    let ws = fixture("lock_order.rs", false, false, true);
+    let out = lint_workspace(&ws, Some("lock-order"));
+    // `forward` takes a then b, `backward` takes b then a — one pairwise
+    // report. `consistent` (a then c, one direction only) must not add a
+    // second finding.
+    assert_eq!(out.errors.len(), 1, "{}", render(&out.errors));
+    let d = &out.errors[0];
+    assert_eq!(d.rule, "lock-order");
+    assert_eq!(d.line, 14, "anchor on the first acquisition of the cycle");
+    assert_eq!(
+        d.message,
+        "inconsistent lock order: `core.a` and `core.b` are each acquired \
+         while the other is held"
+    );
+    let help = d.help.as_deref().unwrap_or("");
+    assert!(help.contains("path `core.a` -> `core.b`"), "{help}");
+    assert!(help.contains("path `core.b` -> `core.a`"), "{help}");
+    assert!(
+        help.contains("lock_order.rs:14") && help.contains("lock_order.rs:20"),
+        "both witness sites in help: {help}"
+    );
+}
+
+#[test]
+fn lock_held_across_blocking_is_flagged_directly_and_via_callee() {
+    let ws = fixture("lock_across_blocking.rs", false, false, true);
+    let out = lint_workspace(&ws, Some("lock-across-blocking"));
+    // Two findings: the sleep under the guard and the blocking callee.
+    // `releases_first` scopes its guard before sleeping and is clean.
+    assert_eq!(out.errors.len(), 2, "{}", render(&out.errors));
+    let direct = &out.errors[0];
+    assert_eq!(direct.rule, "lock-across-blocking");
+    assert_eq!(direct.line, 13, "anchor on the acquisition");
+    assert!(
+        direct
+            .message
+            .contains("`core.queue` is held across a blocking call")
+            && direct.message.contains("`thread::sleep`"),
+        "{}",
+        direct.message
+    );
+    let via_callee = &out.errors[1];
+    assert_eq!(via_callee.line, 19);
+    assert!(
+        via_callee.message.contains("call path settle ->"),
+        "callee path in message: {}",
+        via_callee.message
+    );
+}
+
+#[test]
 fn partial_function_table_is_flagged_with_the_missing_fns() {
     let ws = fixture("partial_module.rs", false, false, true);
     let out = lint_workspace(&ws, Some("module-contract"));

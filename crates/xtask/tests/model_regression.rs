@@ -34,7 +34,7 @@
 //! * `4151209476244410783` — derived under master seed 1
 //! * `11309951222947488521` — derived under master seed 3
 
-use xtask::model::{run, ModelConfig};
+use xtask::model::{dpor, programs, run, ModelConfig};
 
 /// Replays a captured seed as the master seed of a single-check run.
 fn replay(check: &str, seed: u64, schedules: u64) {
@@ -43,6 +43,7 @@ fn replay(check: &str, seed: u64, schedules: u64) {
         seed,
         threads: 4,
         check: Some(check.into()),
+        schedule: None,
     };
     match run(&cfg) {
         Ok(report) => assert_eq!(report.checks, vec![(check, schedules)]),
@@ -68,4 +69,70 @@ fn doorbell_seed_from_master_1_stays_fixed() {
 #[test]
 fn doorbell_seed_from_master_3_stays_fixed() {
     replay("doorbell", 11309951222947488521, 300);
+}
+
+// ---------------------------------------------------------------------------
+// Systematic (DPOR) regressions
+// ---------------------------------------------------------------------------
+//
+// The op-level models in `xtask::model::programs` encode the three
+// historical races above at the micro-op granularity where each bug
+// lived. Unlike the seeds, these pins are *deterministic*: the sleep-set
+// explorer re-finds each race by enumeration on every run — no lucky
+// seed — and the exact violating interleaving is pinned as a schedule
+// digit string. The fixed counterparts (micro-ops fused, as the
+// production fixes did) must pass every schedule.
+
+/// (model, pinned first violating schedule found by exploration)
+const PINNED: &[(&str, &str)] = &[
+    ("seq-ring", "0110"),
+    ("ewma-first", "001101"),
+    ("doorbell", "010111"),
+];
+
+fn explore(model: &str, broken: bool) -> Result<dpor::Explored, dpor::Violation> {
+    match model {
+        "seq-ring" => programs::explore_seq_ring(broken),
+        "ewma-first" => programs::explore_ewma_first(broken),
+        "doorbell" => programs::explore_doorbell(broken),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+fn replay_schedule(model: &str, broken: bool, schedule: &[usize]) -> Result<(), String> {
+    match model {
+        "seq-ring" => programs::replay_seq_ring(broken, schedule),
+        "ewma-first" => programs::replay_ewma_first(broken, schedule),
+        "doorbell" => programs::replay_doorbell(broken, schedule),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+#[test]
+fn dpor_refinds_every_historical_race_deterministically() {
+    for &(model, pinned) in PINNED {
+        let v =
+            explore(model, true).expect_err("the broken variant must be refuted by enumeration");
+        assert_eq!(
+            dpor::encode(&v.schedule),
+            pinned,
+            "{model}: the explorer's first violation drifted"
+        );
+    }
+}
+
+#[test]
+fn pinned_schedules_replay_to_the_same_violation() {
+    for &(model, pinned) in PINNED {
+        let schedule = dpor::parse_schedule(pinned).unwrap();
+        let err = replay_schedule(model, true, &schedule)
+            .expect_err("pinned schedule must still violate the broken model");
+        assert!(
+            err.contains(&format!("[schedule {pinned}]")),
+            "{model}: {err}"
+        );
+        // Once the micro-ops are fused the way the production fix fused
+        // them, no schedule of the model can violate at all.
+        explore(model, false).expect("the fixed variant passes every schedule");
+    }
 }
