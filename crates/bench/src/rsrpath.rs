@@ -35,6 +35,18 @@ pub struct Config {
     /// hot local link. The readiness tier's O(ready) claim is exactly
     /// that these rows stay flat as the count grows.
     pub idle_sweep: Vec<usize>,
+    /// Many-link worker sweep: `(links, workers)` scenarios at payload 16.
+    /// `workers = 0` is the inline baseline (deliveries drained by
+    /// `progress()` on the calling thread); `workers > 0` hands every
+    /// armed source to a `core::shard::WorkerPool` of that size and the
+    /// caller only waits on the dispatch counter. The sharded engine's
+    /// claim is that ns/RSR stays flat-or-better as workers grow at high
+    /// link counts.
+    pub worker_sweep: Vec<(usize, usize)>,
+    /// Timed iterations for worker-sweep rows: each call fans out `links`
+    /// deliveries, so these rows run far fewer iterations than the base
+    /// matrix.
+    pub worker_iters: u32,
 }
 
 impl Config {
@@ -46,6 +58,8 @@ impl Config {
             payloads: vec![16, 4096, 262_144],
             link_counts: vec![1, 8],
             idle_sweep: vec![1, 64, 4096],
+            worker_sweep: vec![(4096, 0), (4096, 1), (4096, 2), (4096, 4)],
+            worker_iters: 192,
         }
     }
 
@@ -57,6 +71,8 @@ impl Config {
             payloads: vec![16, 4096, 262_144],
             link_counts: vec![1, 8],
             idle_sweep: vec![1, 64, 4096],
+            worker_sweep: vec![(4096, 0), (4096, 1), (4096, 2), (4096, 4)],
+            worker_iters: 48,
         }
     }
 
@@ -85,6 +101,9 @@ pub struct Scenario {
     /// Idle readiness-armed sources registered alongside the hot link
     /// (0 for the base matrix).
     pub idle_sources: usize,
+    /// Shard workers draining the sources (0 = inline `progress()` on the
+    /// calling thread, the base matrix).
+    pub workers: usize,
     /// Nanoseconds per `Context::rsr` call, including delivery+dispatch of
     /// every link's copy on the local queue.
     pub ns_per_rsr: f64,
@@ -93,8 +112,8 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    fn key(&self) -> (usize, usize, usize) {
-        (self.links, self.payload, self.idle_sources)
+    fn key(&self) -> (usize, usize, usize, usize) {
+        (self.links, self.payload, self.idle_sources, self.workers)
     }
 }
 
@@ -179,13 +198,173 @@ fn run_scenario(
         links,
         payload,
         idle_sources,
+        workers: 0,
+        ns_per_rsr: best_ns,
+        allocs_per_rsr: allocs as f64 / f64::from(batches * per_batch),
+    }
+}
+
+/// How many receiver contexts the many-link worker sweep spreads its
+/// links across. The queue modules register one shared inbox per context,
+/// so contexts — not endpoints — are the unit of sharding: 64 sources
+/// give a worker pool real parallelism to divide while a single context
+/// would serialize every delivery through one slot.
+const SWEEP_RX_CONTEXTS: usize = 64;
+
+/// Runs one many-link worker-sweep scenario: a sender context multicasts
+/// to `links` endpoints spread over [`SWEEP_RX_CONTEXTS`] receiver
+/// contexts, all of whose readiness-armed sources are adopted by ONE
+/// shared `WorkerPool` of `workers` threads (`workers = 0` keeps
+/// deliveries inline: the caller round-robins `progress()` over the
+/// receivers). The reported ns/RSR covers the full fan-out: one `rsr`
+/// call plus delivery+dispatch of every link's copy.
+fn run_many_link_scenario(
+    links: usize,
+    workers: usize,
+    iters: u32,
+    warmup: u32,
+    alloc_count: &dyn Fn() -> u64,
+) -> Scenario {
+    use nexus_rt::shard::WorkerPool;
+
+    let payload = 16_usize;
+    let fabric = Fabric::new();
+    register_queue_modules(&fabric);
+    let tx = fabric.create_context().expect("create sender context");
+    let received = Arc::new(AtomicU64::new(0));
+    // Completion doorbell for the worker rows: the caller blocks here
+    // instead of spinning, so it never competes with the workers for
+    // cores (decisive on small machines). `target` is the delivery count
+    // the caller is currently waiting for.
+    let target = Arc::new(AtomicU64::new(u64::MAX));
+    let done = Arc::new((std::sync::Mutex::new(()), std::sync::Condvar::new()));
+    let rx_count = links.min(SWEEP_RX_CONTEXTS);
+    let mut rxs = Vec::with_capacity(rx_count);
+    let mut sp = None;
+    for i in 0..rx_count {
+        let ctx = fabric.create_context().expect("create receiver context");
+        let r = Arc::clone(&received);
+        let t = Arc::clone(&target);
+        let d = Arc::clone(&done);
+        ctx.register_handler("bench", move |_| {
+            let n = r.fetch_add(1, Ordering::AcqRel) + 1;
+            if n >= t.load(Ordering::Acquire) {
+                let (lock, cv) = &*d;
+                let _guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+                cv.notify_one();
+            }
+        });
+        // Receiver i owns links/rx_count endpoints (the remainder goes to
+        // the early contexts), all merged into one multicast startpoint.
+        // Startpoints are bound by the endpoint's owner; any context may
+        // then send through them.
+        let eps = links / rx_count + usize::from(i < links % rx_count);
+        for _ in 0..eps {
+            let s = ctx
+                .startpoint_to(ctx.create_endpoint())
+                .expect("bind sweep endpoint");
+            match &mut sp {
+                None => sp = Some(s),
+                Some(acc) => acc.merge(&s),
+            }
+        }
+        rxs.push(ctx);
+    }
+    let sp = sp.expect("at least one link");
+    // Cross-context in-process traffic rides the shmem queue (`local` is
+    // same-context only); pin it so selection noise can't shift rows.
+    sp.set_method(MethodId::SHMEM);
+
+    let pool = if workers > 0 {
+        let pool = WorkerPool::new(workers);
+        let mut adopted = 0;
+        for ctx in &rxs {
+            adopted += pool.adopt(ctx);
+        }
+        assert!(
+            adopted >= rx_count,
+            "pool adopted {adopted} sources across {rx_count} receiver contexts"
+        );
+        Some(pool)
+    } else {
+        None
+    };
+
+    let data = Bytes::from(vec![0x5a_u8; payload]);
+    let mut expected = 0_u64;
+    let mut pump = |n: u32| {
+        // The batch is pipelined: every call is issued before the drain
+        // wait, keeping the service side saturated. An isolated rsr on an
+        // idle pool would only measure park/unpark latency; a sharded
+        // engine's job is sustained service rate under many-link load,
+        // and ns/RSR here is that amortized cost.
+        // While the batch is in flight the completion target is parked at
+        // MAX so in-flight deliveries never take the notify lock; it is
+        // lowered to the real count only once the caller starts waiting.
+        target.store(u64::MAX, Ordering::Release);
+        for _ in 0..n {
+            tx.rsr(&sp, "bench", Buffer::from_bytes(data.clone()))
+                .expect("rsr");
+            expected += links as u64;
+        }
+        if workers > 0 {
+            // Deliveries run on the shard workers; block until the
+            // fan-out drains (timeout-bounded: a notify racing the
+            // park costs one period — and a batch fully drained before
+            // the store below never notifies at all, which the
+            // pre-check of `received` before each wait absorbs).
+            target.store(expected, Ordering::Release);
+            let (lock, cv) = &*done;
+            while received.load(Ordering::Acquire) < expected {
+                let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+                if received.load(Ordering::Acquire) >= expected {
+                    break;
+                }
+                let _unused = cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(1))
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        } else {
+            while received.load(Ordering::Relaxed) < expected {
+                for ctx in &rxs {
+                    ctx.progress().expect("progress");
+                }
+            }
+        }
+    };
+    pump(warmup);
+    let batches = MIN_OF_BATCHES;
+    let per_batch = (iters / batches).max(1);
+    let allocs0 = alloc_count();
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        pump(per_batch);
+        let ns = t0.elapsed().as_nanos() as f64 / f64::from(per_batch);
+        best_ns = best_ns.min(ns);
+    }
+    let allocs = alloc_count() - allocs0;
+    if let Some(pool) = pool {
+        if std::env::var_os("RSRPATH_SHARD_STATS").is_some() {
+            eprintln!("workers={workers} shard_stats={:?}", pool.shard_stats());
+        }
+        pool.shutdown();
+    }
+    fabric.shutdown();
+    Scenario {
+        links,
+        payload,
+        idle_sources: 0,
+        workers,
         ns_per_rsr: best_ns,
         allocs_per_rsr: allocs as f64 / f64::from(batches * per_batch),
     }
 }
 
 /// Runs the whole scenario matrix, then the idle-source sweep (links=1,
-/// payload=16, growing counts of silent readiness-armed sources).
+/// payload=16, growing counts of silent readiness-armed sources), then
+/// the many-link worker sweep (payload 16, shard workers draining the
+/// fan-out).
 pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
     let mut out = Vec::new();
     for &links in &cfg.link_counts {
@@ -210,6 +389,15 @@ pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
             alloc_count,
         ));
     }
+    for &(links, workers) in &cfg.worker_sweep {
+        out.push(run_many_link_scenario(
+            links,
+            workers,
+            cfg.worker_iters,
+            (cfg.worker_iters / 4).max(8),
+            alloc_count,
+        ));
+    }
     out
 }
 
@@ -222,6 +410,7 @@ pub fn format(rows: &[Scenario]) -> String {
                 s.links.to_string(),
                 s.payload.to_string(),
                 s.idle_sources.to_string(),
+                s.workers.to_string(),
                 format!("{:.0}", s.ns_per_rsr),
                 format!("{:.1}", s.allocs_per_rsr),
             ]
@@ -230,7 +419,14 @@ pub fn format(rows: &[Scenario]) -> String {
     format!(
         "local-queue RSR round trip (send + poll + dispatch), per rsr() call\n{}",
         report::table(
-            &["links", "payload B", "idle srcs", "ns/RSR", "allocs/RSR"],
+            &[
+                "links",
+                "payload B",
+                "idle srcs",
+                "workers",
+                "ns/RSR",
+                "allocs/RSR"
+            ],
             &body
         )
     )
@@ -242,8 +438,8 @@ pub fn results_json(rows: &[Scenario]) -> String {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"links\": {}, \"payload\": {}, \"idle_sources\": {}, \"ns_per_rsr\": {:.1}, \"allocs_per_rsr\": {:.1}}}",
-                s.links, s.payload, s.idle_sources, s.ns_per_rsr, s.allocs_per_rsr
+                "    {{\"links\": {}, \"payload\": {}, \"idle_sources\": {}, \"workers\": {}, \"ns_per_rsr\": {:.1}, \"allocs_per_rsr\": {:.1}}}",
+                s.links, s.payload, s.idle_sources, s.workers, s.ns_per_rsr, s.allocs_per_rsr
             )
         })
         .collect();
@@ -437,6 +633,8 @@ pub fn scenarios_from(doc: &Json, key: &str) -> Option<Vec<Scenario>> {
             payload: item.get("payload")?.num()? as usize,
             // Absent in documents written before the idle-source sweep.
             idle_sources: item.get("idle_sources").and_then(Json::num).unwrap_or(0.0) as usize,
+            // Absent in documents written before the worker sweep.
+            workers: item.get("workers").and_then(Json::num).unwrap_or(0.0) as usize,
             ns_per_rsr: item.get("ns_per_rsr")?.num()?,
             allocs_per_rsr: item.get("allocs_per_rsr")?.num()?,
         });
@@ -458,11 +656,12 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
         let ns_limit = base.ns_per_rsr * (1.0 + ns_tolerance);
         if cur.ns_per_rsr > ns_limit {
             failures.push(format!(
-                "links={} payload={} idle={}: ns/RSR {:.0} exceeds baseline {:.0} by more than \
-                 {:.0} % (limit {:.0})",
+                "links={} payload={} idle={} workers={}: ns/RSR {:.0} exceeds baseline {:.0} by \
+                 more than {:.0} % (limit {:.0})",
                 cur.links,
                 cur.payload,
                 cur.idle_sources,
+                cur.workers,
                 cur.ns_per_rsr,
                 base.ns_per_rsr,
                 ns_tolerance * 100.0,
@@ -474,10 +673,12 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
         let alloc_limit = base.allocs_per_rsr * 1.25 + 2.0;
         if cur.allocs_per_rsr > alloc_limit {
             failures.push(format!(
-                "links={} payload={} idle={}: allocs/RSR {:.1} exceeds baseline {:.1} (limit {:.1})",
+                "links={} payload={} idle={} workers={}: allocs/RSR {:.1} exceeds baseline {:.1} \
+                 (limit {:.1})",
                 cur.links,
                 cur.payload,
                 cur.idle_sources,
+                cur.workers,
                 cur.allocs_per_rsr,
                 base.allocs_per_rsr,
                 alloc_limit
@@ -496,6 +697,7 @@ mod tests {
             links,
             payload,
             idle_sources: 0,
+            workers: 0,
             ns_per_rsr: ns,
             allocs_per_rsr: allocs,
         }
@@ -509,15 +711,24 @@ mod tests {
             payloads: vec![16, 4096],
             link_counts: vec![1, 4],
             idle_sweep: vec![8],
+            worker_sweep: vec![(16, 0), (16, 2)],
+            worker_iters: 16,
         };
         let rows = run(&cfg, &|| 0);
-        assert_eq!(rows.len(), 5, "2x2 matrix + one idle-sweep row");
+        assert_eq!(
+            rows.len(),
+            7,
+            "2x2 matrix + one idle-sweep row + two worker rows"
+        );
         assert!(rows.iter().all(|r| r.ns_per_rsr > 0.0));
-        let sweep = rows.last().unwrap();
+        let sweep = &rows[4];
         assert_eq!((sweep.links, sweep.payload, sweep.idle_sources), (1, 16, 8));
+        let sharded = rows.last().unwrap();
+        assert_eq!((sharded.links, sharded.workers), (16, 2));
         let t = format(&rows);
         assert!(t.contains("ns/RSR"));
         assert!(t.contains("idle srcs"));
+        assert!(t.contains("workers"));
     }
 
     #[test]
@@ -527,6 +738,7 @@ mod tests {
         let parsed = parse_json(doc).unwrap();
         let rows = scenarios_from(&parsed, "results").unwrap();
         assert_eq!(rows[0].idle_sources, 0);
+        assert_eq!(rows[0].workers, 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::endpoint::{Attached, EndpointId, EndpointRef, EndpointState};
 use crate::error::{NexusError, Result};
 use crate::fxhash::FxBuildHasher;
 use crate::handler::{HandlerArgs, HandlerRegistry};
-use crate::module::{CommObject, ModuleRegistry};
+use crate::module::{CommObject, CommReceiver, ModuleRegistry};
 use crate::poll::{BlockingPoller, PollEngine, PollOutcome};
 use crate::rsr::{Rsr, WireFrame};
 use crate::selection::{
@@ -238,6 +238,7 @@ impl Fabric {
             stats,
             trace,
             shutdown: AtomicBool::new(false),
+            workers: Mutex::new(None),
             extensions: Mutex::new(HashMap::new()),
         });
         self.inner.contexts.write().insert(id, Arc::clone(&ctx));
@@ -299,6 +300,10 @@ pub struct Context {
     stats: Stats,
     trace: Arc<Trace>,
     shutdown: AtomicBool,
+    /// Sharded worker pool servicing this context's readiness tier when
+    /// [`Context::start_workers`] is active; `None` means the single
+    /// progress thread (or inline `progress` calls) does everything.
+    workers: Mutex<Option<crate::shard::WorkerPool>>,
     /// Typed extension storage for protocol layers built on the context
     /// (e.g. the global-pointer reply plumbing).
     extensions: Mutex<HashMap<std::any::TypeId, Arc<dyn std::any::Any + Send + Sync>>>,
@@ -1051,6 +1056,101 @@ impl Context {
         Ok(())
     }
 
+    // -- sharded workers ----------------------------------------------------------
+
+    /// Moves this context's readiness tier onto a pool of `n` shard
+    /// worker threads: doorbells route to per-worker shards and both the
+    /// drain and the handler run on the worker that pops the token.
+    /// Returns the number of sources adopted (0 if nothing is armed).
+    ///
+    /// The polled tier (and blocking pollers) stay with `progress`;
+    /// calling `progress` concurrently remains valid — it simply no
+    /// longer sees the adopted sources. Idempotent in the sense that a
+    /// second call stops the previous pool first.
+    pub fn start_workers(self: &Arc<Self>, n: usize) -> usize {
+        self.stop_workers();
+        let pool = crate::shard::WorkerPool::new(n);
+        let adopted = pool.adopt(self);
+        *self.workers.lock() = Some(pool);
+        adopted
+    }
+
+    /// Stops the shard workers (if any) and re-arms their sources back
+    /// into this context's own poll engine, restoring single-threaded
+    /// progress semantics.
+    pub fn stop_workers(&self) {
+        // Take the pool out first, join outside the lock: a worker mid
+        // dispatch can call back into the context, and `into_sources`
+        // joins those threads (PR 6 rule — never hold a lock across a
+        // join or close).
+        let pool = self.workers.lock().take();
+        let Some(pool) = pool else { return };
+        for (method, ctx, receiver) in pool.into_sources() {
+            match ctx.upgrade() {
+                Some(c) => c.restore_source(method, receiver),
+                None => {
+                    let mut r = receiver;
+                    r.close();
+                }
+            }
+        }
+    }
+
+    /// Worker-pool snapshot of per-shard service counters, if workers
+    /// are running.
+    pub fn worker_stats(&self) -> Option<Vec<crate::shard::ShardSnapshot>> {
+        self.workers.lock().as_ref().map(|p| p.shard_stats())
+    }
+
+    /// Removes this context's armed readiness-tier sources from the
+    /// engine and returns them for adoption by a worker pool.
+    pub(crate) fn release_armed_sources(&self) -> Vec<(MethodId, Box<dyn CommReceiver>)> {
+        self.poll.lock().take_armed()
+    }
+
+    /// Re-installs a source released by [`Context::release_armed_sources`]
+    /// (or refused by a pool): back into the engine, re-bound to stats
+    /// and trace, re-armed into the readiness tier.
+    pub(crate) fn restore_source(&self, method: MethodId, receiver: Box<dyn CommReceiver>) {
+        // lint:allow(lock-across-blocking) arm_ready installs a doorbell via set_ready_signal; the pump-loop sleep the lint attributes to that fn runs on the pump's own spawned thread, never in this caller
+        let mut eng = self.poll.lock();
+        eng.add_source(method, receiver);
+        eng.bind(&self.stats, &self.trace);
+        eng.arm_ready(method);
+    }
+
+    /// Dispatches one message drained by a shard worker, with the same
+    /// trace events a progress pass would record. Dispatch errors land
+    /// in the event ring — there is no progress-pass return value to
+    /// carry them on a worker thread.
+    pub(crate) fn deliver_sharded(&self, method: MethodId, msg: Rsr) {
+        self.trace.record_event(TraceEventKind::Recv {
+            method,
+            wire_bytes: msg.wire_len() as u64,
+        });
+        if let Err(e) = self.dispatch(method, msg) {
+            let _ = e;
+            self.trace.record_event(TraceEventKind::PollError {
+                method,
+                consecutive: 1,
+            });
+        }
+    }
+
+    /// Records a transport poll error observed on a worker thread.
+    pub(crate) fn note_sharded_error(&self, method: MethodId, _e: &NexusError) {
+        self.trace.record_event(TraceEventKind::PollError {
+            method,
+            consecutive: 1,
+        });
+    }
+
+    /// Records one completed doorbell service by a worker thread.
+    pub(crate) fn note_ready_wakeup(&self, method: MethodId, drained: u64) {
+        self.trace
+            .record_event(TraceEventKind::ReadyWakeup { method, drained });
+    }
+
     // -- stats / shutdown ---------------------------------------------------------
 
     /// The context's statistics block (enquiry).
@@ -1107,6 +1207,15 @@ impl Context {
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::Relaxed) {
             return;
+        }
+        // Shard workers first: they are the other threads still driving
+        // receivers, and the pool's shutdown services pending doorbells,
+        // joins the workers, and closes the adopted receivers — all
+        // before the engine below is drained. Taken out of the mutex and
+        // shut down with no lock held (workers call back into `self`).
+        let pool = self.workers.lock().take();
+        if let Some(pool) = pool {
+            pool.shutdown();
         }
         // Drain under the lock, close after releasing it: receiver close()
         // joins pump threads, and holding the engine lock through that

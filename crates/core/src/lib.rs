@@ -62,6 +62,7 @@
 //! | [`module`] | the `CommModule` function-table trait + registry/loaders |
 //! | [`selection`] | automatic/manual/QoS selection policies + enquiry |
 //! | [`poll`] | unified polling, `skip_poll`, blocking pollers |
+//! | [`shard`] | sharded multi-worker servicing of the readiness tier |
 //! | [`pool`] | thread-local frame-buffer reuse for the send path |
 //! | [`rsr`] | RSR wire format: encode-once frames, zero-copy decode |
 //! | [`handler`] | handler registration and dispatch |
@@ -87,6 +88,7 @@ pub mod poll;
 pub mod pool;
 pub mod rsr;
 pub mod selection;
+pub mod shard;
 pub mod startpoint;
 pub mod stats;
 pub mod trace;
@@ -109,6 +111,7 @@ pub mod prelude {
         applicable_methods, method_cost_estimate, ExcludeMethods, FirstApplicable,
         MethodCostEstimate, QosAware, SelectionPolicy,
     };
+    pub use crate::shard::{ShardSnapshot, WorkerPool};
     pub use crate::startpoint::{Startpoint, Target};
     pub use crate::stats::{MethodSnapshot, Stats};
     pub use crate::trace::{

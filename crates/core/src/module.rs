@@ -307,11 +307,12 @@ pub mod test_support {
     use parking_lot::Mutex;
 
     /// One context's receive inbox: the message queue plus the doorbell
-    /// installed when the poll engine arms the source (write-once; the
-    /// send path reads it lock-free).
+    /// installed when the poll engine arms the source. Replaceable (not
+    /// write-once) so a worker pool can re-arm the source with a sharded
+    /// doorbell after adoption.
     struct TestInbox {
         queue: SegQueue<Rsr>,
-        bell: std::sync::OnceLock<ReadySignal>,
+        bell: Mutex<Option<ReadySignal>>,
     }
 
     type Medium = Mutex<HashMap<ContextId, Arc<TestInbox>>>;
@@ -363,7 +364,11 @@ pub mod test_support {
             Ok(self.inbox.queue.pop())
         }
         fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
-            self.ready && self.inbox.bell.set(signal).is_ok()
+            if !self.ready {
+                return false;
+            }
+            *self.inbox.bell.lock() = Some(signal);
+            true
         }
     }
 
@@ -378,7 +383,7 @@ pub mod test_support {
         }
         fn send(&self, rsr: &Rsr, _frame: &WireFrame) -> Result<()> {
             self.inbox.queue.push(rsr.clone());
-            if let Some(bell) = self.inbox.bell.get() {
+            if let Some(bell) = self.inbox.bell.lock().as_ref() {
                 bell.ring();
             }
             Ok(())
@@ -398,7 +403,7 @@ pub mod test_support {
         fn open(&self, ctx: &ContextInfo) -> Result<(CommDescriptor, Box<dyn CommReceiver>)> {
             let inbox = Arc::new(TestInbox {
                 queue: SegQueue::new(),
-                bell: std::sync::OnceLock::new(),
+                bell: Mutex::new(None),
             });
             self.medium.lock().insert(ctx.id, Arc::clone(&inbox));
             let mut b = Buffer::new();

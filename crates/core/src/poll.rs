@@ -31,7 +31,7 @@ use crate::trace::{MethodTrace, Trace, TraceEventKind};
 // the xtask model checker) can build a ready list without depending on
 // crossbeam directly.
 pub use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -103,7 +103,32 @@ const PASS_COST_FLOOR_NS: f64 = 100.0;
 /// Upper bound on messages drained from one armed source per ready visit.
 /// On hitting the bound the engine re-rings the source's own doorbell, so
 /// the remainder is picked up next pass instead of starving other sources.
-const READY_BATCH: u64 = 32;
+pub(crate) const READY_BATCH: u64 = 32;
+
+/// Destination for rung doorbell tokens.
+///
+/// [`ReadySignal`] is generic over where a consumed `false → true` edge
+/// queues its token: the single-threaded engine uses a plain MPSC list
+/// ([`SegQueue`]), the sharded worker pool routes tokens to their home
+/// shard ([`ReadyShards`]) and additionally wakes a parked worker. The
+/// push must be internally synchronized — it runs on the producer's
+/// thread, concurrently with consumers draining.
+pub trait ReadySink: Send + Sync {
+    /// Queues a rung source's token for a consumer to service.
+    fn push_ready(&self, token: usize);
+}
+
+impl ReadySink for SegQueue<usize> {
+    fn push_ready(&self, token: usize) {
+        self.push(token);
+    }
+}
+
+impl ReadySink for ReadyShards {
+    fn push_ready(&self, token: usize) {
+        self.push(token);
+    }
+}
 
 /// A doorbell for one receive source: producers ring it after enqueuing a
 /// message, and the poll engine then visits only rung sources instead of
@@ -134,18 +159,25 @@ struct SignalShared {
     ready: AtomicBool,
     /// The source's slot in the engine's token table.
     token: usize,
-    /// The engine's shared ready-list.
-    list: Arc<SegQueue<usize>>,
+    /// Where a consumed ring queues the token (the engine's shared
+    /// ready-list, or a worker pool's shard set).
+    sink: Arc<dyn ReadySink>,
 }
 
 impl ReadySignal {
     /// Creates a signal that queues `token` onto `list` when rung.
     pub fn new(token: usize, list: Arc<SegQueue<usize>>) -> Self {
+        Self::with_sink(token, list)
+    }
+
+    /// Creates a signal that queues `token` into an arbitrary
+    /// [`ReadySink`] when rung — the sharded engine's entry point.
+    pub fn with_sink(token: usize, sink: Arc<impl ReadySink + 'static>) -> Self {
         ReadySignal {
             inner: Arc::new(SignalShared {
                 ready: AtomicBool::new(false),
                 token,
-                list,
+                sink,
             }),
         }
     }
@@ -155,7 +187,7 @@ impl ReadySignal {
     /// enqueue to the consumer's Acquire-swap in [`ReadySignal::clear`].
     pub fn ring(&self) {
         if !self.inner.ready.swap(true, Ordering::Release) {
-            self.inner.list.push(self.inner.token);
+            self.inner.sink.push_ready(self.inner.token);
         }
     }
 
@@ -183,6 +215,11 @@ impl ReadySignal {
 /// strand nothing).
 pub struct ReadyShards {
     shards: Box<[SegQueue<usize>]>,
+    /// Rotating start for the steal scan in [`ReadyShards::pop_any`].
+    /// Without it every consumer with the same `home` scans the other
+    /// shards in the same fixed order, draining the first non-empty shard
+    /// to exhaustion while later shards starve under sustained load.
+    steal_cursor: AtomicUsize,
 }
 
 impl ReadyShards {
@@ -190,6 +227,7 @@ impl ReadyShards {
     pub fn new(n: usize) -> Self {
         ReadyShards {
             shards: (0..n.max(1)).map(|_| SegQueue::new()).collect(),
+            steal_cursor: AtomicUsize::new(0),
         }
     }
 
@@ -200,7 +238,18 @@ impl ReadyShards {
 
     /// Queues a ready token onto its home shard (`token % shards()`).
     pub fn push(&self, token: usize) {
-        self.shards[token % self.shards.len()].push(token);
+        self.push_to(token, token);
+    }
+
+    /// Queues a token onto an explicit shard (reduced modulo the shard
+    /// count) instead of the `token % shards()` default. The worker pool
+    /// routes through this with a stride-mixing hash: adoption installs
+    /// each context's sources as a contiguous run, and a raw modulo
+    /// aliases with that stride (every context's inbox for one method
+    /// landing on the same shard), which can collapse the whole pool
+    /// onto a single worker.
+    pub fn push_to(&self, shard: usize, token: usize) {
+        self.shards[shard % self.shards.len()].push(token);
     }
 
     /// Pops from one shard only — the owning worker's fast path.
@@ -208,12 +257,22 @@ impl ReadyShards {
         self.shards[shard % self.shards.len()].pop()
     }
 
-    /// Pops from `home` first, then scans the other shards in order — the
+    /// Pops from `home` first, then steals from the other shards — the
     /// takeover path after a handoff, and the reason no token can strand:
     /// every shard is reachable from every consumer.
+    ///
+    /// The steal scan starts from a per-call rotating cursor rather than a
+    /// fixed offset of `home`: a fixed start always found the same
+    /// non-empty shard first, so under sustained load the shards just
+    /// after `home` were drained continuously while distant shards waited
+    /// until every earlier one went empty.
     pub fn pop_any(&self, home: usize) -> Option<usize> {
         let n = self.shards.len();
-        (0..n).find_map(|i| self.shards[(home + i) % n].pop())
+        if let Some(t) = self.shards[home % n].pop() {
+            return Some(t);
+        }
+        let start = self.steal_cursor.fetch_add(1, Ordering::Relaxed);
+        (0..n).find_map(|i| self.shards[(start + i) % n].pop())
     }
 
     /// Moves every currently queued token of `from` onto `to`, returning
@@ -555,6 +614,24 @@ impl PollEngine {
         }
         self.rebuild_polled();
         Some(removed.receiver)
+    }
+
+    /// Removes and returns every armed source (readiness tier), leaving
+    /// the polled tier intact. The caller — a sharded worker pool taking
+    /// over a context's doorbell traffic — re-arms each receiver with its
+    /// own sharded signal; any receiver that refuses the new signal should
+    /// be handed back via [`PollEngine::add_source`] + re-arming.
+    pub fn take_armed(&mut self) -> Vec<(MethodId, Box<dyn CommReceiver>)> {
+        let methods: Vec<MethodId> = self
+            .sources
+            .iter()
+            .filter(|s| s.armed)
+            .map(|s| s.method)
+            .collect();
+        methods
+            .into_iter()
+            .filter_map(|m| self.remove_source(m).map(|r| (m, r)))
+            .collect()
     }
 
     /// Sets the skip_poll value for `method`. A value of `k` means the
@@ -1714,6 +1791,116 @@ mod tests {
             THREADS * PER_THREAD
         );
         assert!(shards.is_empty(), "every token was popped exactly once");
+    }
+
+    /// Regression (fixed pop_any scan start): with `home` empty, the steal
+    /// scan used to probe the other shards in the same fixed order every
+    /// call, so the first backlogged shard was drained to exhaustion while
+    /// later ones starved. The rotating cursor must reach every backlogged
+    /// shard within one full rotation.
+    #[test]
+    fn ready_shards_pop_any_steal_scan_is_fair_across_backlogged_shards() {
+        const N: usize = 4;
+        let shards = ReadyShards::new(N);
+        // Shards 1..3 each hold a deep backlog; home shard 0 stays empty.
+        for i in 0..100 {
+            for shard in 1..N {
+                shards.push(N * i + shard);
+            }
+        }
+        let mut seen = [false; N];
+        // One rotation of the cursor plus one call must visit every
+        // backlogged shard; the old fixed-start scan would return tokens
+        // from shard 1 a hundred times in a row here.
+        for _ in 0..=N {
+            let t = shards.pop_any(0).expect("backlog is non-empty");
+            seen[t % N] = true;
+        }
+        assert!(
+            seen[1] && seen[2] && seen[3],
+            "steal scan starved a backlogged shard: {seen:?}"
+        );
+    }
+
+    /// Live-thread witness for the DPOR `shard-handoff` model check:
+    /// producers keep pushing while one worker retires mid-stream via
+    /// `handoff` and a surviving worker takes over with `pop_any`. Every
+    /// token must be serviced exactly once — none lost to the handoff
+    /// window, none duplicated by the concurrent steal.
+    #[test]
+    fn ready_shards_handoff_with_live_producers_services_each_token_once() {
+        use parking_lot::Mutex;
+        const N: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        const PRODUCERS: usize = 2;
+        let shards = ReadyShards::new(N);
+        let serviced: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let retiring_seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Producers push disjoint token ranges, landing on all shards.
+            for p in 0..PRODUCERS {
+                let shards = &shards;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        shards.push(p * PER_PRODUCER + i);
+                    }
+                });
+            }
+            // The retiring worker owns shard 1: it services part of its
+            // backlog, then hands the shard to worker 0 and exits — while
+            // both producers are still pushing (tokens pushed to shard 1
+            // after the handoff stay there; the survivor's pop_any scan is
+            // what keeps them from stranding).
+            let shards = &shards;
+            let serviced_ref = &serviced;
+            let retiring = &retiring_seen;
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                while mine.len() < 64 {
+                    if let Some(t) = shards.pop_local(1) {
+                        mine.push(t);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                shards.handoff(1, 0);
+                retiring.store(mine.len(), Ordering::Release);
+                serviced_ref.lock().extend(mine);
+            });
+            // The surviving worker drains its own shard while the retiree
+            // is active (stealing shard 1 out from under it would starve
+            // the retiree's fixed quota), then takes over everything via
+            // pop_any once the handoff has happened.
+            s.spawn(move || {
+                let total = PRODUCERS * PER_PRODUCER;
+                let mut mine = Vec::new();
+                loop {
+                    let others = retiring.load(Ordering::Acquire);
+                    let popped = if others > 0 {
+                        shards.pop_any(0)
+                    } else {
+                        shards.pop_local(0)
+                    };
+                    if let Some(t) = popped {
+                        mine.push(t);
+                        continue;
+                    }
+                    if others > 0 && mine.len() + others == total {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                serviced_ref.lock().extend(mine);
+            });
+        });
+        let mut got = serviced.into_inner();
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(
+            got, expected,
+            "handoff lost or duplicated tokens under live producers"
+        );
+        assert!(shards.is_empty());
     }
 
     #[test]

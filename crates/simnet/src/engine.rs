@@ -40,7 +40,10 @@ pub const POLL_LOOP_BASE_NS: u64 = 500;
 
 /// Cost of servicing one doorbell ring on the readiness tier: pop the
 /// token, clear the flag, drain the queue head. Sub-microsecond on the
-/// live engine (no syscall, no scan) — far below any probe cost.
+/// live engine (no syscall, no scan) — far below any probe cost. With
+/// `Sim::set_workers(node, w)` the serialized interval between
+/// consecutive services amortizes to `ceil(S/w)` (w shard workers drain
+/// rung tokens concurrently); `w = 1` keeps this exact value.
 pub const DOORBELL_SERVICE_NS: u64 = 200;
 
 /// Configuration of the simulated adaptive skip_poll controller — the
@@ -294,6 +297,12 @@ struct Node {
     /// Readiness tier membership per method: `true` removes the method
     /// from the probe rotation and delivers via doorbell service.
     ready: Vec<bool>,
+    /// Shard workers draining the readiness tier. With one worker every
+    /// doorbell service serializes behind the previous one; with `w`
+    /// workers rung doorbells drain concurrently, so under backlog the
+    /// per-message service interval amortizes to `S/w` — the first-order
+    /// queueing mirror of `core::shard::WorkerPool`. Always >= 1.
+    workers: u64,
     /// Adaptive controller state per method (None = static skip).
     adaptive: Vec<Option<AdaptiveState>>,
     stats: NodeStats,
@@ -423,6 +432,7 @@ impl Sim {
             inbox: (0..n_methods).map(|_| VecDeque::new()).collect(),
             skips: vec![1; n_methods],
             ready: vec![false; n_methods],
+            workers: 1,
             adaptive: vec![None; n_methods],
             stats: NodeStats {
                 probes: vec![0; n_methods],
@@ -476,6 +486,24 @@ impl Sim {
     pub fn set_ready_all(&mut self, method: MethodId, on: bool) {
         for i in 0..self.nodes.len() {
             self.set_ready(i, method, on);
+        }
+    }
+
+    /// Sets the number of shard workers draining one node's readiness
+    /// tier. Workers only touch doorbell-tier deliveries: under backlog
+    /// the per-message doorbell service interval amortizes to
+    /// `DOORBELL_SERVICE_NS / workers` (rounded up), the discrete-event
+    /// mirror of `core::shard::WorkerPool` servicing rung tokens on `w`
+    /// threads. The polled tier is unaffected, and `workers = 1` (the
+    /// default) reproduces the calibrated single-loop schedule exactly.
+    pub fn set_workers(&mut self, node: usize, workers: u64) {
+        self.nodes[node].workers = workers.max(1);
+    }
+
+    /// Sets the shard worker count on every node.
+    pub fn set_workers_all(&mut self, workers: u64) {
+        for i in 0..self.nodes.len() {
+            self.set_workers(i, workers);
         }
     }
 
@@ -647,14 +675,17 @@ impl Sim {
         }
         // Readiness-tier candidate: the doorbell was rung at enqueue, so
         // the message is serviced as soon as the node is free — no probe
-        // schedule involved, no passes consumed.
+        // schedule involved, no passes consumed. With `w` shard workers
+        // the rung tokens drain concurrently, so the serialized service
+        // component a backlogged node observes amortizes to S/w.
+        let doorbell_service = DOORBELL_SERVICE_NS.div_ceil(node.workers.max(1));
         let mut ready_best: Option<Visibility> = None;
         for (i, q) in node.inbox.iter().enumerate() {
             if !node.ready[i] {
                 continue;
             }
             if let Some(m) = q.front() {
-                let t = m.arrival.max(node.anchor) + DOORBELL_SERVICE_NS;
+                let t = m.arrival.max(node.anchor) + doorbell_service;
                 if ready_best.as_ref().is_none_or(|b| t < b.visible_at) {
                     ready_best = Some(Visibility {
                         visible_at: t,
@@ -1372,6 +1403,58 @@ mod tests {
             ready_t < SimTime::from_ms(3),
             "ready visibility hugs arrival: {ready_t}"
         );
+    }
+
+    #[test]
+    fn shard_workers_amortize_doorbell_service_under_backlog() {
+        // A fan-in backlog on a readiness-tier receiver: every delivery
+        // serializes behind the node anchor plus one doorbell service,
+        // so growing the shard worker pool 1 -> 4 shrinks the serialized
+        // service interval from S to ceil(S/4) per message — the sim
+        // analog of the rsrpath many-link acceptance shape (latency
+        // flat-or-better as workers grow).
+        const SENDERS: usize = 16;
+        let run = |workers: Option<u64>| {
+            let mut sim = Sim::new(calib::sp2_network());
+            let rx = sim.add_node(
+                NodeConfig {
+                    partition: 1,
+                    raw_mode: false,
+                },
+                Box::new(Recorder::default()),
+            );
+            for _ in 0..SENDERS {
+                sim.add_node(
+                    NodeConfig {
+                        partition: 2,
+                        raw_mode: false,
+                    },
+                    Box::new(Sender {
+                        to: rx,
+                        size: 0,
+                        via: None,
+                    }),
+                );
+            }
+            sim.set_ready(rx, MethodId::TCP, true);
+            if let Some(w) = workers {
+                sim.set_workers(rx, w);
+            }
+            sim.run(SimTime::from_secs(100));
+            let rec = sim.program(rx).as_any().downcast_ref::<Recorder>().unwrap();
+            assert_eq!(rec.times.len(), SENDERS, "all deliveries drain");
+            (*rec.times.last().unwrap(), sim.node_stats(rx).ready_wakeups)
+        };
+        let (t_default, _) = run(None);
+        let (t1, wakeups) = run(Some(1));
+        let (t2, _) = run(Some(2));
+        let (t4, _) = run(Some(4));
+        assert_eq!(wakeups, SENDERS as u64, "one doorbell per delivery");
+        // workers = 1 must reproduce the calibrated schedule exactly.
+        assert_eq!(t1, t_default, "single worker is the baseline");
+        // Flat-or-better as workers grow, strictly better under backlog.
+        assert!(t2 <= t1 && t4 <= t2, "{t1} {t2} {t4}");
+        assert!(t4 < t1, "expected S/w amortization: {t4} vs {t1}");
     }
 
     #[test]

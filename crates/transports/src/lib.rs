@@ -25,6 +25,8 @@ pub mod delay;
 pub mod local;
 pub mod mpl;
 pub mod queue;
+#[cfg(unix)]
+pub mod reactor;
 pub mod ready;
 pub mod rudp;
 pub mod shmem;

@@ -13,25 +13,27 @@ use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommObject, CommReceiver};
 use nexus_rt::poll::ReadySignal;
 use nexus_rt::rsr::{Rsr, WireFrame};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::OnceLock;
 use std::time::Duration;
 
 /// One context's inbound mailbox: the message queue plus the doorbell the
-/// poll engine installs when it arms the source. The bell is write-once
-/// and read lock-free on every send.
+/// poll engine installs when it arms the source. The bell is *replaceable*
+/// (not write-once): when a context hands its armed sources to a
+/// [`nexus_rt::shard::WorkerPool`] and later takes them back, each
+/// transition re-arms the source with a fresh signal routing to the new
+/// owner's ready list.
 pub struct QueueInbox {
     queue: SegQueue<Rsr>,
-    bell: OnceLock<ReadySignal>,
+    bell: RwLock<Option<ReadySignal>>,
 }
 
 impl QueueInbox {
     fn new() -> Self {
         QueueInbox {
             queue: SegQueue::new(),
-            bell: OnceLock::new(),
+            bell: RwLock::new(None),
         }
     }
 
@@ -40,7 +42,7 @@ impl QueueInbox {
     /// no-missed-wakeup protocol relies on.
     fn push(&self, rsr: Rsr) {
         self.queue.push(rsr);
-        if let Some(bell) = self.bell.get() {
+        if let Some(bell) = self.bell.read().as_ref() {
             bell.ring();
         }
     }
@@ -151,7 +153,8 @@ impl CommReceiver for QueueReceiver {
     }
 
     fn set_ready_signal(&mut self, signal: ReadySignal) -> bool {
-        self.queue.bell.set(signal).is_ok()
+        *self.queue.bell.write() = Some(signal);
+        true
     }
 
     fn close(&mut self) {
@@ -246,6 +249,27 @@ mod tests {
         let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
         rx.close();
         assert!(medium.queue_for(ContextId(1)).is_none());
+    }
+
+    #[test]
+    fn rearming_replaces_the_doorbell() {
+        // Pool adoption re-arms a live source with a new signal; the old
+        // bell must fall silent and the new one must ring. A write-once
+        // bell would silently keep routing wakeups to the retired owner.
+        let medium = Arc::new(QueueMedium::new());
+        let mut rx = QueueReceiver::new(Arc::clone(&medium), ContextId(1));
+        let first: Arc<SegQueue<usize>> = Arc::new(SegQueue::new());
+        let second: Arc<SegQueue<usize>> = Arc::new(SegQueue::new());
+        assert!(rx.set_ready_signal(ReadySignal::new(7, Arc::clone(&first))));
+        assert!(rx.set_ready_signal(ReadySignal::new(9, Arc::clone(&second))));
+        let obj = QueueObject::connect(MethodId::SHMEM, &medium, ContextId(1)).unwrap();
+        obj.send(
+            &Rsr::new(ContextId(1), EndpointId(1), "x", Bytes::new()),
+            &WireFrame::new(),
+        )
+        .unwrap();
+        assert!(first.pop().is_none(), "retired bell must not ring");
+        assert_eq!(second.pop(), Some(9));
     }
 
     #[test]

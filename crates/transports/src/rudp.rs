@@ -216,6 +216,14 @@ impl RudpReceiver {
     }
 }
 
+#[cfg(unix)]
+impl crate::reactor::FdSource for RudpReceiver {
+    fn fill_fds(&self, out: &mut Vec<std::os::unix::io::RawFd>) {
+        use std::os::unix::io::AsRawFd;
+        out.push(self.socket.as_raw_fd());
+    }
+}
+
 impl CommReceiver for RudpReceiver {
     fn poll(&mut self) -> Result<Option<Rsr>> {
         if let Some(m) = self.ready.pop_front() {
@@ -341,10 +349,56 @@ impl SenderShared {
     }
 }
 
+/// What drives a sender's `pump_once` (ack drain + retransmit backoff):
+/// normally a periodic registration on the shared reactor (readiness on
+/// the socket fires it immediately when acks arrive; the 2 ms tick
+/// drives retransmission), with a dedicated thread as the fallback where
+/// the reactor is unavailable.
+enum PumpDriver {
+    #[cfg(unix)]
+    Reactor(crate::reactor::RegistrationId),
+    Thread(std::thread::JoinHandle<()>),
+}
+
+/// How often the pump runs when no acks are arriving.
+const PUMP_PERIOD: Duration = Duration::from_millis(2);
+
+fn start_pump(shared: &Arc<SenderShared>) -> Result<PumpDriver> {
+    #[cfg(unix)]
+    if let Some(reactor) = crate::reactor::Reactor::global() {
+        use std::os::unix::io::AsRawFd;
+        let pump = Arc::clone(shared);
+        let id = reactor.watch(
+            &[shared.socket.as_raw_fd()],
+            Arc::new(move || {
+                // `deregister` tolerates one in-flight callback; the stop
+                // flag makes that callback a no-op on a closing sender.
+                if !pump.stop.load(Ordering::Relaxed) {
+                    pump.pump_once();
+                }
+            }),
+            false,
+            Some(PUMP_PERIOD),
+        );
+        return Ok(PumpDriver::Reactor(id));
+    }
+    let pump_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("nexus-rudp-pump".to_owned())
+        .spawn(move || {
+            while !pump_shared.stop.load(Ordering::Relaxed) {
+                pump_shared.pump_once();
+                std::thread::sleep(PUMP_PERIOD);
+            }
+        })
+        .map_err(NexusError::Io)?;
+    Ok(PumpDriver::Thread(handle))
+}
+
 struct RudpObject {
     shared: Arc<SenderShared>,
     next_seq: AtomicU64,
-    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+    pump: Mutex<Option<PumpDriver>>,
 }
 
 impl CommObject for RudpObject {
@@ -387,12 +441,21 @@ impl CommObject for RudpObject {
 
     fn close(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
-        // Take the handle out and release `pump` before joining: an if-let
+        // Take the driver out and release `pump` before joining: an if-let
         // on the locked take() would hold the guard across the join, and
         // the pump thread must never find this lock wedged while exiting.
-        let handle = self.pump.lock().take();
-        if let Some(h) = handle {
-            let _ = h.join();
+        let driver = self.pump.lock().take();
+        match driver {
+            #[cfg(unix)]
+            Some(PumpDriver::Reactor(id)) => {
+                if let Some(reactor) = crate::reactor::Reactor::global() {
+                    reactor.deregister(id);
+                }
+            }
+            Some(PumpDriver::Thread(h)) => {
+                let _ = h.join();
+            }
+            None => {}
         }
     }
 }
@@ -420,35 +483,36 @@ impl CommModule for RudpModule {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_nonblocking(true)?;
         let addr = socket.local_addr()?;
-        let rx = crate::ready::ReadyPumpReceiver::new(
+        let inner = RudpReceiver {
+            socket,
+            buf: vec![0; 65_536],
+            conns: HashMap::new(),
+            ready: VecDeque::new(),
+            corrupt_drops: Arc::clone(&self.corrupt_drops),
+        };
+        // Readiness via the shared reactor thread; pump-thread fallback
+        // where poll(2) is unavailable.
+        #[cfg(unix)]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::reactor::ReactorReceiver::new(inner));
+        #[cfg(not(unix))]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::ready::ReadyPumpReceiver::new(
             MethodId::RUDP,
-            Box::new(RudpReceiver {
-                socket,
-                buf: vec![0; 65_536],
-                conns: HashMap::new(),
-                ready: VecDeque::new(),
-                corrupt_drops: Arc::clone(&self.corrupt_drops),
-            }),
-        );
+            Box::new(inner),
+        ));
         Ok((
             CommDescriptor::new(MethodId::RUDP, addr.to_string().into_bytes()),
-            Box::new(rx),
+            rx,
         ))
     }
 
     fn applicable(&self, _local: &ContextInfo, desc: &CommDescriptor) -> bool {
-        desc.method == MethodId::RUDP
-            && std::str::from_utf8(&desc.data)
-                .ok()
-                .and_then(|s| s.parse::<SocketAddr>().ok())
-                .is_some()
+        desc.method == MethodId::RUDP && crate::util::parse_socket_addr(&desc.data).is_ok()
     }
 
     fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
-        let addr: SocketAddr = std::str::from_utf8(&desc.data)
-            .map_err(|_| NexusError::Decode("rudp descriptor is not UTF-8"))?
-            .parse()
-            .map_err(|_| NexusError::Decode("rudp descriptor is not an address"))?;
+        // The address exchange travels through untrusted descriptor
+        // bytes: parsing must surface `Decode`, never panic.
+        let addr: SocketAddr = crate::util::parse_socket_addr(&desc.data)?;
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.connect(addr)?;
         socket.set_nonblocking(true)?;
@@ -467,16 +531,7 @@ impl CommModule for RudpModule {
             dead: AtomicBool::new(false),
             stop: AtomicBool::new(false),
         });
-        let pump_shared = Arc::clone(&shared);
-        let pump = std::thread::Builder::new()
-            .name("nexus-rudp-pump".to_owned())
-            .spawn(move || {
-                while !pump_shared.stop.load(Ordering::Relaxed) {
-                    pump_shared.pump_once();
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-            })
-            .map_err(NexusError::Io)?;
+        let pump = start_pump(&shared)?;
         Ok(Arc::new(RudpObject {
             shared,
             next_seq: AtomicU64::new(0),
@@ -647,6 +702,29 @@ mod tests {
             Bytes::from(vec![0u8; MAX_FRAME + 1]),
         );
         assert!(obj.send(&big, &WireFrame::new()).is_err());
+    }
+
+    /// Regression: the address exchange used to `unwrap` on the
+    /// descriptor bytes, so a malformed or truncated peer descriptor —
+    /// which arrives over the wire, outside our control — panicked the
+    /// whole process. It must be a `Decode` error (and the descriptor
+    /// must simply be inapplicable to selection).
+    #[test]
+    fn corrupted_descriptor_is_a_decode_error_not_a_panic() {
+        let m = RudpModule::new();
+        for bad in [
+            &b"\xFF\xFE\x80garbage"[..], // invalid UTF-8
+            b"127.0.0.1",                // port truncated away
+            b"",                         // empty
+            b"127.0.0.1:notaport",       // corrupt port digits
+        ] {
+            let desc = CommDescriptor::new(MethodId::RUDP, bad.to_vec());
+            assert!(!m.applicable(&info(1), &desc), "{bad:?} must not select");
+            match m.connect(&info(1), &desc) {
+                Ok(_) => panic!("corrupt descriptor {bad:?} must fail, not connect"),
+                Err(e) => assert!(matches!(e, NexusError::Decode(_)), "got {e:?}"),
+            }
+        }
     }
 
     #[test]

@@ -118,18 +118,62 @@ impl TcpReceiver {
                 Err(e) => return Err(e.into()),
             }
         }
-        // Read from every connection; drop closed ones.
+        // Read from every connection; evict dead ones. A connection is
+        // dead on EOF, on a hard read error, *or* on a framing/decode
+        // error (the stream offset is unrecoverable once a frame is
+        // corrupt). Errors used to propagate with the connection still in
+        // the list, so one dead peer poisoned every later scan and the
+        // list — and the fd table — grew monotonically under churn. Now
+        // the dead connection is dropped, the remaining connections still
+        // get scanned, and the first error is reported once.
+        let mut first_err: Option<NexusError> = None;
         let mut i = 0;
         while i < self.conns.len() {
-            let alive = self.conns[i].fill()?;
-            self.conns[i].extract(&mut self.pending)?;
-            if alive {
-                i += 1;
-            } else {
+            let dead;
+            match self.conns[i].fill() {
+                Ok(alive) => {
+                    // Extract even when the peer has closed: complete
+                    // frames received before the EOF are still deliverable.
+                    match self.conns[i].extract(&mut self.pending) {
+                        Ok(()) => dead = !alive,
+                        Err(e) => {
+                            dead = true;
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    dead = true;
+                    first_err.get_or_insert(e);
+                }
+            }
+            if dead {
                 self.conns.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Live accepted connections (observability for eviction tests).
+    #[cfg(test)]
+    fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+#[cfg(unix)]
+impl crate::reactor::FdSource for TcpReceiver {
+    fn fill_fds(&self, out: &mut Vec<std::os::unix::io::RawFd>) {
+        use std::os::unix::io::AsRawFd;
+        out.push(self.listener.as_raw_fd());
+        for c in &self.conns {
+            out.push(c.stream.as_raw_fd());
+        }
     }
 }
 
@@ -242,35 +286,33 @@ impl CommModule for TcpModule {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let desc = CommDescriptor::new(MethodId::TCP, addr.to_string().into_bytes());
-        // The pump adapter stays a pass-through until the poll engine arms
-        // the source; from then on a dedicated thread blocks on the socket
-        // and rings the engine's doorbell per retrieved frame.
-        let rx = crate::ready::ReadyPumpReceiver::new(
+        let inner = TcpReceiver {
+            listener,
+            conns: Vec::new(),
+            pending: VecDeque::new(),
+        };
+        // Readiness comes from the shared reactor thread (one per
+        // process, O(workers) not O(sockets)); the receiver stays a
+        // pass-through until the poll engine arms it.
+        #[cfg(unix)]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::reactor::ReactorReceiver::new(inner));
+        // Without poll(2) access, fall back to the per-fd pump thread.
+        #[cfg(not(unix))]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::ready::ReadyPumpReceiver::new(
             MethodId::TCP,
-            Box::new(TcpReceiver {
-                listener,
-                conns: Vec::new(),
-                pending: VecDeque::new(),
-            }),
-        );
-        Ok((desc, Box::new(rx)))
+            Box::new(inner),
+        ));
+        Ok((desc, rx))
     }
 
     fn applicable(&self, _local: &ContextInfo, desc: &CommDescriptor) -> bool {
         // IP is the universal substrate: applicable whenever the descriptor
         // parses.
-        desc.method == MethodId::TCP
-            && std::str::from_utf8(&desc.data)
-                .ok()
-                .and_then(|s| s.parse::<SocketAddr>().ok())
-                .is_some()
+        desc.method == MethodId::TCP && crate::util::parse_socket_addr(&desc.data).is_ok()
     }
 
     fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
-        let addr: SocketAddr = std::str::from_utf8(&desc.data)
-            .map_err(|_| NexusError::Decode("TCP descriptor is not UTF-8"))?
-            .parse()
-            .map_err(|_| NexusError::Decode("TCP descriptor is not an address"))?;
+        let addr: SocketAddr = crate::util::parse_socket_addr(&desc.data)?;
         let timeout = Duration::from_millis(self.connect_timeout_ms.load(Ordering::Relaxed));
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(self.nodelay.load(Ordering::Relaxed))?;
@@ -412,6 +454,117 @@ mod tests {
             .expect("1 MiB frame");
         assert_eq!(got.payload.len(), big.len());
         assert!(got.payload.iter().all(|&b| b == 0x5A));
+    }
+
+    /// Regression (dead-connection leak): a peer that connects, sends,
+    /// and disconnects used to stay in the scan list forever — under
+    /// connect/disconnect churn the receiver leaked one fd and one scan
+    /// slot per departed peer. Eviction must bring the list back down.
+    #[test]
+    fn disconnect_churn_does_not_leak_connections() {
+        let mut rx = TcpReceiver {
+            listener: TcpListener::bind(("127.0.0.1", 0)).unwrap(),
+            conns: Vec::new(),
+            pending: VecDeque::new(),
+        };
+        rx.listener.set_nonblocking(true).unwrap();
+        let addr = rx.listener.local_addr().unwrap();
+        for round in 0..10 {
+            let s = TcpStream::connect(addr).unwrap();
+            let mut frame = Vec::new();
+            let body = {
+                let m = msg("churn", b"x");
+                let f = WireFrame::new();
+                let b = f.body(&m).to_vec();
+                frame.extend_from_slice(&WireFrame::prefixed_header(&m, b.len()));
+                b
+            };
+            frame.extend_from_slice(&body);
+            (&s).write_all(&frame).unwrap();
+            drop(s); // disconnect immediately after sending
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                match rx.poll().unwrap() {
+                    Some(m) => {
+                        assert_eq!(m.handler, "churn");
+                        break;
+                    }
+                    None => assert!(
+                        std::time::Instant::now() < deadline,
+                        "round {round}: churned message never arrived"
+                    ),
+                }
+            }
+        }
+        // Every peer has disconnected; scans must have evicted them all.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rx.conn_count() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead connections leaked: {} still in scan list",
+                rx.conn_count()
+            );
+            let _ = rx.poll().unwrap();
+        }
+    }
+
+    /// Regression (poisoned scan): a connection whose stream yields a
+    /// corrupt frame used to propagate the decode error on *every* scan
+    /// while staying in the list — one bad peer wedged the receiver for
+    /// good. The bad connection must be evicted (error surfaced once) and
+    /// traffic from healthy connections must keep flowing.
+    #[test]
+    fn corrupt_frame_evicts_connection_and_scan_recovers() {
+        let mut rx = TcpReceiver {
+            listener: TcpListener::bind(("127.0.0.1", 0)).unwrap(),
+            conns: Vec::new(),
+            pending: VecDeque::new(),
+        };
+        rx.listener.set_nonblocking(true).unwrap();
+        let addr = rx.listener.local_addr().unwrap();
+
+        // A malicious/broken peer: length prefix far beyond MAX_FRAME.
+        let bad = TcpStream::connect(addr).unwrap();
+        (&bad).write_all(&u32::MAX.to_le_bytes()).unwrap();
+
+        // One poisoned scan surfaces the decode error...
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match rx.poll() {
+                Err(_) => break,
+                Ok(_) => assert!(
+                    std::time::Instant::now() < deadline,
+                    "corrupt frame never surfaced an error"
+                ),
+            }
+        }
+        // ...and evicts the connection: later polls are clean again.
+        assert_eq!(rx.conn_count(), 0, "poisoned connection was not evicted");
+        assert!(rx.poll().is_ok(), "receiver stayed wedged after eviction");
+
+        // A healthy peer still gets through.
+        let good = m_send(addr, "after");
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("healthy traffic after eviction");
+        assert_eq!(got.handler, "after");
+        drop(good);
+        drop(bad);
+    }
+
+    /// Sends one framed RSR over a fresh connection, returning the open
+    /// stream so the peer stays connected.
+    fn m_send(addr: SocketAddr, handler: &str) -> TcpStream {
+        let s = TcpStream::connect(addr).unwrap();
+        let m = msg(handler, b"");
+        let f = WireFrame::new();
+        let body = f.body(&m).to_vec();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WireFrame::prefixed_header(&m, body.len()));
+        frame.extend_from_slice(&body);
+        (&s).write_all(&frame).unwrap();
+        s
     }
 
     #[test]

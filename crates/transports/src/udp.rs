@@ -66,6 +66,14 @@ struct UdpReceiver {
     buf: Vec<u8>,
 }
 
+#[cfg(unix)]
+impl crate::reactor::FdSource for UdpReceiver {
+    fn fill_fds(&self, out: &mut Vec<std::os::unix::io::RawFd>) {
+        use std::os::unix::io::AsRawFd;
+        out.push(self.socket.as_raw_fd());
+    }
+}
+
 impl CommReceiver for UdpReceiver {
     fn poll(&mut self) -> Result<Option<Rsr>> {
         loop {
@@ -154,32 +162,31 @@ impl CommModule for UdpModule {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_nonblocking(true)?;
         let addr = socket.local_addr()?;
-        let rx = crate::ready::ReadyPumpReceiver::new(
+        let inner = UdpReceiver {
+            socket,
+            buf: vec![0; 65_536],
+        };
+        // Readiness via the shared reactor thread; pump-thread fallback
+        // where poll(2) is unavailable.
+        #[cfg(unix)]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::reactor::ReactorReceiver::new(inner));
+        #[cfg(not(unix))]
+        let rx: Box<dyn CommReceiver> = Box::new(crate::ready::ReadyPumpReceiver::new(
             MethodId::UDP,
-            Box::new(UdpReceiver {
-                socket,
-                buf: vec![0; 65_536],
-            }),
-        );
+            Box::new(inner),
+        ));
         Ok((
             CommDescriptor::new(MethodId::UDP, addr.to_string().into_bytes()),
-            Box::new(rx),
+            rx,
         ))
     }
 
     fn applicable(&self, _local: &ContextInfo, desc: &CommDescriptor) -> bool {
-        desc.method == MethodId::UDP
-            && std::str::from_utf8(&desc.data)
-                .ok()
-                .and_then(|s| s.parse::<SocketAddr>().ok())
-                .is_some()
+        desc.method == MethodId::UDP && crate::util::parse_socket_addr(&desc.data).is_ok()
     }
 
     fn connect(&self, _local: &ContextInfo, desc: &CommDescriptor) -> Result<Arc<dyn CommObject>> {
-        let addr: SocketAddr = std::str::from_utf8(&desc.data)
-            .map_err(|_| NexusError::Decode("UDP descriptor is not UTF-8"))?
-            .parse()
-            .map_err(|_| NexusError::Decode("UDP descriptor is not an address"))?;
+        let addr: SocketAddr = crate::util::parse_socket_addr(&desc.data)?;
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.connect(addr)?;
         Ok(Arc::new(UdpObject {

@@ -1,6 +1,21 @@
 //! Small shared utilities for the transport modules.
 
+use nexus_rt::error::{NexusError, Result};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parses a socket-address communication descriptor (`host:port` bytes).
+///
+/// Descriptors travel with startpoints through untrusted buffers, so a
+/// malformed or truncated one must surface as a [`NexusError::Decode`] —
+/// never a panic — and every socket transport must agree on that. This is
+/// the single parse path for `tcp`, `udp`, and `rudp`.
+pub fn parse_socket_addr(data: &[u8]) -> Result<SocketAddr> {
+    std::str::from_utf8(data)
+        .map_err(|_| NexusError::Decode("socket descriptor is not UTF-8"))?
+        .parse()
+        .map_err(|_| NexusError::Decode("socket descriptor is not a host:port address"))
+}
 
 /// A tiny deterministic RNG (xorshift64*) used for fault injection.
 ///
@@ -86,5 +101,20 @@ mod tests {
         let first = a.next_u64();
         a.reseed(5);
         assert_eq!(a.next_u64(), first);
+    }
+
+    #[test]
+    fn socket_descriptor_parsing_rejects_garbage_without_panicking() {
+        assert!(parse_socket_addr(b"127.0.0.1:4321").is_ok());
+        for bad in [
+            &b"\xFF\xFE\x80corrupt"[..], // invalid UTF-8
+            b"127.0.0.1",                // no port
+            b"127.0.0.1:",               // truncated mid-address
+            b"",                         // empty
+            b"host:port",                // non-numeric
+        ] {
+            let e = parse_socket_addr(bad).expect_err("garbage must not parse");
+            assert!(matches!(e, NexusError::Decode(_)), "got {e:?}");
+        }
     }
 }

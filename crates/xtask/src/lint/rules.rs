@@ -65,14 +65,16 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "poll-blocking",
         description: "no blocking calls in functions reachable from PollEngine::poll_once, \
-                      the ready-list drain, or the adaptive re-selection driver",
+                      the ready-list drain, the adaptive re-selection driver, the shard \
+                      worker loop, or the socket reactor loop",
         run: rule_poll_blocking,
     },
     Rule {
         name: "hot-path-alloc",
         description: "no per-message allocation (to_vec/encode/Vec::new) in functions \
-                      reachable from Context::rsr, PollEngine::poll_once, or the \
-                      ready-list drain",
+                      reachable from Context::rsr, PollEngine::poll_once, the \
+                      ready-list drain, the shard worker loop, or the socket \
+                      reactor loop",
         run: rule_hot_path_alloc,
     },
     Rule {
@@ -534,6 +536,27 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
     for (name, path) in graph.reachable_from("reselect_candidate") {
         reach.entry(name).or_insert(path);
     }
+    // The sharded workers and the socket reactor are the poll loop's
+    // multi-threaded form. A blocked worker stalls every source hashed to
+    // its shard; a blocked reactor stalls readiness for every socket in
+    // the process. (Their intentional waits — the worker's bounded park
+    // and the reactor's `poll(2)` — are not spelled with these tokens.)
+    //
+    // `deliver_sharded` is the worker's dispatch hand-off: past it run
+    // application handlers, which may block — the same boundary the
+    // single-threaded roots encode by ending at `poll_once` (dispatch
+    // happens in `progress`, outside the rooted set). Paths through it
+    // are therefore excluded; only the drain machinery is held to the
+    // non-blocking rule.
+    for (name, path) in graph.reachable_from("shard_worker_loop") {
+        if path.iter().any(|hop| hop == "deliver_sharded") {
+            continue;
+        }
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("reactor_loop") {
+        reach.entry(name).or_insert(path);
+    }
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for def in &graph.fns {
@@ -621,6 +644,15 @@ fn rule_hot_path_alloc(ws: &Workspace) -> Vec<Diagnostic> {
         reach.entry(name).or_insert(path);
     }
     for (name, path) in graph.reachable_from("drain_ready") {
+        reach.entry(name).or_insert(path);
+    }
+    // The sharded dispatch loop and the socket reactor service the same
+    // per-RSR work from their own threads; steady state on both must be
+    // allocation-free for the same reason as the drain.
+    for (name, path) in graph.reachable_from("shard_worker_loop") {
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("reactor_loop") {
         reach.entry(name).or_insert(path);
     }
     let mut out = Vec::new();
@@ -1113,6 +1145,60 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("reselect_candidate -> measure"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_the_shard_worker_is_flagged() {
+        let ws = ws_one(
+            "s.rs",
+            "fn shard_worker_loop() {\n    service_token();\n}\nfn service_token() {\n    thread::sleep(d);\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("shard_worker_loop -> service_token"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_the_reactor_is_flagged() {
+        let ws = ws_one(
+            "r.rs",
+            "fn reactor_loop() {\n    fire();\n}\nfn fire() {\n    handle.join();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("reactor_loop -> fire"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_shard_worker_root() {
+        let ws = ws_one(
+            "s.rs",
+            "fn shard_worker_loop() {\n    deliver();\n}\nfn deliver() {\n    let v = msg.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("shard_worker_loop -> deliver"));
     }
 
     #[test]

@@ -389,7 +389,7 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let f = parse("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
         assert!(f.code[0].contains("'a"));
-        assert!(!f.code[1].contains('x') || !f.code[1].contains("'x'") || true);
+        assert!(!f.code[1].contains('x'));
         assert!(f.code[1].starts_with("let c = '"));
     }
 
