@@ -23,6 +23,7 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig6;
 pub mod overhead;
+pub mod patterns;
 pub mod pollcost;
 pub mod report;
 pub mod rsrpath;

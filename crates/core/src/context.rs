@@ -21,13 +21,16 @@ use crate::fxhash::FxBuildHasher;
 use crate::handler::{HandlerArgs, HandlerRegistry};
 use crate::module::{CommObject, CommReceiver, ModuleRegistry};
 use crate::poll::{BlockingPoller, PollEngine, PollOutcome};
+use crate::pool;
 use crate::rsr::{Rsr, WireFrame};
 use crate::selection::{
     self, ExcludeMethods, FirstApplicable, MethodCostEstimate, ReselectConfig, SelectionPolicy,
 };
 use crate::startpoint::{Link, SelectedMethod, Startpoint, Target};
 use crate::stats::Stats;
+use crate::stripe::{self, gather_handler, StripeAssembler, StripeMeta, StripeRail, StripedObject};
 use crate::trace::{HistogramSummary, Trace, TraceEventKind};
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -1004,6 +1007,13 @@ impl Context {
         if msg.dest != self.info.id {
             return self.forward(arrival, msg);
         }
+        // Reserved runtime handlers ('#'-prefixed: stripe chunks, gather
+        // contributions) are intercepted before endpoint lookup — a chunk
+        // is addressed to whatever endpoint the original RSR targeted,
+        // but it is the *reassembled* message that must resolve there.
+        if msg.handler.as_bytes().first() == Some(&b'#') {
+            return self.stripe_ingest(arrival, msg);
+        }
         let ep = {
             let eps = self.endpoints.read();
             let state = eps
@@ -1054,6 +1064,233 @@ impl Context {
         self.stats.record_forward(arrival);
         self.stats.record_send(method, msg.wire_len());
         Ok(())
+    }
+
+    // -- striping / collectives ----------------------------------------------------
+
+    /// Per-context stripe plumbing, created lazily on first use.
+    fn stripe_state(&self) -> Arc<StripeState> {
+        self.extension(StripeState::default)
+    }
+
+    /// Consumes one reserved-handler RSR: files the chunk with the
+    /// appropriate assembler and, when it completes a transfer, either
+    /// re-dispatches the reassembled message (stripe) or invokes the
+    /// registered collective callback (gather).
+    fn stripe_ingest(&self, arrival: MethodId, msg: Rsr) -> Result<()> {
+        let st = self.stripe_state();
+        if msg.handler == stripe::STRIPE_HANDLER {
+            let Some(done) = st.stripes.ingest(msg.payload)? else {
+                return Ok(());
+            };
+            let body = st.stripes.assemble_body(done)?;
+            let inner = Rsr::decode_body(msg.dest, msg.endpoint, msg.ttl, body.clone())?;
+            if inner.handler.as_bytes().first() == Some(&b'#') {
+                // A reassembled body must carry an application handler;
+                // permitting nesting would allow unbounded recursion.
+                return Err(NexusError::Decode("stripe body nests a reserved handler"));
+            }
+            let out = self.dispatch(arrival, inner);
+            // The handler has run and the payload view is dropped: the
+            // reassembled body storage goes back to the pool.
+            pool::reclaim(body);
+            out
+        } else if msg.handler == stripe::GATHER_HANDLER {
+            let Some(done) = st.gather_chunks.ingest(msg.payload)? else {
+                return Ok(());
+            };
+            let mixed = done.transfer_id;
+            let (round, mut parts) = st.gather_chunks.take_parts(done)?;
+            let reg = {
+                let gathers = st.gathers.lock();
+                gathers.get(&(mixed ^ gather_round_mix(round))).cloned()
+            };
+            let Some(reg) = reg else {
+                return Err(NexusError::Decode("gather completion with no registration"));
+            };
+            if reg.parts as usize != parts.len() {
+                return Err(NexusError::Decode("gather arity mismatch"));
+            }
+            (reg.callback)(round, &mut parts);
+            Ok(())
+        } else {
+            Err(NexusError::UnknownHandler(msg.handler.to_string()))
+        }
+    }
+
+    /// Installs a [`StripedObject`] on each of `sp`'s links that has at
+    /// least two applicable methods: subsequent `rsr` calls on those links
+    /// transparently stripe bodies larger than `cutoff` bytes across every
+    /// applicable method at once (weighted by measured bandwidth), while
+    /// smaller messages pass through whole on the fastest method. Links
+    /// with fewer than two applicable methods are left untouched. Returns
+    /// the number of links striped.
+    ///
+    /// The stripe selection is installed unpinned, so transport failures
+    /// still trigger the normal failover path (the stripe object retries
+    /// chunks over surviving rails internally first), and a later
+    /// [`Context::set_method`]/policy change simply replaces it.
+    pub fn set_striped(&self, sp: &Startpoint, cutoff: usize) -> Result<usize> {
+        let reg = self.registry()?;
+        let mut striped = 0usize;
+        for link in sp.links() {
+            let table = link.table();
+            let methods = selection::applicable_methods(&self.info, &table, &reg);
+            if methods.len() < 2 {
+                continue;
+            }
+            let mut rails = Vec::with_capacity(methods.len().min(stripe::MAX_RAILS));
+            for m in methods.into_iter().take(stripe::MAX_RAILS) {
+                rails.push(StripeRail {
+                    obj: self.connect_cached(link.target.context, m, &table)?,
+                    ltrace: Some(self.trace.link(link.target.context, m)),
+                    weight: None,
+                });
+            }
+            let obj: Arc<dyn CommObject> = Arc::new(StripedObject::new(rails).with_cutoff(cutoff));
+            let sel = Arc::new(SelectedMethod {
+                method: MethodId::STRIPE,
+                obj,
+                counters: self.stats.method(MethodId::STRIPE),
+                ltrace: self.trace.link(link.target.context, MethodId::STRIPE),
+            });
+            let prev = {
+                let mut chosen = link.chosen.lock();
+                let prev = chosen.as_ref().map(|s| s.method);
+                *chosen = Some(sel);
+                prev
+            };
+            if prev != Some(MethodId::STRIPE) {
+                self.trace.record_event(TraceEventKind::MethodSwitch {
+                    target: link.target.context,
+                    from: prev,
+                    to: MethodId::STRIPE,
+                });
+            }
+            striped += 1;
+        }
+        Ok(striped)
+    }
+
+    /// Scatter collective (CommBench's striped-scatter root half): splits
+    /// `payload` into one contiguous piece per link of `sp` — even split,
+    /// earlier links absorbing the remainder — and sends piece *i* to link
+    /// *i* as an ordinary RSR on `handler`. Pieces are zero-copy views of
+    /// the payload; combined with [`Context::set_striped`] each piece is
+    /// itself striped across that link's rails.
+    pub fn scatter(&self, sp: &Startpoint, handler: &str, payload: Buffer) -> Result<()> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        if sp.is_unbound() {
+            return Err(NexusError::UnboundStartpoint);
+        }
+        let bytes = payload.into_bytes();
+        let links = sp.links();
+        let each = bytes.len() / links.len();
+        let rem = bytes.len() % links.len();
+        let mut msg = Rsr::new(ContextId(0), EndpointId(0), handler, Bytes::new());
+        let mut off = 0usize;
+        for (i, link) in links.iter().enumerate() {
+            let len = each + usize::from(i < rem);
+            msg.dest = link.target.context;
+            msg.endpoint = link.target.endpoint;
+            msg.payload = bytes.slice(off..off + len);
+            off += len;
+            // Per-link frames: unlike a multicast, every link carries a
+            // different body.
+            let frame = WireFrame::new();
+            let sent = self.send_with_failover(link, &msg, &frame);
+            frame.reclaim();
+            sent?;
+        }
+        Ok(())
+    }
+
+    /// Registers this context as the root of the gather collective
+    /// `name` over `parts` contributors (at most
+    /// [`stripe::MAX_CHUNKS`]). Each time all `parts` contributions of a
+    /// round have arrived — in any order, over any mix of methods —
+    /// `callback(round, parts)` runs with the contributions in
+    /// contributor-index order.
+    pub fn register_gather<F>(&self, name: &str, parts: u16, callback: F) -> Result<()>
+    where
+        F: Fn(u32, &mut [Bytes]) + Send + Sync + 'static,
+    {
+        if parts == 0 || parts as usize > stripe::MAX_CHUNKS {
+            return Err(NexusError::BadParam {
+                key: "parts".to_owned(),
+                reason: format!("gather arity must be 1..={}", stripe::MAX_CHUNKS),
+            });
+        }
+        let st = self.stripe_state();
+        st.gathers.lock().insert(
+            gather_id(name),
+            Arc::new(GatherReg {
+                parts,
+                callback: Box::new(callback),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Contributes this context's piece to round `round` of the gather
+    /// collective `name` rooted at `sp`'s target: contributor `index` of
+    /// `parts`. The root must have called [`Context::register_gather`]
+    /// with the same name and arity.
+    pub fn gather(
+        &self,
+        sp: &Startpoint,
+        name: &str,
+        parts: u16,
+        index: u16,
+        round: u32,
+        payload: Buffer,
+    ) -> Result<()> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        if sp.is_unbound() {
+            return Err(NexusError::UnboundStartpoint);
+        }
+        if parts == 0 || parts as usize > stripe::MAX_CHUNKS || index >= parts {
+            return Err(NexusError::BadParam {
+                key: "index".to_owned(),
+                reason: format!("need index < parts <= {}", stripe::MAX_CHUNKS),
+            });
+        }
+        let bytes = payload.into_bytes();
+        let meta = StripeMeta {
+            transfer_id: gather_id(name) ^ gather_round_mix(round),
+            index,
+            total: parts,
+            body_len: 0, // slot mode: parts stay separate
+            offset: round,
+        }
+        .to_bytes();
+        let mut buf = pool::take(meta.len() + bytes.len());
+        buf.extend_from_slice(&meta);
+        buf.extend_from_slice(&bytes);
+        let mut msg = Rsr {
+            dest: ContextId(0),
+            endpoint: EndpointId(0),
+            handler: gather_handler(),
+            ttl: crate::rsr::DEFAULT_TTL,
+            payload: buf.freeze(),
+        };
+        let frame = WireFrame::new();
+        let mut out = Ok(());
+        for link in sp.links() {
+            msg.dest = link.target.context;
+            msg.endpoint = link.target.endpoint;
+            out = self.send_with_failover(link, &msg, &frame);
+            if out.is_err() {
+                break;
+            }
+        }
+        frame.reclaim();
+        pool::reclaim(msg.payload);
+        out
     }
 
     // -- sharded workers ----------------------------------------------------------
@@ -1264,6 +1501,40 @@ impl Drop for ProgressGuard {
     fn drop(&mut self) {
         self.halt();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Stripe / collective plumbing (context extension)
+// ---------------------------------------------------------------------------
+
+/// One registered gather root: expected arity and the completion callback.
+struct GatherReg {
+    parts: u16,
+    #[allow(clippy::type_complexity)]
+    callback: Box<dyn Fn(u32, &mut [Bytes]) + Send + Sync>,
+}
+
+/// Per-context stripe state, attached lazily via [`Context::extension`]:
+/// separate assemblers for stripe and gather chunks (their transfer-id
+/// spaces are independent) and the gather registrations.
+#[derive(Default)]
+struct StripeState {
+    stripes: StripeAssembler,
+    gather_chunks: StripeAssembler,
+    gathers: Mutex<HashMap<u64, Arc<GatherReg>>>,
+}
+
+/// Transfer-id namespace for the gather collective `name`.
+fn gather_id(name: &str) -> u64 {
+    use std::hash::BuildHasher;
+    FxBuildHasher::default().hash_one(name)
+}
+
+/// Mixes a gather round into the transfer id, so consecutive rounds of one
+/// collective never share an in-flight transfer (XOR-invertible: the
+/// completion path recovers the registration id from the round tag).
+fn gather_round_mix(round: u32) -> u64 {
+    (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 #[cfg(test)]
@@ -1892,5 +2163,156 @@ mod tests {
             let _ = b.progress();
         }
         assert_eq!(b.stats().snapshot_method(MethodId::LOCAL).polls, polls);
+    }
+
+    // -- striping / collectives -----------------------------------------
+
+    fn patterned(len: usize) -> Buffer {
+        let mut b = Buffer::new();
+        for i in 0..len {
+            b.put_raw(&[(i % 251) as u8]);
+        }
+        b
+    }
+
+    #[test]
+    fn set_striped_splits_large_bodies_and_reassembles() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
+        let ok = Arc::new(AtomicU32::new(0));
+        let k = Arc::clone(&ok);
+        b.register_handler("bulk", move |args| {
+            let n = args.buffer.remaining();
+            let got = args.buffer.get_raw(n).unwrap();
+            assert_eq!(got.len(), 64 * 1024);
+            assert!(got.iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+            k.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        // Same partition: both mpl and tcp are applicable, so the one
+        // link gains a two-rail stripe object.
+        assert_eq!(a.set_striped(&sp, 4096).unwrap(), 1);
+        a.rsr(&sp, "bulk", patterned(64 * 1024)).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::STRIPE));
+        assert!(b.progress_until(|| ok.load(Ordering::Relaxed) == 1, Duration::from_secs(2)));
+        assert_eq!(a.stats().snapshot_method(MethodId::STRIPE).sends, 1);
+    }
+
+    #[test]
+    fn set_striped_passes_small_bodies_through_whole() {
+        let f = fabric();
+        let a = f.create_context_at(NodeId(0), PartitionId(1)).unwrap();
+        let b = f.create_context_at(NodeId(1), PartitionId(1)).unwrap();
+        let ok = Arc::new(AtomicU32::new(0));
+        let k = Arc::clone(&ok);
+        b.register_handler("small", move |args| {
+            assert_eq!(args.buffer.get_u32().unwrap(), 9);
+            k.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        assert_eq!(a.set_striped(&sp, 4096).unwrap(), 1);
+        let mut buf = Buffer::new();
+        buf.put_u32(9);
+        a.rsr(&sp, "small", buf).unwrap();
+        assert!(b.progress_until(|| ok.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
+        // No chunks were manufactured: the single message arrived intact
+        // on the fastest rail, but accounting stays with the stripe link.
+        assert_eq!(a.stats().snapshot_method(MethodId::STRIPE).sends, 1);
+    }
+
+    #[test]
+    fn set_striped_skips_single_method_links() {
+        let f = Fabric::new();
+        f.registry()
+            .register(Arc::new(TestModule::new(MethodId::TCP, "tcp", 30, false)));
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        b.register_handler("hit", |_| {});
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        assert_eq!(a.set_striped(&sp, 4096).unwrap(), 0);
+        a.rsr(&sp, "hit", Buffer::new()).unwrap();
+        assert_eq!(sp.current_methods()[0].1, Some(MethodId::TCP));
+    }
+
+    #[test]
+    fn scatter_sends_one_contiguous_piece_per_link() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let c = f.create_context().unwrap();
+        // 10 bytes over 3 links: 4 + 3 + 3, in link order.
+        let pieces = Arc::new(Mutex::new(Vec::new()));
+        for ctx in [&b, &c] {
+            let p = Arc::clone(&pieces);
+            ctx.register_handler("piece", move |args| {
+                let n = args.buffer.remaining();
+                p.lock().push(args.buffer.get_raw(n).unwrap());
+            });
+        }
+        let ep_b1 = b.create_endpoint();
+        let ep_b2 = b.create_endpoint();
+        let ep_c = c.create_endpoint();
+        let mut sp = b.startpoint_to(ep_b1).unwrap();
+        sp.merge(&b.startpoint_to(ep_b2).unwrap());
+        sp.merge(&c.startpoint_to(ep_c).unwrap());
+        a.scatter(&sp, "piece", patterned(10)).unwrap();
+        assert!(b.progress_until(|| pieces.lock().len() >= 2, Duration::from_secs(1)));
+        assert!(c.progress_until(|| pieces.lock().len() == 3, Duration::from_secs(1)));
+        let mut got = pieces.lock().clone();
+        got.sort_by_key(|p| p[0]);
+        let want: Vec<u8> = (0..10u8).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], want[0..4]);
+        assert_eq!(got[1], want[4..7]);
+        assert_eq!(got[2], want[7..10]);
+    }
+
+    #[test]
+    fn gather_collects_parts_in_index_order_per_round() {
+        let f = fabric();
+        let root = f.create_context().unwrap();
+        let w1 = f.create_context().unwrap();
+        let w2 = f.create_context().unwrap();
+        let rounds = Arc::new(Mutex::new(Vec::new()));
+        let r = Arc::clone(&rounds);
+        root.register_gather("sum", 2, move |round, parts| {
+            let vals: Vec<Vec<u8>> = parts.iter().map(|p| p.to_vec()).collect();
+            r.lock().push((round, vals));
+        })
+        .unwrap();
+        let ep = root.create_endpoint();
+        let sp1 = root.startpoint_to(ep).unwrap();
+        let sp2 = root.startpoint_to(ep).unwrap();
+        let part = |byte: u8| {
+            let mut b = Buffer::new();
+            b.put_raw(&[byte, byte]);
+            b
+        };
+        // Round 7 arrives out of contributor order; round 8 interleaves.
+        w2.gather(&sp2, "sum", 2, 1, 7, part(0xB)).unwrap();
+        w1.gather(&sp1, "sum", 2, 0, 8, part(0xC)).unwrap();
+        w1.gather(&sp1, "sum", 2, 0, 7, part(0xA)).unwrap();
+        w2.gather(&sp2, "sum", 2, 1, 8, part(0xD)).unwrap();
+        assert!(root.progress_until(|| rounds.lock().len() == 2, Duration::from_secs(2)));
+        let done = rounds.lock().clone();
+        assert!(done.contains(&(7, vec![vec![0xA, 0xA], vec![0xB, 0xB]])));
+        assert!(done.contains(&(8, vec![vec![0xC, 0xC], vec![0xD, 0xD]])));
+    }
+
+    #[test]
+    fn gather_validates_arity_and_index() {
+        let f = fabric();
+        let root = f.create_context().unwrap();
+        let w = f.create_context().unwrap();
+        let ep = root.create_endpoint();
+        let sp = root.startpoint_to(ep).unwrap();
+        assert!(root.register_gather("g", 0, |_, _| {}).is_err());
+        assert!(root.register_gather("g", 65, |_, _| {}).is_err());
+        assert!(w.gather(&sp, "g", 2, 2, 0, Buffer::new()).is_err());
+        assert!(w.gather(&sp, "g", 0, 0, 0, Buffer::new()).is_err());
     }
 }

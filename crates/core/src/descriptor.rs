@@ -42,6 +42,8 @@ impl MethodId {
     pub const RUDP: MethodId = MethodId(5);
     /// In-process multicast groups.
     pub const MCAST: MethodId = MethodId(6);
+    /// Multi-link striped bulk transfer (a composite over other methods).
+    pub const STRIPE: MethodId = MethodId(7);
     /// First id available for application-defined modules.
     pub const FIRST_CUSTOM: MethodId = MethodId(0x100);
 
@@ -55,6 +57,7 @@ impl MethodId {
             MethodId::UDP => "udp",
             MethodId::RUDP => "rudp",
             MethodId::MCAST => "mcast",
+            MethodId::STRIPE => "stripe",
             _ => return None,
         })
     }

@@ -67,6 +67,7 @@
 //! | [`rsr`] | RSR wire format: encode-once frames, zero-copy decode |
 //! | [`handler`] | handler registration and dispatch |
 //! | [`gp`] | global pointers: remote read/write/fetch-add through startpoints |
+//! | [`stripe`] | multi-link striped bulk transfer (rail pattern) |
 //! | [`stats`] | per-method counters for the enquiry functions |
 //! | [`trace`] | per-link histograms, measured poll-cost EWMAs, event ring |
 //! | [`config`] | resource database + command-line overrides |
@@ -91,6 +92,7 @@ pub mod selection;
 pub mod shard;
 pub mod startpoint;
 pub mod stats;
+pub mod stripe;
 pub mod trace;
 
 /// Convenience re-exports for application code.
@@ -114,6 +116,7 @@ pub mod prelude {
     pub use crate::shard::{ShardSnapshot, WorkerPool};
     pub use crate::startpoint::{Startpoint, Target};
     pub use crate::stats::{MethodSnapshot, Stats};
+    pub use crate::stripe::{weighted_shares, StripeAssembler, StripeRail, StripedObject};
     pub use crate::trace::{
         Ewma, HistogramSummary, LogHistogram, Trace, TraceEvent, TraceEventKind,
     };

@@ -23,6 +23,7 @@ use crate::descriptor::{CommDescriptor, MethodId};
 use crate::error::{NexusError, Result};
 use crate::poll::ReadySignal;
 use crate::rsr::{Rsr, WireFrame};
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -77,6 +78,18 @@ pub trait CommObject: Send + Sync {
     /// allocation-free.
     fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()>;
 
+    /// Transfers one RSR whose payload is the concatenation `head ++
+    /// tail`, without requiring the caller to materialize the combined
+    /// buffer. The stripe path sends each chunk this way: `head` is the
+    /// small stack-assembled chunk header and `tail` is a zero-copy slice
+    /// of the original encode-once body. Wire transports override this
+    /// with a gathered (vectored) write; the default assembles the
+    /// combined payload from the buffer pool and delegates to
+    /// [`CommObject::send`].
+    fn send_parts(&self, rsr: &Rsr, head: &[u8], tail: &Bytes) -> Result<()> {
+        send_parts_fallback(self, rsr, head, tail)
+    }
+
     /// Sets a connection parameter (e.g. `"sockbuf"` for TCP). Modules
     /// reject unknown keys.
     fn set_param(&self, key: &str, _value: &str) -> Result<()> {
@@ -88,6 +101,37 @@ pub trait CommObject: Send + Sync {
 
     /// Releases the connection.
     fn close(&self) {}
+}
+
+/// Default [`CommObject::send_parts`]: builds the combined payload from
+/// the thread-local buffer pool, sends it as an ordinary RSR, and returns
+/// the frame storage to the pool. Generic (rather than taking `&dyn
+/// CommObject`) so trait default methods can call it without coercing
+/// `&Self`.
+pub fn send_parts_fallback<O: CommObject + ?Sized>(
+    obj: &O,
+    rsr: &Rsr,
+    head: &[u8],
+    tail: &Bytes,
+) -> Result<()> {
+    let mut buf = crate::pool::take(head.len() + tail.len());
+    buf.extend_from_slice(head);
+    buf.extend_from_slice(tail);
+    let combined = Rsr {
+        dest: rsr.dest,
+        endpoint: rsr.endpoint,
+        handler: rsr.handler.clone(),
+        ttl: rsr.ttl,
+        payload: buf.freeze(),
+    };
+    let frame = WireFrame::new();
+    let out = obj.send(&combined, &frame);
+    // The combined payload is referenced by both `combined` and (if the
+    // transport encoded) nothing else once the send returns; drop the RSR
+    // first so the body storage can be pooled again.
+    frame.reclaim();
+    crate::pool::reclaim(combined.payload);
+    out
 }
 
 /// A communication method implementation (the "function table").

@@ -236,6 +236,19 @@ impl ReadyShards {
         self.shards.len()
     }
 
+    /// Pre-sizes every shard's ring for up to `tokens` queued tokens.
+    /// The doorbell latch ([`ReadySignal::ring`]) queues each token at
+    /// most once, so a pool that reserves its installed-source count
+    /// here never grows a ring on the producer path — even in the worst
+    /// case of every token homed to one shard. Called at source-install
+    /// time, off the hot path; this is what keeps the 4096-source
+    /// worker-pool sweep allocation-free in steady state.
+    pub fn reserve(&self, tokens: usize) {
+        for shard in self.shards.iter() {
+            shard.reserve(tokens);
+        }
+    }
+
     /// Queues a ready token onto its home shard (`token % shards()`).
     pub fn push(&self, token: usize) {
         self.push_to(token, token);
@@ -568,6 +581,7 @@ impl PollEngine {
         let Some(idx) = self.sources.iter().position(|s| s.method == method) else {
             return false;
         };
+        let total_sources = self.sources.len();
         let s = &mut self.sources[idx];
         if s.armed {
             return true;
@@ -577,6 +591,10 @@ impl PollEngine {
             return false;
         }
         s.armed = true;
+        // Keep the shared ready-list sized for every source this engine
+        // could queue at once (the latch caps each at one entry), so no
+        // doorbell ring ever grows it mid-measurement.
+        self.ready_list.reserve(total_sources);
         // Prime: anything already queued predates the doorbell and would
         // otherwise wait for the next send to ring.
         signal.ring();

@@ -343,6 +343,46 @@ impl Rsr {
             payload,
         })
     }
+
+    /// Decodes a frame *body* (`hlen handler plen payload`, no header)
+    /// held in shared storage, taking the addressing fields from the
+    /// caller. The stripe assembler uses this: a reassembled transfer is
+    /// exactly one frame body, and the addressing was already carried by
+    /// the chunk RSRs that delivered it.
+    pub fn decode_body(dest: ContextId, endpoint: EndpointId, ttl: u8, body: Bytes) -> Result<Rsr> {
+        let mut s: &[u8] = &body;
+        let need = |s: &&[u8], n: usize| -> Result<()> {
+            if s.remaining() < n {
+                Err(NexusError::BufferUnderflow {
+                    needed: n,
+                    remaining: s.remaining(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(&s, 2)?;
+        let hlen = s.get_u16_le() as usize;
+        need(&s, hlen)?;
+        let handler = std::str::from_utf8(&s[..hlen])
+            .map_err(|_| NexusError::Decode("handler name is not UTF-8"))?;
+        let handler = HandlerName::intern(handler);
+        s.advance(hlen);
+        need(&s, 4)?;
+        let plen = s.get_u32_le() as usize;
+        need(&s, plen)?;
+        if s.remaining() != plen {
+            return Err(NexusError::Decode("trailing bytes after RSR body"));
+        }
+        let payload = body.slice(body.len() - plen..body.len());
+        Ok(Rsr {
+            dest,
+            endpoint,
+            handler,
+            ttl,
+            payload,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------

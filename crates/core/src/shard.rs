@@ -287,6 +287,12 @@ impl WorkerPool {
             counters: ctx.stats().method(method),
             mtrace: ctx.trace().method(method),
         })));
+        // Grow every shard ring to the installed-token count now, off the
+        // hot path: the doorbell latch caps queue depth at one entry per
+        // token, so after this no producer ring can force a reallocation
+        // (the allocs/RSR residue the BENCH_rsr workers rows used to
+        // carry was exactly these deque doublings under backlog).
+        self.shared.shards.reserve(slots.len());
         Ok(signal)
     }
 

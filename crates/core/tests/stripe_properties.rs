@@ -1,0 +1,168 @@
+//! Property tests for the stripe reassembly state machine.
+//!
+//! The assembler's contract: chunks of a transfer may arrive in any
+//! order, duplicated (RUDP retransmits the whole packet on a lost ack),
+//! and interleaved with chunks of other in-flight transfers — yet each
+//! transfer completes exactly once and reassembles to the exact original
+//! body. These tests drive `StripeAssembler` directly with synthetic
+//! chunk payloads, bypassing transports, so the orderings explored are
+//! far more hostile than any real wire produces.
+
+use bytes::Bytes;
+use nexus_rt::stripe::{weighted_shares, StripeAssembler, StripeMeta, META_LEN};
+use proptest::prelude::*;
+
+/// Deterministic body pattern: byte `i` of transfer `tid` is a function
+/// of both, so cross-transfer mixups corrupt the reassembled image.
+fn body_byte(tid: u64, i: usize) -> u8 {
+    (i as u64)
+        .wrapping_mul(7)
+        .wrapping_add(tid.wrapping_mul(131))
+        .wrapping_add(3) as u8
+}
+
+/// Splits a synthetic body of `sizes.iter().sum()` bytes into one chunk
+/// payload (header ++ data) per entry of `sizes`, in index order.
+fn make_chunks(tid: u64, sizes: &[usize]) -> (Vec<u8>, Vec<Bytes>) {
+    let body_len: usize = sizes.iter().sum();
+    let body: Vec<u8> = (0..body_len).map(|i| body_byte(tid, i)).collect();
+    let mut chunks = Vec::with_capacity(sizes.len());
+    let mut off = 0usize;
+    for (i, &len) in sizes.iter().enumerate() {
+        let meta = StripeMeta {
+            transfer_id: tid,
+            index: i as u16,
+            total: sizes.len() as u16,
+            body_len: body_len as u32,
+            offset: off as u32,
+        };
+        let mut payload = Vec::with_capacity(META_LEN + len);
+        payload.extend_from_slice(&meta.to_bytes());
+        payload.extend_from_slice(&body[off..off + len]);
+        chunks.push(Bytes::from(payload));
+        off += len;
+    }
+    (body, chunks)
+}
+
+/// Reorders `items` by the given sort keys (stable, so ties are fine).
+fn permute<T: Clone>(items: &[T], keys: &[u64]) -> Vec<T> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| keys.get(i).copied().unwrap_or(0));
+    order.iter().map(|&i| items[i].clone()).collect()
+}
+
+proptest! {
+    /// Out-of-order arrival: any permutation of a transfer's chunks
+    /// completes exactly once, at the last chunk, with the exact body.
+    #[test]
+    fn any_arrival_order_reassembles_the_exact_body(
+        sizes in proptest::collection::vec(1usize..300, 1..16),
+        keys in proptest::collection::vec(0u64..1_000_000, 16..17),
+    ) {
+        let asm = StripeAssembler::new();
+        let (body, chunks) = make_chunks(42, &sizes);
+        let arrivals = permute(&chunks, &keys);
+        let mut completed = 0u32;
+        for (n, c) in arrivals.iter().enumerate() {
+            if let Some(done) = asm.ingest(c.clone()).unwrap() {
+                prop_assert_eq!(n, arrivals.len() - 1, "completed before the last chunk");
+                prop_assert_eq!(&asm.assemble_body(done).unwrap()[..], &body[..]);
+                completed += 1;
+            }
+        }
+        prop_assert_eq!(completed, 1);
+        prop_assert_eq!(asm.pending(), 0);
+    }
+
+    /// Duplicated arrival (retransmission): chunks repeated mid-flight
+    /// are absorbed without corrupting the body or double-completing.
+    #[test]
+    fn duplicate_chunks_are_absorbed(
+        sizes in proptest::collection::vec(1usize..300, 2..12),
+        keys in proptest::collection::vec(0u64..1_000_000, 12..13),
+        dup_mask in 0u32..4096,
+    ) {
+        let asm = StripeAssembler::new();
+        let (body, chunks) = make_chunks(7, &sizes);
+        let order = permute(&chunks, &keys);
+        // Repeat a mask-selected subset of the non-final arrivals, so the
+        // retransmit always lands while the transfer is still pending.
+        let mut arrivals = Vec::new();
+        for (i, c) in order.iter().enumerate() {
+            arrivals.push(c.clone());
+            if i + 1 < order.len() && dup_mask & (1 << (i % 12)) != 0 {
+                arrivals.push(c.clone());
+            }
+        }
+        let mut completed = 0u32;
+        for c in &arrivals {
+            if let Some(done) = asm.ingest(c.clone()).unwrap() {
+                prop_assert_eq!(&asm.assemble_body(done).unwrap()[..], &body[..]);
+                completed += 1;
+            }
+        }
+        prop_assert_eq!(completed, 1);
+        prop_assert_eq!(asm.pending(), 0);
+    }
+
+    /// Interleaved transfers: chunks of several concurrent transfers in
+    /// one mixed arrival stream; every transfer completes exactly once
+    /// with its own body, never a neighbour's bytes.
+    #[test]
+    fn interleaved_transfers_never_cross_contaminate(
+        sizes_a in proptest::collection::vec(1usize..200, 1..10),
+        sizes_b in proptest::collection::vec(1usize..200, 1..10),
+        sizes_c in proptest::collection::vec(1usize..200, 1..10),
+        keys in proptest::collection::vec(0u64..1_000_000, 30..31),
+    ) {
+        let asm = StripeAssembler::new();
+        let (body_a, chunks_a) = make_chunks(100, &sizes_a);
+        let (body_b, chunks_b) = make_chunks(200, &sizes_b);
+        let (body_c, chunks_c) = make_chunks(300, &sizes_c);
+        let mut all: Vec<Bytes> = Vec::new();
+        all.extend(chunks_a);
+        all.extend(chunks_b);
+        all.extend(chunks_c);
+        let arrivals = permute(&all, &keys);
+        let mut seen = Vec::new();
+        for c in &arrivals {
+            if let Some(done) = asm.ingest(c.clone()).unwrap() {
+                let tid = done.transfer_id;
+                let got = asm.assemble_body(done).unwrap();
+                let want = match tid {
+                    100 => &body_a,
+                    200 => &body_b,
+                    300 => &body_c,
+                    other => return Err(TestCaseError::fail(format!("unknown tid {other}"))),
+                };
+                prop_assert_eq!(&got[..], &want[..]);
+                seen.push(tid);
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, vec![100, 200, 300]);
+        prop_assert_eq!(asm.pending(), 0);
+    }
+
+    /// The share planner conserves bytes: shares always sum to the total,
+    /// and every rail that gets bytes gets at least `min_chunk` of them
+    /// (except the single surviving rail when the total itself is small).
+    #[test]
+    fn weighted_shares_conserve_bytes_and_respect_min_chunk(
+        total in 0usize..4_000_000,
+        min_chunk in 1usize..10_000,
+        rate_millis in proptest::collection::vec(0u64..100_000, 1..8),
+    ) {
+        let rates: Vec<f64> = rate_millis.iter().map(|&r| r as f64 / 1000.0).collect();
+        let mut shares = vec![0usize; rates.len()];
+        let nonzero = weighted_shares(total, &rates, min_chunk, &mut shares);
+        prop_assert_eq!(shares.iter().sum::<usize>(), total);
+        prop_assert_eq!(shares.iter().filter(|&&s| s > 0).count(), nonzero);
+        if nonzero > 1 {
+            for &s in shares.iter().filter(|&&s| s > 0) {
+                prop_assert!(s >= min_chunk, "share {s} below min chunk {min_chunk}");
+            }
+        }
+    }
+}

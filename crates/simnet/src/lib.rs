@@ -18,6 +18,9 @@
 //! * [`engine`] — event queue, nodes, poll-pass arithmetic, forwarding
 //! * [`model`] — per-method cost models and the network assembly
 //! * [`calib`] — paper-anchored constants
+//! * [`stripe`] — analytic multi-rail striped-transfer model (pins the
+//!   rail ≥ fan and striped-scatter ≥ single-link bandwidth shapes the
+//!   1-CPU `patterns` benchmark cannot)
 //! * [`pingpong`] — Fig. 4 / Fig. 6 microbenchmark workloads
 //! * [`trace`] — optional event tracing for run inspection
 //! * [`time`], [`rng`] — simulated time and deterministic randomness
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod model;
 pub mod pingpong;
 pub mod rng;
+pub mod stripe;
 pub mod time;
 pub mod trace;
 

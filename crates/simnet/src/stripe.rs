@@ -1,0 +1,254 @@
+//! Analytic model of multi-link striped bulk transfer.
+//!
+//! The `patterns` benchmark measures rail / fan / striped-scatter on a
+//! 1-CPU container, where striping's extra encode+reassemble copies can
+//! never be won back because there are no parallel rails — the measured
+//! table deliberately does *not* pin the multi-rail bandwidth claims.
+//! This module pins them analytically instead, with the same share
+//! planner the runtime uses ([`nexus_rt::stripe::weighted_shares`]) and
+//! wire constants from [`crate::calib`]:
+//!
+//! * **rail ≥ fan**: one transfer striped across `k` rails completes no
+//!   later than the same bytes pushed piecewise down one rail, and
+//!   approaches a `k`-fold speedup as per-chunk overhead amortizes;
+//! * **striped-scatter ≥ single-link**: scattering pieces whose links
+//!   each stripe across their own rails beats one whole-body link;
+//! * **cutoff bypass**: below the stripe cutoff the planner folds
+//!   everything onto one rail, because forced striping of a small body
+//!   is strictly slower than sending it whole.
+//!
+//! The model is the classic pipelined-wire abstraction the paper's §5
+//! cost discussion uses, with one shared-CPU term: every chunk pays a
+//! fixed sender-side injection cost ([`INJECT_NS`]) serialized across
+//! the whole operation (one CPU builds every chunk frame), then the
+//! wires drain concurrently — rail `i` finishes its share at
+//! `share_i/B_i + chunks_i·c_i` and the transfer completes when the
+//! slowest rail does. The serialized injection term is what makes
+//! striping a *loss* below the cutoff: splitting a small body doubles
+//! the injection cost to save microseconds of wire time.
+
+use crate::calib;
+use nexus_rt::stripe::{weighted_shares, MAX_CHUNKS, MAX_CHUNK_PAYLOAD};
+
+/// Fixed sender CPU to inject one chunk (frame construction, chunk
+/// metadata, enqueue on the method's send path) — the Nexus per-RSR
+/// overhead on top of a raw MPL-class send. Serialized across every
+/// chunk of an operation by the single sending CPU.
+pub const INJECT_NS: u64 = calib::NEXUS_SEND_OVERHEAD_NS + calib::RAW_SEND_FIXED_NS;
+
+/// One modeled rail: an independent wire.
+#[derive(Debug, Clone, Copy)]
+pub struct RailSpec {
+    /// Wire bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Per-chunk wire cost (packetization + per-message latency share),
+    /// paid on this wire's own clock.
+    pub per_chunk_ns: u64,
+}
+
+impl RailSpec {
+    /// Wire-side time for `bytes` in `chunks` chunks down this wire
+    /// (excludes the shared sender injection).
+    fn drain_ns(&self, bytes: usize, chunks: usize) -> u64 {
+        let wire = (bytes as u128 * 1_000_000_000 / self.bandwidth_bps as u128) as u64;
+        self.per_chunk_ns * chunks as u64 + wire
+    }
+}
+
+/// Chunks a share of `share` bytes occupies, mirroring `striped_send`'s
+/// pool-friendly segmentation (`seg_cap` grows for bodies that would
+/// overflow the receipt bitmap).
+fn segments(share: usize, body_len: usize, rails: usize) -> usize {
+    if share == 0 {
+        return 0;
+    }
+    let n = rails.min(nexus_rt::stripe::MAX_RAILS);
+    let seg_cap = MAX_CHUNK_PAYLOAD.max(body_len.div_ceil(MAX_CHUNKS - n));
+    share.div_ceil(seg_cap)
+}
+
+/// Serialized chunk-injection count and slowest-rail drain time of one
+/// `body` striped across `rails` (the planner's weighted shares).
+fn striped_cost(body: usize, rails: &[RailSpec], min_chunk: usize) -> (u64, u64) {
+    let rates: Vec<f64> = rails.iter().map(|r| r.bandwidth_bps as f64).collect();
+    let mut shares = vec![0usize; rails.len()];
+    let nonzero = weighted_shares(body, &rates, min_chunk, &mut shares);
+    if nonzero <= 1 {
+        // Mirrors striped_send: everything folded onto one rail skips
+        // chunk framing and goes out whole.
+        let i = shares.iter().position(|&s| s > 0).unwrap_or(0);
+        return (1, rails[i].drain_ns(body, 1));
+    }
+    let total_chunks: usize = shares.iter().map(|&s| segments(s, body, rails.len())).sum();
+    let drain = rails
+        .iter()
+        .zip(&shares)
+        .map(|(r, &s)| r.drain_ns(s, segments(s, body, rails.len())))
+        .max()
+        .unwrap_or(0);
+    (total_chunks.max(1) as u64, drain)
+}
+
+/// Completion time of one `body` transfer striped across `rails` with
+/// bandwidth-weighted shares: serialized injection of every chunk, then
+/// the slowest rail's drain. Shares come from the production planner, so
+/// cutoff folding, min-chunk floors, and rate weighting all behave
+/// exactly as `striped_send` does.
+pub fn rail_transfer_ns(body: usize, rails: &[RailSpec], min_chunk: usize) -> u64 {
+    let (chunks, drain) = striped_cost(body, rails, min_chunk);
+    INJECT_NS * chunks + drain
+}
+
+/// Completion time of `body` split into `pieces` equal pieces pushed
+/// sequentially down ONE wire (the fan pattern: every piece rides the
+/// single cheapest method, so the wire serializes them).
+pub fn fan_transfer_ns(body: usize, pieces: usize, wire: &RailSpec) -> u64 {
+    let pieces = pieces.max(1);
+    INJECT_NS * pieces as u64 + wire.drain_ns(body, pieces)
+}
+
+/// Completion time of `body` sent whole down one wire.
+pub fn single_link_ns(body: usize, wire: &RailSpec) -> u64 {
+    INJECT_NS + wire.drain_ns(body, 1)
+}
+
+/// Completion time of the striped-scatter pattern: `links` equal pieces,
+/// each striped across that destination's own `rails` (independent wires
+/// per destination). Injection of every piece's chunks serializes on the
+/// one sending CPU; the pieces then drain concurrently.
+pub fn striped_scatter_ns(body: usize, links: usize, rails: &[RailSpec], min_chunk: usize) -> u64 {
+    let links = links.max(1);
+    let each = body / links;
+    let rem = body % links;
+    let costs: Vec<(u64, u64)> = (0..links)
+        .map(|i| striped_cost(each + usize::from(i < rem), rails, min_chunk))
+        .collect();
+    // One CPU injects every piece's chunks back-to-back; the slowest
+    // piece's wire drain then bounds completion (a conservative upper
+    // bound — early pieces overlap their drains with later injections).
+    let inject_all: u64 = costs.iter().map(|&(c, _)| c).sum::<u64>() * INJECT_NS;
+    inject_all + costs.into_iter().map(|(_, d)| d).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+    use nexus_rt::stripe::DEFAULT_MIN_CHUNK;
+
+    /// An MPL-class rail: 36 MB/s, probe-scale per-chunk cost.
+    fn mpl_rail() -> RailSpec {
+        RailSpec {
+            bandwidth_bps: 36_000_000,
+            per_chunk_ns: calib::MPL_PROBE_NS,
+        }
+    }
+
+    /// A TCP-class rail: 8 MB/s wire, select-scale per-chunk cost.
+    fn tcp_rail() -> RailSpec {
+        RailSpec {
+            bandwidth_bps: calib::TCP_WIRE_BW,
+            per_chunk_ns: calib::TCP_PROBE_NS,
+        }
+    }
+
+    #[test]
+    fn rail_beats_fan_at_every_swept_shape() {
+        for k in [2usize, 4, 8] {
+            let rails = vec![mpl_rail(); k];
+            for body in [65_536usize, 262_144, 1 << 20, 4 << 20] {
+                let rail = rail_transfer_ns(body, &rails, DEFAULT_MIN_CHUNK);
+                let fan = fan_transfer_ns(body, k, &mpl_rail());
+                assert!(
+                    rail < fan,
+                    "k={k} body={body}: rail {rail} ns !< fan {fan} ns"
+                );
+            }
+        }
+        // k = 1 degenerates to the same single wire: no speedup, but no
+        // penalty either (the planner folds to one share, one chunk).
+        let body = 1 << 20;
+        assert_eq!(
+            rail_transfer_ns(body, &[mpl_rail()], DEFAULT_MIN_CHUNK),
+            single_link_ns(body, &mpl_rail())
+        );
+    }
+
+    #[test]
+    fn rail_speedup_approaches_rail_count_on_big_bodies() {
+        let body = 16 << 20;
+        for k in [2usize, 4, 8] {
+            let rails = vec![mpl_rail(); k];
+            let single = single_link_ns(body, &mpl_rail());
+            let striped = rail_transfer_ns(body, &rails, DEFAULT_MIN_CHUNK);
+            let speedup = single as f64 / striped as f64;
+            assert!(
+                speedup > 0.85 * k as f64,
+                "k={k}: speedup {speedup:.2} too far below {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn striped_scatter_beats_single_link() {
+        for links in [2usize, 4, 8] {
+            let rails = vec![mpl_rail(); links];
+            for body in [262_144usize, 1 << 20, 4 << 20] {
+                let scatter = striped_scatter_ns(body, links, &rails, DEFAULT_MIN_CHUNK);
+                let single = single_link_ns(body, &mpl_rail());
+                assert!(
+                    scatter < single,
+                    "links={links} body={body}: striped-scatter {scatter} !< single {single}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_rails_aggregate_past_the_fast_wire_alone() {
+        // The paper's actual pairing: MPL (36 MB/s) + TCP (8 MB/s). The
+        // bandwidth-weighted split finishes before MPL alone would, and
+        // before a naive equal split that parks half the body on the
+        // 8 MB/s wire.
+        let rails = [mpl_rail(), tcp_rail()];
+        let body = 8 << 20;
+        let weighted = rail_transfer_ns(body, &rails, DEFAULT_MIN_CHUNK);
+        let mpl_alone = single_link_ns(body, &mpl_rail());
+        assert!(
+            weighted < mpl_alone,
+            "aggregation must beat the fast wire alone: {weighted} !< {mpl_alone}"
+        );
+        let half = body / 2;
+        let inject = INJECT_NS * 2 * segments(half, body, 2) as u64;
+        let equal_split = inject
+            + rails
+                .iter()
+                .map(|r| r.drain_ns(half, segments(half, body, 2)))
+                .max()
+                .unwrap();
+        assert!(
+            weighted < equal_split,
+            "bandwidth weighting must beat an equal split: {weighted} !< {equal_split}"
+        );
+    }
+
+    #[test]
+    fn cutoff_bypass_keeps_small_transfers_on_one_rail() {
+        // Below 2x the min-chunk floor the planner folds to one rail:
+        // the model time equals the plain single-wire send.
+        let rails = [mpl_rail(), mpl_rail()];
+        let body = 1200;
+        assert_eq!(
+            rail_transfer_ns(body, &rails, DEFAULT_MIN_CHUNK),
+            single_link_ns(body, &mpl_rail())
+        );
+        // And the fold is the right call: forcing an even 2-way stripe
+        // of a small body pays a second serialized injection to save
+        // microseconds of wire time — strictly slower.
+        let forced = 2 * INJECT_NS + mpl_rail().drain_ns(body / 2, 1);
+        assert!(
+            forced > single_link_ns(body, &mpl_rail()),
+            "forced stripe of {body} B must lose: {forced} ns"
+        );
+    }
+}

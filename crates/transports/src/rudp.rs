@@ -27,11 +27,12 @@
 //!   `max_retries` cap turns a black-holed peer into a dead connection.
 
 use crate::util::XorShift;
+use bytes::Bytes;
 use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::{Rsr, WireFrame};
+use nexus_rt::rsr::{Rsr, WireFrame, HEADER_LEN};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::ErrorKind;
@@ -74,6 +75,31 @@ fn encode_data_packet(conn: u64, seq: u64, head: &[u8], body: &[u8]) -> Vec<u8> 
     v.extend_from_slice(&seq.to_le_bytes());
     v.extend_from_slice(head);
     v.extend_from_slice(body);
+    v
+}
+
+/// Like [`encode_data_packet`], but the RSR body is assembled from its
+/// sections (`hlen handler plen head tail`) straight into the retained
+/// packet — the stripe fast path never builds a combined payload.
+fn encode_data_packet_parts(
+    conn: u64,
+    seq: u64,
+    header: &[u8],
+    handler: &[u8],
+    head: &[u8],
+    tail: &[u8],
+) -> Vec<u8> {
+    let plen = head.len() + tail.len();
+    let mut v = Vec::with_capacity(17 + header.len() + 2 + handler.len() + 4 + plen);
+    v.push(TYPE_DATA);
+    v.extend_from_slice(&conn.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(header);
+    v.extend_from_slice(&(handler.len() as u16).to_le_bytes());
+    v.extend_from_slice(handler);
+    v.extend_from_slice(&(plen as u32).to_le_bytes());
+    v.extend_from_slice(head);
+    v.extend_from_slice(tail);
     v
 }
 
@@ -401,13 +427,10 @@ struct RudpObject {
     pump: Mutex<Option<PumpDriver>>,
 }
 
-impl CommObject for RudpObject {
-    fn method(&self) -> MethodId {
-        MethodId::RUDP
-    }
-
-    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
-        let wire = rsr.wire_len();
+impl RudpObject {
+    /// Shared send admission: frame-size cap, dead-connection check, and
+    /// window backpressure (the pump thread drains acks).
+    fn admit(&self, wire: usize) -> Result<()> {
         if wire > MAX_FRAME {
             return Err(NexusError::BadParam {
                 key: "payload".to_owned(),
@@ -417,16 +440,20 @@ impl CommObject for RudpObject {
         if self.shared.dead.load(Ordering::Relaxed) {
             return Err(NexusError::ConnectionClosed);
         }
-        // Backpressure: wait for window space (the pump thread drains acks).
         let deadline = Instant::now() + Duration::from_secs(10);
         while self.shared.unacked.lock().len() >= WINDOW {
             if self.shared.dead.load(Ordering::Relaxed) || Instant::now() >= deadline {
                 return Err(NexusError::ConnectionClosed);
             }
+            // lint:allow(poll-blocking) bounded window backpressure on the send half only: acks drain on the pump thread, so the wait cannot deadlock the poll loop, and the 10 s deadline turns a dead peer into ConnectionClosed. striped_send reaches this like any plain send does.
             std::thread::sleep(Duration::from_micros(200));
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let packet = encode_data_packet(self.shared.conn, seq, &rsr.header(), frame.body(rsr));
+        Ok(())
+    }
+
+    /// Files a freshly encoded DATA packet in the unacked queue and puts
+    /// it on the wire.
+    fn commit(&self, seq: u64, packet: Vec<u8>) {
         self.shared.unacked.lock().insert(
             (self.shared.conn, seq),
             Unacked {
@@ -436,6 +463,35 @@ impl CommObject for RudpObject {
             },
         );
         self.shared.transmit(&packet);
+    }
+}
+
+impl CommObject for RudpObject {
+    fn method(&self) -> MethodId {
+        MethodId::RUDP
+    }
+
+    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> Result<()> {
+        self.admit(rsr.wire_len())?;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let packet = encode_data_packet(self.shared.conn, seq, &rsr.header(), frame.body(rsr));
+        self.commit(seq, packet);
+        Ok(())
+    }
+
+    fn send_parts(&self, rsr: &Rsr, head: &[u8], tail: &Bytes) -> Result<()> {
+        let wire = HEADER_LEN + 2 + rsr.handler.len() + 4 + head.len() + tail.len();
+        self.admit(wire)?;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let packet = encode_data_packet_parts(
+            self.shared.conn,
+            seq,
+            &rsr.header(),
+            rsr.handler.as_bytes(),
+            head,
+            tail,
+        );
+        self.commit(seq, packet);
         Ok(())
     }
 

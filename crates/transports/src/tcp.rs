@@ -8,14 +8,17 @@
 //! length-prefixed RSR encodings.
 //!
 //! Parameters (per §2.1's requirement that methods expose their low-level
-//! knobs): `nodelay` (`true`/`false`, applied to every new connection) and
-//! `connect_timeout_ms`.
+//! knobs): `nodelay` (`true`/`false`, applied to every new connection),
+//! `connect_timeout_ms`, and the socket-buffer sizes `sndbuf`/`rcvbuf`
+//! (bytes; 0 keeps the kernel default) — default buffers throttle striped
+//! bulk transfers long before the link saturates.
 
+use bytes::Bytes;
 use nexus_rt::context::ContextInfo;
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::{NexusError, Result};
-use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::{Rsr, WireFrame};
+use nexus_rt::module::{send_parts_fallback, CommModule, CommObject, CommReceiver};
+use nexus_rt::rsr::{Rsr, WireFrame, HEADER_LEN, PREFIX_LEN};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, IoSlice, Read, Write};
@@ -28,6 +31,9 @@ use std::time::Duration;
 pub struct TcpModule {
     nodelay: AtomicBool,
     connect_timeout_ms: AtomicU64,
+    /// Socket buffer sizes applied to new connections; 0 = kernel default.
+    sndbuf: AtomicU64,
+    rcvbuf: AtomicU64,
 }
 
 impl Default for TcpModule {
@@ -37,13 +43,88 @@ impl Default for TcpModule {
 }
 
 impl TcpModule {
-    /// Creates the module with `nodelay = true` (latency-oriented default)
-    /// and a 2 s connect timeout.
+    /// Creates the module with `nodelay = true` (latency-oriented default),
+    /// a 2 s connect timeout, and kernel-default socket buffers.
     pub fn new() -> Self {
         TcpModule {
             nodelay: AtomicBool::new(true),
             connect_timeout_ms: AtomicU64::new(2_000),
+            sndbuf: AtomicU64::new(0),
+            rcvbuf: AtomicU64::new(0),
         }
+    }
+}
+
+/// Which socket buffer a `sndbuf`/`rcvbuf` parameter adjusts.
+#[derive(Clone, Copy)]
+enum SockBuf {
+    Send,
+    Recv,
+}
+
+/// Sets `SO_SNDBUF`/`SO_RCVBUF` on a connected stream. The workspace
+/// builds without libc, so this speaks setsockopt(2) directly — the same
+/// raw-FFI idiom as the reactor's poll(2) binding.
+#[cfg(unix)]
+fn set_socket_buffer(stream: &TcpStream, which: SockBuf, bytes: usize) -> Result<()> {
+    use std::os::unix::io::AsRawFd;
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SO_OPT: [i32; 2] = [7, 8]; // [SO_SNDBUF, SO_RCVBUF]
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    const SO_OPT: [i32; 2] = [0x1001, 0x1002];
+    extern "C" {
+        fn setsockopt(
+            fd: std::os::unix::io::RawFd,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    let value: i32 = bytes.try_into().map_err(|_| NexusError::BadParam {
+        key: "sockbuf".to_owned(),
+        reason: format!("{bytes} exceeds the socket-buffer range"),
+    })?;
+    let name = SO_OPT[matches!(which, SockBuf::Recv) as usize];
+    // SAFETY: the fd comes from a live `TcpStream` borrowed for the whole
+    // call, and the value pointer/length describe one properly aligned
+    // `i32` on this stack frame; setsockopt only reads through the
+    // pointer and retains nothing past the call.
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            name,
+            &value as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error().into());
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn set_socket_buffer(_stream: &TcpStream, _which: SockBuf, _bytes: usize) -> Result<()> {
+    Err(NexusError::BadParam {
+        key: "sockbuf".to_owned(),
+        reason: "socket-buffer sizing requires a unix platform".to_owned(),
+    })
+}
+
+/// Parses a `sndbuf`/`rcvbuf` value: a positive byte count.
+fn parse_bufsize(key: &str, value: &str) -> Result<usize> {
+    match value.parse::<usize>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err(NexusError::BadParam {
+            key: key.to_owned(),
+            reason: format!("not a positive byte count: {value:?}"),
+        }),
     }
 }
 
@@ -246,6 +327,34 @@ impl CommObject for TcpObject {
         write_all_vectored(&mut s, &head, body)
     }
 
+    fn send_parts(&self, rsr: &Rsr, head: &[u8], tail: &Bytes) -> Result<()> {
+        // Stripe-chunk fast path: the frame prefix, header, body sections
+        // (hlen handler plen), and the small chunk head all fit one stack
+        // buffer, so the chunk goes out as prefix-buffer + zero-copy tail
+        // in a single vectored write — no combined payload is ever built.
+        const STACK: usize = 128;
+        let hlen = rsr.handler.len();
+        let lead = PREFIX_LEN + HEADER_LEN + 2 + hlen + 4 + head.len();
+        if lead > STACK {
+            return send_parts_fallback(self, rsr, head, tail);
+        }
+        let plen = head.len() + tail.len();
+        let body_len = 2 + hlen + 4 + plen;
+        let mut buf = [0u8; STACK];
+        buf[..PREFIX_LEN + HEADER_LEN].copy_from_slice(&WireFrame::prefixed_header(rsr, body_len));
+        let mut o = PREFIX_LEN + HEADER_LEN;
+        buf[o..o + 2].copy_from_slice(&(hlen as u16).to_le_bytes());
+        o += 2;
+        buf[o..o + hlen].copy_from_slice(rsr.handler.as_bytes());
+        o += hlen;
+        buf[o..o + 4].copy_from_slice(&(plen as u32).to_le_bytes());
+        o += 4;
+        buf[o..o + head.len()].copy_from_slice(head);
+        o += head.len();
+        let mut s = self.stream.lock();
+        write_all_vectored(&mut s, &buf[..o], tail)
+    }
+
     fn set_param(&self, key: &str, value: &str) -> Result<()> {
         match key {
             "nodelay" => {
@@ -256,9 +365,19 @@ impl CommObject for TcpObject {
                 self.stream.lock().set_nodelay(v)?;
                 Ok(())
             }
+            "sndbuf" => set_socket_buffer(
+                &self.stream.lock(),
+                SockBuf::Send,
+                parse_bufsize(key, value)?,
+            ),
+            "rcvbuf" => set_socket_buffer(
+                &self.stream.lock(),
+                SockBuf::Recv,
+                parse_bufsize(key, value)?,
+            ),
             _ => Err(NexusError::BadParam {
                 key: key.to_owned(),
-                reason: "tcp connections support only nodelay".to_owned(),
+                reason: "tcp connections support nodelay, sndbuf, rcvbuf".to_owned(),
             }),
         }
     }
@@ -316,6 +435,14 @@ impl CommModule for TcpModule {
         let timeout = Duration::from_millis(self.connect_timeout_ms.load(Ordering::Relaxed));
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(self.nodelay.load(Ordering::Relaxed))?;
+        let sndbuf = self.sndbuf.load(Ordering::Relaxed);
+        if sndbuf > 0 {
+            set_socket_buffer(&stream, SockBuf::Send, sndbuf as usize)?;
+        }
+        let rcvbuf = self.rcvbuf.load(Ordering::Relaxed);
+        if rcvbuf > 0 {
+            set_socket_buffer(&stream, SockBuf::Recv, rcvbuf as usize)?;
+        }
         Ok(Arc::new(TcpObject {
             stream: Mutex::new(stream),
         }))
@@ -353,9 +480,19 @@ impl CommModule for TcpModule {
                 self.connect_timeout_ms.store(v, Ordering::Relaxed);
                 Ok(())
             }
+            "sndbuf" => {
+                self.sndbuf
+                    .store(parse_bufsize(key, value)? as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            "rcvbuf" => {
+                self.rcvbuf
+                    .store(parse_bufsize(key, value)? as u64, Ordering::Relaxed);
+                Ok(())
+            }
             _ => Err(NexusError::BadParam {
                 key: key.to_owned(),
-                reason: "tcp supports nodelay and connect_timeout_ms".to_owned(),
+                reason: "tcp supports nodelay, connect_timeout_ms, sndbuf, rcvbuf".to_owned(),
             }),
         }
     }
@@ -589,15 +726,72 @@ mod tests {
         assert!(m.set_param("nodelay", "false").is_ok());
         assert!(m.set_param("nodelay", "maybe").is_err());
         assert!(m.set_param("connect_timeout_ms", "500").is_ok());
+        assert!(m.set_param("sndbuf", "262144").is_ok());
+        assert!(m.set_param("rcvbuf", "262144").is_ok());
+        assert!(m.set_param("sndbuf", "lots").is_err());
+        assert!(m.set_param("sndbuf", "0").is_err());
+        assert!(m.set_param("rcvbuf", "-1").is_err());
         assert!(m.set_param("bogus", "1").is_err());
     }
 
     #[test]
-    fn object_param_nodelay() {
+    fn module_bufsizes_apply_at_connect() {
+        let m = TcpModule::new();
+        m.set_param("sndbuf", "65536").unwrap();
+        m.set_param("rcvbuf", "65536").unwrap();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        // The sized connection still carries traffic.
+        obj.send(&msg("sized", b"ok"), &WireFrame::new()).unwrap();
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("message over resized socket");
+        assert_eq!(got.handler, "sized");
+    }
+
+    #[test]
+    fn object_params_validate() {
         let m = TcpModule::new();
         let (desc, _rx) = m.open(&info(1)).unwrap();
         let obj = m.connect(&info(2), &desc).unwrap();
         assert!(obj.set_param("nodelay", "true").is_ok());
+        assert!(obj.set_param("sndbuf", "131072").is_ok());
+        assert!(obj.set_param("rcvbuf", "131072").is_ok());
+        assert!(obj.set_param("sndbuf", "junk").is_err());
+        assert!(obj.set_param("rcvbuf", "0").is_err());
         assert!(obj.set_param("sockbuf", "1024").is_err());
+    }
+
+    /// `send_parts(head, tail)` must hit the wire byte-identical to a
+    /// plain send of the concatenated payload: the receiver cannot tell
+    /// the gathered fast path from the fallback.
+    #[test]
+    fn send_parts_matches_plain_send_on_the_wire() {
+        let m = TcpModule::new();
+        let (desc, mut rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        let head = [7u8; 20];
+        let tail = Bytes::from(vec![9u8; 4096]);
+        let chunk = Rsr::new(ContextId(1), EndpointId(2), "#stripe", Bytes::new());
+        obj.send_parts(&chunk, &head, &tail).unwrap();
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("gathered chunk arrives");
+        assert_eq!(got.handler, "#stripe");
+        assert_eq!(got.payload.len(), head.len() + tail.len());
+        assert_eq!(&got.payload[..head.len()], &head[..]);
+        assert_eq!(&got.payload[head.len()..], &tail[..]);
+        // Oversized handler names take the fallback path, same wire shape.
+        let long = "h".repeat(120);
+        let chunk = Rsr::new(ContextId(1), EndpointId(2), &long, Bytes::new());
+        obj.send_parts(&chunk, &head, &tail).unwrap();
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("fallback chunk arrives");
+        assert_eq!(got.handler, long);
+        assert_eq!(got.payload.len(), head.len() + tail.len());
     }
 }

@@ -557,6 +557,18 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
     for (name, path) in graph.reachable_from("reactor_loop") {
         reach.entry(name).or_insert(path);
     }
+    // The striped bulk path: `striped_send` fans chunks across rails from
+    // the caller's send, and `stripe_drain` ingests chunks inside message
+    // dispatch (it runs on whatever thread delivers — a worker, the
+    // reactor, or an inline `progress`). A block in either stalls every
+    // rail of the transfer, so both are roots in their own right even
+    // where they are also reached through `rsr`/dispatch today.
+    for (name, path) in graph.reachable_from("striped_send") {
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("stripe_drain") {
+        reach.entry(name).or_insert(path);
+    }
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for def in &graph.fns {
@@ -653,6 +665,18 @@ fn rule_hot_path_alloc(ws: &Workspace) -> Vec<Diagnostic> {
         reach.entry(name).or_insert(path);
     }
     for (name, path) in graph.reachable_from("reactor_loop") {
+        reach.entry(name).or_insert(path);
+    }
+    // The striped bulk path's own halves: `striped_send` must stay
+    // encode-once (chunk tails borrow the shared body; combine buffers
+    // come from the pool) and `stripe_drain` reassembles into recycled
+    // slot vectors. Rooting them keeps the stripe alloc budget (exactly 0
+    // in steady state, pinned by the stripe_alloc_budget test) from
+    // silently lapsing if either stops being reachable from `rsr`.
+    for (name, path) in graph.reachable_from("striped_send") {
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("stripe_drain") {
         reach.entry(name).or_insert(path);
     }
     let mut out = Vec::new();
@@ -1181,6 +1205,42 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("reactor_loop -> fire"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_the_stripe_path_is_flagged() {
+        let ws = ws_one(
+            "t.rs",
+            "fn stripe_drain() {\n    ingest();\n}\nfn ingest() {\n    thread::sleep(d);\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("stripe_drain -> ingest"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_striped_send_root() {
+        let ws = ws_one(
+            "t.rs",
+            "fn striped_send() {\n    chunk();\n}\nfn chunk() {\n    let v = body.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("striped_send -> chunk"));
     }
 
     #[test]

@@ -97,18 +97,17 @@ impl Bytes {
     /// storage and the view covers all of it; otherwise returns `self`
     /// back. Buffer pools use this to reclaim frame storage without a
     /// copy once the last in-flight reference has dropped.
-    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+    pub fn try_into_mut(mut self) -> Result<BytesMut, Bytes> {
         if self.start != 0 || self.end != self.data.len() {
             return Err(self);
         }
-        match Arc::try_unwrap(self.data) {
-            Ok(vec) => Ok(BytesMut { data: vec }),
-            Err(data) => Err(Bytes {
-                start: 0,
-                end: data.len(),
-                data,
-            }),
+        // Keep the storage inside its `Arc` rather than unwrapping it:
+        // the control block is reused by the next `freeze`, so a pooled
+        // buffer's freeze → reclaim cycle performs zero allocations.
+        if Arc::get_mut(&mut self.data).is_none() {
+            return Err(self);
         }
+        Ok(BytesMut { data: self.data })
     }
 }
 
@@ -196,9 +195,15 @@ impl PartialEq<Vec<u8>> for Bytes {
 }
 
 /// A growable byte buffer with the append API of the real `BytesMut`.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// The storage lives inside an `Arc` that this buffer owns uniquely (an
+/// invariant every constructor and [`Bytes::try_into_mut`] maintains), so
+/// `freeze` hands the existing refcounted storage over instead of
+/// allocating a fresh control block — matching the real crate, where the
+/// freeze/thaw round-trip of a pooled buffer is allocation-free.
+#[derive(PartialEq, Eq)]
 pub struct BytesMut {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
@@ -210,8 +215,13 @@ impl BytesMut {
     /// Creates an empty buffer with capacity for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: Arc::new(Vec::with_capacity(cap)),
         }
+    }
+
+    /// The uniquely-owned storage (see the type-level invariant).
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.data).expect("BytesMut storage is uniquely owned")
     }
 
     /// Number of bytes written.
@@ -231,17 +241,17 @@ impl BytesMut {
 
     /// Reserves capacity for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional);
+        self.vec_mut().reserve(additional);
     }
 
     /// Appends raw bytes.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
-        self.data.extend_from_slice(extend);
+        self.vec_mut().extend_from_slice(extend);
     }
 
     /// Clears the buffer, keeping its allocation.
     pub fn clear(&mut self) {
-        self.data.clear();
+        self.vec_mut().clear();
     }
 
     /// Converts into immutable [`Bytes`] without copying the contents:
@@ -255,8 +265,26 @@ impl BytesMut {
         }
         Bytes {
             end: self.data.len(),
-            data: Arc::new(self.data),
+            data: self.data,
             start: 0,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut {
+            data: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        // A derived clone would share the Arc and break the uniqueness
+        // invariant; a clone of a mutable buffer is a deep copy.
+        BytesMut {
+            data: Arc::new(self.data.as_ref().clone()),
         }
     }
 }
@@ -288,7 +316,9 @@ impl fmt::Debug for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(v: &[u8]) -> Self {
-        BytesMut { data: v.to_vec() }
+        BytesMut {
+            data: Arc::new(v.to_vec()),
+        }
     }
 }
 
@@ -391,7 +421,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
+        self.vec_mut().extend_from_slice(src);
     }
 }
 
@@ -500,6 +530,37 @@ mod tests {
         // Partial view: refused even when unique.
         let b = Bytes::from(vec![1u8, 2, 3]).slice(0..2);
         assert!(b.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn freeze_thaw_roundtrip_reuses_the_arc() {
+        // The pooled-buffer cycle: freeze, every reference drops, reclaim
+        // via try_into_mut, freeze again. The refcount control block must
+        // survive the round trip — this is what makes the cycle
+        // allocation-free.
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32_le(1);
+        let b = m.freeze();
+        let arc_before = Arc::as_ptr(&b.data);
+        let mut m2 = b.try_into_mut().unwrap();
+        m2.clear();
+        m2.put_u32_le(2);
+        let b2 = m2.freeze();
+        assert_eq!(Arc::as_ptr(&b2.data), arc_before, "control block reused");
+        assert_eq!(&b2[..], &2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn bytesmut_clone_is_a_deep_copy() {
+        let mut m = BytesMut::with_capacity(4);
+        m.put_u8(1);
+        let mut c = m.clone();
+        c.put_u8(2);
+        assert_eq!(&m[..], &[1]);
+        assert_eq!(&c[..], &[1, 2]);
+        // Both remain uniquely owned and freezable.
+        assert_eq!(m.freeze().len(), 1);
+        assert_eq!(c.freeze().len(), 2);
     }
 
     #[test]

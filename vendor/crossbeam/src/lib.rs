@@ -43,6 +43,18 @@ pub mod queue {
             self.len.store(g.len(), Ordering::Release);
         }
 
+        /// Pre-sizes the backing ring so at least `total` elements can be
+        /// queued without reallocating. An extension over the real crate
+        /// (whose block-allocated queue has no direct equivalent): callers
+        /// that must keep their steady state allocation-free reserve their
+        /// worst-case depth at setup time so no producer push ever grows
+        /// the ring.
+        pub fn reserve(&self, total: usize) {
+            let mut g = self.lock();
+            let additional = total.saturating_sub(g.len());
+            g.reserve(additional);
+        }
+
         /// Removes and returns the head element, if any.
         pub fn pop(&self) -> Option<T> {
             if self.len.load(Ordering::Acquire) == 0 {
