@@ -1,28 +1,36 @@
-//! CommBench-style collective pattern suite (`--bin patterns`).
+//! Eager/rendezvous bulk-path benchmark (`--bin bulkpath`).
 //!
-//! The striped bulk path (core::stripe) claims that one logical transfer
-//! can ride several method-heterogeneous links at once. This harness
-//! measures the three canonical multi-link usage patterns over in-process
-//! queue rails, sweeping rail/link count and payload size:
+//! The Mercury-style bulk protocol (core::bulk) claims that past a
+//! per-link cutoff, shipping a small pull handle and letting the
+//! receiver fetch the body beats copying it inline — and that over
+//! region-mapping methods the fetch is zero-copy. This harness measures
+//! the four paths that bracket those claims, sweeping payload size:
 //!
-//! * **rail** — one destination, `links` parallel rails (one queue method
-//!   per rail), one `Context::rsr` per op carried by `set_striped` across
-//!   every rail at once. The aggregate-bandwidth pattern.
-//! * **fan** — `links` destinations, the payload split into one
-//!   contiguous piece per link by [`Context::scatter`], each piece
-//!   travelling whole over the single cheapest method. The distribution
-//!   pattern.
-//! * **striped-scatter** — fan's split combined with rail's striping:
-//!   every scattered piece is itself striped across the rails of its
-//!   link (pieces below the stripe cutoff pass through whole, so at
-//!   small payloads this pattern deliberately degenerates to fan).
+//! * **inline** — `Context::rsr_bulk` with the all-eager default: the
+//!   body rides the RSR over a copying wire. The baseline whose cost
+//!   grows with every inlined byte.
+//! * **pull-map** — `rsr_bulk` with cutoff 0 over a region-mapping rail
+//!   (shmem-class): a `#bulk` announce, a `#bulk-get`, and an in-place
+//!   borrow of the registered region. No per-byte copy anywhere, which
+//!   the binary also asserts via the runtime's body-encode counter.
+//! * **pull-wire** — the same rendezvous over copying rails (TCP-class):
+//!   the region streams back as pipelined chunks striped across every
+//!   rail by the pull engine.
+//! * **stripe-raw** — plain `Context::rsr` over the same copying rails
+//!   with `set_striped`: the raw striped-transfer floor that pull-wire's
+//!   control overhead is gated against (within 25 % at 4 MiB).
 //!
-//! Every pattern moves exactly `payload` bytes per op, so ns/op is
-//! directly comparable across patterns at a given (links, payload) cell.
-//! The `patterns` binary wires in a counting global allocator and
-//! emits/validates `BENCH_stripe.json` with the same min-of-batches
-//! estimator and CI gate as `rsrpath`.
+//! The measured **knees** — the smallest swept payloads where each pull
+//! path beats inline — are recorded in the emitted JSON. On this 1-CPU
+//! container the mapped pull shows a genuine knee (its constant control
+//! cost crosses inline's per-byte copy within a few tens of KiB), while
+//! the wire pull typically does not: both protocol sides share one core,
+//! so the chunk-and-reassemble copy is never repaid by an in-process
+//! "wire" that costs nothing. The analytic model in `nexus-simnet`'s
+//! `bulk` module pins the wire knee against the paper's calibrated wire
+//! constants instead.
 
+use crate::patterns::CopyWire;
 use crate::report;
 use crate::rsrpath::Json;
 use bytes::Bytes;
@@ -31,21 +39,21 @@ use nexus_rt::context::{Context, ContextInfo, Fabric};
 use nexus_rt::descriptor::{CommDescriptor, MethodId};
 use nexus_rt::error::Result as NexusResult;
 use nexus_rt::module::{CommModule, CommObject, CommReceiver};
-use nexus_rt::rsr::{Rsr, WireFrame};
 use nexus_transports::queue::{QueueDescriptor, QueueMedium, QueueObject, QueueReceiver};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Stripe cutoff installed by the rail/striped-scatter patterns: low
-/// enough that every payload in the matrix stripes on the rail pattern,
-/// while scattered pieces below it show the cutoff's whole-message
-/// bypass exactly as production traffic would.
+/// Stripe cutoff installed for the `stripe-raw` baseline (same value the
+/// `patterns` suite uses, so the floors are comparable).
 pub const CUTOFF: usize = 2048;
 
 /// Batches per scenario; ns/op is the fastest batch (deterministic work,
 /// so the minimum estimates true cost — see `rsrpath`).
 const MIN_OF_BATCHES: u32 = 8;
+
+/// The four measured paths, in sweep order.
+pub const SCENARIOS: [&str; 4] = ["inline", "pull-map", "pull-wire", "stripe-raw"];
 
 /// Benchmark configuration: iteration counts and the scenario matrix.
 #[derive(Debug, Clone)]
@@ -55,9 +63,10 @@ pub struct Config {
     pub iters: u32,
     /// Untimed warm-up iterations per scenario.
     pub warmup: u32,
-    /// Payload sizes in bytes (total bytes moved per op, all patterns).
+    /// Payload sizes in bytes.
     pub payloads: Vec<usize>,
-    /// Rail/link counts swept for every pattern.
+    /// Rail counts swept for the wire scenarios (`pull-wire` and
+    /// `stripe-raw`; `inline` and `pull-map` are single-link paths).
     pub link_counts: Vec<usize>,
 }
 
@@ -67,8 +76,8 @@ impl Config {
         Config {
             iters: 2_000,
             warmup: 100,
-            payloads: vec![4_096, 65_536, 262_144, 1_048_576, 4_194_304],
-            link_counts: vec![1, 2, 4, 8],
+            payloads: vec![1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304],
+            link_counts: vec![1, 2, 4],
         }
     }
 
@@ -78,7 +87,7 @@ impl Config {
             iters: 320,
             warmup: 24,
             payloads: vec![4_096, 262_144, 4_194_304],
-            link_counts: vec![1, 2, 4, 8],
+            link_counts: vec![1, 4],
         }
     }
 
@@ -93,23 +102,27 @@ impl Config {
             self.iters
         }
     }
-}
 
-/// The three patterns, in sweep order.
-pub const PATTERNS: [&str; 3] = ["rail", "fan", "striped-scatter"];
+    /// Rail counts applicable to `scenario`.
+    fn links_for(&self, scenario: &str) -> Vec<usize> {
+        match scenario {
+            "inline" | "pull-map" => vec![1],
+            _ => self.link_counts.clone(),
+        }
+    }
+}
 
 /// One measured scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Pattern name (one of [`PATTERNS`]).
-    pub pattern: String,
-    /// Rail count (rail pattern) or destination-link count (fan,
-    /// striped-scatter — which also stripes each link over this many
-    /// rails).
+    /// Path name (one of [`SCENARIOS`]).
+    pub scenario: String,
+    /// Rail count the wire scenarios spread over (1 for the single-link
+    /// paths).
     pub links: usize,
-    /// Total bytes moved per op.
+    /// Payload bytes per op.
     pub payload: usize,
-    /// Nanoseconds per op (send + delivery + dispatch of every piece).
+    /// Nanoseconds per op (send + pull protocol + dispatch).
     pub ns_per_op: f64,
     /// Global-allocator calls per op.
     pub allocs_per_op: f64,
@@ -117,35 +130,37 @@ pub struct Scenario {
 
 impl Scenario {
     fn key(&self) -> (&str, usize, usize) {
-        (self.pattern.as_str(), self.links, self.payload)
+        (self.scenario.as_str(), self.links, self.payload)
     }
 
-    /// Effective goodput in MiB/s implied by ns/op.
-    pub fn mib_per_s(&self) -> f64 {
-        if self.ns_per_op <= 0.0 {
+    /// Cost per payload byte implied by ns/op.
+    pub fn ns_per_byte(&self) -> f64 {
+        if self.payload == 0 {
             return 0.0;
         }
-        (self.payload as f64 / (1 << 20) as f64) / (self.ns_per_op / 1e9)
+        self.ns_per_op / self.payload as f64
     }
 }
 
-/// A queue-backed rail: identical to the shmem queue transport but with
-/// its own method id and medium, so registering `n` of them gives a link
-/// `n` genuinely distinct methods for the stripe planner to spread over.
+/// A queue-backed rail, either **mapping** (connect returns the raw
+/// in-process queue object, `supports_region_map() == true`, so bulk
+/// pulls borrow the region in place — the shmem stand-in) or **copying**
+/// (wrapped in [`CopyWire`], one memcpy per byte per hop and no region
+/// map — the wire stand-in).
 struct RailModule {
     method: MethodId,
     rank: u32,
     medium: Arc<QueueMedium>,
+    mapping: bool,
 }
 
 impl RailModule {
-    fn new(i: usize) -> Self {
+    fn new(i: usize, mapping: bool) -> Self {
         RailModule {
-            method: MethodId(0x200 + i as u16),
-            // Distinct ranks keep single-method selection deterministic
-            // (the fan pattern always rides rail 0).
+            method: MethodId(0x300 + i as u16),
             rank: 10 + i as u32,
             medium: Arc::new(QueueMedium::new()),
+            mapping,
         }
     }
 }
@@ -156,7 +171,7 @@ impl CommModule for RailModule {
     }
 
     fn name(&self) -> &'static str {
-        "bench-rail"
+        "bench-bulk-rail"
     }
 
     fn cost_rank(&self) -> u32 {
@@ -180,7 +195,11 @@ impl CommModule for RailModule {
     ) -> NexusResult<Arc<dyn CommObject>> {
         let d = QueueDescriptor::decode(desc)?;
         let inner = QueueObject::connect(self.method, &self.medium, d.context)?;
-        Ok(Arc::new(CopyWire { inner }))
+        if self.mapping {
+            Ok(inner)
+        } else {
+            Ok(Arc::new(CopyWire { inner }))
+        }
     }
 
     fn poll_cost_ns(&self) -> u64 {
@@ -188,60 +207,24 @@ impl CommModule for RailModule {
     }
 }
 
-/// Imposes exactly one copy per byte per hop on the otherwise zero-copy
-/// in-process queue: a plain `send` splices the payload through a pooled
-/// buffer, and `send_parts` delegates to the queue's own single-copy
-/// head++tail combine. Without this, whole-message patterns move `Bytes`
-/// handles for free while striped chunks pay real memcpy, and the
-/// rail-vs-fan comparison would be meaningless at large payloads.
-pub(crate) struct CopyWire {
-    pub(crate) inner: Arc<dyn CommObject>,
-}
-
-impl CommObject for CopyWire {
-    fn method(&self) -> MethodId {
-        self.inner.method()
-    }
-
-    fn send(&self, rsr: &Rsr, frame: &WireFrame) -> NexusResult<()> {
-        let mut buf = nexus_rt::pool::take(rsr.payload.len());
-        buf.extend_from_slice(&rsr.payload);
-        self.inner.send(
-            &Rsr {
-                dest: rsr.dest,
-                endpoint: rsr.endpoint,
-                handler: rsr.handler.clone(),
-                payload: buf.freeze(),
-                ttl: rsr.ttl,
-            },
-            frame,
-        )
-    }
-
-    fn send_parts(&self, rsr: &Rsr, head: &[u8], tail: &Bytes) -> NexusResult<()> {
-        self.inner.send_parts(rsr, head, tail)
-    }
-}
-
 /// Per-scenario fixture: a sender, a receiver draining into a delivery
-/// counter, and a startpoint shaped for the pattern.
+/// counter, and both contexts pumped together (the pull protocol needs
+/// progress on the origin to service `#bulk-get`).
 struct Fixture {
     fabric: Fabric,
     tx: Arc<Context>,
     rx: Arc<Context>,
     sp: nexus_rt::startpoint::Startpoint,
     received: Arc<AtomicU64>,
-    /// Deliveries one op produces (1 for rail, `links` for the scatters).
-    per_op: u64,
 }
 
 impl Fixture {
-    /// Builds the fixture: `rails` queue modules, `endpoints` receiver
-    /// endpoints merged into one startpoint, optionally striped.
-    fn new(rails: usize, endpoints: usize, striped: bool) -> Fixture {
+    fn new(rails: usize, mapping: bool) -> Fixture {
         let fabric = Fabric::new();
         for i in 0..rails {
-            fabric.registry().register(Arc::new(RailModule::new(i)));
+            fabric
+                .registry()
+                .register(Arc::new(RailModule::new(i, mapping)));
         }
         let tx = fabric.create_context().expect("create sender");
         let rx = fabric.create_context().expect("create receiver");
@@ -250,78 +233,73 @@ impl Fixture {
         rx.register_handler("bench", move |_| {
             r.fetch_add(1, Ordering::Relaxed);
         });
-        let mut sp: Option<nexus_rt::startpoint::Startpoint> = None;
-        for _ in 0..endpoints {
-            let s = rx
-                .startpoint_to(rx.create_endpoint())
-                .expect("bind endpoint");
-            match &mut sp {
-                None => sp = Some(s),
-                Some(acc) => acc.merge(&s),
-            }
-        }
-        let sp = sp.expect("at least one endpoint");
-        if striped {
-            // With a single rail there is nothing to stripe over and
-            // set_striped correctly declines; the link then rides the
-            // one queue method whole, which is the honest 1-rail row.
-            let n = tx.set_striped(&sp, CUTOFF).expect("install stripe");
-            assert!(
-                rails < 2 || n == endpoints,
-                "striped {n} of {endpoints} links"
-            );
-        }
+        let sp = rx
+            .startpoint_to(rx.create_endpoint())
+            .expect("bind endpoint");
         Fixture {
             fabric,
             tx,
             rx,
             sp,
             received,
-            per_op: endpoints as u64,
         }
     }
 
     fn drain_to(&self, expected: u64) {
         while self.received.load(Ordering::Relaxed) < expected {
-            self.rx.progress().expect("progress");
+            self.rx.progress().expect("rx progress");
+            self.tx.progress().expect("tx progress");
         }
     }
 }
 
-/// Runs one (pattern, links, payload) scenario and reports min-of-batches
+/// Runs one (scenario, links, payload) cell and reports min-of-batches
 /// ns/op plus mean allocs/op. `alloc_count` reads the process-wide
 /// allocation counter (the binary's counting global allocator).
 fn run_scenario(
-    pattern: &str,
+    scenario: &str,
     links: usize,
     payload: usize,
     iters: u32,
     warmup: u32,
     alloc_count: &dyn Fn() -> u64,
 ) -> Scenario {
-    // rail: `links` rails into ONE endpoint, striped. fan: one rail,
-    // `links` endpoints, plain scatter. striped-scatter: `links` rails
-    // AND `links` endpoints, each piece striped over every rail.
-    let fx = match pattern {
-        "rail" => Fixture::new(links, 1, true),
-        "fan" => Fixture::new(1, links, false),
-        "striped-scatter" => Fixture::new(links, links, true),
-        other => panic!("unknown pattern {other}"),
+    let fx = match scenario {
+        // All-eager default: rsr_bulk degenerates to the inline path.
+        "inline" => Fixture::new(links, false),
+        "pull-map" => {
+            let f = Fixture::new(links, true);
+            f.tx.set_rendezvous(&f.sp, 0);
+            f
+        }
+        "pull-wire" => {
+            let f = Fixture::new(links, false);
+            f.tx.set_rendezvous(&f.sp, 0);
+            f
+        }
+        "stripe-raw" => {
+            let f = Fixture::new(links, false);
+            if links >= 2 {
+                f.tx.set_striped(&f.sp, CUTOFF).expect("install stripe");
+            }
+            f
+        }
+        other => panic!("unknown scenario {other}"),
     };
     let data = Bytes::from((0..payload).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
     let mut expected = 0_u64;
     let mut pump = |n: u32| {
         for _ in 0..n {
-            if pattern == "rail" {
+            if scenario == "stripe-raw" {
                 fx.tx
                     .rsr(&fx.sp, "bench", Buffer::from_bytes(data.clone()))
                     .expect("rsr");
             } else {
                 fx.tx
-                    .scatter(&fx.sp, "bench", Buffer::from_bytes(data.clone()))
-                    .expect("scatter");
+                    .rsr_bulk(&fx.sp, "bench", Buffer::from_bytes(data.clone()))
+                    .expect("rsr_bulk");
             }
-            expected += fx.per_op;
+            expected += 1;
             fx.drain_to(expected);
         }
     };
@@ -336,9 +314,11 @@ fn run_scenario(
         best_ns = best_ns.min(ns);
     }
     let allocs = alloc_count() - allocs0;
+    assert_eq!(fx.tx.bulk_regions(), 0, "regions must drain");
+    assert_eq!(fx.rx.bulk_pulls_pending(), 0, "pulls must drain");
     fx.fabric.shutdown();
     Scenario {
-        pattern: pattern.to_owned(),
+        scenario: scenario.to_owned(),
         links,
         payload,
         ns_per_op: best_ns,
@@ -346,14 +326,14 @@ fn run_scenario(
     }
 }
 
-/// Runs the whole pattern × links × payload matrix.
+/// Runs the whole scenario × links × payload matrix.
 pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
     let mut out = Vec::new();
-    for pattern in PATTERNS {
-        for &links in &cfg.link_counts {
+    for scenario in SCENARIOS {
+        for links in cfg.links_for(scenario) {
             for &payload in &cfg.payloads {
                 out.push(run_scenario(
-                    pattern,
+                    scenario,
                     links,
                     payload,
                     cfg.iters_for(payload),
@@ -366,30 +346,63 @@ pub fn run(cfg: &Config, alloc_count: &dyn Fn() -> u64) -> Vec<Scenario> {
     out
 }
 
+/// The measured rendezvous knee for one pull scenario: the smallest
+/// swept payload at which the 1-rail pull is no slower than the inline
+/// send. `None` when the pull never catches up inside the sweep — the
+/// expected outcome for `pull-wire` on a 1-CPU container, where the
+/// chunk-and-reassemble copy can never be won back against an in-process
+/// "wire" that costs nothing (the analytic model in nexus-simnet pins
+/// that knee against real wire constants instead).
+pub fn knee_bytes(rows: &[Scenario], pull: &str) -> Option<usize> {
+    let mut knee: Option<usize> = None;
+    for p in rows.iter().filter(|r| r.key().0 == pull && r.links == 1) {
+        let Some(e) = rows.iter().find(|r| r.key() == ("inline", 1, p.payload)) else {
+            continue;
+        };
+        if p.ns_per_op <= e.ns_per_op {
+            knee = Some(knee.map_or(p.payload, |k: usize| k.min(p.payload)));
+        }
+    }
+    knee
+}
+
+/// One knee line for `pull`, for the table footer and the JSON note.
+fn knee_line(rows: &[Scenario], pull: &str) -> String {
+    match knee_bytes(rows, pull) {
+        Some(k) => format!("{pull} knee vs inline: {k} B"),
+        None => format!("{pull} knee vs inline: beyond the swept payloads"),
+    }
+}
+
 /// Formats the scenario table.
 pub fn format(rows: &[Scenario]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|s| {
             vec![
-                s.pattern.clone(),
+                s.scenario.clone(),
                 s.links.to_string(),
                 s.payload.to_string(),
                 format!("{:.0}", s.ns_per_op),
-                format!("{:.0}", s.mib_per_s()),
+                format!("{:.3}", s.ns_per_byte()),
                 format!("{:.1}", s.allocs_per_op),
             ]
         })
         .collect();
+    let knee = format!(
+        "measured rendezvous knees (1 rail): {}; {}",
+        knee_line(rows, "pull-map"),
+        knee_line(rows, "pull-wire")
+    );
     format!(
-        "collective patterns over in-process queue rails (payload bytes moved per op)\n{}",
+        "eager/rendezvous bulk paths over in-process queue rails\n{}\n{knee}",
         report::table(
             &[
-                "pattern",
-                "links",
+                "scenario",
+                "rails",
                 "payload B",
                 "ns/op",
-                "MiB/s",
+                "ns/byte",
                 "allocs/op"
             ],
             &body
@@ -403,18 +416,24 @@ pub fn results_json(rows: &[Scenario]) -> String {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"pattern\": \"{}\", \"links\": {}, \"payload\": {}, \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.1}}}",
-                s.pattern, s.links, s.payload, s.ns_per_op, s.allocs_per_op
+                "    {{\"scenario\": \"{}\", \"links\": {}, \"payload\": {}, \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.1}}}",
+                s.scenario, s.links, s.payload, s.ns_per_op, s.allocs_per_op
             )
         })
         .collect();
     format!("[\n{}\n  ]", items.join(",\n"))
 }
 
-/// The document the `patterns` binary writes.
+/// The document the `bulkpath` binary writes.
 pub fn document_json(rows: &[Scenario]) -> String {
+    let note = format!(
+        "{}; {} (1-CPU container: both protocol sides share the core, so the in-process wire pull \
+         keeps its reassembly copy without the wire savings that repay it)",
+        knee_line(rows, "pull-map"),
+        knee_line(rows, "pull-wire")
+    );
     format!(
-        "{{\n  \"schema\": \"nexus-stripe-v1\",\n  \"results\": {}\n}}\n",
+        "{{\n  \"schema\": \"nexus-bulk-v1\",\n  \"note\": \"{note}\",\n  \"results\": {}\n}}\n",
         results_json(rows)
     )
 }
@@ -428,12 +447,12 @@ pub fn scenarios_from(doc: &Json, key: &str) -> Option<Vec<Scenario>> {
     };
     let mut out = Vec::new();
     for item in arr {
-        let pattern = match item.get("pattern")? {
+        let scenario = match item.get("scenario")? {
             Json::Str(s) => s.clone(),
             _ => return None,
         };
         out.push(Scenario {
-            pattern,
+            scenario,
             links: item.get("links")?.num()? as usize,
             payload: item.get("payload")?.num()? as usize,
             ns_per_op: item.get("ns_per_op")?.num()?,
@@ -458,7 +477,7 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
             failures.push(format!(
                 "{} links={} payload={}: ns/op {:.0} exceeds baseline {:.0} by more than \
                  {:.0} % (limit {:.0})",
-                cur.pattern,
+                cur.scenario,
                 cur.links,
                 cur.payload,
                 cur.ns_per_op,
@@ -471,7 +490,7 @@ pub fn check(current: &[Scenario], baseline: &[Scenario], ns_tolerance: f64) -> 
         if cur.allocs_per_op > alloc_limit {
             failures.push(format!(
                 "{} links={} payload={}: allocs/op {:.1} exceeds baseline {:.1} (limit {:.1})",
-                cur.pattern,
+                cur.scenario,
                 cur.links,
                 cur.payload,
                 cur.allocs_per_op,
@@ -488,9 +507,9 @@ mod tests {
     use super::*;
     use crate::rsrpath::parse_json;
 
-    fn s(pattern: &str, links: usize, payload: usize, ns: f64, allocs: f64) -> Scenario {
+    fn s(scenario: &str, links: usize, payload: usize, ns: f64, allocs: f64) -> Scenario {
         Scenario {
-            pattern: pattern.to_owned(),
+            scenario: scenario.to_owned(),
             links,
             payload,
             ns_per_op: ns,
@@ -499,7 +518,7 @@ mod tests {
     }
 
     #[test]
-    fn smoke_run_covers_every_pattern() {
+    fn smoke_run_covers_every_scenario() {
         let cfg = Config {
             iters: 24,
             warmup: 4,
@@ -507,46 +526,67 @@ mod tests {
             link_counts: vec![1, 2],
         };
         let rows = run(&cfg, &|| 0);
-        assert_eq!(rows.len(), 3 * 2 * 2);
+        // inline and pull-map run 1 rail only; the wire pair sweep both.
+        assert_eq!(rows.len(), 2 * 2 + 2 * 2 * 2);
         assert!(rows.iter().all(|r| r.ns_per_op > 0.0));
-        for p in PATTERNS {
-            assert!(rows.iter().any(|r| r.pattern == p));
+        for sc in SCENARIOS {
+            assert!(rows.iter().any(|r| r.scenario == sc));
         }
         let t = format(&rows);
-        assert!(t.contains("striped-scatter"));
-        assert!(t.contains("MiB/s"));
+        assert!(t.contains("pull-map"));
+        assert!(t.contains("rendezvous knee"));
+    }
+
+    #[test]
+    fn knee_is_the_smallest_winning_pull_payload() {
+        let rows = vec![
+            s("inline", 1, 4_096, 1_000.0, 0.0),
+            s("inline", 1, 65_536, 20_000.0, 0.0),
+            s("inline", 1, 262_144, 90_000.0, 0.0),
+            s("pull-wire", 1, 4_096, 5_000.0, 0.0),
+            s("pull-wire", 1, 65_536, 18_000.0, 0.0),
+            s("pull-wire", 1, 262_144, 40_000.0, 0.0),
+        ];
+        assert_eq!(knee_bytes(&rows, "pull-wire"), Some(65_536));
+        // A pull that never wins yields no knee.
+        let never = vec![
+            s("inline", 1, 4_096, 1_000.0, 0.0),
+            s("pull-wire", 1, 4_096, 5_000.0, 0.0),
+        ];
+        assert_eq!(knee_bytes(&never, "pull-wire"), None);
+        assert_eq!(knee_bytes(&never, "pull-map"), None);
     }
 
     #[test]
     fn json_roundtrip_through_parser() {
         let rows = vec![
-            s("rail", 4, 65_536, 20_000.0, 0.0),
-            s("striped-scatter", 8, 4_194_304, 9.5e6, 12.0),
+            s("pull-map", 1, 4_194_304, 7_000.0, 0.0),
+            s("pull-wire", 4, 4_194_304, 9.5e6, 12.0),
         ];
         let doc = document_json(&rows);
         let parsed = parse_json(&doc).unwrap();
         assert_eq!(
             parsed.get("schema"),
-            Some(&Json::Str("nexus-stripe-v1".to_owned()))
+            Some(&Json::Str("nexus-bulk-v1".to_owned()))
         );
         let back = scenarios_from(&parsed, "results").unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back[0].pattern, "rail");
-        assert_eq!(back[1].payload, 4_194_304);
+        assert_eq!(back[0].scenario, "pull-map");
+        assert_eq!(back[1].links, 4);
         assert!((back[1].ns_per_op - 9.5e6).abs() < 1e-3);
     }
 
     #[test]
-    fn check_gates_ns_and_allocs_per_pattern() {
-        let base = vec![s("rail", 2, 4096, 10_000.0, 4.0)];
-        assert!(check(&[s("rail", 2, 4096, 12_000.0, 4.0)], &base, 0.25).is_empty());
-        let ns_fail = check(&[s("rail", 2, 4096, 13_000.0, 4.0)], &base, 0.25);
+    fn check_gates_ns_and_allocs_per_scenario() {
+        let base = vec![s("pull-wire", 2, 4096, 10_000.0, 4.0)];
+        assert!(check(&[s("pull-wire", 2, 4096, 12_000.0, 4.0)], &base, 0.25).is_empty());
+        let ns_fail = check(&[s("pull-wire", 2, 4096, 13_000.0, 4.0)], &base, 0.25);
         assert_eq!(ns_fail.len(), 1);
         assert!(ns_fail[0].contains("ns/op"));
-        let alloc_fail = check(&[s("rail", 2, 4096, 9_000.0, 30.0)], &base, 0.25);
+        let alloc_fail = check(&[s("pull-wire", 2, 4096, 9_000.0, 30.0)], &base, 0.25);
         assert_eq!(alloc_fail.len(), 1);
         assert!(alloc_fail[0].contains("allocs/op"));
-        // Different pattern at the same shape is a different scenario.
-        assert!(check(&[s("fan", 2, 4096, 9e9, 9e9)], &base, 0.25).is_empty());
+        // Different scenario at the same shape is a different cell.
+        assert!(check(&[s("inline", 2, 4096, 9e9, 9e9)], &base, 0.25).is_empty());
     }
 }

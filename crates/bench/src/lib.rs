@@ -14,12 +14,16 @@
 //! `cargo run -p nexus-bench --bin all` runs everything and is what
 //! EXPERIMENTS.md records. [`ablation`] quantifies individual design
 //! choices (lightweight startpoints, connection sharing, adaptive
-//! skip_poll) via `--bin ablation`. Criterion microbenches of the
-//! runtime's hot paths live under `benches/`.
+//! skip_poll) via `--bin ablation`. [`rsrpath`] (`--bin rsrpath`),
+//! [`patterns`] (`--bin patterns`), and [`bulkpath`] (`--bin bulkpath`)
+//! gate the RSR hot path, the collective patterns, and the
+//! eager/rendezvous bulk paths against tracked baselines. Criterion
+//! microbenches of the runtime's hot paths live under `benches/`.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bulkpath;
 pub mod fig4;
 pub mod fig6;
 pub mod overhead;

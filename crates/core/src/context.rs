@@ -14,6 +14,7 @@
 //! statistics for the enquiry functions.
 
 use crate::buffer::Buffer;
+use crate::bulk::{self, BulkHandle, BulkRegistry};
 use crate::descriptor::{DescriptorTable, MethodId};
 use crate::endpoint::{Attached, EndpointId, EndpointRef, EndpointState};
 use crate::error::{NexusError, Result};
@@ -22,7 +23,7 @@ use crate::handler::{HandlerArgs, HandlerRegistry};
 use crate::module::{CommObject, CommReceiver, ModuleRegistry};
 use crate::poll::{BlockingPoller, PollEngine, PollOutcome};
 use crate::pool;
-use crate::rsr::{Rsr, WireFrame};
+use crate::rsr::{HandlerName, Rsr, WireFrame};
 use crate::selection::{
     self, ExcludeMethods, FirstApplicable, MethodCostEstimate, ReselectConfig, SelectionPolicy,
 };
@@ -241,6 +242,7 @@ impl Fabric {
             stats,
             trace,
             shutdown: AtomicBool::new(false),
+            passes: AtomicU64::new(0),
             workers: Mutex::new(None),
             extensions: Mutex::new(HashMap::new()),
         });
@@ -303,6 +305,9 @@ pub struct Context {
     stats: Stats,
     trace: Arc<Trace>,
     shutdown: AtomicBool,
+    /// Progress passes completed; every 64th pass runs the deadline/idle
+    /// sweep over bulk pulls, stripe assemblies, and gather rounds.
+    passes: AtomicU64,
     /// Sharded worker pool servicing this context's readiness tier when
     /// [`Context::start_workers`] is active; `None` means the single
     /// progress thread (or inline `progress` calls) does everything.
@@ -591,13 +596,12 @@ impl Context {
         if sp.is_unbound() {
             return Err(NexusError::UnboundStartpoint);
         }
-        let bytes = payload.into_bytes();
         // One Rsr and one WireFrame serve every link: only the (Copy)
         // destination fields differ per link, and the frame body — which
         // depends solely on handler and payload — is encoded at most once
         // no matter how many links, methods, or failover retries are
         // involved. The handler name is interned here, once.
-        let mut msg = Rsr::new(ContextId(0), EndpointId(0), handler, bytes);
+        let mut msg = Rsr::new(ContextId(0), EndpointId(0), handler, payload.into_bytes());
         let frame = WireFrame::new();
         for link in sp.links() {
             msg.dest = link.target.context;
@@ -608,6 +612,94 @@ impl Context {
         // transport kept a reference (the common case).
         frame.reclaim();
         Ok(())
+    }
+
+    /// Issues a remote service request with the Mercury-style
+    /// eager/rendezvous split: links whose
+    /// [`Link::rendezvous_cutoff`] the payload does not exceed get the
+    /// ordinary inline RSR (byte-identical to [`Context::rsr`]), while
+    /// links it does exceed get a small `#bulk` announce carrying a
+    /// [`BulkHandle`] — the payload is registered in this context's
+    /// [`BulkRegistry`] and the receiver pulls it on demand (in-place
+    /// borrow over in-process methods, pipelined chunks over wire
+    /// methods). With no cutoffs configured ([`Context::set_rendezvous`])
+    /// every link is eager and this is exactly `rsr`.
+    pub fn rsr_bulk(&self, sp: &Startpoint, handler: &str, payload: Buffer) -> Result<()> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(NexusError::ShutDown);
+        }
+        if sp.is_unbound() {
+            return Err(NexusError::UnboundStartpoint);
+        }
+        if handler.as_bytes().first() == Some(&b'#') {
+            return Err(NexusError::UnknownHandler(handler.to_owned()));
+        }
+        let bytes = payload.into_bytes();
+        let len = bytes.len();
+        let links = sp.links();
+        let pulls = links.iter().filter(|l| len > l.rendezvous_cutoff()).count();
+        if pulls == 0 {
+            return self.rsr(sp, handler, Buffer::from_bytes(bytes));
+        }
+        // Register once for however many links will pull, and build one
+        // announce shared by all of them (dest fields vary per link).
+        let bs = self.bulk_state();
+        let region = bs.registry.register(
+            bytes.clone(),
+            pulls as u32,
+            Some(Instant::now() + bs.deadline()),
+        );
+        self.trace.record_event(TraceEventKind::BulkExpose {
+            region,
+            bytes: len as u64,
+        });
+        let handle = BulkHandle {
+            region,
+            len: len as u64,
+            origin: self.info.id,
+            hints: 0,
+        };
+        let mut abuf = pool::take(bulk::HANDLE_LEN + handler.len());
+        abuf.extend_from_slice(&handle.to_bytes());
+        abuf.extend_from_slice(handler.as_bytes());
+        let mut announce = Rsr {
+            dest: ContextId(0),
+            endpoint: EndpointId(0),
+            handler: bulk::bulk_handler(),
+            ttl: crate::rsr::DEFAULT_TTL,
+            payload: abuf.freeze(),
+        };
+        let aframe = WireFrame::new();
+        let mut msg = Rsr::new(ContextId(0), EndpointId(0), handler, bytes);
+        let frame = WireFrame::new();
+        let mut out = Ok(());
+        for link in links {
+            let (m, f) = if len > link.rendezvous_cutoff() {
+                (&mut announce, &aframe)
+            } else {
+                (&mut msg, &frame)
+            };
+            m.dest = link.target.context;
+            m.endpoint = link.target.endpoint;
+            out = self.send_with_failover(link, m, f);
+            if out.is_err() {
+                break;
+            }
+        }
+        frame.reclaim();
+        aframe.reclaim();
+        pool::reclaim(announce.payload);
+        out
+    }
+
+    /// Sets the eager/rendezvous cutoff on every link of `sp`: payloads
+    /// strictly larger than `cutoff` bytes are sent by
+    /// [`Context::rsr_bulk`] as a pull handle instead of an inline body.
+    /// `usize::MAX` restores the all-eager default.
+    pub fn set_rendezvous(&self, sp: &Startpoint, cutoff: usize) {
+        for link in sp.links() {
+            link.rendezvous_cutoff.store(cutoff, Ordering::Relaxed);
+        }
     }
 
     /// Sends one RSR over a link's selected method, failing over to the
@@ -940,6 +1032,11 @@ impl Context {
                 }
             }
         }
+        // Periodic housekeeping rides the progress loop: every 64th pass
+        // evicts idle chunk transfers and expires bulk deadlines, so a
+        // dead sender costs a bounded amount of memory and a bounded
+        // wait — never a hang.
+        self.sweep_deadlines();
         match first_err {
             Some(e) => Err(e),
             None => Ok(n),
@@ -1008,10 +1105,15 @@ impl Context {
             return self.forward(arrival, msg);
         }
         // Reserved runtime handlers ('#'-prefixed: stripe chunks, gather
-        // contributions) are intercepted before endpoint lookup — a chunk
-        // is addressed to whatever endpoint the original RSR targeted,
-        // but it is the *reassembled* message that must resolve there.
+        // contributions, bulk protocol traffic) are intercepted before
+        // endpoint lookup — a chunk is addressed to whatever endpoint the
+        // original RSR targeted, but it is the *reassembled* message that
+        // must resolve there (and the bulk handlers repurpose the
+        // endpoint field as protocol state outright).
         if msg.handler.as_bytes().first() == Some(&b'#') {
+            if msg.handler.as_bytes().starts_with(b"#bulk") {
+                return self.bulk_ingest(arrival, msg);
+            }
             return self.stripe_ingest(arrival, msg);
         }
         let ep = {
@@ -1115,6 +1217,348 @@ impl Context {
             Ok(())
         } else {
             Err(NexusError::UnknownHandler(msg.handler.to_string()))
+        }
+    }
+
+    // -- bulk pull engine ---------------------------------------------------------
+
+    /// Per-context bulk plumbing, created lazily on first use.
+    fn bulk_state(&self) -> Arc<BulkState> {
+        self.extension(BulkState::default)
+    }
+
+    /// Consumes one `#bulk*` RSR (see [`crate::bulk`] for the wire
+    /// formats): an announce files a pending pull and requests the
+    /// region; a pull request is served by the pull engine; a
+    /// whole-region or chunked response completes the pending pull and
+    /// re-dispatches the payload under the application handler the
+    /// announce named.
+    fn bulk_ingest(&self, arrival: MethodId, msg: Rsr) -> Result<()> {
+        let bs = self.bulk_state();
+        if msg.handler == bulk::BULK_HANDLER {
+            let (handle, name) = bulk::parse_announce(&msg.payload)?;
+            // Intern before reclaiming the payload `name` borrows;
+            // alloc-free when the handler name repeats.
+            let pending = PendingPull {
+                handler: HandlerName::intern(name),
+                endpoint: msg.endpoint,
+                ttl: msg.ttl,
+                len: handle.len,
+                deadline: Instant::now() + bs.deadline(),
+            };
+            bs.pulls.lock().insert(handle.region, pending);
+            pool::reclaim(msg.payload);
+            // Pull immediately: a 4-byte request carrying this context's
+            // id, so the origin knows which connection to serve over.
+            let mut rbuf = pool::take(4);
+            rbuf.extend_from_slice(&self.info.id.0.to_le_bytes());
+            let req = Rsr {
+                dest: handle.origin,
+                endpoint: EndpointId(handle.region),
+                handler: bulk::bulk_get_handler(),
+                ttl: crate::rsr::DEFAULT_TTL,
+                payload: rbuf.freeze(),
+            };
+            let out = self.bulk_send_direct(&bs, handle.origin, &req);
+            pool::reclaim(req.payload);
+            out
+        } else if msg.handler == bulk::BULK_GET_HANDLER {
+            self.bulk_pull_service(msg)
+        } else if msg.handler == bulk::BULK_DAT_HANDLER {
+            let region = msg.endpoint.0;
+            let pending = bs.pulls.lock().remove(&region);
+            let Some(p) = pending else {
+                // Late response to a pull the sweep already timed out.
+                return Ok(());
+            };
+            if msg.payload.len() as u64 != p.len {
+                // Empty (or truncated) response: the origin denied the
+                // pull — cancelled, expired, or unknown region.
+                self.trace
+                    .record_event(TraceEventKind::BulkAbort { region });
+                return Ok(());
+            }
+            self.trace.record_event(TraceEventKind::BulkDone {
+                region,
+                bytes: p.len,
+            });
+            self.dispatch(
+                arrival,
+                Rsr {
+                    dest: msg.dest,
+                    endpoint: p.endpoint,
+                    handler: p.handler,
+                    ttl: p.ttl,
+                    payload: msg.payload,
+                },
+            )
+        } else if msg.handler == bulk::BULK_CHK_HANDLER {
+            let Some(done) = bs.chunks.ingest(msg.payload)? else {
+                return Ok(());
+            };
+            let region = done.transfer_id;
+            let body = bs.chunks.assemble_body(done)?;
+            let pending = bs.pulls.lock().remove(&region);
+            let Some(p) = pending else {
+                pool::reclaim(body);
+                return Ok(());
+            };
+            if body.len() as u64 != p.len {
+                self.trace
+                    .record_event(TraceEventKind::BulkAbort { region });
+                pool::reclaim(body);
+                return Ok(());
+            }
+            self.trace.record_event(TraceEventKind::BulkDone {
+                region,
+                bytes: p.len,
+            });
+            let out = self.dispatch(
+                arrival,
+                Rsr {
+                    dest: msg.dest,
+                    endpoint: p.endpoint,
+                    handler: p.handler,
+                    ttl: p.ttl,
+                    payload: body.clone(),
+                },
+            );
+            pool::reclaim(body);
+            out
+        } else {
+            Err(NexusError::UnknownHandler(msg.handler.to_string()))
+        }
+    }
+
+    /// The pull engine: services one `#bulk-get` request. Over a
+    /// region-mapping method the response is the registered region
+    /// itself (a zero-copy borrow of the origin's storage); over wire
+    /// methods the region streams as pipelined chunks across every
+    /// applicable rail, reusing the stripe chunk framing. A region that
+    /// is unknown, cancelled, or expired is answered with an empty
+    /// denial so the receiver aborts instead of waiting out its
+    /// deadline.
+    fn bulk_pull_service(&self, msg: Rsr) -> Result<()> {
+        let bs = self.bulk_state();
+        let region = msg.endpoint.0;
+        if msg.payload.len() < 4 {
+            return Err(NexusError::Decode("bulk pull request missing receiver id"));
+        }
+        let receiver = ContextId(u32::from_le_bytes(
+            msg.payload[..4].try_into().expect("length checked"),
+        ));
+        pool::reclaim(msg.payload);
+        let route = self.bulk_route(&bs, receiver)?;
+        let Some(guard) = bs.registry.begin_pull(region) else {
+            self.trace
+                .record_event(TraceEventKind::BulkAbort { region });
+            let deny = Rsr {
+                dest: receiver,
+                endpoint: EndpointId(region),
+                handler: bulk::bulk_dat_handler(),
+                ttl: crate::rsr::DEFAULT_TTL,
+                payload: Bytes::new(),
+            };
+            return self.bulk_send_direct(&bs, receiver, &deny);
+        };
+        let data = guard.data().clone();
+        if route.map {
+            self.trace.record_event(TraceEventKind::BulkServe {
+                region,
+                chunked: false,
+            });
+            let resp = Rsr {
+                dest: receiver,
+                endpoint: EndpointId(region),
+                handler: bulk::bulk_dat_handler(),
+                ttl: crate::rsr::DEFAULT_TTL,
+                payload: data,
+            };
+            return self.bulk_send_direct(&bs, receiver, &resp);
+        }
+        self.trace.record_event(TraceEventKind::BulkServe {
+            region,
+            chunked: true,
+        });
+        let n = route.rails.len();
+        let mut rates = [f64::NAN; stripe::MAX_RAILS];
+        for (i, rail) in route.rails.iter().enumerate() {
+            rates[i] = rail.rate();
+        }
+        let mut shares = [0usize; stripe::MAX_RAILS];
+        stripe::weighted_shares(
+            data.len(),
+            &rates[..n],
+            stripe::DEFAULT_MIN_CHUNK,
+            &mut shares[..n],
+        );
+        // Same floor as striped_send: keeps the chunk count within the
+        // assembler's receipt bitmap.
+        let seg_cap = stripe::MAX_CHUNK_PAYLOAD.max(data.len().div_ceil(stripe::MAX_CHUNKS - n));
+        let chunk_rsr = Rsr {
+            dest: receiver,
+            endpoint: EndpointId(region),
+            handler: bulk::bulk_chk_handler(),
+            ttl: crate::rsr::DEFAULT_TTL,
+            payload: Bytes::new(),
+        };
+        let sent = stripe::send_chunks(
+            &route.rails[..n],
+            &chunk_rsr,
+            region,
+            &data,
+            &shares[..n],
+            seg_cap,
+        );
+        if sent.is_err() {
+            // Every rail failed: drop the cached route so the next pull
+            // reconnects from scratch.
+            bs.routes.lock().remove(&receiver);
+        }
+        sent
+    }
+
+    /// Returns the (possibly cached) pull route to `target`: the fastest
+    /// applicable communication object, whether it maps regions
+    /// in-process, and — when it does not — one rail per applicable
+    /// method for streaming chunks.
+    fn bulk_route(&self, bs: &BulkState, target: ContextId) -> Result<Arc<BulkRoute>> {
+        if let Some(r) = bs.routes.lock().get(&target) {
+            return Ok(Arc::clone(r));
+        }
+        let table = self.lookup_descriptor_table(target)?;
+        let reg = self.registry()?;
+        let methods = selection::applicable_methods(&self.info, &table, &reg);
+        let Some(&first) = methods.first() else {
+            return Err(NexusError::NoApplicableMethod { target });
+        };
+        let best = self.connect_cached(target, first, &table)?;
+        let map = best.supports_region_map();
+        // lint:allow(hot-path-alloc) route construction runs once per cache miss (connect time), then every pull reuses the cached Arc
+        let mut rails = Vec::new();
+        if !map {
+            rails.reserve(methods.len().min(stripe::MAX_RAILS));
+            for m in methods.into_iter().take(stripe::MAX_RAILS) {
+                rails.push(StripeRail {
+                    obj: self.connect_cached(target, m, &table)?,
+                    ltrace: Some(self.trace.link(target, m)),
+                    weight: None,
+                });
+            }
+        }
+        let route = Arc::new(BulkRoute { best, map, rails });
+        bs.routes.lock().insert(target, Arc::clone(&route));
+        Ok(route)
+    }
+
+    /// Sends one protocol RSR over the cached best route to `target`,
+    /// evicting the route on error so the next exchange reconnects.
+    fn bulk_send_direct(&self, bs: &BulkState, target: ContextId, msg: &Rsr) -> Result<()> {
+        let route = self.bulk_route(bs, target)?;
+        let frame = WireFrame::new();
+        let sent = route.best.send(msg, &frame);
+        frame.reclaim();
+        if sent.is_err() {
+            bs.routes.lock().remove(&target);
+        }
+        sent
+    }
+
+    /// Cancels an exposed bulk region before its pulls complete. Pending
+    /// pulls at other contexts are denied on request (or expire on their
+    /// own deadline). Returns whether the region was still registered.
+    pub fn bulk_cancel(&self, region: u64) -> bool {
+        let bs = self.bulk_state();
+        let released = bs.registry.release(region);
+        if released {
+            self.trace
+                .record_event(TraceEventKind::BulkAbort { region });
+        }
+        released
+    }
+
+    /// Enquiry: regions this context currently exposes for pull.
+    pub fn bulk_regions(&self) -> usize {
+        self.bulk_state().registry.len()
+    }
+
+    /// Enquiry: pulls this context has requested but not yet completed.
+    pub fn bulk_pulls_pending(&self) -> usize {
+        self.bulk_state().pulls.lock().len()
+    }
+
+    /// Sets the per-transfer deadline for bulk regions this context
+    /// exposes and pulls it requests (default 5 s). Expiry surfaces as
+    /// [`TraceEventKind::BulkTimeout`] events, never a hang.
+    pub fn set_bulk_deadline(&self, deadline: Duration) {
+        self.bulk_state()
+            .deadline_ns
+            .store(deadline.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Sets the idle-transfer timeout (default 5 s) for incomplete
+    /// stripe and gather chunk transfers: a transfer whose sender goes
+    /// quiet that long is evicted and its slots reclaimed — the fate of
+    /// a gather round with a dead contributor or a stripe whose rail
+    /// died mid-stream.
+    pub fn set_idle_timeout(&self, timeout: Duration) {
+        self.stripe_state()
+            .idle_timeout_ns
+            .store(timeout.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Every 64th progress pass: evict idle incomplete chunk transfers
+    /// (stripe, gather, bulk) and expire bulk regions and pending pulls
+    /// past their deadline, surfacing each as a trace event. Touches
+    /// only subsystems this context has actually used.
+    fn sweep_deadlines(&self) {
+        if self.passes.fetch_add(1, Ordering::Relaxed) & 63 != 0 {
+            return;
+        }
+        if let Some(st) = self.try_extension::<StripeState>() {
+            let idle = st.idle_timeout();
+            for ev in st.stripes.sweep_idle(idle) {
+                self.trace.record_event(TraceEventKind::StripeIdleEvict {
+                    transfer_id: ev.transfer_id,
+                });
+            }
+            for ev in st.gather_chunks.sweep_idle(idle) {
+                self.trace.record_event(TraceEventKind::GatherTimeout {
+                    transfer_id: ev.transfer_id,
+                    received: ev.received,
+                    expected: ev.total,
+                });
+            }
+        }
+        if let Some(bs) = self.try_extension::<BulkState>() {
+            let now = Instant::now();
+            for region in bs.registry.sweep(now) {
+                self.trace
+                    .record_event(TraceEventKind::BulkTimeout { region });
+            }
+            // Collect expired pulls under the lock, record the events
+            // after releasing it (the trace takes its own lock).
+            let expired: Vec<u64> = {
+                let mut pulls = bs.pulls.lock();
+                let ids: Vec<u64> = pulls
+                    .iter()
+                    .filter(|(_, p)| now >= p.deadline)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in &ids {
+                    pulls.remove(id);
+                }
+                ids
+            };
+            for region in expired {
+                self.trace
+                    .record_event(TraceEventKind::BulkTimeout { region });
+            }
+            for ev in bs.chunks.sweep_idle(bs.deadline()) {
+                self.trace.record_event(TraceEventKind::BulkTimeout {
+                    region: ev.transfer_id,
+                });
+            }
         }
     }
 
@@ -1440,6 +1884,20 @@ impl Context {
         Arc::clone(entry).downcast::<T>().expect("keyed by TypeId")
     }
 
+    /// Returns this context's extension of type `T` only if it already
+    /// exists. The periodic sweep uses this so contexts that never
+    /// touched a subsystem pay nothing for it.
+    fn try_extension<T>(&self) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        let key = std::any::TypeId::of::<T>();
+        self.extensions
+            .lock()
+            .get(&key)
+            .map(|e| Arc::clone(e).downcast::<T>().expect("keyed by TypeId"))
+    }
+
     /// Stops receive processing and releases transport resources.
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::Relaxed) {
@@ -1514,14 +1972,97 @@ struct GatherReg {
     callback: Box<dyn Fn(u32, &mut [Bytes]) + Send + Sync>,
 }
 
+/// Default idle-transfer timeout: how long an incomplete chunk transfer
+/// may go without a new chunk before the sweep evicts it.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default per-transfer deadline for bulk regions and pending pulls.
+const DEFAULT_BULK_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Per-context stripe state, attached lazily via [`Context::extension`]:
 /// separate assemblers for stripe and gather chunks (their transfer-id
 /// spaces are independent) and the gather registrations.
-#[derive(Default)]
 struct StripeState {
     stripes: StripeAssembler,
     gather_chunks: StripeAssembler,
     gathers: Mutex<HashMap<u64, Arc<GatherReg>>>,
+    /// Idle-transfer eviction threshold, nanoseconds.
+    idle_timeout_ns: AtomicU64,
+}
+
+impl Default for StripeState {
+    fn default() -> Self {
+        StripeState {
+            stripes: StripeAssembler::new(),
+            gather_chunks: StripeAssembler::new(),
+            gathers: Mutex::new(HashMap::new()),
+            idle_timeout_ns: AtomicU64::new(DEFAULT_IDLE_TIMEOUT.as_nanos() as u64),
+        }
+    }
+}
+
+impl StripeState {
+    fn idle_timeout(&self) -> Duration {
+        Duration::from_nanos(self.idle_timeout_ns.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk pull plumbing (context extension)
+// ---------------------------------------------------------------------------
+
+/// One cached pull route to a peer context.
+struct BulkRoute {
+    /// The fastest applicable communication object.
+    best: Arc<dyn CommObject>,
+    /// Whether `best` maps regions in-process (whole-region zero-copy
+    /// responses); when false, responses stream as chunks over `rails`.
+    map: bool,
+    /// One rail per applicable method, fastest first (empty when `map`).
+    rails: Vec<StripeRail>,
+}
+
+/// A pull this context has requested but not yet completed: everything
+/// needed to re-dispatch the region under the application handler the
+/// announce named, plus the deadline after which the sweep gives up.
+struct PendingPull {
+    handler: HandlerName,
+    endpoint: EndpointId,
+    ttl: u8,
+    len: u64,
+    deadline: Instant,
+}
+
+/// Per-context bulk state, attached lazily via [`Context::extension`]:
+/// the exposed-region registry, pulls awaiting responses, a dedicated
+/// assembler for `#bulk-chk` chunks (region ids and stripe transfer ids
+/// are independent namespaces — separate assemblers mean they can never
+/// collide), cached pull routes, and the transfer deadline.
+struct BulkState {
+    registry: BulkRegistry,
+    pulls: Mutex<HashMap<u64, PendingPull>>,
+    chunks: StripeAssembler,
+    routes: Mutex<HashMap<ContextId, Arc<BulkRoute>>>,
+    /// Per-transfer deadline, nanoseconds.
+    deadline_ns: AtomicU64,
+}
+
+impl Default for BulkState {
+    fn default() -> Self {
+        BulkState {
+            registry: BulkRegistry::new(),
+            pulls: Mutex::new(HashMap::new()),
+            chunks: StripeAssembler::new(),
+            routes: Mutex::new(HashMap::new()),
+            deadline_ns: AtomicU64::new(DEFAULT_BULK_DEADLINE.as_nanos() as u64),
+        }
+    }
+}
+
+impl BulkState {
+    fn deadline(&self) -> Duration {
+        Duration::from_nanos(self.deadline_ns.load(Ordering::Relaxed))
+    }
 }
 
 /// Transfer-id namespace for the gather collective `name`.
@@ -2314,5 +2855,232 @@ mod tests {
         assert!(root.register_gather("g", 65, |_, _| {}).is_err());
         assert!(w.gather(&sp, "g", 2, 2, 0, Buffer::new()).is_err());
         assert!(w.gather(&sp, "g", 0, 0, 0, Buffer::new()).is_err());
+    }
+
+    // -- bulk protocol -------------------------------------------------------
+
+    fn event_kinds(ctx: &Context) -> Vec<TraceEventKind> {
+        ctx.trace().events().iter().map(|e| e.kind).collect()
+    }
+
+    /// Drives both contexts until `pred()` holds (the bulk protocol is a
+    /// multi-round exchange: announce, pull request, response).
+    fn pump_until<F: FnMut() -> bool>(a: &Context, b: &Context, mut pred: F) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if pred() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            let _ = a.progress();
+            let _ = b.progress();
+        }
+    }
+
+    #[test]
+    fn rsr_bulk_below_cutoff_stays_eager() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("small", move |args| {
+            assert_eq!(args.buffer.remaining(), 100);
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.set_rendezvous(&sp, 1024);
+        a.rsr_bulk(&sp, "small", patterned(100)).unwrap();
+        // Inline delivery: one progress pass at the receiver suffices, no
+        // region was ever registered, and no pull is pending.
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) == 1, Duration::from_secs(1)));
+        assert_eq!(a.bulk_regions(), 0);
+        assert_eq!(b.bulk_pulls_pending(), 0);
+        assert!(!event_kinds(&a)
+            .iter()
+            .any(|k| matches!(k, TraceEventKind::BulkExpose { .. })));
+    }
+
+    #[test]
+    fn rsr_bulk_above_cutoff_pulls_region_end_to_end() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.register_handler("big", move |args| {
+            let n = args.buffer.remaining();
+            g.lock().push(args.buffer.get_raw(n).unwrap());
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.set_rendezvous(&sp, 4096);
+        let want: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+        a.rsr_bulk(&sp, "big", patterned(64 * 1024)).unwrap();
+        // The payload crossed the cutoff: a exposed a region and sent only
+        // the announce so far.
+        assert_eq!(a.bulk_regions(), 1);
+        assert!(pump_until(&a, &b, || !got.lock().is_empty()));
+        assert_eq!(&got.lock()[0][..], &want[..]);
+        // Lifetime: the single expected pull completed, so the region
+        // auto-released; the receiver's pending-pull table drained.
+        assert_eq!(a.bulk_regions(), 0);
+        assert_eq!(b.bulk_pulls_pending(), 0);
+        let ka = event_kinds(&a);
+        assert!(ka
+            .iter()
+            .any(|k| matches!(k, TraceEventKind::BulkExpose { bytes, .. } if *bytes == 64 * 1024)));
+        // The test fabric's module does not map regions, so the pull
+        // streamed as chunks.
+        assert!(ka
+            .iter()
+            .any(|k| matches!(k, TraceEventKind::BulkServe { chunked: true, .. })));
+        assert!(event_kinds(&b)
+            .iter()
+            .any(|k| matches!(k, TraceEventKind::BulkDone { bytes, .. } if *bytes == 64 * 1024)));
+    }
+
+    #[test]
+    fn rsr_bulk_mixed_links_split_eager_and_rendezvous() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let c = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for ctx in [&b, &c] {
+            let h = Arc::clone(&hits);
+            ctx.register_handler("mix", move |args| {
+                assert_eq!(args.buffer.remaining(), 32 * 1024);
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let ep_b = b.create_endpoint();
+        let ep_c = c.create_endpoint();
+        let mut sp = b.startpoint_to(ep_b).unwrap();
+        sp.merge(&c.startpoint_to(ep_c).unwrap());
+        // Only c's link crosses into rendezvous; b stays eager.
+        for link in sp.links() {
+            if link.target.context == c.info().id {
+                link.rendezvous_cutoff
+                    .store(4096, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        a.rsr_bulk(&sp, "mix", patterned(32 * 1024)).unwrap();
+        assert_eq!(a.bulk_regions(), 1, "one region for the one pulling link");
+        assert!(b.progress_until(|| hits.load(Ordering::Relaxed) >= 1, Duration::from_secs(1)));
+        assert!(pump_until(&a, &c, || hits.load(Ordering::Relaxed) == 2));
+        assert_eq!(a.bulk_regions(), 0);
+    }
+
+    #[test]
+    fn expired_region_denies_pull_instead_of_hanging() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("late", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.set_rendezvous(&sp, 1024);
+        // A zero deadline expires the region before the pull arrives.
+        a.set_bulk_deadline(Duration::ZERO);
+        a.rsr_bulk(&sp, "late", patterned(8 * 1024)).unwrap();
+        // The receiver's pull is denied with an empty response: its
+        // pending entry drains and it records the abort — no hang, no
+        // handler invocation.
+        assert!(pump_until(&a, &b, || b.bulk_pulls_pending() == 0
+            && event_kinds(&b)
+                .iter()
+                .any(|k| matches!(k, TraceEventKind::BulkAbort { .. }))));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(a.bulk_regions(), 0);
+    }
+
+    #[test]
+    fn bulk_cancel_mid_protocol_denies_the_pull() {
+        let f = fabric();
+        let a = f.create_context().unwrap();
+        let b = f.create_context().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        b.register_handler("gone", move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let ep = b.create_endpoint();
+        let sp = b.startpoint_to(ep).unwrap();
+        a.set_rendezvous(&sp, 1024);
+        a.rsr_bulk(&sp, "gone", patterned(8 * 1024)).unwrap();
+        // Recover the region id from the expose event and cancel before
+        // the receiver gets to pull.
+        let region = event_kinds(&a)
+            .iter()
+            .find_map(|k| match k {
+                TraceEventKind::BulkExpose { region, .. } => Some(*region),
+                _ => None,
+            })
+            .expect("expose event");
+        assert!(a.bulk_cancel(region));
+        assert!(!a.bulk_cancel(region), "second cancel is a no-op");
+        assert_eq!(a.bulk_regions(), 0);
+        assert!(pump_until(&a, &b, || b.bulk_pulls_pending() == 0
+            && event_kinds(&b)
+                .iter()
+                .any(|k| matches!(k, TraceEventKind::BulkAbort { .. }))));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn gather_with_dead_contributor_times_out_with_event() {
+        let f = fabric();
+        let root = f.create_context().unwrap();
+        let w1 = f.create_context().unwrap();
+        let fired = Arc::new(AtomicU32::new(0));
+        let fc = Arc::clone(&fired);
+        root.register_gather("halfd", 2, move |_, _| {
+            fc.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        let ep = root.create_endpoint();
+        let sp = root.startpoint_to(ep).unwrap();
+        // Contributor 0 reports; contributor 1 is dead and never will.
+        w1.gather(&sp, "halfd", 2, 0, 0, patterned(16)).unwrap();
+        root.set_idle_timeout(Duration::ZERO);
+        // The periodic sweep (every 64th pass) evicts the half-complete
+        // round and surfaces the timeout instead of leaking the slots.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let timed_out = loop {
+            let found = event_kinds(&root).iter().any(|k| {
+                matches!(
+                    k,
+                    TraceEventKind::GatherTimeout {
+                        received: 1,
+                        expected: 2,
+                        ..
+                    }
+                )
+            });
+            if found {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            let _ = root.progress();
+        };
+        assert!(timed_out, "expected a GatherTimeout event");
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "callback must not run");
+        // A full late round still works: registration survives eviction.
+        w1.gather(&sp, "halfd", 2, 0, 1, patterned(16)).unwrap();
+        w1.gather(&sp, "halfd", 2, 1, 1, patterned(16)).unwrap();
+        assert!(root.progress_until(
+            || fired.load(Ordering::Relaxed) == 1,
+            Duration::from_secs(2)
+        ));
     }
 }

@@ -55,6 +55,7 @@
 //! |--------|------|
 //! | [`buffer`] | typed put/get data buffers (the RSR payload) |
 //! | [`bandwidth`] | observed-throughput tracking for QoS-aware selection |
+//! | [`bulk`] | eager/rendezvous bulk protocol: pull-based zero-copy handles |
 //! | [`context`] | contexts, the fabric, RSR issue/dispatch, forwarding |
 //! | [`descriptor`] | method ids, communication descriptors, mobile tables |
 //! | [`endpoint`] | receive side of links, attached local objects |
@@ -76,6 +77,7 @@
 
 pub mod bandwidth;
 pub mod buffer;
+pub mod bulk;
 pub mod config;
 pub mod context;
 pub mod descriptor;
@@ -98,6 +100,7 @@ pub mod trace;
 /// Convenience re-exports for application code.
 pub mod prelude {
     pub use crate::buffer::Buffer;
+    pub use crate::bulk::{BulkHandle, BulkRegistry, PullGuard};
     pub use crate::config::RtConfig;
     pub use crate::context::{
         Context, ContextId, ContextInfo, ContextOpts, Fabric, ForwardVia, NodeId, PartitionId,

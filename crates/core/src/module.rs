@@ -99,6 +99,18 @@ pub trait CommObject: Send + Sync {
         })
     }
 
+    /// Whether a [`Bytes`] payload handed to [`CommObject::send`] reaches
+    /// the receiving context as a shared view of the *same* storage
+    /// (queue-backed in-process transports: local, shmem, MPL) rather
+    /// than a wire copy. The bulk pull engine answers `#bulk-get` over
+    /// such a connection with the registered region itself — a map-in-
+    /// place borrow, zero copies end-to-end — and streams chunks over
+    /// everything else. The default is the honest answer for any
+    /// transport that serializes.
+    fn supports_region_map(&self) -> bool {
+        false
+    }
+
     /// Releases the connection.
     fn close(&self) {}
 }

@@ -30,7 +30,7 @@ use crate::stats::MethodCounters;
 use crate::trace::LinkMethodTrace;
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The destination of one communication link.
@@ -91,6 +91,10 @@ pub struct Link {
     pub(crate) inflight: AtomicU64,
     /// Pack without the descriptor table (receiver reconstructs it).
     pub(crate) lightweight: bool,
+    /// Payloads strictly larger than this go out as a bulk handle the
+    /// receiver pulls (`Context::rsr_bulk`), instead of an inline body.
+    /// `usize::MAX` (the default) keeps every send eager.
+    pub(crate) rendezvous_cutoff: AtomicUsize,
 }
 
 impl Link {
@@ -103,12 +107,19 @@ impl Link {
             reselect: Mutex::new(ReselectState::default()),
             inflight: AtomicU64::new(0),
             lightweight,
+            rendezvous_cutoff: AtomicUsize::new(usize::MAX),
         }
     }
 
     /// The method currently selected for this link, if one has been chosen.
     pub fn current_method(&self) -> Option<MethodId> {
         self.chosen.lock().as_ref().map(|s| s.method)
+    }
+
+    /// The link's eager/rendezvous cutoff: payloads strictly larger than
+    /// this are sent as a pull handle by [`crate::context::Context::rsr_bulk`].
+    pub fn rendezvous_cutoff(&self) -> usize {
+        self.rendezvous_cutoff.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the link's descriptor table.
@@ -151,6 +162,7 @@ impl Clone for Link {
             reselect: Mutex::new(ReselectState::default()),
             inflight: AtomicU64::new(0),
             lightweight: self.lightweight,
+            rendezvous_cutoff: AtomicUsize::new(self.rendezvous_cutoff.load(Ordering::Relaxed)),
         }
     }
 }

@@ -58,6 +58,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Reserved handler name carrying stripe chunks. Handlers beginning with
 /// `'#'` are intercepted by `Context::dispatch` before endpoint lookup and
@@ -248,7 +249,7 @@ impl StripeRail {
         }
     }
 
-    fn rate(&self) -> f64 {
+    pub(crate) fn rate(&self) -> f64 {
         if let Some(w) = self.weight {
             return w;
         }
@@ -385,12 +386,6 @@ fn striped_send(obj: &StripedObject, rsr: &Rsr, frame: &WireFrame) -> Result<()>
     // sum(ceil(share/cap)) <= body/cap + rails <= MAX_CHUNKS whenever
     // cap >= body/(MAX_CHUNKS - rails).
     let seg_cap = MAX_CHUNK_PAYLOAD.max(body_len.div_ceil(MAX_CHUNKS - n));
-    let total: usize = shares[..n]
-        .iter()
-        .filter(|&&s| s > 0)
-        .map(|&s| s.div_ceil(seg_cap))
-        .sum();
-    debug_assert!(total <= MAX_CHUNKS);
     let transfer_id = next_transfer_id();
     let chunk_rsr = Rsr {
         dest: rsr.dest,
@@ -399,6 +394,39 @@ fn striped_send(obj: &StripedObject, rsr: &Rsr, frame: &WireFrame) -> Result<()>
         ttl: rsr.ttl,
         payload: Bytes::new(),
     };
+    send_chunks(
+        &obj.rails[..n],
+        &chunk_rsr,
+        transfer_id,
+        &body,
+        &shares[..n],
+        seg_cap,
+    )
+}
+
+/// Sends `body` as `(StripeMeta ++ data-slice)` chunk RSRs over `rails`:
+/// rail `i` carries `shares[i]` bytes, split into segments of at most
+/// `seg_cap` data bytes each. A rail that fails mid-stream is excluded
+/// and its remaining chunks retry on the survivors; only when every rail
+/// has failed does the error propagate. Shared by [`striped_send`] and
+/// the bulk pull engine, which streams a pulled region down the wire
+/// with its own reserved handler and a caller-chosen transfer id.
+pub(crate) fn send_chunks(
+    rails: &[StripeRail],
+    chunk_rsr: &Rsr,
+    transfer_id: u64,
+    body: &Bytes,
+    shares: &[usize],
+    seg_cap: usize,
+) -> Result<()> {
+    let n = rails.len().min(MAX_RAILS);
+    let body_len = body.len();
+    let total: usize = shares[..n]
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| s.div_ceil(seg_cap))
+        .sum();
+    debug_assert!(total <= MAX_CHUNKS);
     let mut failed = [false; MAX_RAILS];
     let mut offset = 0usize;
     let mut index = 0u16;
@@ -422,7 +450,7 @@ fn striped_send(obj: &StripedObject, rsr: &Rsr, frame: &WireFrame) -> Result<()>
                 if failed[r] {
                     continue;
                 }
-                match obj.rails[r].obj.send_parts(&chunk_rsr, &meta, &tail) {
+                match rails[r].obj.send_parts(chunk_rsr, &meta, &tail) {
                     Ok(()) => {
                         sent = true;
                         break;
@@ -458,6 +486,9 @@ struct Transfer {
     /// Whole chunk payloads, index-keyed. Held whole (not sliced) so the
     /// pooled storage can be reclaimed after reassembly.
     slots: Vec<Option<Bytes>>,
+    /// When the most recent chunk arrived; [`StripeAssembler::sweep_idle`]
+    /// evicts transfers whose sender has gone quiet past a timeout.
+    last_arrival: Instant,
 }
 
 #[derive(Default)]
@@ -567,6 +598,45 @@ impl StripeAssembler {
             state.free_slots.push(slots);
         }
     }
+
+    /// Evicts incomplete transfers whose most recent chunk arrived more
+    /// than `max_idle` ago — the remains of a sender (or rail) that died
+    /// mid-stream — recycling their slot storage. Returns the evicted
+    /// transfers' identity and progress so the caller can surface trace
+    /// events. Intended to be called from a periodic progress sweep, not
+    /// the ingest path.
+    pub fn sweep_idle(&self, max_idle: Duration) -> Vec<EvictedTransfer> {
+        let now = Instant::now();
+        let mut state = self.inner.lock();
+        let stale: Vec<EvictedTransfer> = state
+            .transfers
+            .iter()
+            .filter(|(_, t)| now.duration_since(t.last_arrival) >= max_idle)
+            .map(|(&id, t)| EvictedTransfer {
+                transfer_id: id,
+                received: t.received.count_ones() as u16,
+                total: t.total,
+            })
+            .collect();
+        for ev in &stale {
+            if let Some(t) = state.transfers.remove(&ev.transfer_id) {
+                recycle(&mut state, t.slots);
+            }
+        }
+        stale
+    }
+}
+
+/// Identity and progress of a transfer evicted by
+/// [`StripeAssembler::sweep_idle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedTransfer {
+    /// The transfer id the chunks carried.
+    pub transfer_id: u64,
+    /// Chunks that had arrived before the eviction.
+    pub received: u16,
+    /// Chunks the transfer was waiting for.
+    pub total: u16,
 }
 
 /// The assembler ingest path (a registered `hot-path-alloc` and
@@ -617,6 +687,7 @@ fn stripe_drain(state: &mut AssemblerState, payload: Bytes) -> Result<Option<Com
                 received: 0,
                 filled: 0,
                 slots,
+                last_arrival: Instant::now(),
             },
         );
     }
@@ -641,6 +712,7 @@ fn stripe_drain(state: &mut AssemblerState, payload: Bytes) -> Result<Option<Com
     t.received |= bit;
     t.filled += data_len;
     t.slots[meta.index as usize] = Some(payload);
+    t.last_arrival = Instant::now();
     let complete = meta.total as u32 == t.received.count_ones();
     if !complete {
         return Ok(None);
@@ -916,6 +988,41 @@ mod tests {
             &[0u8; 4],
         );
         assert!(asm.ingest(c).unwrap().is_none());
+    }
+
+    #[test]
+    fn idle_transfer_swept_after_sender_death() {
+        let asm = StripeAssembler::new();
+        let body: Vec<u8> = (0..200u8).collect();
+        let chunks = stripe_chunks(21, &body, &[50, 100, 50]);
+        // The sender dies after two of three chunks.
+        asm.ingest(chunks[0].clone()).unwrap();
+        asm.ingest(chunks[1].clone()).unwrap();
+        assert_eq!(asm.pending(), 1);
+        // A generous timeout leaves the live-looking transfer alone.
+        assert!(asm.sweep_idle(Duration::from_secs(3600)).is_empty());
+        assert_eq!(asm.pending(), 1);
+        // A zero timeout treats it as idle: slots reclaimed, id reported.
+        let evicted = asm.sweep_idle(Duration::ZERO);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].transfer_id, 21);
+        assert_eq!(evicted[0].received, 2);
+        assert_eq!(evicted[0].total, 3);
+        assert_eq!(asm.pending(), 0);
+        // The late final chunk now starts a fresh (incomplete) transfer
+        // instead of resurrecting freed slots.
+        assert!(asm.ingest(chunks[2].clone()).unwrap().is_none());
+    }
+
+    #[test]
+    fn sweep_spares_complete_and_fresh_transfers() {
+        let asm = StripeAssembler::new();
+        let body = vec![5u8; 64];
+        let done = stripe_chunks(30, &body, &[64]);
+        let t = asm.ingest(done[0].clone()).unwrap().unwrap();
+        assert_eq!(&asm.assemble_body(t).unwrap()[..], &body[..]);
+        // Completed transfers are gone already; nothing for the sweep.
+        assert!(asm.sweep_idle(Duration::ZERO).is_empty());
     }
 
     #[test]

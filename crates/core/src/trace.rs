@@ -355,6 +355,55 @@ pub enum TraceEventKind {
         /// Messages drained during the visit.
         drained: u64,
     },
+    /// A payload crossed the rendezvous cutoff and went out as a bulk
+    /// handle instead of an inline body.
+    BulkExpose {
+        /// Registry id of the exposed region.
+        region: u64,
+        /// Region length in bytes.
+        bytes: u64,
+    },
+    /// A `#bulk-get` pull request was serviced from the registry.
+    BulkServe {
+        /// Registry id of the pulled region.
+        region: u64,
+        /// True when the region was streamed as chunks; false for the
+        /// in-process zero-copy handoff.
+        chunked: bool,
+    },
+    /// A pulled region finished arriving and its RSR was dispatched.
+    BulkDone {
+        /// Registry id of the pulled region.
+        region: u64,
+        /// Region length in bytes.
+        bytes: u64,
+    },
+    /// A bulk region or pending pull hit its deadline and was dropped.
+    BulkTimeout {
+        /// Registry id of the abandoned region.
+        region: u64,
+    },
+    /// A bulk region was cancelled by its owner before all pulls finished.
+    BulkAbort {
+        /// Registry id of the cancelled region.
+        region: u64,
+    },
+    /// A partially assembled striped transfer idled past the sweep
+    /// timeout (sender died mid-stream) and its slots were reclaimed.
+    StripeIdleEvict {
+        /// Transfer id of the evicted assembly.
+        transfer_id: u64,
+    },
+    /// A slot-mode gather round timed out with contributions missing and
+    /// was evicted instead of blocking forever.
+    GatherTimeout {
+        /// Mixed transfer id of the abandoned round.
+        transfer_id: u64,
+        /// Contributions received before the deadline.
+        received: u16,
+        /// Contributions the round was waiting for.
+        expected: u16,
+    },
 }
 
 /// One entry of the event ring.
@@ -397,6 +446,35 @@ impl fmt::Display for TraceEvent {
             } => write!(f, "poll error on {method} ({consecutive} consecutive)"),
             TraceEventKind::ReadyWakeup { method, drained } => {
                 write!(f, "ready wakeup on {method}, drained {drained}")
+            }
+            TraceEventKind::BulkExpose { region, bytes } => {
+                write!(f, "bulk expose region {region}, {bytes} B")
+            }
+            TraceEventKind::BulkServe { region, chunked } => {
+                let how = if chunked { "chunked" } else { "mapped" };
+                write!(f, "bulk serve region {region} ({how})")
+            }
+            TraceEventKind::BulkDone { region, bytes } => {
+                write!(f, "bulk pull of region {region} complete, {bytes} B")
+            }
+            TraceEventKind::BulkTimeout { region } => {
+                write!(f, "bulk region {region} timed out")
+            }
+            TraceEventKind::BulkAbort { region } => {
+                write!(f, "bulk region {region} cancelled")
+            }
+            TraceEventKind::StripeIdleEvict { transfer_id } => {
+                write!(f, "idle stripe transfer {transfer_id:#x} evicted")
+            }
+            TraceEventKind::GatherTimeout {
+                transfer_id,
+                received,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "gather round {transfer_id:#x} timed out ({received}/{expected} contributions)"
+                )
             }
         }
     }

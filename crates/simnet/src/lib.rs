@@ -21,12 +21,16 @@
 //! * [`stripe`] — analytic multi-rail striped-transfer model (pins the
 //!   rail ≥ fan and striped-scatter ≥ single-link bandwidth shapes the
 //!   1-CPU `patterns` benchmark cannot)
+//! * [`bulk`] — analytic eager/rendezvous crossover model (pins the knee
+//!   position and the zero-copy mapped-pull advantage the 1-CPU
+//!   `bulkpath` benchmark can only sketch)
 //! * [`pingpong`] — Fig. 4 / Fig. 6 microbenchmark workloads
 //! * [`trace`] — optional event tracing for run inspection
 //! * [`time`], [`rng`] — simulated time and deterministic randomness
 
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod calib;
 pub mod engine;
 pub mod model;

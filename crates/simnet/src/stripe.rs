@@ -49,7 +49,7 @@ pub struct RailSpec {
 impl RailSpec {
     /// Wire-side time for `bytes` in `chunks` chunks down this wire
     /// (excludes the shared sender injection).
-    fn drain_ns(&self, bytes: usize, chunks: usize) -> u64 {
+    pub(crate) fn drain_ns(&self, bytes: usize, chunks: usize) -> u64 {
         let wire = (bytes as u128 * 1_000_000_000 / self.bandwidth_bps as u128) as u64;
         self.per_chunk_ns * chunks as u64 + wire
     }

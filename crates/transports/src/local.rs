@@ -98,6 +98,14 @@ mod tests {
     }
 
     #[test]
+    fn maps_regions_for_zero_copy_bulk_pulls() {
+        let m = LocalModule::new();
+        let (desc, _rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(1), &desc).unwrap();
+        assert!(obj.supports_region_map());
+    }
+
+    #[test]
     fn rejects_foreign_descriptors() {
         let m = LocalModule::new();
         let foreign = CommDescriptor::new(MethodId::TCP, vec![1, 2, 3]);

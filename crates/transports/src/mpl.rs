@@ -159,6 +159,14 @@ mod tests {
     }
 
     #[test]
+    fn maps_regions_for_zero_copy_bulk_pulls() {
+        let m = MplModule::new();
+        let (desc, _rx) = m.open(&info(1, 7)).unwrap();
+        let obj = m.connect(&info(2, 7), &desc).unwrap();
+        assert!(obj.supports_region_map());
+    }
+
+    #[test]
     fn probe_cost_parameter() {
         let m = MplModule::new();
         assert!(m.set_param("probe_cost_ns", "50000").is_ok());

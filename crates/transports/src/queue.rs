@@ -206,6 +206,12 @@ impl CommObject for QueueObject {
         Ok(())
     }
 
+    fn supports_region_map(&self) -> bool {
+        // The receiver pops the very `Bytes` storage the sender pushed:
+        // a pulled bulk region can be borrowed in place, no copies.
+        true
+    }
+
     fn send_parts(&self, rsr: &Rsr, head: &[u8], tail: &bytes::Bytes) -> Result<()> {
         // No wire here either, but the receiver expects one contiguous
         // payload, so splice head ++ tail into a pooled buffer and push

@@ -23,11 +23,25 @@
 //! Why one thread suffices: the reactor never reads payload and never
 //! runs handlers; it translates kernel readiness into doorbell rings
 //! (sub-microsecond) and 2 ms retransmit ticks. Thousands of sockets
-//! produce one `poll(2)` call per wakeup batch, and the actual drain
+//! produce one wait call per wakeup batch, and the actual drain
 //! work happens on the engine or shard-worker threads that the rings
 //! wake. The reactor's state lock is never held across the blocking
-//! `poll(2)` call: the loop snapshots the fd set under the lock,
-//! releases it, blocks, then reacquires it to mark what fired.
+//! wait: the loop snapshots the fd set under the lock, releases it,
+//! blocks, then reacquires it to mark what fired.
+//!
+//! ## Readiness backends
+//!
+//! On Linux (build-time `have_epoll` probe, see `build.rs`) the wait is
+//! an **epoll** instance: the kernel holds the interest set across
+//! rounds, the reactor diffs its fd snapshot against a mirror of that
+//! set (add/remove only what changed), and `epoll_wait` returns just
+//! the ready fds — O(ready) per wakeup instead of `poll(2)`'s
+//! O(watched) copy-in/scan/copy-out. Everywhere else — and on Linux if
+//! `epoll_create1` fails at startup — the portable `poll(2)` backend
+//! rebuilds its fd array each round exactly as before. Both backends
+//! sit behind the same three-line interface, so the registration
+//! semantics (pausing, periodic ticks, invalid-fd pruning) are
+//! identical.
 
 use nexus_rt::error::Result;
 use nexus_rt::module::CommReceiver;
@@ -67,6 +81,303 @@ extern "C" {
     fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
 }
 
+// -- epoll FFI (Linux, behind the build-time probe) --------------------------
+
+#[cfg(have_epoll)]
+mod epoll_ffi {
+    use super::RawFd;
+
+    /// Mirrors `struct epoll_event`. The kernel ABI packs it on x86-64
+    /// (12 bytes) and aligns it naturally everywhere else.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        /// We store the watched fd here; ownership is resolved through
+        /// the userspace interest mirror, so re-homing an fd to another
+        /// registration never needs a syscall.
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+// -- readiness backends ------------------------------------------------------
+
+/// One entry of a round's watch snapshot: an fd, the registration that
+/// owns it, and the registration's fd-set generation (bumped on every
+/// `resume`, so a backend can tell a re-used fd *number* from the same
+/// open socket).
+struct Watch {
+    fd: RawFd,
+    owner: u64,
+    gen: u64,
+}
+
+/// One readiness report from a backend: which fd fired, for whom, and
+/// whether the fd turned out to be invalid (closed behind our back) and
+/// must be pruned from its registration.
+struct Fired {
+    fd: RawFd,
+    owner: u64,
+    invalid: bool,
+}
+
+/// The portable backend: rebuild a `pollfd` array every round and hand
+/// the whole watch set to `poll(2)`. O(watched) per wakeup.
+struct PollBackend {
+    wake_fd: RawFd,
+    // Reused across rounds: a steady-state round performs no allocation
+    // (pushes into retained capacity).
+    pollfds: Vec<PollFd>,
+    owners: Vec<u64>,
+}
+
+impl PollBackend {
+    fn new(wake_fd: RawFd) -> PollBackend {
+        PollBackend {
+            wake_fd,
+            pollfds: Vec::with_capacity(64),
+            owners: Vec::with_capacity(64),
+        }
+    }
+
+    /// Blocks until readiness or `timeout_ms`. Appends one [`Fired`] per
+    /// ready fd and returns whether the wake socket itself was readable.
+    fn wait_ready(&mut self, watches: &[Watch], timeout_ms: i32, fired: &mut Vec<Fired>) -> bool {
+        self.pollfds.clear();
+        self.owners.clear();
+        self.pollfds.push(PollFd {
+            fd: self.wake_fd,
+            events: POLLIN,
+            revents: 0,
+        });
+        self.owners.push(u64::MAX);
+        for w in watches {
+            self.pollfds.push(PollFd {
+                fd: w.fd,
+                events: POLLIN,
+                revents: 0,
+            });
+            self.owners.push(w.owner);
+        }
+        // SAFETY: `pollfds` is a live, exclusively-borrowed Vec of
+        // `#[repr(C)]` structs matching `struct pollfd`, `nfds` is its
+        // exact length, and the kernel writes only the `revents` fields
+        // within those bounds.
+        let n = unsafe {
+            poll(
+                self.pollfds.as_mut_ptr(),
+                self.pollfds.len() as NFds,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            // EINTR or transient failure: the caller re-snapshots.
+            return false;
+        }
+        for (pfd, &owner) in self.pollfds.iter().zip(self.owners.iter()).skip(1) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            fired.push(Fired {
+                fd: pfd.fd,
+                owner,
+                invalid: pfd.revents & POLLNVAL != 0,
+            });
+        }
+        self.pollfds[0].revents != 0
+    }
+}
+
+/// The Linux backend: the kernel holds the interest set in an epoll
+/// instance and `epoll_wait` returns only the ready fds — O(ready) per
+/// wakeup. `interest` mirrors the kernel set so each round issues
+/// `epoll_ctl` only for fds that actually changed (interest-map
+/// diffing); ownership and generations live purely in the mirror, so
+/// re-homing an fd between registrations costs no syscall, while a
+/// *generation* change (the owner resumed with a fresh socket that may
+/// have re-used the fd number) forces a kernel DEL+ADD.
+#[cfg(have_epoll)]
+struct EpollBackend {
+    epfd: RawFd,
+    wake_fd: RawFd,
+    /// fd → (owner, generation) as last synced with the kernel.
+    interest: HashMap<RawFd, (u64, u64)>,
+    /// Scratch: this round's desired set (same shape as `interest`).
+    desired: HashMap<RawFd, (u64, u64)>,
+    /// Scratch: fds to delete this round.
+    stale: Vec<RawFd>,
+    events: Vec<epoll_ffi::EpollEvent>,
+}
+
+#[cfg(have_epoll)]
+impl EpollBackend {
+    /// Runtime half of the probe: `None` if the kernel refuses an epoll
+    /// instance, in which case the caller falls back to `poll(2)`.
+    fn new(wake_fd: RawFd) -> Option<EpollBackend> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = unsafe { epoll_ffi::epoll_create1(epoll_ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return None;
+        }
+        Some(EpollBackend {
+            epfd,
+            wake_fd,
+            interest: HashMap::new(),
+            desired: HashMap::new(),
+            stale: Vec::new(),
+            events: vec![epoll_ffi::EpollEvent { events: 0, data: 0 }; 64],
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd) -> bool {
+        let mut ev = epoll_ffi::EpollEvent {
+            events: epoll_ffi::EPOLLIN,
+            data: fd as u64,
+        };
+        // SAFETY: `epfd` is the live epoll instance created in `new`,
+        // `ev` is a valid exclusively-borrowed event struct, and the
+        // kernel only reads it (DEL ignores it entirely).
+        unsafe { epoll_ffi::epoll_ctl(self.epfd, op, fd, &mut ev) == 0 }
+    }
+
+    /// Same contract as [`PollBackend::wait`].
+    fn wait_ready(&mut self, watches: &[Watch], timeout_ms: i32, fired: &mut Vec<Fired>) -> bool {
+        // Sync the kernel set with this round's snapshot.
+        self.desired.clear();
+        self.desired.insert(self.wake_fd, (u64::MAX, 0));
+        for w in watches {
+            self.desired.entry(w.fd).or_insert((w.owner, w.gen));
+        }
+        self.stale.clear();
+        for (&fd, &(_, gen)) in self.interest.iter() {
+            match self.desired.get(&fd) {
+                // Same fd, same generation: kernel entry still valid
+                // (an owner change is a pure mirror update).
+                Some(&(_, g)) if g == gen || fd == self.wake_fd => {}
+                // Gone, or same number re-used by a new socket after a
+                // resume: drop the kernel entry (the kernel may already
+                // have auto-removed a closed fd — either way, forget it).
+                _ => self.stale.push(fd),
+            }
+        }
+        for i in 0..self.stale.len() {
+            let fd = self.stale[i];
+            self.ctl(epoll_ffi::EPOLL_CTL_DEL, fd);
+            self.interest.remove(&fd);
+        }
+        for (&fd, &(owner, gen)) in self.desired.iter() {
+            match self.interest.get(&fd) {
+                Some(&(o, g)) if o == owner && g == gen => {}
+                Some(_) => {
+                    // Re-homed to another registration (or generation
+                    // handled above): update the mirror only.
+                    self.interest.insert(fd, (owner, gen));
+                }
+                None => {
+                    if self.ctl(epoll_ffi::EPOLL_CTL_ADD, fd) {
+                        self.interest.insert(fd, (owner, gen));
+                    } else if fd != self.wake_fd {
+                        // Closed or unpollable: surface as invalid so
+                        // the loop prunes it from its registration.
+                        fired.push(Fired {
+                            fd,
+                            owner,
+                            invalid: true,
+                        });
+                    }
+                }
+            }
+        }
+        // SAFETY: `events` is a live, exclusively-borrowed buffer;
+        // `maxevents` is its exact length, and the kernel writes at most
+        // that many entries.
+        let n = unsafe {
+            epoll_ffi::epoll_wait(
+                self.epfd,
+                self.events.as_mut_ptr(),
+                self.events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n <= 0 {
+            // Timeout, EINTR, or transient failure: empty round.
+            return false;
+        }
+        let mut wake = false;
+        for ev in &self.events[..n as usize] {
+            let fd = ev.data as RawFd;
+            if fd == self.wake_fd {
+                wake = true;
+                continue;
+            }
+            if let Some(&(owner, _)) = self.interest.get(&fd) {
+                fired.push(Fired {
+                    fd,
+                    owner,
+                    invalid: false,
+                });
+            }
+        }
+        wake
+    }
+}
+
+#[cfg(have_epoll)]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        // SAFETY: closing the fd this struct exclusively owns.
+        unsafe { epoll_ffi::close(self.epfd) };
+    }
+}
+
+/// The backend the reactor loop drives: epoll where the build-time probe
+/// found it *and* the runtime instance creation succeeded, `poll(2)`
+/// everywhere else.
+enum Backend {
+    #[cfg(have_epoll)]
+    Epoll(EpollBackend),
+    Poll(PollBackend),
+}
+
+impl Backend {
+    fn new(wake_fd: RawFd) -> Backend {
+        #[cfg(have_epoll)]
+        if let Some(e) = EpollBackend::new(wake_fd) {
+            return Backend::Epoll(e);
+        }
+        Backend::Poll(PollBackend::new(wake_fd))
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            #[cfg(have_epoll)]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    fn wait_ready(&mut self, watches: &[Watch], timeout_ms: i32, fired: &mut Vec<Fired>) -> bool {
+        match self {
+            #[cfg(have_epoll)]
+            Backend::Epoll(b) => b.wait_ready(watches, timeout_ms, fired),
+            Backend::Poll(b) => b.wait_ready(watches, timeout_ms, fired),
+        }
+    }
+}
+
 // -- registrations -----------------------------------------------------------
 
 /// Handle to a reactor registration.
@@ -77,6 +388,10 @@ type Callback = Arc<dyn Fn() + Send + Sync>;
 
 struct Registration {
     fds: Vec<RawFd>,
+    /// Bumped every time `resume` replaces the fd set, so the epoll
+    /// backend can tell a re-used fd *number* from the same still-open
+    /// socket and refresh the kernel entry.
+    gen: u64,
     callback: Callback,
     /// Stop watching the fds after firing, until `resume` (receive
     /// sources: the doorbell is rung, nothing more to learn until the
@@ -106,6 +421,9 @@ pub struct Reactor {
     /// name is a trait-dispatch point the repo lint deliberately
     /// over-links, and the wake path must stay visibly non-blocking.
     wake_addr: std::net::SocketAddr,
+    /// Which readiness backend the loop selected ("epoll" or "poll"),
+    /// set once by the reactor thread (observability for tests).
+    backend: OnceLock<&'static str>,
 }
 
 /// Longest the reactor blocks with nothing scheduled; bounds how stale
@@ -132,6 +450,7 @@ impl Reactor {
             state: Mutex::new(ReactorState::default()),
             wake,
             wake_addr,
+            backend: OnceLock::new(),
         });
         let r = Arc::clone(&reactor);
         std::thread::Builder::new()
@@ -158,6 +477,7 @@ impl Reactor {
                 Registration {
                     // lint:allow(hot-path-alloc) the fd list is copied once per registration (connect/arm time), not per message
                     fds: fds.to_vec(),
+                    gen: 0,
                     callback,
                     pause_on_ready,
                     paused: false,
@@ -183,6 +503,9 @@ impl Reactor {
             reg.paused = false;
             reg.fds.clear();
             reg.fds.extend_from_slice(fds);
+            // New fd set, new generation: an fd number here may belong
+            // to a different socket than last round's same number.
+            reg.gen += 1;
         }
         self.wake_up();
     }
@@ -201,6 +524,12 @@ impl Reactor {
         self.state.lock().regs.len()
     }
 
+    /// The readiness backend the reactor thread selected — `"epoll"` or
+    /// `"poll"` — or `None` until its first round.
+    pub fn backend_name(&self) -> Option<&'static str> {
+        self.backend.get().copied()
+    }
+
     fn wake_up(&self) {
         // A full (or failed) wake socket is fine: the reactor re-snapshots
         // at least every IDLE_TIMEOUT_MS anyway.
@@ -208,25 +537,21 @@ impl Reactor {
     }
 }
 
-/// The reactor thread: snapshot fds → block in `poll(2)` → mark fired
-/// registrations → run their callbacks, lock released.
+/// The reactor thread: snapshot fds → block in the backend's wait →
+/// mark fired registrations → run their callbacks, lock released.
 fn reactor_loop(reactor: &Arc<Reactor>) {
     let wake_fd = reactor.wake.as_raw_fd();
+    let mut backend = Backend::new(wake_fd);
+    let _ = reactor.backend.set(backend.name());
     // Reused across rounds: a steady-state round performs no allocation
     // (pushes into retained capacity).
-    let mut pollfds: Vec<PollFd> = Vec::with_capacity(64);
-    let mut owners: Vec<u64> = Vec::with_capacity(64);
+    let mut watches: Vec<Watch> = Vec::with_capacity(64);
+    let mut ready: Vec<Fired> = Vec::with_capacity(16);
     let mut fired: Vec<(u64, Callback)> = Vec::with_capacity(16);
     loop {
-        pollfds.clear();
-        owners.clear();
+        watches.clear();
+        ready.clear();
         fired.clear();
-        pollfds.push(PollFd {
-            fd: wake_fd,
-            events: POLLIN,
-            revents: 0,
-        });
-        owners.push(u64::MAX);
         let mut timeout_ms = IDLE_TIMEOUT_MS;
         let now = Instant::now();
         {
@@ -240,43 +565,30 @@ fn reactor_loop(reactor: &Arc<Reactor>) {
                     continue;
                 }
                 for &fd in &reg.fds {
-                    pollfds.push(PollFd {
+                    watches.push(Watch {
                         fd,
-                        events: POLLIN,
-                        revents: 0,
+                        owner: id,
+                        gen: reg.gen,
                     });
-                    owners.push(id);
                 }
             }
         }
-        // SAFETY: `pollfds` is a live, exclusively-borrowed Vec of
-        // `#[repr(C)]` structs matching `struct pollfd`, `nfds` is its
-        // exact length, and the kernel writes only the `revents` fields
-        // within those bounds.
-        let n = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as NFds, timeout_ms) };
-        if n < 0 {
-            // EINTR or transient failure: re-snapshot and retry.
-            continue;
-        }
-        if pollfds[0].revents != 0 {
+        if backend.wait_ready(&watches, timeout_ms, &mut ready) {
             let mut b = [0u8; 16];
             while reactor.wake.recv(&mut b).is_ok() {}
         }
         let now = Instant::now();
         {
             let mut st = reactor.state.lock();
-            for (pfd, &id) in pollfds.iter().zip(owners.iter()).skip(1) {
-                if pfd.revents == 0 {
-                    continue;
-                }
-                let Some(reg) = st.regs.get_mut(&id) else {
+            for r in ready.drain(..) {
+                let Some(reg) = st.regs.get_mut(&r.owner) else {
                     continue;
                 };
-                if pfd.revents & POLLNVAL != 0 {
+                if r.invalid {
                     // The fd was closed behind our back; keep the
                     // registration (its owner will resume with a fresh
-                    // set) but stop polling the dead fd.
-                    let dead = pfd.fd;
+                    // set) but stop watching the dead fd.
+                    let dead = r.fd;
                     reg.fds.retain(|&f| f != dead);
                 }
                 if reg.paused {
@@ -285,9 +597,9 @@ fn reactor_loop(reactor: &Arc<Reactor>) {
                 }
                 if reg.pause_on_ready {
                     reg.paused = true;
-                    fired.push((id, Arc::clone(&reg.callback)));
-                } else if fired.iter().all(|(fid, _)| *fid != id) {
-                    fired.push((id, Arc::clone(&reg.callback)));
+                    fired.push((r.owner, Arc::clone(&reg.callback)));
+                } else if fired.iter().all(|(fid, _)| *fid != r.owner) {
+                    fired.push((r.owner, Arc::clone(&reg.callback)));
                 }
             }
             for (&id, reg) in st.regs.iter_mut() {
@@ -547,6 +859,28 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         reactor.deregister(id);
+    }
+
+    /// On Linux the build-time probe selects epoll, and `epoll_create1`
+    /// succeeds on every kernel the CI runs, so the running reactor must
+    /// report the epoll backend (not the poll(2) fallback).
+    #[cfg(have_epoll)]
+    #[test]
+    fn reactor_runs_on_epoll_backend() {
+        let reactor = Reactor::global().expect("reactor starts");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match reactor.backend_name() {
+                Some(name) => {
+                    assert_eq!(name, "epoll");
+                    break;
+                }
+                None => {
+                    assert!(Instant::now() < deadline, "backend never recorded");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
     }
 
     #[test]

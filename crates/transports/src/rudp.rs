@@ -690,6 +690,14 @@ mod tests {
     }
 
     #[test]
+    fn does_not_map_regions_so_bulk_pulls_stream() {
+        let m = RudpModule::new();
+        let (desc, _rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        assert!(!obj.supports_region_map());
+    }
+
+    #[test]
     fn lossless_in_order_delivery() {
         let m = RudpModule::new();
         let (desc, mut rx) = m.open(&info(1)).unwrap();

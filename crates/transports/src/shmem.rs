@@ -101,6 +101,16 @@ mod tests {
     }
 
     #[test]
+    fn maps_regions_for_zero_copy_bulk_pulls() {
+        // Queue-backed: the receiver borrows the registered region in
+        // place, so the bulk pull engine answers with the Bytes itself.
+        let m = ShmemModule::new();
+        let (desc, _rx) = m.open(&info(1, 0)).unwrap();
+        let obj = m.connect(&info(2, 0), &desc).unwrap();
+        assert!(obj.supports_region_map());
+    }
+
+    #[test]
     fn connect_and_deliver() {
         use nexus_rt::endpoint::EndpointId;
         use nexus_rt::rsr::Rsr;

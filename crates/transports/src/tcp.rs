@@ -538,6 +538,16 @@ mod tests {
     }
 
     #[test]
+    fn does_not_map_regions_so_bulk_pulls_stream() {
+        // A wire transport serializes: the bulk pull engine must chunk,
+        // not hand over an in-process Bytes view.
+        let m = TcpModule::new();
+        let (desc, _rx) = m.open(&info(1)).unwrap();
+        let obj = m.connect(&info(2), &desc).unwrap();
+        assert!(!obj.supports_region_map());
+    }
+
+    #[test]
     fn many_messages_keep_frame_boundaries() {
         let m = TcpModule::new();
         let (desc, mut rx) = m.open(&info(1)).unwrap();

@@ -37,6 +37,21 @@ fn count_prefix(names: &[String], prefix: &str) -> usize {
     names.iter().filter(|n| n.starts_with(prefix)).count()
 }
 
+/// Waits for the census to show exactly `want` threads named `prefix`.
+/// A freshly spawned thread briefly carries its parent's `comm` until it
+/// renames itself, so a single snapshot right after spawn (or stop) can
+/// under- or over-count under load.
+fn await_prefix_count(prefix: &str, want: usize) -> Vec<String> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let names = thread_names();
+        if count_prefix(&names, prefix) == want || std::time::Instant::now() >= deadline {
+            return names;
+        }
+        std::thread::yield_now();
+    }
+}
+
 #[test]
 fn service_threads_scale_with_workers_not_sockets() {
     let fabric = Fabric::new();
@@ -108,14 +123,14 @@ fn service_threads_scale_with_workers_not_sockets() {
     // adds exactly 4 shard workers, independent of socket count.
     let adopted = ctxs[0].start_workers(4);
     assert!(adopted > 0, "worker pool adopted no armed sources");
-    let names = thread_names();
+    let names = await_prefix_count("nexus-shard-wor", 4);
     assert_eq!(
         count_prefix(&names, "nexus-shard-wor"),
         4,
         "worker pool must spawn exactly the requested workers: {names:?}"
     );
     ctxs[0].stop_workers();
-    let names = thread_names();
+    let names = await_prefix_count("nexus-shard-wor", 0);
     assert_eq!(
         count_prefix(&names, "nexus-shard-wor"),
         0,

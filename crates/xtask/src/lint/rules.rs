@@ -66,15 +66,17 @@ pub const RULES: &[Rule] = &[
         name: "poll-blocking",
         description: "no blocking calls in functions reachable from PollEngine::poll_once, \
                       the ready-list drain, the adaptive re-selection driver, the shard \
-                      worker loop, or the socket reactor loop",
+                      worker loop, the socket reactor loop, the striped bulk path, or \
+                      the bulk rendezvous path (rsr_bulk / bulk_pull_service)",
         run: rule_poll_blocking,
     },
     Rule {
         name: "hot-path-alloc",
         description: "no per-message allocation (to_vec/encode/Vec::new) in functions \
                       reachable from Context::rsr, PollEngine::poll_once, the \
-                      ready-list drain, the shard worker loop, or the socket \
-                      reactor loop",
+                      ready-list drain, the shard worker loop, the socket reactor \
+                      loop, the striped bulk path, or the bulk rendezvous path \
+                      (rsr_bulk / bulk_pull_service)",
         run: rule_hot_path_alloc,
     },
     Rule {
@@ -569,6 +571,33 @@ fn rule_poll_blocking(ws: &Workspace) -> Vec<Diagnostic> {
     for (name, path) in graph.reachable_from("stripe_drain") {
         reach.entry(name).or_insert(path);
     }
+    // The bulk rendezvous path: `rsr_bulk` is the send-side entry (below
+    // the cutoff it degenerates to `rsr`, above it registers the region
+    // and ships the announce), and `bulk_pull_service` answers
+    // `#bulk-get` requests inside message dispatch — on whatever thread
+    // delivers the request. A block in either stalls the puller, which
+    // is sitting on a deadline, so both are roots in their own right.
+    //
+    // Paths through `send_with_failover` are excluded: that is the plain
+    // send machinery, which may open connections and tear down dead
+    // links — allowed to block by the same policy that keeps `rsr`
+    // itself out of this rule's roots. Likewise `connect_cached` under
+    // the pull service: a route miss opens a communication object, and
+    // connects are allowed to block. What remains rooted is the bulk
+    // machinery proper — registry, announce build, pull bookkeeping,
+    // and chunk fan-out over already-connected rails.
+    for (name, path) in graph.reachable_from("rsr_bulk") {
+        if path.iter().any(|hop| hop == "send_with_failover") {
+            continue;
+        }
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("bulk_pull_service") {
+        if path.iter().any(|hop| hop == "connect_cached") {
+            continue;
+        }
+        reach.entry(name).or_insert(path);
+    }
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for def in &graph.fns {
@@ -677,6 +706,26 @@ fn rule_hot_path_alloc(ws: &Workspace) -> Vec<Diagnostic> {
         reach.entry(name).or_insert(path);
     }
     for (name, path) in graph.reachable_from("stripe_drain") {
+        reach.entry(name).or_insert(path);
+    }
+    // The bulk rendezvous path's own halves: `rsr_bulk` must stay
+    // pool-backed on the announce (the region itself is a refcount, never
+    // a copy) and `bulk_pull_service` serves pulls by borrowing the
+    // registered region — the mapped answer is a handle pass and the
+    // chunked answer slices it. The steady-state bulk pull is exactly 0
+    // allocs (pinned by the bulk alloc-budget test); rooting both keeps
+    // that from silently lapsing if either leaves the `rsr`/dispatch set.
+    // `connect_cached` paths under the pull service are excluded: a route
+    // miss opens a communication object — connect-time, not per-message.
+    // (`send_with_failover` needs no exclusion here: it is already fully
+    // rooted via `rsr`.)
+    for (name, path) in graph.reachable_from("rsr_bulk") {
+        reach.entry(name).or_insert(path);
+    }
+    for (name, path) in graph.reachable_from("bulk_pull_service") {
+        if path.iter().any(|hop| hop == "connect_cached") {
+            continue;
+        }
         reach.entry(name).or_insert(path);
     }
     let mut out = Vec::new();
@@ -1223,6 +1272,79 @@ mod tests {
             .as_deref()
             .unwrap_or("")
             .contains("stripe_drain -> ingest"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_the_bulk_pull_service_is_flagged() {
+        // `bulk_pull_service` runs inside dispatch and is not called from
+        // any other root here, so only its dedicated root reaches the
+        // blocking call.
+        let ws = ws_one(
+            "b.rs",
+            "fn bulk_pull_service() {\n    serve();\n}\nfn serve() {\n    done.wait(guard);\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("bulk_pull_service -> serve"));
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_rsr_bulk_is_flagged() {
+        let ws = ws_one(
+            "b.rs",
+            "fn rsr_bulk() {\n    announce();\n}\nfn announce() {\n    thread::sleep(d);\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_poll_blocking(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("rsr_bulk -> announce"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_the_bulk_roots() {
+        // Each bulk half is rooted independently: neither fixture calls
+        // the other or any pre-existing root.
+        let ws = ws_one(
+            "b.rs",
+            "fn rsr_bulk() {\n    pack();\n}\nfn pack() {\n    let v = handle.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("rsr_bulk -> pack"));
+        let ws = ws_one(
+            "b.rs",
+            "fn bulk_pull_service() {\n    answer();\n}\nfn answer() {\n    let v = region.to_vec();\n}\n",
+            false,
+            true,
+            true,
+        );
+        let diags = rule_hot_path_alloc(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .help
+            .as_deref()
+            .unwrap_or("")
+            .contains("bulk_pull_service -> answer"));
     }
 
     #[test]
